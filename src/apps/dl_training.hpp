@@ -1,0 +1,47 @@
+// Synthetic data-parallel deep-learning trainer (paper Sec. 5.6).
+//
+// Reproduces the Horovod synthetic benchmark's structure: every step, each
+// rank computes forward+backward for a fixed batch, then the gradient
+// vector (model parameters x 4 bytes) is Allreduced in fusion buckets.
+// The compute time per step is an input (calibrated to CPU ResNet
+// throughput); the communication runs on the simulated fabric, so the
+// profile under test determines the achievable images/second.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hw/spec.hpp"
+#include "profiles/profiles.hpp"
+
+namespace hmca::apps {
+
+struct DlModel {
+  std::string name;
+  std::size_t parameters;        ///< model size (floats)
+  double imgs_per_sec_per_proc;  ///< compute-only throughput of one process
+};
+
+/// The three networks of Fig. 17 (parameter counts from Keras [15]).
+DlModel resnet50();
+DlModel resnet101();
+DlModel resnet152();
+
+struct DlConfig {
+  DlModel model = resnet50();
+  int batch = 16;  ///< per-process batch size (the paper's largest fitting)
+  int steps = 4;   ///< timed steps
+  /// Horovod-style gradient fusion buffer.
+  std::size_t bucket_bytes = 64u << 20;
+};
+
+struct DlResult {
+  double imgs_per_sec;    ///< aggregate across all processes
+  double epoch_seconds;   ///< time for one ImageNet epoch (1.28M images)
+  double comm_fraction;   ///< share of step time spent in Allreduce
+};
+
+DlResult run_training(hw::ClusterSpec spec, const profiles::AllreduceFn& ar,
+                      const DlConfig& cfg);
+
+}  // namespace hmca::apps

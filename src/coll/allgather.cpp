@@ -1,0 +1,250 @@
+#include "coll/allgather.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "shm/shm.hpp"
+
+namespace hmca::coll {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int log2_floor(int n) {
+  int k = 0;
+  while ((1 << (k + 1)) <= n) ++k;
+  return k;
+}
+
+namespace {
+
+void check_args(const mpi::Comm& comm, int my, const hw::BufView& send,
+                const hw::BufView& recv, std::size_t msg, bool in_place) {
+  if (my < 0 || my >= comm.size()) {
+    throw std::invalid_argument("allgather: bad rank");
+  }
+  if (recv.len != msg * static_cast<std::size_t>(comm.size())) {
+    throw std::invalid_argument("allgather: recv size != msg * comm size");
+  }
+  if (!in_place && send.len != msg) {
+    throw std::invalid_argument("allgather: send size != msg");
+  }
+}
+
+// Node-shared-object key: collective ops are identified by (context,
+// sequence) plus a small salt for multiple objects per op.
+std::uint64_t op_key(int ctx, std::uint64_t seq, int salt = 0) {
+  return (seq << 20) | (static_cast<std::uint64_t>(ctx) << 4) |
+         static_cast<std::uint64_t>(salt);
+}
+
+}  // namespace
+
+sim::Task<void> seed_own_block(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv, std::size_t msg,
+                               bool in_place) {
+  if (in_place || msg == 0) co_return;
+  co_await comm.cluster().cpu_copy_by(comm.to_global(my),
+                                      static_cast<double>(msg));
+  hw::copy_payload(recv.sub(static_cast<std::size_t>(my) * msg, msg), send);
+}
+
+sim::Task<void> allgather_ring(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv, std::size_t msg,
+                               bool in_place) {
+  check_args(comm, my, send, recv, msg, in_place);
+  const int n = comm.size();
+  co_await seed_own_block(comm, my, send, recv, msg, in_place);
+  if (n == 1) co_return;
+
+  const int right = (my + 1) % n;
+  const int left = (my - 1 + n) % n;
+  int cur = my;
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (cur - 1 + n) % n;
+    co_await comm.sendrecv(
+        my, right, step, recv.sub(static_cast<std::size_t>(cur) * msg, msg),
+        left, step, recv.sub(static_cast<std::size_t>(incoming) * msg, msg));
+    cur = incoming;
+  }
+}
+
+sim::Task<void> allgather_rd(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, std::size_t msg,
+                             bool in_place) {
+  check_args(comm, my, send, recv, msg, in_place);
+  const int n = comm.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument(
+        "allgather_rd: communicator size must be a power of two "
+        "(use allgather_rd_or_bruck)");
+  }
+  co_await seed_own_block(comm, my, send, recv, msg, in_place);
+
+  // Step k: exchange the owned aligned group of 2^k blocks with the partner
+  // at distance 2^k; owned blocks stay contiguous in recv.
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int dist = 1 << k;
+    const int partner = my ^ dist;
+    const std::size_t own_base =
+        static_cast<std::size_t>(my & ~(dist - 1)) * msg;
+    const std::size_t partner_base =
+        static_cast<std::size_t>(partner & ~(dist - 1)) * msg;
+    const std::size_t len = static_cast<std::size_t>(dist) * msg;
+    co_await comm.sendrecv(my, partner, k, recv.sub(own_base, len), partner, k,
+                           recv.sub(partner_base, len));
+  }
+}
+
+sim::Task<void> allgather_bruck(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, std::size_t msg,
+                                bool in_place) {
+  check_args(comm, my, send, recv, msg, in_place);
+  const int n = comm.size();
+  auto& cl = comm.cluster();
+
+  // Rotated working buffer: temp[i] holds the block of rank (my + i) % n.
+  auto temp =
+      hw::Buffer::make(static_cast<std::size_t>(n) * msg, cl.spec().carry_data);
+  co_await cl.cpu_copy_by(comm.to_global(my), static_cast<double>(msg));
+  hw::copy_payload(
+      temp.slice(0, msg),
+      in_place ? recv.sub(static_cast<std::size_t>(my) * msg, msg) : send);
+
+  for (int pof = 1, step = 0; pof < n; pof *= 2, ++step) {
+    const int send_count = std::min(pof, n - pof);
+    const std::size_t len = static_cast<std::size_t>(send_count) * msg;
+    const int to = (my - pof % n + n) % n;
+    const int from = (my + pof) % n;
+    co_await comm.sendrecv(my, to, step, temp.slice(0, len), from, step,
+                           temp.slice(static_cast<std::size_t>(pof) * msg, len));
+  }
+
+  // Un-rotate: recv[(my + i) % n] = temp[i]; one local pass over the buffer.
+  co_await cl.cpu_copy_by(comm.to_global(my),
+                          static_cast<double>(n) * static_cast<double>(msg));
+  if (recv.real() && temp.has_data()) {
+    for (int i = 0; i < n; ++i) {
+      const int slot = (my + i) % n;
+      hw::copy_payload(recv.sub(static_cast<std::size_t>(slot) * msg, msg),
+                       temp.slice(static_cast<std::size_t>(i) * msg, msg));
+    }
+  }
+}
+
+sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
+                                 hw::BufView recv, std::size_t msg,
+                                 bool in_place) {
+  check_args(comm, my, send, recv, msg, in_place);
+  const int n = comm.size();
+  co_await seed_own_block(comm, my, send, recv, msg, in_place);
+  if (n == 1) co_return;
+
+  const hw::BufView own = recv.sub(static_cast<std::size_t>(my) * msg, msg);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    const int src = (my - i + n) % n;
+    reqs.push_back(comm.irecv(my, src, i,
+                              recv.sub(static_cast<std::size_t>(src) * msg, msg)));
+  }
+  for (int i = 1; i < n; ++i) {
+    const int dst = (my + i) % n;
+    reqs.push_back(comm.isend(my, dst, i, own));
+  }
+  co_await comm.wait_all(std::move(reqs));
+}
+
+sim::Task<void> allgather_rd_or_bruck(mpi::Comm& comm, int my,
+                                      hw::BufView send, hw::BufView recv,
+                                      std::size_t msg, bool in_place) {
+  if (is_power_of_two(comm.size())) {
+    co_await allgather_rd(comm, my, send, recv, msg, in_place);
+  } else {
+    co_await allgather_bruck(comm, my, send, recv, msg, in_place);
+  }
+}
+
+sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
+                                       hw::BufView send, hw::BufView recv,
+                                       std::size_t msg, bool in_place,
+                                       int groups) {
+  check_args(comm, my, send, recv, msg, in_place);
+  auto& cl = comm.cluster();
+  const int ppn = cl.ppn();
+
+  if (comm.size() != cl.world_size()) {
+    throw std::invalid_argument("allgather_multi_leader: world comm required");
+  }
+  if (groups < 1 || ppn % groups != 0) {
+    throw std::invalid_argument(
+        "allgather_multi_leader: ppn must be divisible by groups");
+  }
+  const int gs = ppn / groups;          // group size
+  const int node = comm.node_of(my);
+  const int local = comm.node_local_rank(my);
+  const int group = local / gs;
+  const int leader_local = group * gs;
+  const bool is_leader = (local == leader_local);
+  const std::uint64_t seq = comm.next_op_seq(my);
+  trace::Tracer* tracer = comm.tracer();
+
+  // ---- Phase 1: members share blocks with the group leader via shm ----
+  const std::size_t group_block = static_cast<std::size_t>(gs) * msg;
+  auto region1 = comm.share().acquire<shm::ShmRegion>(
+      node, op_key(comm.ctx(), seq, group), gs, [&] {
+        return std::make_shared<shm::ShmRegion>(cl, node, group_block, tracer);
+      });
+  const std::size_t my_block_off = static_cast<std::size_t>(my) * msg;
+  if (is_leader) {
+    co_await seed_own_block(comm, my, send, recv, msg, in_place);
+    co_await region1->wait_published(static_cast<std::size_t>(gs - 1));
+    // Copy every member block from shm into the leader's recv buffer.
+    for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(gs); ++i) {
+      const auto c = region1->chunk(i);
+      // Chunk offsets are relative to the group block.
+      const std::size_t dst_off =
+          (static_cast<std::size_t>(node * ppn + leader_local)) * msg + c.offset;
+      co_await region1->copy_out(comm.to_global(my), i,
+                                 recv.sub(dst_off, c.len));
+    }
+  } else {
+    const hw::BufView contribution =
+        in_place ? recv.sub(my_block_off, msg) : send;
+    co_await region1->copy_in_publish(
+        comm.to_global(my), contribution,
+        static_cast<std::size_t>(local - leader_local) * msg);
+  }
+
+  // ---- Phase 2: flat Ring over all group leaders (intra + inter mixed) ----
+  if (is_leader) {
+    auto& lcomm = comm.world().group_leader_comm(groups);
+    const int lrank = node * groups + group;
+    co_await allgather_ring(lcomm, lrank, hw::BufView{}, recv, group_block,
+                            /*in_place=*/true);
+  }
+
+  // ---- Phase 3: node-level broadcast of the full result via shm ----
+  const std::size_t total = recv.len;
+  auto region3 = comm.share().acquire<shm::ShmRegion>(
+      node, op_key(comm.ctx(), seq, groups + 1), ppn, [&] {
+        return std::make_shared<shm::ShmRegion>(cl, node, total, tracer);
+      });
+  if (is_leader) {
+    // Leaders split the broadcast: leader g publishes slice g of the result.
+    const std::size_t slice = total / static_cast<std::size_t>(groups);
+    const std::size_t off = static_cast<std::size_t>(group) * slice;
+    const std::size_t len =
+        (group == groups - 1) ? total - off : slice;  // remainder to the last
+    co_await region3->copy_in_publish(comm.to_global(my), recv.sub(off, len),
+                                      off);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(groups); ++i) {
+      co_await region3->wait_published(i + 1);
+      const auto c = region3->chunk(i);
+      co_await region3->copy_out(comm.to_global(my), i, recv.sub(c.offset, c.len));
+    }
+  }
+}
+
+}  // namespace hmca::coll

@@ -1,0 +1,81 @@
+// Conventional ("flat") Allgather algorithms and the multi-leader two-level
+// baseline (paper Sec. 2.2 and Sec. 6 / Kandalla et al. [14]).
+//
+// All entry points are SPMD coroutines: every comm-local rank calls the same
+// function with its own rank id and buffer views.
+//
+// Buffer convention: `send` is the caller's contribution (`msg` bytes) and
+// `recv` holds `comm.size() * msg` bytes. With `in_place` the contribution
+// is already at `recv[my*msg .. (my+1)*msg)` and `send` is ignored.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+/// Pluggable allgather signature (used e.g. to swap the allgather phase of
+/// Ring-Allreduce for the MHA design).
+using AllgatherFn = std::function<sim::Task<void>(
+    mpi::Comm&, int my, hw::BufView send, hw::BufView recv, std::size_t msg,
+    bool in_place)>;
+
+/// Copy the caller's contribution into its recv block (one CPU copy), or
+/// do nothing for in-place operation.
+sim::Task<void> seed_own_block(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv, std::size_t msg,
+                               bool in_place);
+
+/// Ring: N-1 nearest-neighbour steps, each forwarding the block received in
+/// the previous step (Sec. 2.2(2)). Bandwidth-optimal, latency O(N).
+sim::Task<void> allgather_ring(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv, std::size_t msg,
+                               bool in_place = false);
+
+/// Recursive Doubling: log2(N) exchanges of doubling block ranges
+/// (Sec. 2.2(1)). Power-of-two communicator sizes only; the dispatcher
+/// falls back to Bruck otherwise.
+sim::Task<void> allgather_rd(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, std::size_t msg,
+                             bool in_place = false);
+
+/// Bruck: ceil(log2 N) store-and-forward steps on rotated block indices;
+/// works for any N. Pays a final local re-rotation copy.
+sim::Task<void> allgather_bruck(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, std::size_t msg,
+                                bool in_place = false);
+
+/// Direct Spread (dissemination): in step i, receive block (my-i) mod N
+/// directly from its owner and send the own block to (my+i) mod N
+/// (Sec. 2.2(3)). All transfers are posted nonblocking up front.
+sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
+                                 hw::BufView recv, std::size_t msg,
+                                 bool in_place = false);
+
+/// Small-message dispatcher used by library profiles: RD when N is a power
+/// of two, Bruck otherwise.
+sim::Task<void> allgather_rd_or_bruck(mpi::Comm& comm, int my,
+                                      hw::BufView send, hw::BufView recv,
+                                      std::size_t msg, bool in_place = false);
+
+/// Multi-leader two-level Allgather (Kandalla et al. [14]): `groups` leader
+/// processes per node, strictly separated phases —
+///   1. group members share their blocks with the group leader via shared
+///      memory,
+///   2. all leaders run a *flat* Ring over group blocks (intra- and
+///      inter-node transfers mixed: the bottleneck shown in Fig. 2),
+///   3. leaders broadcast the full result through shared memory.
+/// Requires `comm` to be node-major with ppn divisible by `groups`.
+sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
+                                       hw::BufView send, hw::BufView recv,
+                                       std::size_t msg, bool in_place = false,
+                                       int groups = 2);
+
+bool is_power_of_two(int n);
+int log2_floor(int n);
+
+}  // namespace hmca::coll

@@ -1,0 +1,101 @@
+#include "coll/allgatherv.hpp"
+
+#include <stdexcept>
+
+#include "coll/allgather.hpp"
+#include "mpi/comm.hpp"
+
+namespace hmca::coll {
+
+VarLayout VarLayout::from_counts(std::vector<std::size_t> counts) {
+  if (counts.empty()) {
+    throw std::invalid_argument("VarLayout: empty counts");
+  }
+  VarLayout l;
+  l.offsets.reserve(counts.size());
+  for (std::size_t c : counts) {
+    l.offsets.push_back(l.total);
+    l.total += c;
+  }
+  l.counts = std::move(counts);
+  return l;
+}
+
+namespace {
+
+void check_args(const mpi::Comm& comm, int my, const hw::BufView& send,
+                const hw::BufView& recv, const VarLayout& layout,
+                bool in_place) {
+  if (my < 0 || my >= comm.size()) {
+    throw std::invalid_argument("allgatherv: bad rank");
+  }
+  if (layout.counts.size() != static_cast<std::size_t>(comm.size())) {
+    throw std::invalid_argument("allgatherv: layout size != comm size");
+  }
+  if (recv.len != layout.total) {
+    throw std::invalid_argument("allgatherv: recv size != layout total");
+  }
+  if (!in_place && send.len != layout.count(my)) {
+    throw std::invalid_argument("allgatherv: send size != my count");
+  }
+}
+
+sim::Task<void> seed_own(mpi::Comm& comm, int my, hw::BufView send,
+                         hw::BufView recv, const VarLayout& layout,
+                         bool in_place) {
+  if (in_place || layout.count(my) == 0) co_return;
+  co_await comm.cluster().cpu_copy_by(comm.to_global(my),
+                                      static_cast<double>(layout.count(my)));
+  hw::copy_payload(recv.sub(layout.offset(my), layout.count(my)), send);
+}
+
+}  // namespace
+
+sim::Task<void> allgatherv_ring(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, const VarLayout& layout,
+                                bool in_place) {
+  check_args(comm, my, send, recv, layout, in_place);
+  const int n = comm.size();
+  co_await seed_own(comm, my, send, recv, layout, in_place);
+  if (n == 1) co_return;
+
+  const int right = (my + 1) % n;
+  const int left = (my - 1 + n) % n;
+  int cur = my;
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (cur - 1 + n) % n;
+    // Zero-byte blocks still synchronize the ring step (the transfer is
+    // immediate but ordering is preserved).
+    co_await comm.sendrecv(my, right, step,
+                           recv.sub(layout.offset(cur), layout.count(cur)),
+                           left, step,
+                           recv.sub(layout.offset(incoming),
+                                    layout.count(incoming)));
+    cur = incoming;
+  }
+}
+
+sim::Task<void> allgatherv_direct(mpi::Comm& comm, int my, hw::BufView send,
+                                  hw::BufView recv, const VarLayout& layout,
+                                  bool in_place) {
+  check_args(comm, my, send, recv, layout, in_place);
+  const int n = comm.size();
+  co_await seed_own(comm, my, send, recv, layout, in_place);
+  if (n == 1) co_return;
+
+  const hw::BufView own = recv.sub(layout.offset(my), layout.count(my));
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    const int src = (my - i + n) % n;
+    reqs.push_back(comm.irecv(my, src, i,
+                              recv.sub(layout.offset(src), layout.count(src))));
+  }
+  for (int i = 1; i < n; ++i) {
+    const int dst = (my + i) % n;
+    reqs.push_back(comm.isend(my, dst, i, own));
+  }
+  co_await comm.wait_all(std::move(reqs));
+}
+
+}  // namespace hmca::coll

@@ -1,0 +1,123 @@
+#include "coll/allreduce.hpp"
+
+#include <stdexcept>
+
+namespace hmca::coll {
+
+namespace {
+
+struct VectorArgs {
+  std::size_t count;
+  std::size_t elem;
+  std::size_t bytes;
+};
+
+VectorArgs check_vector(const mpi::Comm& comm, int my, const hw::BufView& data,
+                        std::size_t count, mpi::Dtype dtype) {
+  if (my < 0 || my >= comm.size()) {
+    throw std::invalid_argument("allreduce: bad rank");
+  }
+  const std::size_t elem = mpi::dtype_size(dtype);
+  if (data.len != count * elem) {
+    throw std::invalid_argument("allreduce: data size != count * elem");
+  }
+  return {count, elem, count * elem};
+}
+
+// Reduce `operand` into `accum` paying the CPU sweep cost.
+sim::Task<void> reduce_into(mpi::Comm& comm, int my, hw::BufView accum,
+                            hw::BufView operand, std::size_t count,
+                            mpi::Dtype dtype, mpi::ReduceOp op) {
+  co_await comm.cluster().cpu_reduce_by(comm.to_global(my),
+                                        static_cast<double>(accum.len));
+  mpi::apply_reduce(op, dtype, accum, operand, count);
+}
+
+}  // namespace
+
+sim::Task<void> reduce_scatter_ring(mpi::Comm& comm, int my, hw::BufView data,
+                                    std::size_t count, mpi::Dtype dtype,
+                                    mpi::ReduceOp op) {
+  const auto v = check_vector(comm, my, data, count, dtype);
+  const int n = comm.size();
+  if (n == 1) co_return;
+  if (count % static_cast<std::size_t>(n) != 0) {
+    throw std::invalid_argument(
+        "reduce_scatter_ring: count must be divisible by comm size");
+  }
+  const std::size_t chunk_count = count / static_cast<std::size_t>(n);
+  const std::size_t chunk = chunk_count * v.elem;
+
+  auto temp = hw::Buffer::make(chunk, comm.cluster().spec().carry_data);
+  const int right = (my + 1) % n;
+  const int left = (my - 1 + n) % n;
+
+  // Step s: forward the chunk reduced in the previous step; the final
+  // receive (s = n-2) is chunk `my`, which ends fully reduced here.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (my - 1 - s % n + 2 * n) % n;
+    const int recv_idx = (my - 2 - s % n + 2 * n) % n;
+    co_await comm.sendrecv(
+        my, right, s, data.sub(static_cast<std::size_t>(send_idx) * chunk, chunk),
+        left, s, temp.view());
+    co_await reduce_into(comm, my,
+                         data.sub(static_cast<std::size_t>(recv_idx) * chunk, chunk),
+                         temp.view(), chunk_count, dtype, op);
+  }
+}
+
+sim::Task<void> allreduce_ring(mpi::Comm& comm, int my, hw::BufView data,
+                               std::size_t count, mpi::Dtype dtype,
+                               mpi::ReduceOp op, AllgatherFn ag) {
+  const auto v = check_vector(comm, my, data, count, dtype);
+  const int n = comm.size();
+  if (n == 1) co_return;
+  co_await reduce_scatter_ring(comm, my, data, count, dtype, op);
+  const std::size_t chunk = v.bytes / static_cast<std::size_t>(n);
+  if (ag) {
+    co_await ag(comm, my, hw::BufView{}, data, chunk, /*in_place=*/true);
+  } else {
+    co_await allgather_ring(comm, my, hw::BufView{}, data, chunk,
+                            /*in_place=*/true);
+  }
+}
+
+sim::Task<void> allreduce_rd(mpi::Comm& comm, int my, hw::BufView data,
+                             std::size_t count, mpi::Dtype dtype,
+                             mpi::ReduceOp op) {
+  const auto v = check_vector(comm, my, data, count, dtype);
+  const int n = comm.size();
+  if (n == 1) co_return;
+
+  const int p = 1 << log2_floor(n);
+  const int rem = n - p;
+  auto temp = hw::Buffer::make(v.bytes, comm.cluster().spec().carry_data);
+
+  // Fold-in: the first 2*rem ranks pair up so a power-of-two set remains.
+  constexpr int kFoldTag = 0x7f00 & mpi::kMaxUserTag;
+  if (my < 2 * rem && (my % 2 == 1)) {
+    co_await comm.send(my, my - 1, kFoldTag, data);
+    co_await comm.recv(my, my - 1, kFoldTag + 1, data);
+    co_return;
+  }
+  if (my < 2 * rem) {
+    co_await comm.recv(my, my + 1, kFoldTag, temp.view());
+    co_await reduce_into(comm, my, data, temp.view(), count, dtype, op);
+  }
+
+  // Recursive doubling among the surviving p ranks.
+  const int newid = (my < 2 * rem) ? my / 2 : my - rem;
+  auto to_real = [rem](int id) { return id < rem ? 2 * id : id + rem; };
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int partner = to_real(newid ^ (1 << k));
+    co_await comm.sendrecv(my, partner, k, data, partner, k, temp.view());
+    co_await reduce_into(comm, my, data, temp.view(), count, dtype, op);
+  }
+
+  // Fold-out: hand the result back to the paired odd ranks.
+  if (my < 2 * rem) {
+    co_await comm.send(my, my + 1, kFoldTag + 1, data);
+  }
+}
+
+}  // namespace hmca::coll

@@ -1,0 +1,46 @@
+// Reduce-scatter and Allreduce algorithms (paper Sec. 2.4).
+//
+// Ring-Allreduce (Patarasuk & Yuan [27]) = ring reduce-scatter followed by
+// an Allgather of the reduced chunks; the Allgather phase is pluggable so
+// the MHA designs can accelerate it (paper Sec. 5.4).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "coll/allgather.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+/// Pluggable allreduce signature (library profiles, app kernels).
+using AllreduceFn = std::function<sim::Task<void>(
+    mpi::Comm&, int my, hw::BufView data, std::size_t count, mpi::Dtype,
+    mpi::ReduceOp)>;
+
+/// Ring reduce-scatter over `data` (count elements, in place). After the
+/// call, rank r holds the fully reduced chunk r in
+/// data[r*chunk .. (r+1)*chunk). `count` must be divisible by comm.size().
+sim::Task<void> reduce_scatter_ring(mpi::Comm& comm, int my, hw::BufView data,
+                                    std::size_t count, mpi::Dtype dtype,
+                                    mpi::ReduceOp op);
+
+/// Ring-Allreduce: reduce-scatter + Allgather of the reduced chunks via
+/// `ag` (flat Ring by default). In place over `data`. `ag` is taken by
+/// value: a coroutine must own its callable — a reference parameter would
+/// dangle once the caller's frame unwinds before the task runs.
+sim::Task<void> allreduce_ring(mpi::Comm& comm, int my, hw::BufView data,
+                               std::size_t count, mpi::Dtype dtype,
+                               mpi::ReduceOp op, AllgatherFn ag = {});
+
+/// Recursive-doubling Allreduce on the full vector: log2(N) exchanges, with
+/// the standard fold-in/fold-out handling for non-power-of-two sizes. Best
+/// for small messages.
+sim::Task<void> allreduce_rd(mpi::Comm& comm, int my, hw::BufView data,
+                             std::size_t count, mpi::Dtype dtype,
+                             mpi::ReduceOp op);
+
+}  // namespace hmca::coll

@@ -1,0 +1,18 @@
+#include "coll/barrier.hpp"
+
+#include "hw/buffer.hpp"
+
+namespace hmca::coll {
+
+sim::Task<void> barrier_dissemination(mpi::Comm& comm, int my) {
+  const int n = comm.size();
+  auto token = hw::Buffer::make(1, comm.cluster().spec().carry_data);
+  auto in = hw::Buffer::make(1, comm.cluster().spec().carry_data);
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int to = (my + (1 << k)) % n;
+    const int from = (my - (1 << k) % n + n) % n;
+    co_await comm.sendrecv(my, to, k, token.view(), from, k, in.view());
+  }
+}
+
+}  // namespace hmca::coll

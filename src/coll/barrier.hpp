@@ -1,0 +1,15 @@
+// Message-based dissemination barrier.
+//
+// ceil(log2 N) rounds; in round k every rank signals (my + 2^k) mod N and
+// waits for the signal from (my - 2^k) mod N. Unlike Comm::barrier (a
+// zero-cost harness synchronization), this one pays real message latency.
+#pragma once
+
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+sim::Task<void> barrier_dissemination(mpi::Comm& comm, int my);
+
+}  // namespace hmca::coll

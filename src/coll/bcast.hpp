@@ -1,0 +1,54 @@
+// Broadcast, Reduce, Gather and Scatter — the rooted collectives, with
+// conventional flat algorithms (Sec. 7: "we plan to address other
+// collectives"). The multi-HCA aware hierarchical variants live in
+// core/mha_rooted.hpp.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+/// Binomial-tree broadcast from `root`: log2(N) rounds, each holder
+/// forwarding to the peer at the current distance. `data` is the payload
+/// on every rank (input at root, output elsewhere).
+sim::Task<void> bcast_binomial(mpi::Comm& comm, int my, int root,
+                               hw::BufView data);
+
+/// Scatter-allgather broadcast (van de Geijn): scatter the message as a
+/// binomial tree of halves, then ring-allgather the pieces. Better than
+/// binomial for large messages (2x less root bandwidth). Requires
+/// data.len divisible by comm.size().
+sim::Task<void> bcast_scatter_allgather(mpi::Comm& comm, int my, int root,
+                                        hw::BufView data);
+
+/// Binomial-tree reduction to `root`: `data` is the contribution (in/out;
+/// at root it ends holding the reduction). `count` elements of `dtype`.
+sim::Task<void> reduce_binomial(mpi::Comm& comm, int my, int root,
+                                hw::BufView data, std::size_t count,
+                                mpi::Dtype dtype, mpi::ReduceOp op);
+
+/// Linear gather to `root`: every rank sends its `msg`-byte block; root's
+/// `recv` (msg * N bytes) collects them in rank order. Non-roots may pass
+/// an empty recv view.
+sim::Task<void> gather_linear(mpi::Comm& comm, int my, int root,
+                              hw::BufView send, hw::BufView recv,
+                              std::size_t msg);
+
+/// Linear scatter from `root`: block i of root's `send` (msg * N bytes)
+/// lands in rank i's `recv` (msg bytes). Non-roots may pass an empty send.
+sim::Task<void> scatter_linear(mpi::Comm& comm, int my, int root,
+                               hw::BufView send, hw::BufView recv,
+                               std::size_t msg);
+
+/// Pairwise-exchange Alltoall: N-1 steps, step i exchanging with rank
+/// (my XOR i) when N is a power of two, (my +/- i) otherwise. `send` and
+/// `recv` are msg * N bytes.
+sim::Task<void> alltoall_pairwise(mpi::Comm& comm, int my, hw::BufView send,
+                                  hw::BufView recv, std::size_t msg);
+
+}  // namespace hmca::coll

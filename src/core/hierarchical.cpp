@@ -1,0 +1,320 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "coll/allgather.hpp"
+#include "core/mha_intra.hpp"
+#include "model/cost.hpp"
+#include "shm/shm.hpp"
+#include "sim/sync.hpp"
+
+namespace hmca::core {
+
+namespace {
+
+std::uint64_t op_key(int ctx, std::uint64_t seq, int salt = 0) {
+  return (seq << 20) | (static_cast<std::uint64_t>(ctx) << 4) |
+         static_cast<std::uint64_t>(salt);
+}
+
+// Number of chunks the leader publishes in phase 3.
+int publish_count(Phase2Algo algo, int nodes) {
+  if (nodes <= 1) return 0;
+  return algo == Phase2Algo::kRing ? nodes - 1 : coll::log2_floor(nodes);
+}
+
+// Phase 1 via a double-copy shared-memory gather (Mamidala-style): every
+// rank copies its contribution in, waits for all, then copies the L-1 peer
+// blocks out into its recv slice.
+sim::Task<void> shm_gather_phase1(mpi::Comm& comm, int my, hw::BufView send,
+                                  hw::BufView node_slice, std::size_t msg,
+                                  bool in_place, int node, int local, int l,
+                                  std::uint64_t seq) {
+  auto region = comm.share().acquire<shm::ShmRegion>(
+      node, op_key(comm.ctx(), seq, 1), l, [&] {
+        return std::make_shared<shm::ShmRegion>(
+            comm.cluster(), node, static_cast<std::size_t>(l) * msg,
+            comm.tracer());
+      });
+  const hw::BufView contribution =
+      in_place ? node_slice.sub(static_cast<std::size_t>(local) * msg, msg)
+               : send;
+  co_await region->copy_in_publish(comm.to_global(my), contribution,
+                                   static_cast<std::size_t>(local) * msg);
+  if (!in_place) {
+    // Own block also lands in the recv slice (a local copy, overlapping the
+    // shm waits of other ranks).
+    co_await comm.cluster().cpu_copy_by(comm.to_global(my),
+                                        static_cast<double>(msg));
+    hw::copy_payload(node_slice.sub(static_cast<std::size_t>(local) * msg, msg),
+                     contribution);
+  }
+  co_await region->wait_published(static_cast<std::size_t>(l));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(l); ++i) {
+    const auto c = region->chunk(i);
+    if (c.offset == static_cast<std::size_t>(local) * msg) continue;  // own
+    co_await region->copy_out(comm.to_global(my), i,
+                              node_slice.sub(c.offset, c.len));
+  }
+}
+
+// NUMA-aware two-stage phase 1 (Sec. 7 future work): MHA-intra within each
+// socket (no UPI traffic), then socket leaders exchange socket blocks via
+// shared memory — each remote-socket byte crosses UPI once (the leader's
+// copy-in) instead of once per reading process.
+sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
+                            hw::BufView node_slice, std::size_t msg,
+                            bool in_place, int node, int local, int l,
+                            std::uint64_t seq, double offload) {
+  auto& cl = comm.cluster();
+  const int sockets = cl.sockets();
+  const int spp = l / sockets;  // ranks per socket
+  const int socket = cl.socket_of_local(local);
+  const int s0 = socket * spp;  // first node-local rank of my socket
+  const std::size_t socket_block = static_cast<std::size_t>(spp) * msg;
+
+  // Stage A: intra-socket MHA-intra into my socket's block of the slice.
+  auto& scomm = comm.world().socket_comm(node, socket);
+  co_await allgather_mha_intra(
+      scomm, local - s0, send,
+      node_slice.sub(static_cast<std::size_t>(s0) * msg, socket_block), msg,
+      in_place, offload);
+  if (sockets == 1) co_return;
+
+  // Stage B: every remote-socket byte must cross the UPI link exactly
+  // once. Socket leaders publish the address of their completed slice,
+  // then each leader *pulls* the other sockets' blocks into a segment
+  // homed on its own socket; its members copy out locally.
+  auto region = comm.share().acquire<shm::ShmRegion>(
+      node, op_key(comm.ctx(), seq, 5 + socket), spp, [&] {
+        return std::make_shared<shm::ShmRegion>(
+            cl, node, static_cast<std::size_t>(l) * msg, comm.tracer(),
+            cl.global_rank(node, s0));
+      });
+  if (local == s0) {  // socket leader
+    // Only leaders participate in the address exchange (parties =
+    // sockets); acquiring it from every rank would recycle the entry.
+    auto board = comm.share().acquire<AddressBoard>(
+        node, op_key(comm.ctx(), seq, 4), sockets, [&] {
+          return std::make_shared<AddressBoard>(comm.engine(), sockets);
+        });
+    co_await board->put_and_wait(socket, node_slice);
+    for (int o = 1; o < sockets; ++o) {
+      const int other = (socket + o) % sockets;
+      const std::size_t off =
+          static_cast<std::size_t>(other) * socket_block;
+      co_await region->copy_in_publish(
+          comm.to_global(my), board->view(other).sub(off, socket_block), off,
+          cl.global_rank(node, other * spp));
+      // The leader's own recv slice gets the block from the local segment.
+      hw::copy_payload(node_slice.sub(off, socket_block),
+                       region->view(off, socket_block));
+    }
+  }
+  for (int k = 0; k + 1 < sockets; ++k) {
+    co_await region->wait_published(static_cast<std::size_t>(k) + 1);
+    if (local == s0) continue;  // leader filled its slice while pulling
+    const auto c = region->chunk(static_cast<std::size_t>(k));
+    co_await region->copy_out(comm.to_global(my), static_cast<std::size_t>(k),
+                              node_slice.sub(c.offset, c.len));
+  }
+}
+
+// Leader-side phase 2+3: Ring variant.
+sim::Task<void> leader_ring(mpi::Comm& lcomm, int node, hw::BufView recv,
+                            std::size_t chunk, shm::ShmRegion* region,
+                            bool overlap, int grank, sim::Engine& eng) {
+  const int n = lcomm.size();
+  const int right = (node + 1) % n;
+  const int left = (node - 1 + n) % n;
+  sim::WaitGroup publishes(eng);
+  int cur = node;
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (cur - 1 + n) % n;
+    co_await lcomm.sendrecv(
+        node, right, step, recv.sub(static_cast<std::size_t>(cur) * chunk, chunk),
+        left, step,
+        recv.sub(static_cast<std::size_t>(incoming) * chunk, chunk));
+    if (region != nullptr && overlap) {
+      // Publish concurrently: the next ring step's wire transfer overlaps
+      // this chunk's shm copy (Fig. 6).
+      publishes.spawn(region->copy_in_publish(
+          grank, recv.sub(static_cast<std::size_t>(incoming) * chunk, chunk),
+          static_cast<std::size_t>(incoming) * chunk));
+    }
+    cur = incoming;
+  }
+  if (region != nullptr && !overlap) {
+    // Strict phase separation: distribute only after the exchange is done.
+    cur = node;
+    for (int step = 0; step < n - 1; ++step) {
+      const int incoming = (cur - 1 + n) % n;
+      co_await region->copy_in_publish(
+          grank, recv.sub(static_cast<std::size_t>(incoming) * chunk, chunk),
+          static_cast<std::size_t>(incoming) * chunk);
+      cur = incoming;
+    }
+  }
+  co_await publishes.wait();
+}
+
+// Leader-side phase 2+3: Recursive Doubling variant (power-of-two nodes).
+sim::Task<void> leader_rd(mpi::Comm& lcomm, int node, hw::BufView recv,
+                          std::size_t chunk, shm::ShmRegion* region,
+                          bool overlap, int grank, sim::Engine& eng) {
+  const int n = lcomm.size();
+  sim::WaitGroup publishes(eng);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // for !overlap
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int dist = 1 << k;
+    const int partner = node ^ dist;
+    const std::size_t own_base =
+        static_cast<std::size_t>(node & ~(dist - 1)) * chunk;
+    const std::size_t partner_base =
+        static_cast<std::size_t>(partner & ~(dist - 1)) * chunk;
+    const std::size_t len = static_cast<std::size_t>(dist) * chunk;
+    co_await lcomm.sendrecv(node, partner, k, recv.sub(own_base, len), partner,
+                            k, recv.sub(partner_base, len));
+    if (region != nullptr && overlap) {
+      publishes.spawn(region->copy_in_publish(grank, recv.sub(partner_base, len),
+                                              partner_base));
+    } else if (region != nullptr) {
+      ranges.emplace_back(partner_base, len);
+    }
+  }
+  for (const auto& [off, len] : ranges) {
+    co_await region->copy_in_publish(grank, recv.sub(off, len), off);
+  }
+  co_await publishes.wait();
+}
+
+}  // namespace
+
+Phase2Algo resolve_phase2(const hw::ClusterSpec& spec, int nodes, int ppn,
+                          std::size_t msg, Phase2Algo requested) {
+  if (requested != Phase2Algo::kAuto) return requested;
+  if (!coll::is_power_of_two(nodes)) return Phase2Algo::kRing;
+  // Fig. 8 tuning: RD wins while the per-step node chunk (M * L) is small
+  // enough that startup costs dominate; Ring wins once the exchange is
+  // bandwidth-bound and its finer-grained distribution overlaps better.
+  (void)spec;
+  const std::size_t chunk =
+      msg * static_cast<std::size_t>(std::max(1, ppn));
+  return chunk <= kRdRingCrossoverChunk ? Phase2Algo::kRD : Phase2Algo::kRing;
+}
+
+sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
+                                       hw::BufView send, hw::BufView recv,
+                                       std::size_t msg, bool in_place,
+                                       HierOptions opts) {
+  auto& cl = comm.cluster();
+  const int l = cl.ppn();
+  const int n = cl.nodes();
+  if (comm.size() != cl.world_size()) {
+    throw std::invalid_argument("allgather_hierarchical: world comm required");
+  }
+  if (recv.len != msg * static_cast<std::size_t>(comm.size())) {
+    throw std::invalid_argument("allgather_hierarchical: bad recv size");
+  }
+  if (!in_place && send.len != msg) {
+    throw std::invalid_argument("allgather_hierarchical: bad send size");
+  }
+  const int node = comm.node_of(my);
+  const int local = comm.node_local_rank(my);
+  const bool leader = (local == 0);
+  const std::uint64_t seq = comm.next_op_seq(my);
+  const std::size_t chunk = static_cast<std::size_t>(l) * msg;
+  const hw::BufView node_slice =
+      recv.sub(static_cast<std::size_t>(node) * chunk, chunk);
+
+  const Phase2Algo algo = resolve_phase2(cl.spec(), n, l, msg, opts.phase2);
+  auto& eng = comm.engine();
+
+  // ---- Phase 1: node-level aggregation ----
+  if (l > 1) {
+    auto& ncomm = comm.world().node_comm(node);
+    switch (opts.phase1) {
+      case Phase1Mode::kMhaIntra:
+        co_await allgather_mha_intra(ncomm, local, send, node_slice, msg,
+                                     in_place, opts.offload);
+        break;
+      case Phase1Mode::kCmaDirect:
+        co_await allgather_mha_intra(ncomm, local, send, node_slice, msg,
+                                     in_place, /*offload=*/0);
+        break;
+      case Phase1Mode::kShmGather:
+        co_await shm_gather_phase1(comm, my, send, node_slice, msg, in_place,
+                                   node, local, l, seq);
+        break;
+      case Phase1Mode::kNumaTwoLevel:
+        co_await numa_phase1(comm, my, send, node_slice, msg, in_place, node,
+                             local, l, seq, opts.offload);
+        break;
+    }
+  } else {
+    co_await coll::seed_own_block(comm, my, send, recv, msg, in_place);
+  }
+  if (n == 1) co_return;
+
+  // ---- Phases 2 + 3 ----
+  std::shared_ptr<shm::ShmRegion> region;
+  if (l > 1) {
+    region = comm.share().acquire<shm::ShmRegion>(
+        node, op_key(comm.ctx(), seq, 2), l, [&] {
+          return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
+                                                  comm.tracer());
+        });
+  }
+
+  if (leader) {
+    auto& lcomm = comm.world().leader_comm();
+    if (algo == Phase2Algo::kRing) {
+      co_await leader_ring(lcomm, node, recv, chunk, region.get(),
+                           opts.overlap, comm.to_global(my), eng);
+    } else {
+      co_await leader_rd(lcomm, node, recv, chunk, region.get(), opts.overlap,
+                         comm.to_global(my), eng);
+    }
+  } else {
+    // Members drain published chunks as they appear; region offsets mirror
+    // the recv buffer layout.
+    const int chunks = publish_count(algo, n);
+    for (int i = 0; i < chunks; ++i) {
+      co_await region->wait_published(static_cast<std::size_t>(i) + 1);
+      const auto c = region->chunk(static_cast<std::size_t>(i));
+      co_await region->copy_out(comm.to_global(my), static_cast<std::size_t>(i),
+                                recv.sub(c.offset, c.len));
+    }
+  }
+}
+
+sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
+                                    hw::BufView recv, std::size_t msg,
+                                    bool in_place) {
+  co_await allgather_hierarchical(comm, my, send, recv, msg, in_place,
+                                  HierOptions{});
+}
+
+sim::Task<void> allgather_single_leader(mpi::Comm& comm, int my,
+                                        hw::BufView send, hw::BufView recv,
+                                        std::size_t msg, bool in_place) {
+  HierOptions opts;
+  opts.phase1 = Phase1Mode::kShmGather;
+  opts.phase2 = coll::is_power_of_two(comm.cluster().nodes())
+                    ? Phase2Algo::kRD
+                    : Phase2Algo::kRing;
+  co_await allgather_hierarchical(comm, my, send, recv, msg, in_place, opts);
+}
+
+sim::Task<void> allgather_numa3(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, std::size_t msg,
+                                bool in_place) {
+  HierOptions opts;
+  opts.phase1 = comm.cluster().sockets() > 1 ? Phase1Mode::kNumaTwoLevel
+                                             : Phase1Mode::kMhaIntra;
+  co_await allgather_hierarchical(comm, my, send, recv, msg, in_place, opts);
+}
+
+}  // namespace hmca::core

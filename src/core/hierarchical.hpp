@@ -1,0 +1,94 @@
+// The hierarchical multi-HCA aware Allgather (paper Sec. 3.2).
+//
+// Three phases, with phases 2 and 3 overlapped through a shared-memory
+// region and per-chunk ready counters (Fig. 6):
+//   1. node-level aggregation (MHA-intra, CMA Direct Spread, or a plain
+//      shared-memory gather),
+//   2. inter-leader exchange of M*L node blocks over all rails, using
+//      Recursive Doubling or Ring (Fig. 7),
+//   3. node-level distribution: the leader copies each arriving chunk into
+//      shared memory and publishes it; members copy published chunks out
+//      while the next inter-node transfer is already in flight.
+//
+// The same engine, configured differently, reproduces the single-leader
+// prior design of Mamidala et al. [19] (shm gather + RD, overlap) and the
+// overlap ablation (overlap = false: strictly sequential phases).
+#pragma once
+
+#include <cstddef>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::core {
+
+enum class Phase1Mode {
+  kMhaIntra,      ///< Sec. 3.1 design: CMA + HCA-offloaded direct spread
+  kCmaDirect,     ///< plain CMA direct spread (MHA-intra with d = 0)
+  kShmGather,     ///< double-copy shared-memory gather (Mamidala-style)
+  /// NUMA-aware two-stage aggregation (Sec. 7 future work): MHA-intra
+  /// within each socket (no UPI traffic), then socket leaders exchange
+  /// socket blocks through shared memory — each remote-socket byte crosses
+  /// the UPI link once instead of once per reader.
+  kNumaTwoLevel,
+};
+
+enum class Phase2Algo {
+  kAuto,  ///< model-driven choice between RD and Ring (Sec. 4)
+  kRD,
+  kRing,
+};
+
+struct HierOptions {
+  Phase1Mode phase1 = Phase1Mode::kMhaIntra;
+  Phase2Algo phase2 = Phase2Algo::kAuto;
+  /// Overlap phase 3 with phase 2 (the paper's design). false gives the
+  /// strict phase separation of Kandalla et al. — the ablation baseline.
+  bool overlap = true;
+  /// MHA-intra offload count for phase 1; -1 = Eq. 1 analytic.
+  double offload = -1.0;
+};
+
+/// Node-chunk size (msg * PPN) at which the kAuto selector switches from
+/// RD to Ring in phase 2. This is the Fig. 8 crossover *measured on this
+/// substrate* (bench/fig08_rd_vs_ring): RD's fewer startups win below it,
+/// Ring's finer-grained distribution overlap wins above it.
+inline constexpr std::size_t kRdRingCrossoverChunk = 16 * 1024;
+
+/// Resolve kAuto for a given topology and per-process message size.
+/// RD while the node chunk is startup-dominated, Ring beyond the Fig. 8
+/// crossover; Ring whenever RD is inapplicable (non-power-of-two nodes).
+Phase2Algo resolve_phase2(const hw::ClusterSpec& spec, int nodes, int ppn,
+                          std::size_t msg, Phase2Algo requested);
+
+/// Hierarchical Allgather over the world communicator (node-major rank
+/// order, equal PPN). `msg` bytes contributed per process.
+sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
+                                       hw::BufView send, hw::BufView recv,
+                                       std::size_t msg, bool in_place = false,
+                                       HierOptions opts = {});
+
+/// The paper's MHA-inter: hierarchical with MHA-intra phase 1, model-tuned
+/// phase 2, overlap on.
+sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
+                                    hw::BufView recv, std::size_t msg,
+                                    bool in_place = false);
+
+/// Mamidala et al. [19] single-leader baseline: shm gather, RD inter-leader
+/// exchange, overlapped distribution.
+sim::Task<void> allgather_single_leader(mpi::Comm& comm, int my,
+                                        hw::BufView send, hw::BufView recv,
+                                        std::size_t msg,
+                                        bool in_place = false);
+
+/// The 3-level NUMA-aware design the paper proposes as future work
+/// (Sec. 7): intra-socket MHA-intra, inter-socket exchange via shared
+/// memory, inter-node leader exchange overlapped with distribution.
+/// Requires a cluster with sockets_per_node > 1 (falls back to MHA-inter
+/// on flat nodes).
+sim::Task<void> allgather_numa3(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, std::size_t msg,
+                                bool in_place = false);
+
+}  // namespace hmca::core

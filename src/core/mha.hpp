@@ -1,0 +1,38 @@
+// Top-level MHA collective entry points: the tuned dispatchers a user (or
+// the `mha` library profile) calls, mirroring how MPI_Allgather /
+// MPI_Allreduce would dispatch inside an MPI library with the paper's
+// designs integrated.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::core {
+
+struct MhaTuning {
+  /// Intra-node messages below this go through the conventional small-
+  /// message path (RD/Bruck over shared memory) instead of MHA-intra.
+  std::size_t intra_small_threshold = 16384;
+  /// Allreduce vectors at or below this use Recursive Doubling; larger ones
+  /// use Ring-Allreduce with the MHA Allgather phase (Sec. 5.4).
+  std::size_t allreduce_rd_threshold = 32768;
+};
+
+/// MHA Allgather dispatcher: MHA-intra for single-node large messages,
+/// MHA-inter (hierarchical, model-selected RD/Ring phase 2) across nodes,
+/// conventional algorithms for tiny messages.
+sim::Task<void> mha_allgather(mpi::Comm& comm, int my, hw::BufView send,
+                              hw::BufView recv, std::size_t msg,
+                              bool in_place = false, MhaTuning tuning = {});
+
+/// MHA Allreduce: ring reduce-scatter + MHA Allgather of the reduced
+/// chunks; RD for small vectors or when the count does not split evenly.
+sim::Task<void> mha_allreduce(mpi::Comm& comm, int my, hw::BufView data,
+                              std::size_t count, mpi::Dtype dtype,
+                              mpi::ReduceOp op, MhaTuning tuning = {});
+
+}  // namespace hmca::core

@@ -1,0 +1,193 @@
+#include "core/mha_allgatherv.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/mha_intra.hpp"
+#include "model/cost.hpp"
+#include "shm/shm.hpp"
+#include "sim/sync.hpp"
+
+namespace hmca::core {
+
+namespace {
+
+std::uint64_t op_key(int ctx, std::uint64_t seq, int salt = 0) {
+  return (seq << 20) | (static_cast<std::uint64_t>(ctx) << 4) |
+         static_cast<std::uint64_t>(salt);
+}
+
+void check_args(const mpi::Comm& comm, int my, const hw::BufView& send,
+                const hw::BufView& recv, const coll::VarLayout& layout,
+                bool in_place) {
+  if (my < 0 || my >= comm.size()) {
+    throw std::invalid_argument("mha_allgatherv: bad rank");
+  }
+  if (layout.counts.size() != static_cast<std::size_t>(comm.size())) {
+    throw std::invalid_argument("mha_allgatherv: layout size != comm size");
+  }
+  if (recv.len != layout.total) {
+    throw std::invalid_argument("mha_allgatherv: recv size != layout total");
+  }
+  if (!in_place && send.len != layout.count(my)) {
+    throw std::invalid_argument("mha_allgatherv: send size != my count");
+  }
+}
+
+}  // namespace
+
+sim::Task<void> allgatherv_mha_intra(mpi::Comm& node_comm, int my,
+                                     hw::BufView send, hw::BufView recv,
+                                     const coll::VarLayout& layout,
+                                     bool in_place) {
+  check_args(node_comm, my, send, recv, layout, in_place);
+  const int l = node_comm.size();
+  auto& cl = node_comm.cluster();
+  auto& eng = node_comm.engine();
+  const int node = node_comm.node_of(my);
+  const int grank = node_comm.to_global(my);
+
+  if (!in_place && layout.count(my) > 0) {
+    co_await cl.cpu_copy_by(grank, static_cast<double>(layout.count(my)));
+    hw::copy_payload(recv.sub(layout.offset(my), layout.count(my)), send);
+  }
+  if (l == 1) co_return;
+
+  // Address exchange, as in the equal-block MHA-intra.
+  const hw::BufView contribution =
+      in_place ? recv.sub(layout.offset(my), layout.count(my)) : send;
+  const std::uint64_t seq = node_comm.next_op_seq(my);
+  auto board = node_comm.share().acquire<AddressBoard>(
+      node, op_key(node_comm.ctx(), seq, 11), l,
+      [&] { return std::make_shared<AddressBoard>(eng, l); });
+  co_await board->put_and_wait(my, contribution);
+
+  // Eq. 1 byte budget: with average message size M the tuned split
+  // offloads d of (L-1) transfers; the variable-block analogue hands the
+  // HCAs the same share of *bytes*, taken from the far end of the
+  // direct-spread schedule.
+  const double avg =
+      static_cast<double>(layout.total) / static_cast<double>(l);
+  const double d = model::optimal_offload(
+      model::ModelParams::from_spec(cl.spec()), l, std::max(avg, 1.0));
+  double hca_budget = d / std::max(1, l - 1) *
+                      static_cast<double>(layout.total - layout.count(my));
+
+  sim::WaitGroup hca_reads(eng);
+  int first_cpu_distance = l - 1;  // distances > this go to the adapters
+  for (int i = l - 1; i >= 1 && hca_budget > 0.0; --i) {
+    const int src = (my - i + l) % l;
+    const std::size_t bytes = layout.count(src);
+    if (bytes == 0) {
+      first_cpu_distance = i - 1;
+      continue;
+    }
+    if (static_cast<double>(bytes) > hca_budget) break;
+    hca_budget -= static_cast<double>(bytes);
+    first_cpu_distance = i - 1;
+    hca_reads.spawn(node_comm.net().rdma_get(
+        grank, node_comm.to_global(src), board->view(src),
+        recv.sub(layout.offset(src), bytes), net::Net::kStripe));
+  }
+  for (int i = 1; i <= first_cpu_distance; ++i) {
+    const int src = (my - i + l) % l;
+    if (layout.count(src) == 0) continue;
+    co_await node_comm.net().cma_get(
+        grank, board->view(src),
+        recv.sub(layout.offset(src), layout.count(src)),
+        node_comm.to_global(src));
+  }
+  co_await hca_reads.wait();
+}
+
+sim::Task<void> allgatherv_mha(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv,
+                               const coll::VarLayout& layout, bool in_place) {
+  check_args(comm, my, send, recv, layout, in_place);
+  auto& cl = comm.cluster();
+  if (comm.size() != cl.world_size()) {
+    throw std::invalid_argument("allgatherv_mha: world comm required");
+  }
+  const int l = cl.ppn();
+  const int n = cl.nodes();
+  const int node = comm.node_of(my);
+  const int local = comm.node_local_rank(my);
+  const bool leader = (local == 0);
+  const std::uint64_t seq = comm.next_op_seq(my);
+  auto& eng = comm.engine();
+
+  // Node chunk geometry: node k's slice covers its ranks' blocks, which
+  // are contiguous because ranks are node-major.
+  auto node_offset = [&](int k) { return layout.offset(k * l); };
+  auto node_bytes = [&](int k) {
+    const std::size_t end = (k + 1 < n) ? layout.offset((k + 1) * l)
+                                        : layout.total;
+    return end - node_offset(k);
+  };
+
+  // ---- Phase 1: node-level aggregation ----
+  if (l > 1) {
+    std::vector<std::size_t> local_counts;
+    local_counts.reserve(static_cast<std::size_t>(l));
+    for (int r = 0; r < l; ++r) {
+      local_counts.push_back(layout.count(node * l + r));
+    }
+    const auto local_layout =
+        coll::VarLayout::from_counts(std::move(local_counts));
+    co_await allgatherv_mha_intra(
+        comm.world().node_comm(node), local, send,
+        recv.sub(node_offset(node), node_bytes(node)), local_layout, in_place);
+  } else if (!in_place && layout.count(my) > 0) {
+    co_await cl.cpu_copy_by(comm.to_global(my),
+                            static_cast<double>(layout.count(my)));
+    hw::copy_payload(recv.sub(layout.offset(my), layout.count(my)), send);
+  }
+  if (n == 1) co_return;
+
+  // ---- Phases 2 + 3: variable-size Ring over leaders, overlapped shm ----
+  std::shared_ptr<shm::ShmRegion> region;
+  if (l > 1) {
+    region = comm.share().acquire<shm::ShmRegion>(
+        node, op_key(comm.ctx(), seq, 12), l, [&] {
+          return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
+                                                  comm.tracer(),
+                                                  cl.global_rank(node, 0));
+        });
+  }
+  if (leader) {
+    auto& lcomm = comm.world().leader_comm();
+    const int right = (node + 1) % n;
+    const int left = (node - 1 + n) % n;
+    sim::WaitGroup publishes(eng);
+    int cur = node;
+    for (int step = 0; step < n - 1; ++step) {
+      const int incoming = (cur - 1 + n) % n;
+      co_await lcomm.sendrecv(
+          node, right, step, recv.sub(node_offset(cur), node_bytes(cur)), left,
+          step, recv.sub(node_offset(incoming), node_bytes(incoming)));
+      if (region != nullptr && node_bytes(incoming) > 0) {
+        publishes.spawn(region->copy_in_publish(
+            comm.to_global(my),
+            recv.sub(node_offset(incoming), node_bytes(incoming)),
+            node_offset(incoming)));
+      } else if (region != nullptr) {
+        region->publish(node_offset(incoming), 0);
+      }
+      cur = incoming;
+    }
+    co_await publishes.wait();
+  } else {
+    for (int k = 0; k < n - 1; ++k) {
+      co_await region->wait_published(static_cast<std::size_t>(k) + 1);
+      const auto c = region->chunk(static_cast<std::size_t>(k));
+      if (c.len == 0) continue;
+      co_await region->copy_out(comm.to_global(my),
+                                static_cast<std::size_t>(k),
+                                recv.sub(c.offset, c.len));
+    }
+  }
+}
+
+}  // namespace hmca::core

@@ -1,0 +1,107 @@
+#include "core/mha_intra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "coll/allgather.hpp"
+#include "model/cost.hpp"
+#include "shm/shm.hpp"
+
+namespace hmca::core {
+
+double analytic_offload(const hw::ClusterSpec& spec, int l, std::size_t msg) {
+  const auto params = model::ModelParams::from_spec(spec);
+  return model::optimal_offload(params, l, static_cast<double>(msg));
+}
+
+sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
+                                    hw::BufView send, hw::BufView recv,
+                                    std::size_t msg, bool in_place,
+                                    double offload) {
+  const int l = node_comm.size();
+  if (my < 0 || my >= l) throw std::invalid_argument("mha_intra: bad rank");
+  if (recv.len != msg * static_cast<std::size_t>(l)) {
+    throw std::invalid_argument("mha_intra: recv size != msg * comm size");
+  }
+  if (!in_place && send.len != msg) {
+    throw std::invalid_argument("mha_intra: send size != msg");
+  }
+  const int node = node_comm.node_of(my);
+  for (int r = 1; r < l; ++r) {
+    if (node_comm.node_of(r) != node_comm.node_of(0)) {
+      throw std::invalid_argument("mha_intra: communicator spans nodes");
+    }
+  }
+  auto& cl = node_comm.cluster();
+  auto& eng = node_comm.engine();
+  const int grank = node_comm.to_global(my);
+  if (offload < 0) offload = analytic_offload(cl.spec(), l, msg);
+  offload = std::clamp(offload, 0.0, static_cast<double>(l - 1));
+
+  if (l == 1) {
+    co_await coll::seed_own_block(node_comm, my, send, recv, msg, in_place);
+    co_return;
+  }
+
+  // Publish the contribution address; peers read it one-sidedly.
+  const hw::BufView contribution =
+      in_place ? recv.sub(static_cast<std::size_t>(my) * msg, msg) : send;
+  const std::uint64_t seq = node_comm.next_op_seq(my);
+  auto board = node_comm.share().acquire<AddressBoard>(
+      node, (seq << 20) | static_cast<std::uint64_t>(node_comm.ctx()), l,
+      [&] { return std::make_shared<AddressBoard>(eng, l); });
+  co_await board->put_and_wait(my, contribution);
+
+  // Workload split (Fig. 4b / Fig. 5): the d *farthest* distances go to the
+  // adapters, byte-granular — `full` whole blocks plus a `frac_bytes` slice
+  // of the boundary block.
+  const int full = static_cast<int>(std::floor(offload + 1e-9));
+  std::size_t frac_bytes = static_cast<std::size_t>(
+      std::llround((offload - full) * static_cast<double>(msg)));
+  frac_bytes = std::min(frac_bytes, msg);
+  const int split_dist = l - 1 - full;  // boundary distance (0 = none left)
+
+  auto block = [&](int distance) {
+    const int src = (my - distance + l) % l;
+    return std::pair<int, hw::BufView>(
+        src, recv.sub(static_cast<std::size_t>(src) * msg, msg));
+  };
+
+  // Post all HCA reads first so adapters work concurrently with the CPU.
+  sim::WaitGroup hca_reads(eng);
+  for (int i = l - full; i <= l - 1; ++i) {
+    const auto [src, dst] = block(i);
+    hca_reads.spawn(node_comm.net().rdma_get(grank, node_comm.to_global(src),
+                                             board->view(src), dst,
+                                             net::Net::kStripe));
+  }
+  if (split_dist >= 1 && frac_bytes > 0) {
+    const auto [src, dst] = block(split_dist);
+    const std::size_t cpu_part = msg - frac_bytes;
+    hca_reads.spawn(node_comm.net().rdma_get(
+        grank, node_comm.to_global(src),
+        board->view(src).sub(cpu_part, frac_bytes),
+        dst.sub(cpu_part, frac_bytes), net::Net::kStripe));
+  }
+
+  // CPU work: seed the own block, then walk the near distances.
+  co_await coll::seed_own_block(node_comm, my, send, recv, msg, in_place);
+  for (int i = 1; i <= split_dist - 1; ++i) {
+    const auto [src, dst] = block(i);
+    co_await node_comm.net().cma_get(grank, board->view(src), dst,
+                                     node_comm.to_global(src));
+  }
+  if (split_dist >= 1 && frac_bytes < msg) {
+    const auto [src, dst] = block(split_dist);
+    co_await node_comm.net().cma_get(grank,
+                                     board->view(src).sub(0, msg - frac_bytes),
+                                     dst.sub(0, msg - frac_bytes),
+                                     node_comm.to_global(src));
+  }
+
+  co_await hca_reads.wait();
+}
+
+}  // namespace hmca::core

@@ -1,0 +1,64 @@
+// MHA-intra: the multi-HCA aware intra-node Allgather (paper Sec. 3.1).
+//
+// Extends Direct Spread: of the L-1 blocks a process must fetch, it copies
+// L-1-d itself through CMA and offloads d to the (otherwise idle) HCAs as
+// loopback RDMA reads, with d chosen so that CPUs and adapters finish at
+// roughly the same time (Eq. 1, Fig. 4b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::core {
+
+/// Per-node bulletin board through which SPMD ranks publish the address of
+/// their contribution so peers can issue one-sided reads (the simulation
+/// analogue of the buffer-address exchange CMA/RDMA collectives perform at
+/// communicator setup).
+class AddressBoard {
+ public:
+  AddressBoard(sim::Engine& eng, int parties)
+      : cv_(eng), views_(static_cast<std::size_t>(parties)), parties_(parties) {}
+
+  /// Publish this rank's view, then wait until every party has published.
+  sim::Task<void> put_and_wait(int idx, hw::BufView v) {
+    views_.at(static_cast<std::size_t>(idx)) = v;
+    if (++registered_ == parties_) cv_.notify_all();
+    co_await cv_.wait_until([this] { return registered_ == parties_; });
+  }
+
+  hw::BufView view(int idx) const {
+    return views_.at(static_cast<std::size_t>(idx));
+  }
+
+ private:
+  sim::Condition cv_;
+  std::vector<hw::BufView> views_;
+  int parties_;
+  int registered_ = 0;
+};
+
+/// MHA-intra Allgather over a *node-local* communicator.
+///
+/// `offload` is d, the per-process amount of workload delegated to the
+/// HCAs, in units of whole block transfers but *byte-granular* (the paper
+/// tunes an offload size, Fig. 5): d = 1.5 offloads one full block plus
+/// half of the next. -1 selects Eq. 1's analytic optimum; 0 degenerates to
+/// the plain CMA Direct Spread baseline; comm.size()-1 offloads everything.
+/// The HCA reads are posted before the CPU starts copying, so adapters and
+/// processor work fully overlap.
+sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
+                                    hw::BufView send, hw::BufView recv,
+                                    std::size_t msg, bool in_place = false,
+                                    double offload = -1.0);
+
+/// The Eq. 1 analytic offload amount for a node-local communicator of
+/// size l (real-valued).
+double analytic_offload(const hw::ClusterSpec& spec, int l, std::size_t msg);
+
+}  // namespace hmca::core

@@ -1,0 +1,33 @@
+// Multi-HCA aware rooted collectives (paper Sec. 7: "we plan to address
+// other collectives"). The same two-level decomposition as MHA-inter:
+// inter-node movement between node leaders over all rails (striped), node
+// distribution/aggregation through shared memory.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::core {
+
+/// Hierarchical broadcast: the root hands its payload to its node leader,
+/// leaders run a bandwidth-optimal scatter-allgather broadcast across nodes
+/// (multi-rail striped), and each leader publishes the payload through
+/// shared memory in pipeline chunks so members copy out while later chunks
+/// are still arriving.
+sim::Task<void> mha_bcast(mpi::Comm& comm, int my, int root, hw::BufView data,
+                          std::size_t pipeline_chunk = 256 * 1024);
+
+/// Hierarchical reduction to `root`: node members push contributions
+/// through shared memory, the leader folds them locally, leaders combine
+/// across nodes with a binomial tree, and the result lands on `root`.
+/// `data` is each rank's contribution; on `root` it ends holding the
+/// full reduction.
+sim::Task<void> mha_reduce(mpi::Comm& comm, int my, int root, hw::BufView data,
+                           std::size_t count, mpi::Dtype dtype,
+                           mpi::ReduceOp op);
+
+}  // namespace hmca::core

@@ -1,0 +1,85 @@
+#include "core/tuner.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/mha_intra.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace hmca::core {
+
+namespace {
+
+sim::Task<void> rank_program(mpi::Comm& ncomm, int r, hw::BufView send,
+                             hw::BufView recv, std::size_t msg,
+                             double offload) {
+  co_await allgather_mha_intra(ncomm, r, send, recv, msg, /*in_place=*/false,
+                               offload);
+}
+
+}  // namespace
+
+double OffloadTuner::measure(const hw::ClusterSpec& base, int l,
+                             std::size_t msg, double offload) {
+  if (l < 1) throw std::invalid_argument("OffloadTuner: l must be >= 1");
+  hw::ClusterSpec spec = base;
+  spec.nodes = 1;
+  spec.ppn = l;
+  spec.carry_data = false;
+
+  sim::Engine eng;
+  mpi::World world(eng, spec);
+  auto& ncomm = world.node_comm(0);
+  std::vector<hw::Buffer> sends, recvs;
+  sends.reserve(static_cast<std::size_t>(l));
+  recvs.reserve(static_cast<std::size_t>(l));
+  for (int r = 0; r < l; ++r) {
+    sends.push_back(hw::Buffer::phantom(msg));
+    recvs.push_back(hw::Buffer::phantom(msg * static_cast<std::size_t>(l)));
+  }
+  for (int r = 0; r < l; ++r) {
+    eng.spawn(rank_program(ncomm, r, sends[static_cast<std::size_t>(r)].view(),
+                           recvs[static_cast<std::size_t>(r)].view(), msg,
+                           offload));
+  }
+  eng.run();
+  return eng.now();
+}
+
+std::vector<OffloadSample> OffloadTuner::sweep(const hw::ClusterSpec& spec,
+                                               int l, std::size_t msg,
+                                               int steps) {
+  if (steps < 1) throw std::invalid_argument("OffloadTuner: steps must be >= 1");
+  std::vector<OffloadSample> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  const double dmax = static_cast<double>(l - 1);
+  for (int k = 0; k <= steps; ++k) {
+    const double d = dmax * k / steps;
+    out.push_back(OffloadSample{d, measure(spec, l, msg, d)});
+  }
+  return out;
+}
+
+double OffloadTuner::search(const hw::ClusterSpec& spec, int l,
+                            std::size_t msg, int steps) {
+  if (l <= 1) return 0.0;
+  // Start from full offload (processors idle) and reduce d while the
+  // latency keeps improving (Fig. 5's descent toward the V's vertex).
+  const double step = static_cast<double>(l - 1) / steps;
+  double best_d = static_cast<double>(l - 1);
+  double best = measure(spec, l, msg, best_d);
+  for (double d = best_d - step; d >= -1e-9; d -= step) {
+    const double t = measure(spec, l, msg, d < 0 ? 0.0 : d);
+    if (t <= best) {
+      best = t;
+      best_d = d < 0 ? 0.0 : d;
+    } else {
+      break;  // latency turned upward: passed the optimum
+    }
+  }
+  return best_d;
+}
+
+}  // namespace hmca::core

@@ -1,0 +1,39 @@
+// Offload tuning for MHA-intra (paper Sec. 3.1, Fig. 5).
+//
+// The latency as a function of the offload amount d is V-shaped: offloading
+// everything leaves the CPUs idle, offloading nothing leaves the HCAs idle.
+// The tuner starts from full offload and walks d down until latency stops
+// improving — the empirical analogue of Eq. 1. The offload is byte-granular
+// (measured in block-transfer units, fractions allowed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/spec.hpp"
+
+namespace hmca::core {
+
+struct OffloadSample {
+  double offload;     ///< d, in block-transfer units (fractional)
+  double latency_s;   ///< measured MHA-intra completion time
+};
+
+class OffloadTuner {
+ public:
+  /// Measure MHA-intra latency at a fixed offload amount by running one
+  /// deterministic simulation of `l` ranks on one node.
+  static double measure(const hw::ClusterSpec& spec, int l, std::size_t msg,
+                        double offload);
+
+  /// The Fig. 5 curve: `steps`+1 evenly spaced samples over d in [0, l-1].
+  static std::vector<OffloadSample> sweep(const hw::ClusterSpec& spec, int l,
+                                          std::size_t msg, int steps = 16);
+
+  /// Fig. 5 search: start from full offload, decrease d while latency
+  /// improves, return the argmin.
+  static double search(const hw::ClusterSpec& spec, int l, std::size_t msg,
+                       int steps = 16);
+};
+
+}  // namespace hmca::core

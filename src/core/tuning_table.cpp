@@ -1,0 +1,147 @@
+#include "core/tuning_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/tuner.hpp"
+#include "osu/harness.hpp"
+
+namespace hmca::core {
+
+namespace {
+
+double measure_phase2(const hw::ClusterSpec& spec, std::size_t msg,
+                      Phase2Algo algo) {
+  HierOptions opts;
+  opts.phase2 = algo;
+  return osu::measure_allgather(
+      spec,
+      [opts](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+             bool ip) {
+        return allgather_hierarchical(c, r, s, rv, m, ip, opts);
+      },
+      msg);
+}
+
+}  // namespace
+
+TuningTable TuningTable::generate(const hw::ClusterSpec& spec,
+                                  std::vector<std::size_t> sizes) {
+  spec.validate();
+  if (sizes.empty()) sizes = osu::size_sweep(4096, 4u << 20);
+  std::sort(sizes.begin(), sizes.end());
+
+  TuningTable t;
+  t.nodes_ = spec.nodes;
+  t.ppn_ = spec.ppn;
+  t.hcas_ = spec.hcas_per_node;
+  for (std::size_t msg : sizes) {
+    if (spec.ppn > 1) {
+      t.intra_.push_back(IntraEntry{
+          msg, OffloadTuner::search(spec, spec.ppn, msg, /*steps=*/8)});
+    }
+    if (spec.nodes > 1 && coll::is_power_of_two(spec.nodes)) {
+      const double rd = measure_phase2(spec, msg, Phase2Algo::kRD);
+      const double ring = measure_phase2(spec, msg, Phase2Algo::kRing);
+      t.inter_.push_back(
+          InterEntry{msg, rd <= ring ? Phase2Algo::kRD : Phase2Algo::kRing});
+    }
+  }
+  return t;
+}
+
+double TuningTable::offload_for(std::size_t msg) const {
+  if (intra_.empty()) return -1.0;
+  if (msg <= intra_.front().msg) return intra_.front().offload;
+  if (msg >= intra_.back().msg) return intra_.back().offload;
+  for (std::size_t i = 1; i < intra_.size(); ++i) {
+    if (msg <= intra_[i].msg) {
+      const auto& a = intra_[i - 1];
+      const auto& b = intra_[i];
+      const double f = (std::log2(static_cast<double>(msg)) -
+                        std::log2(static_cast<double>(a.msg))) /
+                       (std::log2(static_cast<double>(b.msg)) -
+                        std::log2(static_cast<double>(a.msg)));
+      return a.offload + f * (b.offload - a.offload);
+    }
+  }
+  return intra_.back().offload;
+}
+
+Phase2Algo TuningTable::phase2_for(std::size_t msg) const {
+  if (inter_.empty()) return Phase2Algo::kAuto;
+  Phase2Algo algo = inter_.front().algo;
+  for (const auto& e : inter_) {
+    if (e.msg <= msg) algo = e.algo;
+  }
+  return algo;
+}
+
+HierOptions TuningTable::options_for(std::size_t msg) const {
+  HierOptions opts;
+  opts.offload = offload_for(msg);
+  opts.phase2 = phase2_for(msg);
+  return opts;
+}
+
+void TuningTable::save(std::ostream& os) const {
+  os << "hmca-tuning 1 " << nodes_ << ' ' << ppn_ << ' ' << hcas_ << '\n';
+  for (const auto& e : intra_) {
+    os << "intra " << e.msg << ' ' << e.offload << '\n';
+  }
+  for (const auto& e : inter_) {
+    os << "inter " << e.msg << ' '
+       << (e.algo == Phase2Algo::kRD ? "rd" : "ring") << '\n';
+  }
+}
+
+TuningTable TuningTable::load(std::istream& is) {
+  TuningTable t;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("TuningTable: empty input");
+  }
+  {
+    std::istringstream head(line);
+    std::string magic;
+    int version = 0;
+    head >> magic >> version >> t.nodes_ >> t.ppn_ >> t.hcas_;
+    if (magic != "hmca-tuning" || version != 1 || !head) {
+      throw std::invalid_argument("TuningTable: bad header: " + line);
+    }
+  }
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "intra") {
+      IntraEntry e{};
+      row >> e.msg >> e.offload;
+      if (!row) throw std::invalid_argument("TuningTable: bad intra row");
+      t.intra_.push_back(e);
+    } else if (kind == "inter") {
+      InterEntry e{};
+      std::string algo;
+      row >> e.msg >> algo;
+      if (!row || (algo != "rd" && algo != "ring")) {
+        throw std::invalid_argument("TuningTable: bad inter row");
+      }
+      e.algo = algo == "rd" ? Phase2Algo::kRD : Phase2Algo::kRing;
+      t.inter_.push_back(e);
+    } else {
+      throw std::invalid_argument("TuningTable: unknown row kind: " + kind);
+    }
+  }
+  auto by_msg = [](const auto& a, const auto& b) { return a.msg < b.msg; };
+  std::sort(t.intra_.begin(), t.intra_.end(), by_msg);
+  std::sort(t.inter_.begin(), t.inter_.end(), by_msg);
+  return t;
+}
+
+}  // namespace hmca::core

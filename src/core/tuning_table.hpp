@@ -1,0 +1,66 @@
+// Persistent tuning tables, in the spirit of MVAPICH tuning files: the
+// paper's offload tuner (Fig. 5) and RD/Ring selection (Fig. 8) are run
+// once per cluster shape and the decisions are stored per message-size
+// range, then loaded at startup instead of re-tuned.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/hierarchical.hpp"
+#include "hw/spec.hpp"
+
+namespace hmca::core {
+
+class TuningTable {
+ public:
+  struct IntraEntry {
+    std::size_t msg;  ///< sampled per-process message size
+    double offload;   ///< tuned d for MHA-intra
+  };
+  struct InterEntry {
+    std::size_t msg;
+    Phase2Algo algo;  ///< measured RD/Ring winner for MHA-inter
+  };
+
+  /// Run the tuners for a cluster shape. `sizes` are the sampled message
+  /// sizes (doubling sweep by default). Inter-node entries are only
+  /// generated when the shape spans multiple nodes.
+  static TuningTable generate(const hw::ClusterSpec& spec,
+                              std::vector<std::size_t> sizes = {});
+
+  // ---- Lookups ----
+
+  /// Tuned offload for a message size: log-scale interpolation between the
+  /// sampled entries, clamped at the ends. Returns -1 (Eq. 1 analytic) if
+  /// the table holds no intra entries.
+  double offload_for(std::size_t msg) const;
+
+  /// Phase-2 algorithm for a message size: the entry covering the largest
+  /// sampled size <= msg (first entry for smaller, last for larger).
+  /// Returns kAuto if the table holds no inter entries.
+  Phase2Algo phase2_for(std::size_t msg) const;
+
+  /// Hierarchical options preconfigured from this table for `msg`.
+  HierOptions options_for(std::size_t msg) const;
+
+  // ---- Persistence (line-oriented text format) ----
+  void save(std::ostream& os) const;
+  static TuningTable load(std::istream& is);
+
+  int nodes() const noexcept { return nodes_; }
+  int ppn() const noexcept { return ppn_; }
+  int hcas() const noexcept { return hcas_; }
+  const std::vector<IntraEntry>& intra_entries() const noexcept { return intra_; }
+  const std::vector<InterEntry>& inter_entries() const noexcept { return inter_; }
+
+ private:
+  int nodes_ = 0;
+  int ppn_ = 0;
+  int hcas_ = 0;
+  std::vector<IntraEntry> intra_;  // sorted by msg
+  std::vector<InterEntry> inter_;  // sorted by msg
+};
+
+}  // namespace hmca::core

@@ -1,0 +1,95 @@
+// Payload buffers that may be real (bytes are moved and verifiable) or
+// phantom (size-only, for large-scale timing runs).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace hmca::hw {
+
+/// Non-owning view of a (possibly phantom) byte range. A null pointer with
+/// a nonzero length denotes a phantom region: operations account for its
+/// size but carry no bytes.
+struct BufView {
+  std::byte* ptr = nullptr;
+  std::size_t len = 0;
+
+  bool real() const noexcept { return ptr != nullptr; }
+
+  BufView sub(std::size_t offset, std::size_t n) const {
+    if (offset + n > len) throw std::out_of_range("BufView::sub");
+    return BufView{ptr ? ptr + offset : nullptr, n};
+  }
+};
+
+/// Copy payload between views. Both real: memcpy. Either phantom: the copy
+/// is accounted for by the caller's timing flow only. Sizes must match.
+inline void copy_payload(BufView dst, BufView src) {
+  if (dst.len != src.len) throw std::invalid_argument("copy_payload: size mismatch");
+  if (dst.real() && src.real() && dst.len > 0) {
+    std::memmove(dst.ptr, src.ptr, dst.len);
+  }
+}
+
+/// Owning buffer.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Real zero-initialized storage.
+  static Buffer data(std::size_t n) {
+    Buffer b;
+    b.store_.resize(n);
+    b.size_ = n;
+    b.phantom_ = false;
+    return b;
+  }
+
+  /// Phantom storage: size only.
+  static Buffer phantom(std::size_t n) {
+    Buffer b;
+    b.size_ = n;
+    b.phantom_ = true;
+    return b;
+  }
+
+  /// Real when `carry_data`, phantom otherwise.
+  static Buffer make(std::size_t n, bool carry_data) {
+    return carry_data ? data(n) : phantom(n);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool has_data() const noexcept { return !phantom_; }
+
+  BufView view() noexcept {
+    return BufView{phantom_ ? nullptr : store_.data(), size_};
+  }
+  BufView slice(std::size_t offset, std::size_t n) { return view().sub(offset, n); }
+
+  std::byte* bytes() noexcept { return phantom_ ? nullptr : store_.data(); }
+  const std::byte* bytes() const noexcept {
+    return phantom_ ? nullptr : store_.data();
+  }
+
+  /// Typed access (real buffers only).
+  template <class T>
+  T* as() {
+    assert(!phantom_);
+    return reinterpret_cast<T*>(store_.data());
+  }
+  template <class T>
+  const T* as() const {
+    assert(!phantom_);
+    return reinterpret_cast<const T*>(store_.data());
+  }
+
+ private:
+  std::vector<std::byte> store_;
+  std::size_t size_ = 0;
+  bool phantom_ = true;
+};
+
+}  // namespace hmca::hw

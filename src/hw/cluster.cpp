@@ -1,0 +1,142 @@
+#include "hw/cluster.hpp"
+
+#include <string>
+
+namespace hmca::hw {
+
+Cluster::Cluster(sim::Engine& eng, ClusterSpec spec)
+    : eng_(&eng), spec_(spec), net_(eng) {
+  spec_.validate();
+  const int sockets = spec_.sockets_per_node;
+  mem_.reserve(static_cast<std::size_t>(spec_.nodes) * sockets);
+  copy_engine_.reserve(static_cast<std::size_t>(spec_.nodes) * sockets);
+  const auto per_node = static_cast<std::size_t>(spec_.hcas_per_node);
+  hca_tx_.reserve(spec_.nodes * per_node);
+  hca_rx_.reserve(spec_.nodes * per_node);
+  pcie_.reserve(spec_.nodes * per_node);
+  tx_lock_.reserve(spec_.nodes * per_node);
+  rank_lock_.reserve(static_cast<std::size_t>(spec_.total_ranks()));
+  for (int r = 0; r < spec_.total_ranks(); ++r) {
+    rank_lock_.push_back(std::make_unique<sim::Semaphore>(eng, 1));
+  }
+  rail_rr_.assign(spec_.nodes, 0);
+  for (int n = 0; n < spec_.nodes; ++n) {
+    const std::string node = "node" + std::to_string(n);
+    for (int s = 0; s < sockets; ++s) {
+      const std::string sock =
+          sockets > 1 ? node + ".s" + std::to_string(s) : node;
+      mem_.push_back(net_.add_resource(sock + ".mem", spec_.mem_bw));
+      copy_engine_.push_back(
+          net_.add_resource(sock + ".copy_engine", spec_.copy_engine_bw));
+    }
+    if (sockets > 1) {
+      upi_.push_back(net_.add_resource(node + ".upi", spec_.upi_bw));
+    }
+    for (int h = 0; h < spec_.hcas_per_node; ++h) {
+      const std::string base = node + ".hca" + std::to_string(h);
+      hca_tx_.push_back(net_.add_resource(base + ".tx", spec_.hca_bw));
+      hca_rx_.push_back(net_.add_resource(base + ".rx", spec_.hca_bw));
+      pcie_.push_back(net_.add_resource(base + ".pcie", spec_.pcie_bw));
+      tx_lock_.push_back(std::make_unique<sim::Semaphore>(eng, 1));
+    }
+  }
+}
+
+sim::Task<void> Cluster::cpu_copy(int node, double bytes) {
+  sim::FlowSpec f;
+  f.uses = {{mem(node), spec_.cpu_copy_mem_weight}, {copy_engine(node), 1.0}};
+  f.bytes = bytes;
+  f.rate_cap = spec_.core_copy_bw;
+  co_await net_.transfer(std::move(f));
+}
+
+sim::Task<void> Cluster::cpu_reduce(int node, double bytes) {
+  sim::FlowSpec f;
+  // Two operand reads plus one result write per payload byte.
+  f.uses = {{mem(node), spec_.cpu_copy_mem_weight + 1.0},
+            {copy_engine(node), 1.0}};
+  f.bytes = bytes;
+  f.rate_cap = spec_.core_copy_bw;
+  co_await net_.transfer(std::move(f));
+}
+
+sim::Task<void> Cluster::cpu_copy_by(int grank, double bytes) {
+  const int node = node_of(grank);
+  const int socket = socket_of(grank);
+  auto& lock = cpu_lock(grank);
+  co_await lock.acquire();
+  sim::FlowSpec f;
+  f.uses = {{mem(node, socket), spec_.cpu_copy_mem_weight},
+            {copy_engine(node, socket), 1.0}};
+  f.bytes = bytes;
+  f.rate_cap = spec_.core_copy_bw;
+  co_await net_.transfer(std::move(f));
+  lock.release();
+}
+
+sim::Task<void> Cluster::cpu_reduce_by(int grank, double bytes) {
+  const int node = node_of(grank);
+  const int socket = socket_of(grank);
+  auto& lock = cpu_lock(grank);
+  co_await lock.acquire();
+  sim::FlowSpec f;
+  f.uses = {{mem(node, socket), spec_.cpu_copy_mem_weight + 1.0},
+            {copy_engine(node, socket), 1.0}};
+  f.bytes = bytes;
+  f.rate_cap = spec_.core_copy_bw;
+  co_await net_.transfer(std::move(f));
+  lock.release();
+}
+
+sim::Task<void> Cluster::cpu_copy_between(int grank, int owner, double bytes) {
+  const int node = node_of(grank);
+  const int sg = socket_of(grank);
+  const int so = owner < 0 ? sg : socket_of(owner);
+  if (sg == so || spec_.sockets_per_node == 1) {
+    co_await cpu_copy_by(grank, bytes);
+    co_return;
+  }
+  // Cross-socket: read from the owner's memory over UPI, write locally.
+  auto& lock = cpu_lock(grank);
+  co_await lock.acquire();
+  sim::FlowSpec f;
+  f.uses = {{mem(node, so), 1.0},
+            {mem(node, sg), 1.0},
+            {upi(node), 1.0},
+            {copy_engine(node, sg), 1.0}};
+  f.bytes = bytes;
+  f.rate_cap = spec_.core_copy_bw;
+  co_await net_.transfer(std::move(f));
+  lock.release();
+}
+
+sim::FlowSpec Cluster::nic_flow(int src_node, int src_hca, int dst_node,
+                                int dst_hca, double bytes) const {
+  sim::FlowSpec f;
+  f.bytes = bytes;
+  const int ss = hca_socket(src_hca);
+  const int ds = hca_socket(dst_hca);
+  if (src_node == dst_node) {
+    // Adapter loopback: one rail's ports, the HCA's socket memory crossed
+    // twice (DMA read + DMA write), and the PCIe link crossed twice.
+    f.uses = {{hca_tx(src_node, src_hca), 1.0},
+              {hca_rx(dst_node, dst_hca), 1.0},
+              {pcie(src_node, src_hca), 2.0},
+              {mem(src_node, ss), 2.0 * spec_.nic_mem_weight}};
+    if (src_hca != dst_hca) {
+      // Cross-adapter loopback splits the PCIe cost over both links.
+      f.uses[2] = {pcie(src_node, src_hca), 1.0};
+      f.uses.push_back({pcie(dst_node, dst_hca), 1.0});
+    }
+  } else {
+    f.uses = {{hca_tx(src_node, src_hca), 1.0},
+              {hca_rx(dst_node, dst_hca), 1.0},
+              {pcie(src_node, src_hca), 1.0},
+              {pcie(dst_node, dst_hca), 1.0},
+              {mem(src_node, ss), spec_.nic_mem_weight},
+              {mem(dst_node, ds), spec_.nic_mem_weight}};
+  }
+  return f;
+}
+
+}  // namespace hmca::hw

@@ -1,0 +1,145 @@
+// Instantiated cluster: fluid resources for every node memory system and
+// every HCA port, plus the primitive timed operations (CPU copy, reduction
+// sweep, rail path construction) that higher layers compose.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::hw {
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& eng, ClusterSpec spec);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() noexcept { return *eng_; }
+  sim::FluidNetwork& net() noexcept { return net_; }
+  const ClusterSpec& spec() const noexcept { return spec_; }
+
+  // ---- Topology helpers ----
+  int nodes() const noexcept { return spec_.nodes; }
+  int ppn() const noexcept { return spec_.ppn; }
+  int hcas() const noexcept { return spec_.hcas_per_node; }
+  int world_size() const noexcept { return spec_.total_ranks(); }
+  int node_of(int rank) const noexcept { return rank / spec_.ppn; }
+  int local_rank(int rank) const noexcept { return rank % spec_.ppn; }
+  int global_rank(int node, int local) const noexcept {
+    return node * spec_.ppn + local;
+  }
+
+  // ---- NUMA topology ----
+  int sockets() const noexcept { return spec_.sockets_per_node; }
+  /// Socket of a node-local rank (block distribution).
+  int socket_of_local(int local) const noexcept {
+    return local * spec_.sockets_per_node / spec_.ppn;
+  }
+  int socket_of(int grank) const noexcept {
+    return socket_of_local(local_rank(grank));
+  }
+  /// Socket an HCA is attached to (block distribution over sockets).
+  int hca_socket(int hca) const noexcept {
+    return hca * spec_.sockets_per_node / spec_.hcas_per_node;
+  }
+
+  // ---- Resources ----
+  sim::ResourceId mem(int node, int socket = 0) const {
+    return mem_.at(sidx(node, socket));
+  }
+  /// Aggregate throughput of CPU-driven copies on a node socket
+  /// (LLC/kernel-copy contention); NIC DMA bypasses it.
+  sim::ResourceId copy_engine(int node, int socket = 0) const {
+    return copy_engine_.at(sidx(node, socket));
+  }
+  /// Inter-socket link of a node (only exists when sockets() > 1).
+  sim::ResourceId upi(int node) const { return upi_.at(static_cast<std::size_t>(node)); }
+  sim::ResourceId hca_tx(int node, int hca) const {
+    return hca_tx_.at(index(node, hca));
+  }
+  sim::ResourceId hca_rx(int node, int hca) const {
+    return hca_rx_.at(index(node, hca));
+  }
+  /// PCIe link of one HCA; loopback transfers cross it twice.
+  sim::ResourceId pcie(int node, int hca) const {
+    return pcie_.at(index(node, hca));
+  }
+  /// Per-rail guard serializing per-message post cost (DMA doorbell etc.).
+  sim::Semaphore& tx_post_lock(int node, int hca) {
+    return *tx_lock_.at(index(node, hca));
+  }
+
+  /// One core per rank: concurrent CPU-driven operations issued by the same
+  /// rank serialize on this lock (NIC DMA does not take it).
+  sim::Semaphore& cpu_lock(int grank) {
+    return *rank_lock_.at(static_cast<std::size_t>(grank));
+  }
+
+  // ---- Primitive timed operations ----
+
+  /// CPU-driven copy on a node (both CMA single-copy and shm copies use
+  /// this): payload rate capped at one core's copy bandwidth, consuming
+  /// read+write memory traffic. Startup cost is paid by the caller.
+  /// Unserialized building block — prefer cpu_copy_by.
+  sim::Task<void> cpu_copy(int node, double bytes);
+
+  /// CPU reduction sweep combining two operands into a destination:
+  /// two reads + one write of memory traffic per payload byte.
+  sim::Task<void> cpu_reduce(int node, double bytes);
+
+  /// Copy / reduce executed by a specific rank: holds that rank's core for
+  /// the duration, so copies a rank issues concurrently serialize. Charged
+  /// to the rank's own socket.
+  sim::Task<void> cpu_copy_by(int grank, double bytes);
+  sim::Task<void> cpu_reduce_by(int grank, double bytes);
+
+  /// Copy executed by `grank` whose source lives in `owner`'s memory:
+  /// same-socket copies behave like cpu_copy_by; cross-socket copies read
+  /// over the UPI link and touch both sockets' memories. Degenerates to
+  /// cpu_copy_by on single-socket nodes; owner < 0 means "local".
+  sim::Task<void> cpu_copy_between(int grank, int owner, double bytes);
+
+  /// Flow specification for a NIC data path src->(wire)->dst on a given
+  /// rail pair. Loopback (src_node == dst_node) consumes that node's memory
+  /// twice (DMA read + DMA write).
+  sim::FlowSpec nic_flow(int src_node, int src_hca, int dst_node, int dst_hca,
+                         double bytes) const;
+
+  /// Round-robin rail selection counter for small messages (per source
+  /// node, as a NIC-level channel scheduler would).
+  int next_rail(int src_node) {
+    auto& c = rail_rr_.at(src_node);
+    const int r = c;
+    c = (c + 1) % spec_.hcas_per_node;
+    return r;
+  }
+
+ private:
+  std::size_t index(int node, int hca) const {
+    return static_cast<std::size_t>(node) * spec_.hcas_per_node + hca;
+  }
+  std::size_t sidx(int node, int socket) const {
+    return static_cast<std::size_t>(node) * spec_.sockets_per_node + socket;
+  }
+
+  sim::Engine* eng_;
+  ClusterSpec spec_;
+  sim::FluidNetwork net_;
+  std::vector<sim::ResourceId> mem_;          // per (node, socket)
+  std::vector<sim::ResourceId> copy_engine_;  // per (node, socket)
+  std::vector<sim::ResourceId> upi_;          // per node (sockets > 1)
+  std::vector<sim::ResourceId> hca_tx_;
+  std::vector<sim::ResourceId> hca_rx_;
+  std::vector<sim::ResourceId> pcie_;
+  std::vector<std::unique_ptr<sim::Semaphore>> tx_lock_;
+  std::vector<std::unique_ptr<sim::Semaphore>> rank_lock_;
+  std::vector<int> rail_rr_;
+};
+
+}  // namespace hmca::hw

@@ -1,0 +1,74 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmca::model {
+
+namespace {
+double log2d(int n) { return std::log2(static_cast<double>(n)); }
+}  // namespace
+
+double optimal_offload(const ModelParams& p, int l, double m) {
+  if (l <= 1) return 0.0;
+  const double tc = p.Tc(m, l);  // L concurrent CPU copiers
+  const double th = p.Th(m);     // loopback through the adapters
+  const double d = tc * (l - 1) / (th * l + tc);
+  return std::clamp(d, 0.0, static_cast<double>(l - 1));
+}
+
+double mha_intra_time(const ModelParams& p, int l, double m, double d) {
+  if (l <= 1) return p.Tl(m);
+  if (d < 0) d = optimal_offload(p, l, m);
+  const double cpu = (l - 1 - d) * p.Tc(m, l);
+  const double hca = static_cast<double>(l) * d * p.Th(m);
+  return p.Tl(m) + std::max(cpu, hca);
+}
+
+double phase2_rd_time(const ModelParams& p, int n, double ml) {
+  if (n <= 1) return 0.0;
+  return p.alpha_h * log2d(n) + (n - 1) * ml / (p.bw_h * p.hcas);
+}
+
+double phase2_ring_time(const ModelParams& p, int n, double ml) {
+  if (n <= 1) return 0.0;
+  return p.alpha_h * (n - 1) + (n - 1) * ml / (p.bw_h * p.hcas);
+}
+
+double intra_bcast_time(const ModelParams& p, double ml, int l) {
+  const double copy_in = p.Tl(ml);
+  const double copy_out = p.Tl(ml) * p.cg(ml, l - 1);
+  return copy_in + copy_out;
+}
+
+double mha_inter_time_rd(const ModelParams& p, int n, int l, double m) {
+  const double ml = m * l;
+  const double phase1 = mha_intra_time(p, l, m);
+  if (n <= 1) return phase1;
+  if (l <= 1) return phase1 + phase2_rd_time(p, n, ml);
+  // Per-step transfer in RD doubles each step; the broadcast that must hide
+  // under it is of the *previous* step's data (half the size) — the reason
+  // RD loses overlap (Sec. 3.2). The final broadcast moves N/2 chunks.
+  const double bcast_step = intra_bcast_time(p, ml, l);
+  const double step_transfer = p.Th(ml, false);  // first-step transfer
+  if (bcast_step <= step_transfer * 2.0) {
+    return phase1 + phase2_rd_time(p, n, ml) +
+           intra_bcast_time(p, ml * n / 2.0, l);
+  }
+  // Broadcast-bound: every received range must be pushed through shm.
+  return phase1 + p.Th(ml, false) + (n - 1) * bcast_step;
+}
+
+double mha_inter_time_ring(const ModelParams& p, int n, int l, double m) {
+  const double ml = m * l;
+  const double phase1 = mha_intra_time(p, l, m);
+  if (n <= 1) return phase1;
+  if (l <= 1) return phase1 + phase2_ring_time(p, n, ml);
+  const double bcast_step = intra_bcast_time(p, ml, l);
+  if (bcast_step <= p.Th(ml, false)) {
+    return phase1 + phase2_ring_time(p, n, ml) + bcast_step;
+  }
+  return phase1 + p.Th(ml, false) + (n - 1) * bcast_step;
+}
+
+}  // namespace hmca::model

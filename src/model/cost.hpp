@@ -1,0 +1,38 @@
+// Analytic cost models of the MHA designs (paper Sec. 4, Eqs. 1-7).
+#pragma once
+
+#include "model/params.hpp"
+
+namespace hmca::model {
+
+/// Eq. 1: the offload amount d making processors and adapters finish
+/// together: d = Tc(M)*(L-1) / (Th(M)*L + Tc(M)), real-valued (the offload
+/// is byte-granular), clamped to [0, L-1].
+double optimal_offload(const ModelParams& p, int l, double m);
+
+/// Eq. 2: T_MHA-intra(M) = Tl(M) + max{(L-1-d)*Tc(M), L*d*Th(M)}.
+/// d < 0 means "use Eq. 1".
+double mha_intra_time(const ModelParams& p, int l, double m,
+                      double d = -1.0);
+
+/// Eq. 3: inter-leader exchange cost with Recursive Doubling:
+/// alpha_H*log2(N) + (N-1)*ML/(BW_H*H).
+double phase2_rd_time(const ModelParams& p, int n, double ml);
+
+/// Eq. 4: inter-leader exchange cost with Ring:
+/// alpha_H*(N-1) + (N-1)*ML/(BW_H*H).
+double phase2_ring_time(const ModelParams& p, int n, double ml);
+
+/// Eq. 5: one node-level broadcast of ML bytes through shared memory:
+/// copy-in + congested copy-out of L-1 peers.
+double intra_bcast_time(const ModelParams& p, double ml, int l);
+
+/// Eq. 6: full MHA-inter cost with RD in phase 2. When the per-step
+/// broadcast fits under the per-step transfer it is hidden; otherwise the
+/// broadcasts dominate.
+double mha_inter_time_rd(const ModelParams& p, int n, int l, double m);
+
+/// Eq. 7: full MHA-inter cost with Ring in phase 2.
+double mha_inter_time_ring(const ModelParams& p, int n, int l, double m);
+
+}  // namespace hmca::model

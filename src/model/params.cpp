@@ -1,0 +1,132 @@
+#include "model/params.hpp"
+
+#include <algorithm>
+
+#include "hw/buffer.hpp"
+#include "hw/cluster.hpp"
+#include "net/net.hpp"
+#include "sim/engine.hpp"
+
+namespace hmca::model {
+
+ModelParams ModelParams::from_spec(const hw::ClusterSpec& spec) {
+  ModelParams p;
+  p.alpha_c = spec.cma_startup;
+  p.bw_c = spec.core_copy_bw;
+  p.alpha_h = spec.hca_startup + spec.loopback_latency;
+  p.bw_h = spec.hca_bw;
+  p.alpha_l = spec.shm_copy_startup;
+  p.bw_l = spec.core_copy_bw;
+  p.hcas = spec.hcas_per_node;
+  p.mem_bw = spec.mem_bw;
+  p.copy_weight = spec.cpu_copy_mem_weight;
+  p.copy_engine_bw = spec.copy_engine_bw;
+  p.pcie_bw = spec.pcie_bw;
+  return p;
+}
+
+namespace {
+
+// Latency of one blocking intra-node CMA get of `m` bytes.
+double measure_cma(const hw::ClusterSpec& spec, std::size_t m) {
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  net::Net net(cl);
+  auto src = hw::Buffer::phantom(m);
+  auto dst = hw::Buffer::phantom(m);
+  auto t = [&]() -> sim::Task<void> {
+    co_await net.cma_get(0, src.view(), dst.view());
+  };
+  eng.spawn(t());
+  eng.run();
+  return eng.now();
+}
+
+// Latency of one striped RDMA get between two nodes.
+double measure_rail(const hw::ClusterSpec& spec, std::size_t m) {
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  net::Net net(cl);
+  auto src = hw::Buffer::phantom(m);
+  auto dst = hw::Buffer::phantom(m);
+  auto t = [&]() -> sim::Task<void> {
+    co_await net.rdma_get(spec.ppn, 0, src.view(), dst.view(), 0);
+  };
+  eng.spawn(t());
+  eng.run();
+  return eng.now();
+}
+
+// Latency of one local copy.
+double measure_copy(const hw::ClusterSpec& spec, std::size_t m) {
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  auto t = [&]() -> sim::Task<void> {
+    co_await eng.sleep(spec.shm_copy_startup);
+    co_await cl.cpu_copy(0, static_cast<double>(m));
+  };
+  eng.spawn(t());
+  eng.run();
+  return eng.now();
+}
+
+// Two-point alpha/BW fit: t(m) = alpha + m/bw.
+void fit(double m1, double t1, double m2, double t2, double& alpha,
+         double& bw) {
+  bw = (m2 - m1) / (t2 - t1);
+  alpha = std::max(0.0, t1 - m1 / bw);
+}
+
+}  // namespace
+
+ModelParams ModelParams::measure(hw::ClusterSpec spec) {
+  spec.carry_data = false;
+  spec.nodes = std::max(spec.nodes, 2);
+  spec.ppn = std::max(spec.ppn, 2);
+  ModelParams p = from_spec(spec);  // structural fields (H, mem) from spec
+
+  const double s1 = 64.0 * 1024, s2 = 4.0 * 1024 * 1024;
+  fit(s1, measure_cma(spec, static_cast<std::size_t>(s1)), s2,
+      measure_cma(spec, static_cast<std::size_t>(s2)), p.alpha_c, p.bw_c);
+  // Rail fit on a single rail (Th() later divides by H).
+  fit(s1, measure_rail(spec, static_cast<std::size_t>(s1)), s2,
+      measure_rail(spec, static_cast<std::size_t>(s2)), p.alpha_h, p.bw_h);
+  fit(s1, measure_copy(spec, static_cast<std::size_t>(s1)), s2,
+      measure_copy(spec, static_cast<std::size_t>(s2)), p.alpha_l, p.bw_l);
+  return p;
+}
+
+namespace {
+// Effective payload rate of one of k concurrent CPU copies on a node.
+double cpu_copy_rate(double per_core, double engine, double mem, double weight,
+                     int k) {
+  const int n = std::max(1, k);
+  return std::min({per_core, engine / n, mem / weight / n});
+}
+}  // namespace
+
+double ModelParams::Tc(double m, int concurrent_copiers) const {
+  return alpha_c + m / cpu_copy_rate(bw_c, copy_engine_bw, mem_bw, copy_weight,
+                                     concurrent_copiers);
+}
+
+double ModelParams::Th(double m, bool loopback) const {
+  const double per_rail = loopback ? std::min(bw_h, pcie_bw / 2.0) : bw_h;
+  return alpha_h + m / (per_rail * hcas);
+}
+
+double ModelParams::Tl(double m) const { return alpha_l + m / bw_l; }
+
+double ModelParams::cg(double m, int copiers) const {
+  if (copiers <= 1) return 1.0;
+  // Size-dependent: tiny copies are startup-dominated and barely contend;
+  // large ones slow down by the aggregate copy-rate ratio.
+  const double solo =
+      alpha_l + m / cpu_copy_rate(bw_l, copy_engine_bw, mem_bw, copy_weight, 1);
+  const double congested =
+      alpha_l +
+      m / cpu_copy_rate(bw_l, copy_engine_bw, mem_bw, copy_weight, copiers);
+  return congested / solo;
+}
+
+}  // namespace hmca::model

@@ -1,0 +1,54 @@
+// Model parameters (paper Table 1) and the primitive cost terms.
+//
+// Parameters can be derived straight from the ClusterSpec or *measured* by
+// running micro-experiments on the simulator, mirroring how the paper
+// obtains them empirically on Thor (Sec. 4.3).
+#pragma once
+
+#include "hw/spec.hpp"
+
+namespace hmca::model {
+
+struct ModelParams {
+  // Table 1 notation.
+  double alpha_c;  ///< startup per intra-node (CMA) transfer
+  double bw_c;     ///< bandwidth of an intra-node transfer (one copier)
+  double alpha_h;  ///< startup per inter-node transfer
+  double bw_h;     ///< bandwidth of one rail
+  double alpha_l;  ///< startup per local memory copy
+  double bw_l;     ///< bandwidth of a local memory copy
+  int hcas;        ///< H
+  double mem_bw;   ///< node memory-traffic capacity
+  double copy_weight;     ///< memory traffic per copied payload byte
+  double copy_engine_bw;  ///< aggregate CPU-copy payload rate per node
+  double pcie_bw;         ///< per-HCA PCIe rate (loopback crosses it twice)
+
+  /// Direct derivation from the hardware description.
+  static ModelParams from_spec(const hw::ClusterSpec& spec);
+
+  /// Empirical fit: runs pt2pt/copy micro-measurements on a small simulated
+  /// cluster and extracts alpha/BW by a two-point fit, as the paper does on
+  /// real hardware.
+  static ModelParams measure(hw::ClusterSpec spec);
+
+  // ---- Primitive cost terms (Sec. 4.1) ----
+
+  /// T_C(M): one intra-node transfer among L concurrent copiers. The
+  /// congestion term b is min(1, ...) emerging from the shared memory
+  /// system: payload rate = min(bw_c, mem_bw / copy_weight / L).
+  double Tc(double m, int concurrent_copiers = 1) const;
+
+  /// T_H(M): one transfer served by all H adapters (striped).
+  /// `loopback` transfers cross each adapter's PCIe link twice.
+  double Th(double m, bool loopback = true) const;
+
+  /// T_L(M): one local memory copy.
+  double Tl(double m) const;
+
+  /// cg(M, k): congestion factor of k concurrent copy-outs of M bytes
+  /// (Eq. 5): ratio of the congested copy time to the solo copy time.
+  /// Size-dependent: startup-dominated small copies barely contend.
+  double cg(double m, int copiers) const;
+};
+
+}  // namespace hmca::model

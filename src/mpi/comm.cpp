@@ -1,0 +1,186 @@
+#include "mpi/comm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hmca::mpi {
+
+Comm::Comm(World& world, int ctx, std::vector<int> granks)
+    : world_(&world), ctx_(ctx), granks_(std::move(granks)) {
+  if (granks_.empty()) throw std::invalid_argument("Comm: empty rank list");
+  from_global_.assign(world.cluster().world_size(), -1);
+  for (std::size_t i = 0; i < granks_.size(); ++i) {
+    const int g = granks_[i];
+    if (g < 0 || g >= world.cluster().world_size()) {
+      throw std::invalid_argument("Comm: rank out of range");
+    }
+    if (from_global_[static_cast<std::size_t>(g)] != -1) {
+      throw std::invalid_argument("Comm: duplicate rank");
+    }
+    from_global_[static_cast<std::size_t>(g)] = static_cast<int>(i);
+  }
+  op_seq_.assign(granks_.size(), 0);
+  barrier_ = std::make_unique<sim::Barrier>(world.engine(),
+                                            static_cast<int>(granks_.size()));
+}
+
+int Comm::from_global(int g) const {
+  if (g < 0 || g >= static_cast<int>(from_global_.size())) return -1;
+  return from_global_[static_cast<std::size_t>(g)];
+}
+
+int Comm::node_of(int r) const { return cluster().node_of(to_global(r)); }
+int Comm::node_local_rank(int r) const {
+  return cluster().local_rank(to_global(r));
+}
+
+hw::Cluster& Comm::cluster() const noexcept { return world_->cluster(); }
+net::Net& Comm::net() const noexcept { return world_->net(); }
+shm::NodeShare& Comm::share() const noexcept { return world_->share(); }
+sim::Engine& Comm::engine() const noexcept { return world_->engine(); }
+trace::Tracer* Comm::tracer() const noexcept { return world_->tracer(); }
+
+int Comm::wire_tag(int tag) const {
+  if (tag == kAnyTag) return kAnyTag;
+  if (tag < 0 || tag > kMaxUserTag) {
+    throw std::invalid_argument("Comm: tag out of range");
+  }
+  return (ctx_ << 16) | tag;
+}
+
+sim::Task<void> Comm::send(int my, int dst, int tag, hw::BufView data) {
+  co_await net().send(to_global(my), to_global(dst), wire_tag(tag), data);
+}
+
+sim::Task<void> Comm::recv(int my, int src, int tag, hw::BufView out) {
+  const int gsrc = (src == kAnySource) ? kAnySource : to_global(src);
+  co_await net().recv(to_global(my), gsrc, wire_tag(tag), out);
+}
+
+sim::Task<void> Comm::run_and_signal(sim::Task<void> op,
+                                     std::shared_ptr<Request::State> st) {
+  co_await std::move(op);
+  st->done = true;
+  st->cv.notify_all();
+}
+
+Request Comm::isend(int my, int dst, int tag, hw::BufView data) {
+  Request r;
+  r.st_ = std::make_shared<Request::State>(engine());
+  engine().spawn(run_and_signal(send(my, dst, tag, data), r.st_));
+  return r;
+}
+
+Request Comm::irecv(int my, int src, int tag, hw::BufView out) {
+  Request r;
+  r.st_ = std::make_shared<Request::State>(engine());
+  engine().spawn(run_and_signal(recv(my, src, tag, out), r.st_));
+  return r;
+}
+
+sim::Task<void> Comm::wait(Request r) {
+  if (!r.valid()) throw std::invalid_argument("Comm::wait: invalid request");
+  // Keep the state alive via the local copy and loop manually; passing an
+  // owning capture into the wait_until coroutine parameter trips a GCC 12
+  // double-destruction bug in coroutine frames.
+  const auto st = r.st_;
+  while (!st->done) co_await st->cv.wait();
+}
+
+sim::Task<void> Comm::wait_all(std::vector<Request> rs) {
+  for (auto& r : rs) co_await wait(r);
+}
+
+sim::Task<void> Comm::sendrecv(int my, int dst, int stag, hw::BufView sdata,
+                               int src, int rtag, hw::BufView rout) {
+  Request rr = irecv(my, src, rtag, rout);
+  co_await send(my, dst, stag, sdata);
+  co_await wait(std::move(rr));
+}
+
+sim::Task<void> Comm::barrier(int my) {
+  (void)my;
+  co_await barrier_->arrive_and_wait();
+}
+
+World::World(sim::Engine& eng, hw::ClusterSpec spec, trace::Tracer* tracer)
+    : eng_(&eng), cluster_(eng, spec), tracer_(tracer), net_(cluster_, tracer) {
+  std::vector<int> all(static_cast<std::size_t>(cluster_.world_size()));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  comms_.push_back(
+      std::unique_ptr<Comm>(new Comm(*this, next_ctx_++, std::move(all))));
+  node_comms_.assign(static_cast<std::size_t>(cluster_.nodes()), nullptr);
+}
+
+Comm& World::create_comm(std::vector<int> global_ranks) {
+  comms_.push_back(std::unique_ptr<Comm>(
+      new Comm(*this, next_ctx_++, std::move(global_ranks))));
+  return *comms_.back();
+}
+
+Comm& World::node_comm(int node) {
+  auto& slot = node_comms_.at(static_cast<std::size_t>(node));
+  if (slot == nullptr) {
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(cluster_.ppn()));
+    for (int l = 0; l < cluster_.ppn(); ++l) {
+      ranks.push_back(cluster_.global_rank(node, l));
+    }
+    slot = &create_comm(std::move(ranks));
+  }
+  return *slot;
+}
+
+Comm& World::leader_comm() {
+  if (leader_comm_ == nullptr) {
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(cluster_.nodes()));
+    for (int n = 0; n < cluster_.nodes(); ++n) {
+      ranks.push_back(cluster_.global_rank(n, 0));
+    }
+    leader_comm_ = &create_comm(std::move(ranks));
+  }
+  return *leader_comm_;
+}
+
+Comm& World::group_leader_comm(int groups) {
+  if (groups < 1 || cluster_.ppn() % groups != 0) {
+    throw std::invalid_argument(
+        "group_leader_comm: ppn must be divisible by groups");
+  }
+  auto it = group_leader_comms_.find(groups);
+  if (it == group_leader_comms_.end()) {
+    const int gs = cluster_.ppn() / groups;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(cluster_.nodes() * groups));
+    for (int n = 0; n < cluster_.nodes(); ++n) {
+      for (int g = 0; g < groups; ++g) {
+        ranks.push_back(cluster_.global_rank(n, g * gs));
+      }
+    }
+    it = group_leader_comms_.emplace(groups, &create_comm(std::move(ranks)))
+             .first;
+  }
+  return *it->second;
+}
+
+Comm& World::socket_comm(int node, int socket) {
+  const auto key = std::make_pair(node, socket);
+  auto it = socket_comms_.find(key);
+  if (it == socket_comms_.end()) {
+    const int sockets = cluster_.spec().sockets_per_node;
+    if (socket < 0 || socket >= sockets) {
+      throw std::invalid_argument("socket_comm: bad socket");
+    }
+    const int spp = cluster_.ppn() / sockets;
+    std::vector<int> ranks;
+    ranks.reserve(static_cast<std::size_t>(spp));
+    for (int l = socket * spp; l < (socket + 1) * spp; ++l) {
+      ranks.push_back(cluster_.global_rank(node, l));
+    }
+    it = socket_comms_.emplace(key, &create_comm(std::move(ranks))).first;
+  }
+  return *it->second;
+}
+
+}  // namespace hmca::mpi

@@ -1,0 +1,314 @@
+#include "net/net.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace hmca::net {
+
+namespace {
+constexpr std::size_t kMaxRails = 64;
+}
+
+Net::Net(hw::Cluster& cluster, trace::Tracer* tracer)
+    : cl_(&cluster), tracer_(tracer), boxes_(cluster.world_size()) {}
+
+Net::Arrival* Net::deliver(int dst, Arrival a) {
+  auto& box = boxes_.at(static_cast<std::size_t>(dst));
+  ++delivered_;
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    PostedRecv* p = *it;
+    if (p->arrival == nullptr && matches(p->src, p->tag, a.src, a.tag)) {
+      a.claimed = true;
+      box.arrivals.push_back(std::move(a));
+      p->arrival = &box.arrivals.back();
+      box.posted.erase(it);
+      p->cv->notify_all();
+      return p->arrival;
+    }
+  }
+  ++unexpected_;
+  box.arrivals.push_back(std::move(a));
+  return &box.arrivals.back();
+}
+
+sim::Task<void> Net::recv(int dst, int src, int tag, hw::BufView out) {
+  auto& box = boxes_.at(static_cast<std::size_t>(dst));
+  auto& eng = engine();
+
+  Arrival* a = nullptr;
+  // Earliest already-arrived unclaimed match (MPI non-overtaking order).
+  for (auto& arr : box.arrivals) {
+    if (!arr.claimed && matches(src, tag, arr.src, arr.tag)) {
+      arr.claimed = true;
+      a = &arr;
+      break;
+    }
+  }
+  if (a == nullptr) {
+    sim::Condition cv(eng);
+    PostedRecv p{src, tag, nullptr, &cv};
+    box.posted.push_back(&p);
+    co_await cv.wait_until([&] { return p.arrival != nullptr; });
+    a = p.arrival;
+  }
+
+  if (a->bytes != out.len) {
+    throw sim::SimError("Net::recv: message size mismatch (truncation)");
+  }
+
+  co_await consume(dst, *a, out);
+
+  // Remove the consumed arrival from the box.
+  for (auto it = box.arrivals.begin(); it != box.arrivals.end(); ++it) {
+    if (&*it == a) {
+      box.arrivals.erase(it);
+      break;
+    }
+  }
+}
+
+sim::Task<void> Net::consume(int dst, Arrival& a, hw::BufView out) {
+  const auto& spec = cl_->spec();
+  auto& eng = engine();
+
+  if (a.eager) {
+    // Bounce-buffer copy-out by the receiving CPU.
+    auto span = tracer_ ? tracer_->open(dst, trace::Kind::kCopyOut, eng.now(),
+                                        a.src, a.bytes)
+                        : trace::Tracer::Handle{};
+    co_await eng.sleep(spec.shm_copy_startup);
+    co_await cl_->cpu_copy_between(dst, a.src, static_cast<double>(a.bytes));
+    if (out.real() && a.payload_real) {
+      std::memcpy(out.ptr, a.payload.data(), a.bytes);
+    }
+    span.close(eng.now());
+    co_return;
+  }
+
+  Rendezvous* r = a.rndv;
+  if (r->intra) {
+    // Receiver drives a CMA single copy from the sender's exported pages.
+    auto span = tracer_ ? tracer_->open(dst, trace::Kind::kCmaCopy, eng.now(),
+                                        a.src, a.bytes)
+                        : trace::Tracer::Handle{};
+    co_await eng.sleep(spec.cma_startup);
+    co_await cl_->cpu_copy_between(dst, a.src, static_cast<double>(a.bytes));
+    hw::copy_payload(out, r->src_view);
+    span.close(eng.now());
+    r->done = true;
+    r->cv_sender.notify_all();
+    co_return;
+  }
+
+  // Inter-node rendezvous: grant CTS, sender moves the data into `out`.
+  r->dst_view = out;
+  r->granted = true;
+  r->cv_sender.notify_all();
+  auto span = tracer_ ? tracer_->open(dst, trace::Kind::kWait, eng.now(),
+                                      a.src, a.bytes)
+                      : trace::Tracer::Handle{};
+  // Single-shot wait: cv_receiver fires exactly once (data complete). The
+  // Rendezvous block lives in the sender's frame, which may be destroyed
+  // right after the notify, so `r` must not be touched after resuming.
+  co_await r->cv_receiver.wait();
+  span.close(eng.now());
+}
+
+sim::Task<void> Net::send(int src, int dst, int tag, hw::BufView data) {
+  if (src == dst) {
+    throw sim::SimError("Net::send: self-sends must be local copies");
+  }
+  const auto& spec = cl_->spec();
+  if (cl_->node_of(src) == cl_->node_of(dst)) {
+    co_await send_intra(src, dst, tag, data);
+  } else if (data.len <= spec.eager_threshold) {
+    co_await send_eager_net(src, dst, tag, data);
+  } else {
+    co_await send_rndv_net(src, dst, tag, data);
+  }
+}
+
+sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
+                                   double bytes) {
+  const auto& spec = cl_->spec();
+  auto& lock = cl_->tx_post_lock(src_node, hca);
+  co_await lock.acquire();
+  co_await engine().sleep(spec.hca_startup);
+  lock.release();
+  co_await cl_->net().transfer(cl_->nic_flow(src_node, hca, dst_node, hca, bytes));
+}
+
+sim::Task<void> Net::striped_transfer(int src_node, int dst_node,
+                                      double bytes) {
+  const int rails = cl_->hcas();
+  if (rails == 1 || bytes <= static_cast<double>(cl_->spec().stripe_threshold)) {
+    co_await rail_transfer(src_node, dst_node, cl_->next_rail(src_node), bytes);
+    co_return;
+  }
+  sim::WaitGroup wg(engine());
+  const double chunk = bytes / rails;
+  for (int h = 0; h < rails && h < static_cast<int>(kMaxRails); ++h) {
+    wg.spawn(rail_transfer(src_node, dst_node, h, chunk));
+  }
+  co_await wg.wait();
+}
+
+sim::Task<void> Net::send_eager_net(int src, int dst, int tag,
+                                    hw::BufView data) {
+  const auto& spec = cl_->spec();
+  const int sn = cl_->node_of(src), dn = cl_->node_of(dst);
+  auto& eng = engine();
+
+  Arrival a;
+  a.src = src;
+  a.tag = tag;
+  a.bytes = data.len;
+  a.eager = true;
+  a.intra = false;
+  if (data.real()) {
+    a.payload.assign(data.ptr, data.ptr + data.len);
+    a.payload_real = true;
+  }
+
+  auto span = tracer_ ? tracer_->open(src, trace::Kind::kIsend, eng.now(), dst,
+                                      data.len)
+                      : trace::Tracer::Handle{};
+  co_await rail_transfer(sn, dn, cl_->next_rail(sn), static_cast<double>(data.len));
+  co_await eng.sleep(spec.wire_latency);
+  span.close(eng.now());
+  deliver(dst, std::move(a));
+}
+
+sim::Task<void> Net::send_rndv_net(int src, int dst, int tag,
+                                   hw::BufView data) {
+  const auto& spec = cl_->spec();
+  const int sn = cl_->node_of(src), dn = cl_->node_of(dst);
+  auto& eng = engine();
+
+  Rendezvous r(eng);
+  r.bytes = data.len;
+  r.src_view = data;
+  r.src_node = sn;
+
+  // RTS control message.
+  co_await eng.sleep(spec.ctrl_latency + spec.wire_latency);
+  Arrival a;
+  a.src = src;
+  a.tag = tag;
+  a.bytes = data.len;
+  a.eager = false;
+  a.intra = false;
+  a.rndv = &r;
+  deliver(dst, std::move(a));
+
+  co_await r.cv_sender.wait_until([&] { return r.granted; });
+  // CTS control message back.
+  co_await eng.sleep(spec.ctrl_latency + spec.wire_latency);
+
+  auto span = tracer_ ? tracer_->open(src, trace::Kind::kNicXfer, eng.now(),
+                                      dst, data.len)
+                      : trace::Tracer::Handle{};
+  co_await striped_transfer(sn, dn, static_cast<double>(data.len));
+  co_await eng.sleep(spec.wire_latency);
+  span.close(eng.now());
+
+  hw::copy_payload(r.dst_view, data);
+  r.done = true;
+  r.cv_receiver.notify_all();
+}
+
+sim::Task<void> Net::send_intra(int src, int dst, int tag, hw::BufView data) {
+  const auto& spec = cl_->spec();
+  const int node = cl_->node_of(src);
+  auto& eng = engine();
+
+  if (data.len <= spec.intra_single_copy_threshold) {
+    // Double-copy shared-memory path: sender copies into the bounce buffer;
+    // receiver copies out in consume().
+    Arrival a;
+    a.src = src;
+    a.tag = tag;
+    a.bytes = data.len;
+    a.eager = true;
+    a.intra = true;
+    if (data.real()) {
+      a.payload.assign(data.ptr, data.ptr + data.len);
+      a.payload_real = true;
+    }
+    auto span = tracer_ ? tracer_->open(src, trace::Kind::kCopyIn, eng.now(),
+                                        dst, data.len)
+                        : trace::Tracer::Handle{};
+    co_await eng.sleep(spec.shm_copy_startup);
+    co_await cl_->cpu_copy_by(src, static_cast<double>(data.len));
+    span.close(eng.now());
+    deliver(dst, std::move(a));
+    co_return;
+  }
+
+  // CMA single-copy path: pair through shared memory, receiver copies.
+  Rendezvous r(eng);
+  r.intra = true;
+  r.bytes = data.len;
+  r.src_view = data;
+  r.src_node = node;
+
+  co_await eng.sleep(spec.intra_handshake_latency);
+  Arrival a;
+  a.src = src;
+  a.tag = tag;
+  a.bytes = data.len;
+  a.eager = false;
+  a.intra = true;
+  a.rndv = &r;
+  deliver(dst, std::move(a));
+
+  auto span = tracer_ ? tracer_->open(src, trace::Kind::kWait, eng.now(), dst,
+                                      data.len)
+                      : trace::Tracer::Handle{};
+  co_await r.cv_sender.wait_until([&] { return r.done; });
+  span.close(eng.now());
+}
+
+sim::Task<void> Net::cma_get(int getter, hw::BufView src, hw::BufView dst,
+                             int owner) {
+  const auto& spec = cl_->spec();
+  auto& eng = engine();
+  if (src.len != dst.len) {
+    throw sim::SimError("Net::cma_get: size mismatch");
+  }
+  auto span = tracer_ ? tracer_->open(getter, trace::Kind::kCmaCopy, eng.now(),
+                                      -1, src.len)
+                      : trace::Tracer::Handle{};
+  co_await eng.sleep(spec.cma_startup);
+  co_await cl_->cpu_copy_between(getter, owner, static_cast<double>(src.len));
+  hw::copy_payload(dst, src);
+  span.close(eng.now());
+}
+
+sim::Task<void> Net::rdma_get(int getter, int owner, hw::BufView src,
+                              hw::BufView dst, int hca) {
+  const auto& spec = cl_->spec();
+  const int gn = cl_->node_of(getter), on = cl_->node_of(owner);
+  auto& eng = engine();
+  if (src.len != dst.len) {
+    throw sim::SimError("Net::rdma_get: size mismatch");
+  }
+  const double latency =
+      (gn == on) ? spec.loopback_latency : spec.wire_latency;
+
+  auto span = tracer_ ? tracer_->open(getter, trace::Kind::kNicXfer, eng.now(),
+                                      owner, src.len)
+                      : trace::Tracer::Handle{};
+  // RDMA read: data moves owner -> getter over the chosen rail(s).
+  if (hca == kStripe) {
+    co_await striped_transfer(on, gn, static_cast<double>(src.len));
+  } else {
+    co_await rail_transfer(on, gn, hca, static_cast<double>(src.len));
+  }
+  co_await eng.sleep(latency);
+  hw::copy_payload(dst, src);
+  span.close(eng.now());
+}
+
+}  // namespace hmca::net

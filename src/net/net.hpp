@@ -1,0 +1,142 @@
+// Point-to-point messaging engine over the simulated cluster.
+//
+// Implements the transport behaviour the paper's designs build on:
+//   - eager protocol for small messages (payload staged through a bounce
+//     buffer, receiver pays the copy-out),
+//   - rendezvous (RTS/CTS) zero-copy protocol for large messages,
+//   - MPI matching semantics: FIFO, non-overtaking per (src, tag),
+//     wildcard source/tag,
+//   - multi-rail policies from Liu et al. [17] (Sec. 2.1): round-robin rail
+//     selection for small messages, striping across all rails above the
+//     saturation threshold,
+//   - intra-node delivery via double-copy shared memory (small) or CMA
+//     single copy (large),
+//   - one-sided primitives: `cma_get` (kernel-assisted read of a peer's
+//     exported buffer) and `rdma_get` (RDMA read through a chosen rail or
+//     striped across all rails), which MHA-intra uses to offload transfers
+//     to idle HCAs.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <vector>
+
+#include "hw/buffer.hpp"
+#include "hw/cluster.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::net {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Net {
+ public:
+  explicit Net(hw::Cluster& cluster, trace::Tracer* tracer = nullptr);
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+
+  hw::Cluster& cluster() noexcept { return *cl_; }
+  sim::Engine& engine() noexcept { return cl_->engine(); }
+
+  /// Blocking send from rank `src` to rank `dst`. Completes when the send
+  /// buffer is reusable (eager: after injection; rendezvous: after the data
+  /// transfer). The data view must stay valid until completion.
+  sim::Task<void> send(int src, int dst, int tag, hw::BufView data);
+
+  /// Blocking receive on rank `dst`; `src`/`tag` may be wildcards.
+  sim::Task<void> recv(int dst, int src, int tag, hw::BufView out);
+
+  /// One-sided CMA read executed by `getter` (same node as the buffer
+  /// owner): syscall startup + single CPU copy. No matching involved; the
+  /// source view must be published (valid and stable) by the owner.
+  /// `owner` (the rank whose memory holds `src`) matters only on NUMA
+  /// nodes, where cross-socket reads traverse the UPI link; -1 = local.
+  sim::Task<void> cma_get(int getter, hw::BufView src, hw::BufView dst,
+                          int owner = -1);
+
+  /// One-sided RDMA read by `getter` of `owner`'s exported buffer.
+  /// `hca` selects the rail; pass kStripe to stripe across all rails.
+  /// Works for both loopback (same node — the MHA-intra offload path) and
+  /// remote gets.
+  static constexpr int kStripe = -1;
+  sim::Task<void> rdma_get(int getter, int owner, hw::BufView src,
+                           hw::BufView dst, int hca = kStripe);
+
+  /// Statistics: messages fully delivered so far.
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  /// Messages that arrived before a matching receive was posted.
+  std::uint64_t unexpected_messages() const noexcept { return unexpected_; }
+
+ private:
+  // A rendezvous coordination block living in the sender's coroutine frame.
+  struct Rendezvous {
+    explicit Rendezvous(sim::Engine& eng) : cv_sender(eng), cv_receiver(eng) {}
+    sim::Condition cv_sender;    // receiver -> sender: CTS granted
+    sim::Condition cv_receiver;  // sender -> receiver: data complete
+    hw::BufView dst_view{};      // receiver's buffer, set at CTS
+    bool granted = false;
+    bool done = false;
+    bool intra = false;          // intra-node: receiver drives the copy
+    hw::BufView src_view{};
+    std::size_t bytes = 0;
+    int src_node = 0;
+  };
+
+  // An arrived (or announced) message in a rank's matching box.
+  struct Arrival {
+    int src;
+    int tag;
+    std::size_t bytes;
+    bool eager;
+    bool intra;
+    std::vector<std::byte> payload;  // eager with real data
+    bool payload_real = false;
+    bool claimed = false;            // paired with a posted receive
+    Rendezvous* rndv = nullptr;      // when !eager
+  };
+
+  struct PostedRecv {
+    int src;
+    int tag;
+    Arrival* arrival = nullptr;
+    sim::Condition* cv = nullptr;
+  };
+
+  struct RankBox {
+    std::list<Arrival> arrivals;   // unexpected queue, FIFO
+    std::list<PostedRecv*> posted; // posted receives, FIFO
+  };
+
+  static bool matches(int want_src, int want_tag, int src, int tag) {
+    return (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+
+  // Hand an arrival to rank `dst`: pairs with the earliest matching posted
+  // receive or lands in the unexpected queue. Returns the stored arrival.
+  Arrival* deliver(int dst, Arrival a);
+
+  // Receiver-side consumption of a matched arrival.
+  sim::Task<void> consume(int dst, Arrival& a, hw::BufView out);
+
+  sim::Task<void> send_eager_net(int src, int dst, int tag, hw::BufView data);
+  sim::Task<void> send_rndv_net(int src, int dst, int tag, hw::BufView data);
+  sim::Task<void> send_intra(int src, int dst, int tag, hw::BufView data);
+
+  // Pay the serialized per-message post cost then move bytes over one rail.
+  sim::Task<void> rail_transfer(int src_node, int dst_node, int hca,
+                                double bytes);
+  // Stripe across all rails (each chunk pays its own post cost).
+  sim::Task<void> striped_transfer(int src_node, int dst_node, double bytes);
+
+  hw::Cluster* cl_;
+  trace::Tracer* tracer_;
+  std::vector<RankBox> boxes_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t unexpected_ = 0;
+};
+
+}  // namespace hmca::net

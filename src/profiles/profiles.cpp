@@ -1,0 +1,113 @@
+#include "profiles/profiles.hpp"
+
+#include <stdexcept>
+
+#include "coll/allreduce.hpp"
+#include "core/mha.hpp"
+
+namespace hmca::profiles {
+
+namespace {
+
+// ---- HPC-X (Open MPI): flat algorithms ----
+
+constexpr std::size_t kHpcxBruckThreshold = 2048;
+constexpr std::size_t kHpcxAllreduceRd = 32768;
+
+sim::Task<void> hpcx_allgather(mpi::Comm& comm, int my, hw::BufView send,
+                               hw::BufView recv, std::size_t msg,
+                               bool in_place) {
+  if (msg <= kHpcxBruckThreshold) {
+    co_await coll::allgather_bruck(comm, my, send, recv, msg, in_place);
+  } else {
+    co_await coll::allgather_ring(comm, my, send, recv, msg, in_place);
+  }
+}
+
+sim::Task<void> hpcx_allreduce(mpi::Comm& comm, int my, hw::BufView data,
+                               std::size_t count, mpi::Dtype dtype,
+                               mpi::ReduceOp op) {
+  const std::size_t bytes = count * mpi::dtype_size(dtype);
+  if (bytes <= kHpcxAllreduceRd ||
+      count % static_cast<std::size_t>(comm.size()) != 0) {
+    co_await coll::allreduce_rd(comm, my, data, count, dtype, op);
+  } else {
+    co_await coll::allreduce_ring(comm, my, data, count, dtype, op);
+  }
+}
+
+// ---- MVAPICH2-X: two-level multi-leader for large Allgathers ----
+
+constexpr std::size_t kMvapichSmallThreshold = 4096;
+constexpr std::size_t kMvapichAllreduceRd = 16384;
+
+sim::Task<void> mvapich_allgather(mpi::Comm& comm, int my, hw::BufView send,
+                                  hw::BufView recv, std::size_t msg,
+                                  bool in_place) {
+  if (msg <= kMvapichSmallThreshold) {
+    co_await coll::allgather_rd_or_bruck(comm, my, send, recv, msg, in_place);
+    co_return;
+  }
+  const int ppn = comm.cluster().ppn();
+  if (comm.size() == comm.cluster().world_size() && ppn % 2 == 0 && ppn >= 2) {
+    co_await coll::allgather_multi_leader(comm, my, send, recv, msg, in_place,
+                                          /*groups=*/2);
+  } else if (comm.size() == comm.cluster().world_size() && ppn > 1) {
+    co_await coll::allgather_multi_leader(comm, my, send, recv, msg, in_place,
+                                          /*groups=*/1);
+  } else {
+    co_await coll::allgather_ring(comm, my, send, recv, msg, in_place);
+  }
+}
+
+sim::Task<void> mvapich_allreduce(mpi::Comm& comm, int my, hw::BufView data,
+                                  std::size_t count, mpi::Dtype dtype,
+                                  mpi::ReduceOp op) {
+  const std::size_t bytes = count * mpi::dtype_size(dtype);
+  if (bytes <= kMvapichAllreduceRd ||
+      count % static_cast<std::size_t>(comm.size()) != 0) {
+    co_await coll::allreduce_rd(comm, my, data, count, dtype, op);
+  } else {
+    co_await coll::allreduce_ring(comm, my, data, count, dtype, op);
+  }
+}
+
+// ---- MHA: this paper ----
+
+sim::Task<void> mha_ag(mpi::Comm& comm, int my, hw::BufView send,
+                       hw::BufView recv, std::size_t msg, bool in_place) {
+  co_await core::mha_allgather(comm, my, send, recv, msg, in_place);
+}
+
+sim::Task<void> mha_ar(mpi::Comm& comm, int my, hw::BufView data,
+                       std::size_t count, mpi::Dtype dtype, mpi::ReduceOp op) {
+  co_await core::mha_allreduce(comm, my, data, count, dtype, op);
+}
+
+}  // namespace
+
+const Profile& mha() {
+  static const Profile p{"mha", mha_ag, mha_ar};
+  return p;
+}
+
+const Profile& hpcx() {
+  static const Profile p{"hpcx", hpcx_allgather, hpcx_allreduce};
+  return p;
+}
+
+const Profile& mvapich() {
+  static const Profile p{"mvapich", mvapich_allgather, mvapich_allreduce};
+  return p;
+}
+
+const Profile& by_name(const std::string& name) {
+  if (name == "mha") return mha();
+  if (name == "hpcx") return hpcx();
+  if (name == "mvapich") return mvapich();
+  throw std::invalid_argument("unknown profile: " + name);
+}
+
+std::vector<std::string> names() { return {"hpcx", "mvapich", "mha"}; }
+
+}  // namespace hmca::profiles

@@ -1,0 +1,52 @@
+// Library comparator profiles.
+//
+// The paper evaluates against MVAPICH2-X 2.3 and NVIDIA HPC-X 2.10. We
+// cannot run those binaries; instead each profile is an algorithm-selection
+// stack over the *same* simulated substrate, implementing the designs the
+// paper attributes to each library (Sec. 1.1, Sec. 6):
+//
+//   hpcx     - flat algorithms: Bruck for small Allgathers, Ring for large
+//              (Open MPI tuned decisions); Ring-Allreduce with a flat Ring
+//              allgather phase.
+//   mvapich  - RD/Bruck for small Allgathers; Kandalla-style multi-leader
+//              two-level design with strictly separated phases for large;
+//              Ring-Allreduce for large vectors, RD for small.
+//   mha      - this paper: MHA-intra + hierarchical MHA-inter with
+//              model-selected RD/Ring phase 2 and overlapped distribution.
+//
+// Win/lose *shape* against these profiles is meaningful; absolute numbers
+// of the real libraries are not claimed (see DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::profiles {
+
+using AllreduceFn = coll::AllreduceFn;
+
+struct Profile {
+  std::string name;
+  coll::AllgatherFn allgather;
+  AllreduceFn allreduce;
+};
+
+const Profile& mha();
+const Profile& hpcx();
+const Profile& mvapich();
+
+/// Lookup by name ("mha", "hpcx", "mvapich"); throws on unknown names.
+const Profile& by_name(const std::string& name);
+
+/// All registered profile names, in comparison order.
+std::vector<std::string> names();
+
+}  // namespace hmca::profiles

@@ -1,0 +1,114 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace hmca::sim {
+
+namespace {
+
+// Fire-and-forget coroutine driving one root task. Its promise registers
+// itself with the engine on creation and unregisters on frame destruction,
+// so Engine teardown can reclaim every still-suspended root frame (which in
+// turn destroys any child task frames it owns).
+struct Detached {
+  struct promise_type {
+    Engine* eng;
+
+    promise_type(Engine* e, Task<void>&) : eng(e) {
+      eng->note_root_started(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+    ~promise_type() {
+      eng->note_root_destroyed(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+
+    Detached get_return_object() noexcept {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached run_root(Engine* eng, Task<void> t) {
+  std::exception_ptr err;
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  eng->note_root_finished(err);
+}
+
+}  // namespace
+
+Engine::~Engine() {
+  // Destroy any root frames still suspended (possible when run() aborted on
+  // an exception or was never called). Destroying a root frame cascades to
+  // the Task objects it owns, reclaiming the whole coroutine chain.
+  auto roots = live_roots_;  // promise destructors mutate live_roots_
+  for (void* addr : roots) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+void Engine::schedule(std::coroutine_handle<> h, Time t) {
+  if (t < now_) throw SimError("Engine::schedule: time in the past");
+  queue_.push(Event{t, seq_++, h, {}});
+}
+
+void Engine::schedule_callback(std::function<void()> fn, Time t) {
+  if (t < now_) throw SimError("Engine::schedule_callback: time in the past");
+  queue_.push(Event{t, seq_++, {}, std::move(fn)});
+}
+
+void Engine::note_root_started(void* frame) {
+  ++alive_;
+  live_roots_.insert(frame);
+}
+
+void Engine::note_root_finished(std::exception_ptr err) {
+  --alive_;
+  if (err && !first_error_) first_error_ = err;
+}
+
+void Engine::note_root_destroyed(void* frame) { live_roots_.erase(frame); }
+
+void Engine::spawn(Task<void> t) {
+  if (!t.valid()) throw SimError("Engine::spawn: invalid task");
+  Detached d = run_root(this, std::move(t));
+  schedule(d.handle, now_);
+}
+
+void Engine::run(std::uint64_t max_events) {
+  const std::uint64_t limit =
+      max_events == 0 ? 0 : dispatched_ + max_events;
+  while (!queue_.empty()) {
+    if (limit != 0 && dispatched_ >= limit) {
+      throw SimError("event watchdog tripped at t=" + std::to_string(now_));
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++dispatched_;
+    if (ev.h) {
+      ev.h.resume();
+    } else {
+      ev.fn();
+    }
+    if (first_error_) {
+      std::exception_ptr err = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  if (alive_ > 0) {
+    throw SimError("simulation deadlock: " + std::to_string(alive_) +
+                   " task(s) blocked with no pending events");
+  }
+}
+
+}  // namespace hmca::sim

@@ -1,0 +1,111 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded and fully deterministic: events fire in (time, insertion
+// sequence) order. Rank programs are coroutines spawned as root tasks; the
+// engine runs until every event has been processed, and reports a deadlock
+// if root tasks remain blocked with an empty event queue.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hmca::sim {
+
+/// Error thrown for simulation protocol violations (deadlock, misuse).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule a coroutine to resume at absolute time `t` (>= now).
+  void schedule(std::coroutine_handle<> h, Time t);
+
+  /// Schedule a plain callback at absolute time `t` (>= now).
+  void schedule_callback(std::function<void()> fn, Time t);
+
+  /// Resume a coroutine at the current time (after already-queued events
+  /// with the same timestamp).
+  void schedule_now(std::coroutine_handle<> h) { schedule(h, now_); }
+
+  /// Launch a root task. It starts at the current virtual time once the
+  /// engine runs. Exceptions escaping a root task abort `run()`.
+  void spawn(Task<void> t);
+
+  /// Number of root tasks that have not yet completed.
+  int alive_tasks() const noexcept { return alive_; }
+
+  /// Total number of events dispatched so far (for tests/diagnostics).
+  std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+  /// Run until the event queue drains. Throws SimError on deadlock and
+  /// rethrows the first exception escaping any root task.
+  void run() { run(0); }
+
+  /// As run(), but throws SimError after dispatching `max_events` further
+  /// events (0 = unlimited) — a watchdog for runaway simulations.
+  void run(std::uint64_t max_events);
+
+  /// Awaitable: suspend for `d` seconds of virtual time.
+  auto sleep(Duration d) {
+    struct Awaiter {
+      Engine* eng;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng->schedule(h, eng->now() + d);
+      }
+      void await_resume() const noexcept {}
+    };
+    if (d < 0) throw SimError("Engine::sleep: negative duration");
+    return Awaiter{this, d};
+  }
+
+  /// Awaitable: yield to other events queued at the current timestamp.
+  auto yield() { return sleep(0.0); }
+
+  // Root-task bookkeeping; called by the detached runner in engine.cpp.
+  void note_root_started(void* frame);
+  void note_root_finished(std::exception_ptr err);
+  void note_root_destroyed(void* frame);
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;        // either a handle ...
+    std::function<void()> fn;         // ... or a callback
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<void*> live_roots_;
+  Time now_ = kTimeZero;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  int alive_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hmca::sim

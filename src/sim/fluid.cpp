@@ -1,0 +1,208 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmca::sim {
+
+namespace {
+// A flow is complete when less than this many payload bytes remain; real
+// transfers are >= 1 byte so this absorbs floating-point residue only.
+constexpr double kRemainderEps = 1e-6;
+// Completion events are scheduled at least this far ahead. Without a floor,
+// a residual a hair above kRemainderEps can yield a delta below the
+// floating-point resolution of `now`, re-arming an event at the same
+// timestamp forever (zero virtual progress, 100% CPU).
+constexpr double kMinCompletionDt = 1e-9;
+}  // namespace
+
+ResourceId FluidNetwork::add_resource(std::string name,
+                                      double capacity_bytes_per_s) {
+  if (!(capacity_bytes_per_s > 0.0)) {
+    throw SimError("FluidNetwork: resource capacity must be positive: " + name);
+  }
+  resources_.push_back(Resource{std::move(name), capacity_bytes_per_s});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void FluidNetwork::validate(const FlowSpec& spec) const {
+  for (const auto& u : spec.uses) {
+    if (u.resource >= resources_.size()) {
+      throw SimError("FluidNetwork: unknown resource id");
+    }
+    if (!(u.weight > 0.0)) {
+      throw SimError("FluidNetwork: resource weight must be positive");
+    }
+  }
+  if (spec.uses.empty() && !(spec.rate_cap < kNoRateCap)) {
+    throw SimError("FluidNetwork: flow with no resources needs a rate cap");
+  }
+  if (!(spec.rate_cap > 0.0)) {
+    throw SimError("FluidNetwork: rate cap must be positive");
+  }
+}
+
+void FluidNetwork::add_flow(FlowSpec spec, std::coroutine_handle<> h) {
+  advance();
+  Flow f;
+  f.remaining = spec.bytes;
+  f.spec = std::move(spec);
+  f.waiter = h;
+  flows_.push_back(std::move(f));
+  peak_flows_ = std::max(peak_flows_, static_cast<int>(flows_.size()));
+  touch();
+}
+
+void FluidNetwork::touch() {
+  if (update_pending_) return;
+  update_pending_ = true;
+  eng_->schedule_callback(
+      [this] {
+        update_pending_ = false;
+        do_update();
+      },
+      eng_->now());
+}
+
+void FluidNetwork::advance() {
+  const Time now = eng_->now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (auto& f : flows_) {
+      const double moved = std::min(f.remaining, f.rate * dt);
+      f.remaining -= moved;
+      for (const auto& u : f.spec.uses) {
+        resources_[u.resource].served += moved * u.weight;
+      }
+    }
+  }
+  last_update_ = now;
+}
+
+void FluidNetwork::do_update() {
+  advance();
+
+  // Complete drained flows; waiters resume at the current timestamp, ahead
+  // of the next update callback, so transfers they start are batched into
+  // one further water-filling pass.
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kRemainderEps) {
+      eng_->schedule_now(it->waiter);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  reallocate();
+
+  // Schedule the earliest upcoming completion. A generation token voids
+  // this event if the flow set changes first.
+  ++completion_gen_;
+  double dt_min = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    if (f.rate > 0.0) dt_min = std::min(dt_min, f.remaining / f.rate);
+  }
+  if (std::isfinite(dt_min)) {
+    dt_min = std::max(dt_min, kMinCompletionDt);
+    const auto gen = completion_gen_;
+    eng_->schedule_callback(
+        [this, gen] {
+          if (gen == completion_gen_) do_update();
+        },
+        eng_->now() + dt_min);
+  }
+}
+
+void FluidNetwork::reallocate() {
+  if (flows_.empty()) return;
+
+  int unfrozen = 0;
+  for (auto& f : flows_) {
+    f.frozen = false;
+    f.rate = 0.0;
+    ++unfrozen;
+  }
+
+  // Progressive filling: repeatedly find the tightest constraint — either a
+  // resource's fair share avail/weight or the smallest per-flow cap — fix
+  // the constrained flows at that rate, and continue with the rest.
+  // avail and pending are recomputed from the flow sets every round:
+  // incremental subtraction accumulates floating-point residue that can
+  // leave a "ghost" resource with tiny pending weight and no actual
+  // unfrozen users, which would stall the filling.
+  while (unfrozen > 0) {
+    for (auto& r : resources_) {
+      r.avail = r.capacity;
+      r.pending_weight = 0.0;
+    }
+    for (const auto& f : flows_) {
+      for (const auto& u : f.spec.uses) {
+        auto& r = resources_[u.resource];
+        if (f.frozen) {
+          r.avail = std::max(0.0, r.avail - f.rate * u.weight);
+        } else {
+          r.pending_weight += u.weight;
+        }
+      }
+    }
+
+    double share = std::numeric_limits<double>::infinity();
+    for (const auto& r : resources_) {
+      if (r.pending_weight > 0.0) {
+        share = std::min(share, r.avail / r.pending_weight);
+      }
+    }
+    double min_cap = std::numeric_limits<double>::infinity();
+    for (const auto& f : flows_) {
+      if (!f.frozen) min_cap = std::min(min_cap, f.spec.rate_cap);
+    }
+
+    if (min_cap <= share) {
+      // Cap-limited flows freeze at their cap; they may leave bandwidth on
+      // the table for the others.
+      for (auto& f : flows_) {
+        if (f.frozen || f.spec.rate_cap != min_cap) continue;
+        f.frozen = true;
+        f.rate = min_cap;
+        --unfrozen;
+      }
+      continue;
+    }
+
+    // Freeze every unfrozen flow touching a bottleneck resource at the
+    // fair share. Membership is decided against the shares computed above
+    // (two passes), so mid-loop drift cannot empty the round.
+    bottleneck_.assign(resources_.size(), 0);
+    bool any_bottleneck = false;
+    for (std::size_t rid = 0; rid < resources_.size(); ++rid) {
+      const auto& r = resources_[rid];
+      if (r.pending_weight > 0.0 &&
+          r.avail / r.pending_weight <= share * (1.0 + 1e-9)) {
+        bottleneck_[rid] = 1;
+        any_bottleneck = true;
+      }
+    }
+    if (!any_bottleneck) {
+      // Only cap-free, resource-free flows remain: impossible (validated),
+      // but guard against an infinite loop.
+      throw SimError("FluidNetwork: water-filling failed to converge");
+    }
+    for (auto& f : flows_) {
+      if (f.frozen) continue;
+      bool bottlenecked = false;
+      for (const auto& u : f.spec.uses) {
+        if (bottleneck_[u.resource]) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      f.frozen = true;
+      f.rate = share;
+      --unfrozen;
+    }
+  }
+}
+
+}  // namespace hmca::sim

@@ -1,0 +1,187 @@
+// Coroutine synchronization primitives for the simulation engine.
+//
+// All primitives are single-threaded (engine-owned); "blocking" means the
+// coroutine suspends and is resumed through the engine's event queue, which
+// preserves deterministic (time, sequence) ordering.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::sim {
+
+/// A broadcast condition: coroutines wait until notified. Unlike an OS
+/// condition variable there are no spurious wakeups, but callers should
+/// still re-check their predicate via `wait_until`.
+class Condition {
+ public:
+  explicit Condition(Engine& eng) : eng_(&eng) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Awaitable that suspends until the next notify.
+  auto wait() {
+    struct Awaiter {
+      Condition* c;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { c->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Suspend until `pred()` holds, re-checking after every notify.
+  template <class Pred>
+  Task<void> wait_until(Pred pred) {
+    while (!pred()) co_await wait();
+  }
+
+  /// Wake all current waiters at the present virtual time.
+  void notify_all() {
+    auto woken = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : woken) eng_->schedule_now(h);
+  }
+
+  /// Wake the earliest waiter, if any.
+  void notify_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    eng_->schedule_now(h);
+  }
+
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+  Engine& engine() const noexcept { return *eng_; }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup order.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::int64_t initial) : eng_(&eng), count_(initial) {}
+
+  Task<void> acquire(std::int64_t n = 1) {
+    while (count_ < n) co_await cv_wait();
+    count_ -= n;
+  }
+
+  void release(std::int64_t n = 1) {
+    count_ += n;
+    // Wake everyone; unsatisfied waiters re-suspend. Simpler and still
+    // deterministic; contention here is tiny (per-rail/per-core guards).
+    auto woken = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : woken) eng_->schedule_now(h);
+  }
+
+  std::int64_t available() const noexcept { return count_; }
+
+ private:
+  struct WaitAwaiter {
+    Semaphore* s;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  WaitAwaiter cv_wait() { return WaitAwaiter{this}; }
+  Engine* eng_;
+  std::int64_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable cyclic barrier for a fixed participant count.
+class Barrier {
+ public:
+  Barrier(Engine& eng, int parties) : cv_(eng), parties_(parties) {}
+
+  Task<void> arrive_and_wait() {
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      co_return;
+    }
+    co_await cv_.wait_until([&] { return generation_ != gen; });
+  }
+
+  int parties() const noexcept { return parties_; }
+
+ private:
+  Condition cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Single-producer/single-consumer-friendly mailbox of values (also safe
+/// for multiple producers/consumers; consumers receive in FIFO order).
+template <class T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& eng) : cv_(eng) {}
+
+  void put(T v) {
+    items_.push_back(std::move(v));
+    cv_.notify_all();
+  }
+
+  Task<T> get() {
+    co_await cv_.wait_until([&] { return !items_.empty(); });
+    T v = std::move(items_.front());
+    items_.pop_front();
+    co_return v;
+  }
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  Condition cv_;
+  std::deque<T> items_;
+};
+
+/// Tracks a set of forked child tasks; `wait()` resumes when all complete.
+/// Children run as engine root tasks, so their exceptions surface in run().
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& eng) : eng_(&eng), cv_(eng) {}
+
+  void spawn(Task<void> t) {
+    ++pending_;
+    eng_->spawn(wrap(std::move(t)));
+  }
+
+  Task<void> wait() {
+    co_await cv_.wait_until([&] { return pending_ == 0; });
+  }
+
+  int pending() const noexcept { return pending_; }
+
+ private:
+  Task<void> wrap(Task<void> t) {
+    co_await std::move(t);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+  Engine* eng_;
+  Condition cv_;
+  int pending_ = 0;
+};
+
+/// Await all tasks in a vector, in order (they execute concurrently only if
+/// already running; for concurrent execution use WaitGroup).
+inline Task<void> await_all(std::vector<Task<void>> tasks) {
+  for (auto& t : tasks) co_await std::move(t);
+}
+
+}  // namespace hmca::sim

@@ -1,0 +1,132 @@
+// Lazy coroutine task type used for all simulated activities.
+//
+// A `Task<T>` is a coroutine that starts suspended and runs when awaited
+// (or when handed to `Engine::spawn`). Completion resumes the awaiting
+// coroutine via symmetric transfer, so chains of awaits cost no event-queue
+// traffic and happen at a single virtual timestamp.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace hmca::sim {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <class P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <class T>
+struct Promise : PromiseBase {
+  alignas(T) unsigned char storage[sizeof(T)];
+  bool has_value = false;
+
+  Task<T> get_return_object() noexcept;
+  template <class U>
+  void return_value(U&& v) {
+    ::new (static_cast<void*>(storage)) T(std::forward<U>(v));
+    has_value = true;
+  }
+  T& value() { return *reinterpret_cast<T*>(storage); }
+  ~Promise() {
+    if (has_value) value().~T();
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine whose result is obtained by `co_await`.
+/// Move-only; owns the coroutine frame.
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        if constexpr (!std::is_void_v<T>) return std::move(p.value());
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Release ownership of the coroutine frame (used by Engine::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+namespace detail {
+
+template <class T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace hmca::sim

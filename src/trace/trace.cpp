@@ -1,0 +1,130 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+namespace hmca::trace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kIsend: return "isend";
+    case Kind::kIrecv: return "irecv";
+    case Kind::kWait: return "wait";
+    case Kind::kCopyIn: return "copy_in";
+    case Kind::kCopyOut: return "copy_out";
+    case Kind::kCmaCopy: return "cma_copy";
+    case Kind::kNicXfer: return "nic_xfer";
+    case Kind::kCompute: return "compute";
+    case Kind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+char kind_glyph(Kind k) {
+  switch (k) {
+    case Kind::kIsend: return 's';
+    case Kind::kIrecv: return 'r';
+    case Kind::kWait: return '.';
+    case Kind::kCopyIn: return 'I';
+    case Kind::kCopyOut: return 'O';
+    case Kind::kCmaCopy: return 'C';
+    case Kind::kNicXfer: return '=';
+    case Kind::kCompute: return '#';
+    case Kind::kPhase: return '|';
+  }
+  return '?';
+}
+
+namespace {
+
+// Merge [t0,t1) intervals and return total covered length.
+sim::Duration merged_length(std::vector<std::pair<sim::Time, sim::Time>> iv) {
+  if (iv.empty()) return 0.0;
+  std::sort(iv.begin(), iv.end());
+  sim::Duration total = 0.0;
+  auto [lo, hi] = iv.front();
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > hi) {
+      total += hi - lo;
+      lo = iv[i].first;
+      hi = iv[i].second;
+    } else {
+      hi = std::max(hi, iv[i].second);
+    }
+  }
+  total += hi - lo;
+  return total;
+}
+
+}  // namespace
+
+sim::Duration Tracer::busy_time(int rank, Kind kind) const {
+  std::vector<std::pair<sim::Time, sim::Time>> iv;
+  for (const auto& s : spans_) {
+    if (s.rank == rank && s.kind == kind && s.t1 > s.t0) {
+      iv.emplace_back(s.t0, s.t1);
+    }
+  }
+  return merged_length(std::move(iv));
+}
+
+sim::Duration Tracer::overlap_time(int rank_a, Kind a, int rank_b,
+                                   Kind b) const {
+  std::vector<std::pair<sim::Time, sim::Time>> iv;
+  for (const auto& sa : spans_) {
+    if (sa.rank != rank_a || sa.kind != a) continue;
+    for (const auto& sb : spans_) {
+      if (sb.rank != rank_b || sb.kind != b) continue;
+      const sim::Time lo = std::max(sa.t0, sb.t0);
+      const sim::Time hi = std::min(sa.t1, sb.t1);
+      if (hi > lo) iv.emplace_back(lo, hi);
+    }
+  }
+  return merged_length(std::move(iv));
+}
+
+void Tracer::render_ascii(std::ostream& os, int width) const {
+  if (spans_.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  sim::Time t_min = spans_.front().t0, t_max = spans_.front().t1;
+  std::map<int, std::string> lanes;
+  for (const auto& s : spans_) {
+    t_min = std::min(t_min, s.t0);
+    t_max = std::max(t_max, s.t1);
+    lanes.emplace(s.rank, std::string());
+  }
+  const sim::Duration total = std::max(t_max - t_min, 1e-12);
+  for (auto& [rank, lane] : lanes) lane.assign(static_cast<std::size_t>(width), ' ');
+
+  // Later (narrower) spans overwrite earlier ones so fine-grained activity
+  // shows on top of enclosing phase spans.
+  for (const auto& s : spans_) {
+    auto& lane = lanes[s.rank];
+    auto c0 = static_cast<int>(std::floor((s.t0 - t_min) / total * width));
+    auto c1 = static_cast<int>(std::ceil((s.t1 - t_min) / total * width));
+    c0 = std::clamp(c0, 0, width - 1);
+    c1 = std::clamp(std::max(c1, c0 + 1), 1, width);
+    for (int c = c0; c < c1; ++c) lane[static_cast<std::size_t>(c)] = kind_glyph(s.kind);
+  }
+
+  os << "timeline: " << sim::to_us(total) << " us, glyphs: "
+     << "s=isend r=irecv .=wait C=cma I=shm-in O=shm-out ==nic #=compute\n";
+  for (const auto& [rank, lane] : lanes) {
+    os << "rank " << rank << (rank < 10 ? "  |" : " |") << lane << "|\n";
+  }
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "rank,kind,t0_us,t1_us,peer,bytes,label\n";
+  for (const auto& s : spans_) {
+    os << s.rank << ',' << kind_name(s.kind) << ',' << sim::to_us(s.t0) << ','
+       << sim::to_us(s.t1) << ',' << s.peer << ',' << s.bytes << ',' << s.label
+       << '\n';
+  }
+}
+
+}  // namespace hmca::trace

@@ -1,0 +1,92 @@
+// TAU-like event tracing: per-rank spans along the virtual timeline, plus
+// message records. Used to regenerate the paper's Figure 2 (communication
+// timeline of a flat Ring Allgather on 2 nodes x 2 PPN) and to assert
+// overlap properties in tests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hmca::trace {
+
+enum class Kind {
+  kIsend,     ///< nonblocking send posted / in flight
+  kIrecv,     ///< nonblocking recv posted / in flight
+  kWait,      ///< blocked in wait/waitall
+  kCopyIn,    ///< CPU copy into shared memory
+  kCopyOut,   ///< CPU copy out of shared memory
+  kCmaCopy,   ///< kernel-assisted single copy
+  kNicXfer,   ///< data on the wire / adapter DMA
+  kCompute,   ///< application compute
+  kPhase,     ///< algorithm phase annotation
+};
+
+const char* kind_name(Kind k);
+char kind_glyph(Kind k);
+
+struct Span {
+  int rank;
+  Kind kind;
+  sim::Time t0;
+  sim::Time t1;
+  int peer;           ///< peer rank, -1 if n/a
+  std::size_t bytes;  ///< payload bytes, 0 if n/a
+  std::string label;
+};
+
+/// Collects spans; rendering is offline. Recording costs one vector
+/// push_back per span; the tracer can be absent (callers hold a pointer).
+class Tracer {
+ public:
+  /// Open a span now; call `close()` when the activity completes.
+  class Handle {
+   public:
+    Handle() = default;
+    void close(sim::Time t1) {
+      if (tracer_) tracer_->spans_[idx_].t1 = t1;
+      tracer_ = nullptr;
+    }
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  Handle open(int rank, Kind kind, sim::Time t0, int peer = -1,
+              std::size_t bytes = 0, std::string label = {}) {
+    Handle h;
+    h.tracer_ = this;
+    h.idx_ = spans_.size();
+    spans_.push_back(Span{rank, kind, t0, t0, peer, bytes, std::move(label)});
+    return h;
+  }
+
+  void record(Span s) { spans_.push_back(std::move(s)); }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Total time covered by spans of `kind` on `rank` (merging overlaps).
+  sim::Duration busy_time(int rank, Kind kind) const;
+
+  /// Duration during which a span of kind `a` on `rank_a` overlaps any span
+  /// of kind `b` on `rank_b` — used to assert phase-2/3 overlap.
+  sim::Duration overlap_time(int rank_a, Kind a, int rank_b, Kind b) const;
+
+  /// ASCII timeline: one line per rank, glyphs per kind, time axis scaled
+  /// to `width` columns (Figure 2 rendering).
+  void render_ascii(std::ostream& os, int width = 100) const;
+
+  /// Machine-readable dump: rank,kind,t0_us,t1_us,peer,bytes,label.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace hmca::trace

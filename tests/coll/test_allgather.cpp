@@ -1,0 +1,179 @@
+// Correctness of the flat Allgather algorithms across topologies, message
+// sizes and in-place operation, plus algorithm-specific structural checks.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coll/allgather.hpp"
+#include "testing/coll_testing.hpp"
+
+namespace hmca::coll {
+namespace {
+
+using hmca::testing::check_allgather;
+
+coll::AllgatherFn fn_ring() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return allgather_ring(c, r, s, rv, m, ip); };
+}
+coll::AllgatherFn fn_rd() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return allgather_rd(c, r, s, rv, m, ip); };
+}
+coll::AllgatherFn fn_bruck() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return allgather_bruck(c, r, s, rv, m, ip); };
+}
+coll::AllgatherFn fn_direct() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return allgather_direct(c, r, s, rv, m, ip); };
+}
+coll::AllgatherFn fn_multi_leader(int groups) {
+  return [groups](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                  std::size_t m, bool ip) {
+    return allgather_multi_leader(c, r, s, rv, m, ip, groups);
+  };
+}
+
+TEST(Helpers, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(2), 1);
+  EXPECT_EQ(log2_floor(47), 5);
+  EXPECT_EQ(log2_floor(64), 6);
+}
+
+// ---- Parameterized correctness sweep: (nodes, ppn, msg) ----
+
+using Topo = std::tuple<int, int, std::size_t>;
+
+class AllgatherSweep : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(AllgatherSweep, Ring) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_ring(), nodes, ppn, msg);
+}
+
+TEST_P(AllgatherSweep, Bruck) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_bruck(), nodes, ppn, msg);
+}
+
+TEST_P(AllgatherSweep, Direct) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_direct(), nodes, ppn, msg);
+}
+
+TEST_P(AllgatherSweep, RdOrBruck) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(
+      [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+         bool ip) { return allgather_rd_or_bruck(c, r, s, rv, m, ip); },
+      nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, AllgatherSweep,
+    ::testing::Values(Topo{1, 1, 64}, Topo{1, 2, 128}, Topo{1, 4, 1024},
+                      Topo{1, 7, 96},                    // odd PPN
+                      Topo{2, 1, 256}, Topo{2, 2, 4096}, // small inter
+                      Topo{3, 2, 512},                   // non-p2 nodes
+                      Topo{4, 4, 64}, Topo{4, 4, 65536}, // rendezvous sizes
+                      Topo{5, 3, 1000},                  // odd everything
+                      Topo{8, 2, 2048}));
+
+// RD only on power-of-two communicator sizes.
+class AllgatherRdSweep : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(AllgatherRdSweep, Rd) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_rd(), nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwo, AllgatherRdSweep,
+                         ::testing::Values(Topo{1, 2, 64}, Topo{1, 8, 512},
+                                           Topo{2, 2, 4096}, Topo{4, 4, 1024},
+                                           Topo{2, 4, 65536}, Topo{8, 1, 256}));
+
+TEST(AllgatherRd, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(check_allgather(fn_rd(), 3, 1, 64), std::invalid_argument);
+}
+
+// ---- In-place operation ----
+
+TEST(AllgatherInPlace, Ring) { check_allgather(fn_ring(), 2, 3, 512, true); }
+TEST(AllgatherInPlace, Rd) { check_allgather(fn_rd(), 2, 2, 512, true); }
+TEST(AllgatherInPlace, Bruck) { check_allgather(fn_bruck(), 3, 2, 512, true); }
+TEST(AllgatherInPlace, Direct) {
+  check_allgather(fn_direct(), 2, 2, 512, true);
+}
+
+// ---- Argument validation ----
+
+TEST(AllgatherArgs, BadSizesThrow) {
+  auto spec = hw::ClusterSpec::thor(1, 2);
+  sim::Engine eng;
+  mpi::World world(eng, spec);
+  auto& comm = world.comm_world();
+  auto send = hw::Buffer::data(64);
+  auto recv = hw::Buffer::data(100);  // not 2*64
+  auto t = [&]() -> sim::Task<void> {
+    co_await allgather_ring(comm, 0, send.view(), recv.view(), 64, false);
+  };
+  eng.spawn(t());
+  EXPECT_THROW(eng.run(), std::invalid_argument);
+}
+
+// ---- Multi-leader two-level baseline ----
+
+class MultiLeaderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, std::size_t>> {
+};
+
+TEST_P(MultiLeaderSweep, GathersCorrectly) {
+  auto [nodes, ppn, groups, msg] = GetParam();
+  check_allgather(fn_multi_leader(groups), nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MultiLeaderSweep,
+    ::testing::Values(std::tuple{2, 4, 2, 1024}, std::tuple{2, 4, 1, 512},
+                      std::tuple{4, 2, 2, 2048}, std::tuple{3, 6, 3, 256},
+                      std::tuple{2, 8, 4, 65536}, std::tuple{1, 4, 2, 512}));
+
+TEST(MultiLeader, InPlace) {
+  check_allgather(fn_multi_leader(2), 2, 4, 1024, true);
+}
+
+TEST(MultiLeader, RejectsIndivisibleGroups) {
+  EXPECT_THROW(check_allgather(fn_multi_leader(3), 2, 4, 64),
+               std::invalid_argument);
+}
+
+// ---- Structural/performance sanity ----
+
+TEST(AllgatherShape, RingSlowerThanRdForSmallManyRanks) {
+  // alpha-dominated regime: RD's log(N) steps beat Ring's N-1.
+  const double t_ring = check_allgather(fn_ring(), 8, 1, 64);
+  const double t_rd = check_allgather(fn_rd(), 8, 1, 64);
+  EXPECT_LT(t_rd, t_ring);
+}
+
+TEST(AllgatherShape, FlatRingBottleneckedByIntraNode) {
+  // Fig. 2's lesson: with PPN > 1, the flat ring's intra-node hops are the
+  // slow links. The same total data moved with 1 PPN over more nodes is
+  // faster per byte... we check the direct symptom: a flat ring with 2
+  // nodes x 2 PPN is slower than 2x the 2-node 1-PPN ring time would
+  // suggest from pure scaling (extra intra-node serialization).
+  const double t_22 = check_allgather(fn_ring(), 2, 2, 262144);
+  const double t_21 = check_allgather(fn_ring(), 2, 1, 262144);
+  EXPECT_GT(t_22, 1.5 * t_21);
+}
+
+}  // namespace
+}  // namespace hmca::coll

@@ -1,0 +1,159 @@
+// The hierarchical (MHA-inter) Allgather: correctness across phase-1 modes,
+// phase-2 algorithms and overlap settings, plus the paper's structural
+// claims (overlap helps; Ring overlaps better than RD for large chunks).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/hierarchical.hpp"
+#include "osu/harness.hpp"
+#include "testing/coll_testing.hpp"
+
+namespace hmca::core {
+namespace {
+
+using hmca::testing::check_allgather;
+
+coll::AllgatherFn fn_hier(HierOptions opts) {
+  return [opts](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                std::size_t m, bool ip) {
+    return allgather_hierarchical(c, r, s, rv, m, ip, opts);
+  };
+}
+
+HierOptions make_opts(Phase1Mode p1, Phase2Algo p2, bool overlap) {
+  HierOptions o;
+  o.phase1 = p1;
+  o.phase2 = p2;
+  o.overlap = overlap;
+  return o;
+}
+
+// ---- Correctness sweep: phase-1 x phase-2 x overlap x topology ----
+
+using Case = std::tuple<Phase1Mode, Phase2Algo, bool, int, int, std::size_t>;
+
+class HierSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HierSweep, GathersCorrectly) {
+  auto [p1, p2, overlap, nodes, ppn, msg] = GetParam();
+  check_allgather(fn_hier(make_opts(p1, p2, overlap)), nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ring, HierSweep,
+    ::testing::Combine(
+        ::testing::Values(Phase1Mode::kMhaIntra, Phase1Mode::kCmaDirect,
+                          Phase1Mode::kShmGather),
+        ::testing::Values(Phase2Algo::kRing),
+        ::testing::Values(true, false),
+        ::testing::Values(2, 3),    // incl. non-power-of-two nodes
+        ::testing::Values(1, 2, 4),
+        ::testing::Values(std::size_t{512}, std::size_t{65536})));
+
+INSTANTIATE_TEST_SUITE_P(
+    Rd, HierSweep,
+    ::testing::Combine(
+        ::testing::Values(Phase1Mode::kMhaIntra, Phase1Mode::kShmGather),
+        ::testing::Values(Phase2Algo::kRD),
+        ::testing::Values(true, false),
+        ::testing::Values(2, 4),
+        ::testing::Values(1, 3),
+        ::testing::Values(std::size_t{512}, std::size_t{65536})));
+
+INSTANTIATE_TEST_SUITE_P(
+    Auto, HierSweep,
+    ::testing::Combine(::testing::Values(Phase1Mode::kMhaIntra),
+                       ::testing::Values(Phase2Algo::kAuto),
+                       ::testing::Values(true),
+                       ::testing::Values(2, 4, 5),
+                       ::testing::Values(2),
+                       ::testing::Values(std::size_t{256},
+                                         std::size_t{262144})));
+
+TEST(Hier, InPlace) {
+  check_allgather(fn_hier(make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRing,
+                                    true)),
+                  2, 2, 4096, true);
+}
+
+TEST(Hier, SingleNodeDegeneratesToPhase1) {
+  check_allgather(fn_hier({}), 1, 4, 2048);
+}
+
+TEST(Hier, NamedEntryPoints) {
+  check_allgather(
+      [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+         bool ip) { return allgather_mha_inter(c, r, s, rv, m, ip); },
+      2, 2, 8192);
+  check_allgather(
+      [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+         bool ip) { return allgather_single_leader(c, r, s, rv, m, ip); },
+      2, 2, 8192);
+  check_allgather(
+      [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+         bool ip) { return allgather_single_leader(c, r, s, rv, m, ip); },
+      3, 2, 8192);  // non-p2 nodes -> Ring fallback inside
+}
+
+TEST(Hier, ResolvePhase2) {
+  auto spec = hw::ClusterSpec::thor(8, 32);
+  // Non-power-of-two node counts can never use RD.
+  EXPECT_EQ(resolve_phase2(spec, 5, 32, 4096, Phase2Algo::kAuto),
+            Phase2Algo::kRing);
+  // Explicit requests pass through.
+  EXPECT_EQ(resolve_phase2(spec, 8, 32, 4096, Phase2Algo::kRD),
+            Phase2Algo::kRD);
+  // The Fig. 8 shape: RD below the node-chunk crossover, Ring above.
+  EXPECT_EQ(resolve_phase2(spec, 16, 32, 256, Phase2Algo::kAuto),
+            Phase2Algo::kRD);
+  EXPECT_EQ(resolve_phase2(spec, 16, 32, 1u << 20, Phase2Algo::kAuto),
+            Phase2Algo::kRing);
+  // Crossover sits exactly at the documented chunk threshold.
+  const auto msg_at = kRdRingCrossoverChunk / 32;
+  EXPECT_EQ(resolve_phase2(spec, 16, 32, msg_at, Phase2Algo::kAuto),
+            Phase2Algo::kRD);
+  EXPECT_EQ(resolve_phase2(spec, 16, 32, msg_at * 2, Phase2Algo::kAuto),
+            Phase2Algo::kRing);
+}
+
+// ---- Performance/structure properties ----
+
+double hier_latency(int nodes, int ppn, std::size_t msg, HierOptions opts) {
+  return osu::measure_allgather(hw::ClusterSpec::thor(nodes, ppn),
+                                fn_hier(opts), msg);
+}
+
+TEST(HierPerf, OverlapBeatsStrictPhases) {
+  // The paper's core Sec. 3.2 claim: overlapping phase 3 with phase 2 wins
+  // for bandwidth-bound configurations.
+  const auto on = make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRing, true);
+  const auto off = make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRing, false);
+  const double t_on = hier_latency(8, 8, 65536, on);
+  const double t_off = hier_latency(8, 8, 65536, off);
+  EXPECT_LT(t_on, 0.9 * t_off);
+}
+
+TEST(HierPerf, RingOverlapsBetterThanRdForLargeChunks) {
+  // Fig. 8: Ring wins for large per-process messages, RD for small.
+  const auto ring = make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRing, true);
+  const auto rd = make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRD, true);
+  const double t_ring_large = hier_latency(16, 8, 262144, ring);
+  const double t_rd_large = hier_latency(16, 8, 262144, rd);
+  EXPECT_LT(t_ring_large, t_rd_large);
+
+  const double t_ring_small = hier_latency(16, 8, 128, ring);
+  const double t_rd_small = hier_latency(16, 8, 128, rd);
+  EXPECT_LT(t_rd_small, t_ring_small);
+}
+
+TEST(HierPerf, MhaIntraPhase1BeatsShmGather) {
+  const auto mha = make_opts(Phase1Mode::kMhaIntra, Phase2Algo::kRing, true);
+  const auto shm = make_opts(Phase1Mode::kShmGather, Phase2Algo::kRing, true);
+  const double t_mha = hier_latency(2, 4, 1u << 20, mha);
+  const double t_shm = hier_latency(2, 4, 1u << 20, shm);
+  EXPECT_LT(t_mha, t_shm);
+}
+
+}  // namespace
+}  // namespace hmca::core

@@ -1,0 +1,65 @@
+// The top-level MHA dispatchers: correctness and dispatch behaviour.
+#include <gtest/gtest.h>
+
+#include "core/mha.hpp"
+#include "testing/coll_testing.hpp"
+
+namespace hmca::core {
+namespace {
+
+using hmca::testing::check_allgather;
+using hmca::testing::check_allreduce;
+
+coll::AllgatherFn fn_mha() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return mha_allgather(c, r, s, rv, m, ip); };
+}
+
+profiles::AllreduceFn fn_mha_ar() {
+  return [](mpi::Comm& c, int r, hw::BufView d, std::size_t n, mpi::Dtype t,
+            mpi::ReduceOp op) { return mha_allreduce(c, r, d, n, t, op); };
+}
+
+using Topo = std::tuple<int, int, std::size_t>;
+
+class MhaAllgatherSweep : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(MhaAllgatherSweep, GathersCorrectly) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_mha(), nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MhaAllgatherSweep,
+    ::testing::Values(Topo{1, 2, 64},       // intra small -> RD
+                      Topo{1, 4, 262144},   // intra large -> MHA-intra
+                      Topo{1, 3, 65536},    // odd ppn intra
+                      Topo{2, 2, 128},      // inter small
+                      Topo{2, 4, 65536},    // inter large
+                      Topo{3, 2, 4096},     // non-p2 nodes -> Ring phase 2
+                      Topo{4, 1, 16384}));  // ppn = 1: leaders only
+
+TEST(MhaAllgather, InPlace) { check_allgather(fn_mha(), 2, 2, 65536, true); }
+
+class MhaAllreduceSweep : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(MhaAllreduceSweep, ReducesCorrectly) {
+  auto [nodes, ppn, count] = GetParam();
+  check_allreduce(fn_mha_ar(), nodes, ppn, count, mpi::ReduceOp::kSum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MhaAllreduceSweep,
+    ::testing::Values(Topo{1, 2, 16},      // small -> RD
+                      Topo{2, 2, 16384},   // large -> ring RS + MHA AG
+                      Topo{3, 2, 12288},   // non-p2 nodes
+                      Topo{2, 4, 32768},
+                      Topo{4, 1, 8192},
+                      Topo{2, 2, 13}));    // indivisible -> RD fallback
+
+TEST(MhaAllreduce, MaxOpThroughRingPath) {
+  check_allreduce(fn_mha_ar(), 2, 2, 16384, mpi::ReduceOp::kMax);
+}
+
+}  // namespace
+}  // namespace hmca::core

@@ -1,0 +1,71 @@
+// The Fig. 5 offload tuner: V-shaped curve, descent finds the minimum,
+// agreement with Eq. 1 within a step or two.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mha_intra.hpp"
+#include "core/tuner.hpp"
+
+namespace hmca::core {
+namespace {
+
+TEST(Tuner, MeasureIsDeterministic) {
+  const auto spec = hw::ClusterSpec::thor(1, 4);
+  const double a = OffloadTuner::measure(spec, 4, 1u << 20, 1);
+  const double b = OffloadTuner::measure(spec, 4, 1u << 20, 1);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Tuner, SweepCoversTheOffloadRange) {
+  const auto spec = hw::ClusterSpec::thor(1, 4);
+  const auto curve = OffloadTuner::sweep(spec, 4, 1u << 20, 8);
+  ASSERT_EQ(curve.size(), 9u);
+  EXPECT_DOUBLE_EQ(curve.front().offload, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().offload, 3.0);
+  for (const auto& smp : curve) EXPECT_GT(smp.latency_s, 0.0);
+}
+
+TEST(Tuner, CurveIsVShapedForLargeMessages) {
+  // Fig. 5: latency decreases from d=0 to the optimum, then increases
+  // toward full offload (for enough processes that full offload hurts).
+  const auto spec = hw::ClusterSpec::thor(1, 8);
+  const auto curve = OffloadTuner::sweep(spec, 8, 4u << 20);
+  std::size_t argmin = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].latency_s < curve[argmin].latency_s) argmin = i;
+  }
+  EXPECT_GT(argmin, 0u);               // offloading something helps
+  EXPECT_LT(argmin, curve.size() - 1); // offloading everything hurts
+  // Loosely unimodal: endpoints are worse than the vertex.
+  EXPECT_GT(curve.front().latency_s, curve[argmin].latency_s);
+  EXPECT_GT(curve.back().latency_s, curve[argmin].latency_s);
+}
+
+TEST(Tuner, SearchFindsTheSweepMinimum) {
+  const auto spec = hw::ClusterSpec::thor(1, 8);
+  const std::size_t msg = 4u << 20;
+  const double d = OffloadTuner::search(spec, 8, msg);
+  const auto curve = OffloadTuner::sweep(spec, 8, msg);
+  double best = curve.front().latency_s;
+  for (const auto& smp : curve) best = std::min(best, smp.latency_s);
+  EXPECT_NEAR(OffloadTuner::measure(spec, 8, msg, d), best, best * 0.05);
+}
+
+TEST(Tuner, SearchAgreesWithEquationOne) {
+  const auto spec = hw::ClusterSpec::thor(1, 8);
+  const std::size_t msg = 2u << 20;
+  const double d_search = OffloadTuner::search(spec, 8, msg);
+  const double d_eq = analytic_offload(spec, 8, msg);
+  EXPECT_LE(std::abs(d_search - d_eq), 1.5);
+}
+
+TEST(Tuner, TrivialCases) {
+  const auto spec = hw::ClusterSpec::thor(1, 1);
+  EXPECT_DOUBLE_EQ(OffloadTuner::search(spec, 1, 65536), 0.0);
+  EXPECT_THROW(OffloadTuner::measure(spec, 0, 64, 0), std::invalid_argument);
+  EXPECT_THROW(OffloadTuner::sweep(spec, 2, 64, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmca::core

@@ -1,0 +1,112 @@
+// Persistent tuning tables: generation, lookup semantics, round-trip
+// persistence, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tuning_table.hpp"
+#include "core/tuner.hpp"
+
+namespace hmca::core {
+namespace {
+
+TEST(TuningTable, GenerateIntraOnlyForSingleNode) {
+  const auto spec = hw::ClusterSpec::thor(1, 4);
+  const auto t = TuningTable::generate(spec, {65536, 1u << 20});
+  EXPECT_EQ(t.nodes(), 1);
+  EXPECT_EQ(t.ppn(), 4);
+  EXPECT_EQ(t.hcas(), 2);
+  ASSERT_EQ(t.intra_entries().size(), 2u);
+  EXPECT_TRUE(t.inter_entries().empty());
+  // Entries match a direct tuner run.
+  EXPECT_DOUBLE_EQ(t.intra_entries()[0].offload,
+                   OffloadTuner::search(spec, 4, 65536, 8));
+}
+
+TEST(TuningTable, GenerateInterEntriesAcrossNodes) {
+  const auto spec = hw::ClusterSpec::thor(4, 4);
+  const auto t = TuningTable::generate(spec, {1024, 262144});
+  ASSERT_EQ(t.inter_entries().size(), 2u);
+  // Fig. 8 shape: RD at the small size, Ring at the large one.
+  EXPECT_EQ(t.inter_entries()[0].algo, Phase2Algo::kRD);
+  EXPECT_EQ(t.inter_entries()[1].algo, Phase2Algo::kRing);
+}
+
+TEST(TuningTable, OffloadLookupInterpolatesAndClamps) {
+  const auto spec = hw::ClusterSpec::thor(1, 8);
+  const auto t = TuningTable::generate(spec, {65536, 1u << 20});
+  const double lo = t.intra_entries()[0].offload;
+  const double hi = t.intra_entries()[1].offload;
+  EXPECT_DOUBLE_EQ(t.offload_for(1024), lo);        // clamp below
+  EXPECT_DOUBLE_EQ(t.offload_for(16u << 20), hi);   // clamp above
+  const double mid = t.offload_for(262144);         // geometric midpoint
+  EXPECT_GE(mid, std::min(lo, hi));
+  EXPECT_LE(mid, std::max(lo, hi));
+}
+
+TEST(TuningTable, EmptyTablesFallBackToAuto) {
+  TuningTable t;
+  EXPECT_DOUBLE_EQ(t.offload_for(4096), -1.0);
+  EXPECT_EQ(t.phase2_for(4096), Phase2Algo::kAuto);
+  const auto opts = t.options_for(4096);
+  EXPECT_EQ(opts.phase2, Phase2Algo::kAuto);
+  EXPECT_DOUBLE_EQ(opts.offload, -1.0);
+}
+
+TEST(TuningTable, SaveLoadRoundTrip) {
+  const auto spec = hw::ClusterSpec::thor(2, 4);
+  const auto t = TuningTable::generate(spec, {4096, 65536});
+  std::stringstream ss;
+  t.save(ss);
+  const auto back = TuningTable::load(ss);
+  EXPECT_EQ(back.nodes(), t.nodes());
+  EXPECT_EQ(back.ppn(), t.ppn());
+  EXPECT_EQ(back.hcas(), t.hcas());
+  ASSERT_EQ(back.intra_entries().size(), t.intra_entries().size());
+  for (std::size_t i = 0; i < t.intra_entries().size(); ++i) {
+    EXPECT_EQ(back.intra_entries()[i].msg, t.intra_entries()[i].msg);
+    EXPECT_NEAR(back.intra_entries()[i].offload, t.intra_entries()[i].offload,
+                1e-9);
+  }
+  ASSERT_EQ(back.inter_entries().size(), t.inter_entries().size());
+  for (std::size_t i = 0; i < t.inter_entries().size(); ++i) {
+    EXPECT_EQ(back.inter_entries()[i].algo, t.inter_entries()[i].algo);
+  }
+}
+
+TEST(TuningTable, LoadRejectsMalformedInput) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(TuningTable::load(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("not-a-tuning-file 1 2 2 2\n");
+    EXPECT_THROW(TuningTable::load(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("hmca-tuning 1 2 2 2\nintra garbage\n");
+    EXPECT_THROW(TuningTable::load(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("hmca-tuning 1 2 2 2\ninter 4096 zigzag\n");
+    EXPECT_THROW(TuningTable::load(ss), std::invalid_argument);
+  }
+}
+
+TEST(TuningTable, LoadSortsAndSkipsComments) {
+  std::stringstream ss(
+      "hmca-tuning 1 4 8 2\n"
+      "# a comment\n"
+      "inter 65536 ring\n"
+      "inter 1024 rd\n"
+      "intra 1048576 2.5\n"
+      "intra 4096 0.5\n");
+  const auto t = TuningTable::load(ss);
+  ASSERT_EQ(t.intra_entries().size(), 2u);
+  EXPECT_EQ(t.intra_entries()[0].msg, 4096u);
+  EXPECT_EQ(t.phase2_for(2048), Phase2Algo::kRD);
+  EXPECT_EQ(t.phase2_for(1u << 20), Phase2Algo::kRing);
+}
+
+}  // namespace
+}  // namespace hmca::core

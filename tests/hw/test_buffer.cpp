@@ -1,0 +1,77 @@
+// Unit tests for real/phantom buffers and payload copies.
+#include <gtest/gtest.h>
+
+#include "hw/buffer.hpp"
+
+namespace hmca::hw {
+namespace {
+
+TEST(Buffer, RealBufferIsZeroInitialized) {
+  auto b = Buffer::data(16);
+  EXPECT_TRUE(b.has_data());
+  EXPECT_EQ(b.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(b.bytes()[i], std::byte{0});
+  }
+}
+
+TEST(Buffer, PhantomBufferHasSizeButNoStorage) {
+  auto b = Buffer::phantom(1 << 30);  // 1 GiB costs nothing
+  EXPECT_FALSE(b.has_data());
+  EXPECT_EQ(b.size(), 1u << 30);
+  EXPECT_EQ(b.bytes(), nullptr);
+  EXPECT_FALSE(b.view().real());
+}
+
+TEST(Buffer, MakeSelectsMode) {
+  EXPECT_TRUE(Buffer::make(8, true).has_data());
+  EXPECT_FALSE(Buffer::make(8, false).has_data());
+}
+
+TEST(Buffer, SliceViewsSubrange) {
+  auto b = Buffer::data(10);
+  b.as<char>()[4] = 'x';
+  auto v = b.slice(4, 3);
+  EXPECT_EQ(v.len, 3u);
+  EXPECT_EQ(static_cast<char>(*v.ptr), 'x');
+}
+
+TEST(Buffer, SliceOutOfRangeThrows) {
+  auto b = Buffer::data(10);
+  EXPECT_THROW(b.slice(8, 3), std::out_of_range);
+  EXPECT_NO_THROW(b.slice(8, 2));
+}
+
+TEST(CopyPayload, CopiesRealToReal) {
+  auto a = Buffer::data(4);
+  auto b = Buffer::data(4);
+  a.as<char>()[0] = 'h';
+  a.as<char>()[3] = '!';
+  copy_payload(b.view(), a.view());
+  EXPECT_EQ(b.as<char>()[0], 'h');
+  EXPECT_EQ(b.as<char>()[3], '!');
+}
+
+TEST(CopyPayload, PhantomIsNoOp) {
+  auto a = Buffer::phantom(4);
+  auto b = Buffer::data(4);
+  EXPECT_NO_THROW(copy_payload(b.view(), a.view()));
+  EXPECT_NO_THROW(copy_payload(a.view(), b.view()));
+}
+
+TEST(CopyPayload, SizeMismatchThrows) {
+  auto a = Buffer::data(4);
+  auto b = Buffer::data(5);
+  EXPECT_THROW(copy_payload(b.view(), a.view()), std::invalid_argument);
+}
+
+TEST(CopyPayload, OverlappingRangesHandled) {
+  auto a = Buffer::data(8);
+  for (int i = 0; i < 8; ++i) a.as<char>()[i] = static_cast<char>('a' + i);
+  copy_payload(a.slice(2, 4), a.slice(0, 4));  // memmove semantics
+  EXPECT_EQ(a.as<char>()[2], 'a');
+  EXPECT_EQ(a.as<char>()[5], 'd');
+}
+
+}  // namespace
+}  // namespace hmca::hw

@@ -1,0 +1,166 @@
+// Unit tests for cluster construction, topology mapping and primitive ops.
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hpp"
+#include "hw/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace hmca::hw {
+namespace {
+
+TEST(Spec, ThorDefaultsMatchPaperTestbed) {
+  auto s = ClusterSpec::thor(32, 32);
+  EXPECT_EQ(s.nodes, 32);
+  EXPECT_EQ(s.ppn, 32);
+  EXPECT_EQ(s.hcas_per_node, 2);
+  EXPECT_EQ(s.total_ranks(), 1024);
+  EXPECT_DOUBLE_EQ(s.hca_bw, 12.5e9);   // HDR100
+  EXPECT_DOUBLE_EQ(s.pcie_bw, 12.5e9);  // Gen3 x16
+  EXPECT_GT(s.copy_engine_bw, s.core_copy_bw);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Spec, MultiRailPreset) {
+  auto s = ClusterSpec::multi_rail(4, 8, 8);
+  EXPECT_EQ(s.hcas_per_node, 8);  // ThetaGPU-like
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Spec, ValidationRejectsBadValues) {
+  auto s = ClusterSpec::thor(2, 2);
+  s.nodes = 0;
+  EXPECT_THROW(s.validate(), SpecError);
+  s = ClusterSpec::thor(2, 2);
+  s.hca_bw = -1;
+  EXPECT_THROW(s.validate(), SpecError);
+  s = ClusterSpec::thor(2, 2);
+  s.wire_latency = -1e-9;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(Cluster, RankNodeMapping) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(4, 8));
+  EXPECT_EQ(cl.world_size(), 32);
+  EXPECT_EQ(cl.node_of(0), 0);
+  EXPECT_EQ(cl.node_of(7), 0);
+  EXPECT_EQ(cl.node_of(8), 1);
+  EXPECT_EQ(cl.local_rank(8), 0);
+  EXPECT_EQ(cl.local_rank(31), 7);
+  EXPECT_EQ(cl.global_rank(3, 7), 31);
+}
+
+TEST(Cluster, ResourcesAreDistinct) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(2, 2));
+  EXPECT_NE(cl.mem(0), cl.mem(1));
+  EXPECT_NE(cl.hca_tx(0, 0), cl.hca_tx(0, 1));
+  EXPECT_NE(cl.hca_tx(0, 0), cl.hca_rx(0, 0));
+  EXPECT_NE(cl.hca_tx(0, 0), cl.hca_tx(1, 0));
+  EXPECT_NE(cl.mem(0), cl.copy_engine(0));
+  EXPECT_NE(cl.pcie(0, 0), cl.pcie(0, 1));
+  // 2 nodes x (mem + copy_engine + 2 HCAs x (tx + rx + pcie)) = 16.
+  EXPECT_EQ(cl.net().resource_count(), 16u);
+}
+
+TEST(Cluster, CpuCopyRunsAtCoreRate) {
+  sim::Engine eng;
+  auto spec = ClusterSpec::thor(1, 2);
+  Cluster cl(eng, spec);
+  auto t = [&]() -> sim::Task<void> {
+    co_await cl.cpu_copy(0, spec.core_copy_bw);  // one core-second of bytes
+  };
+  eng.spawn(t());
+  eng.run();
+  // A single copy is core-limited: engine and memory have headroom.
+  EXPECT_NEAR(eng.now(), 1.0, 1e-9);
+}
+
+TEST(Cluster, ManyCpuCopiesSaturateMemory) {
+  sim::Engine eng;
+  auto spec = ClusterSpec::thor(1, 32);
+  Cluster cl(eng, spec);
+  // 16 concurrent copies want 16 x 11 GB/s but the node copy engine caps
+  // aggregate CPU-copy payload at copy_engine_bw: per-copy rate is
+  // copy_engine_bw / 16 (the paper's `b` congestion factor in action).
+  auto t = [&]() -> sim::Task<void> { co_await cl.cpu_copy(0, 1e9); };
+  for (int i = 0; i < 16; ++i) eng.spawn(t());
+  eng.run();
+  const double expect = 1e9 / (spec.copy_engine_bw / 16.0);
+  EXPECT_NEAR(eng.now(), expect, expect * 1e-9);
+}
+
+TEST(Cluster, ReduceSweepCostsThreeTouches) {
+  sim::Engine eng;
+  auto spec = ClusterSpec::thor(1, 32);
+  Cluster cl(eng, spec);
+  // 12 concurrent reduces: the copy engine (30/12 = 2.5 GB/s each) binds
+  // before the memory roof (115/3/12 = 3.19 GB/s each).
+  auto t = [&]() -> sim::Task<void> { co_await cl.cpu_reduce(0, 1e9); };
+  for (int i = 0; i < 12; ++i) eng.spawn(t());
+  eng.run();
+  const double expect = 1e9 / (spec.copy_engine_bw / 12.0);
+  EXPECT_NEAR(eng.now(), expect, expect * 1e-9);
+}
+
+TEST(Cluster, NicFlowInterNodeUsesBothMemories) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(2, 1));
+  auto f = cl.nic_flow(0, 0, 1, 1, 1000.0);
+  ASSERT_EQ(f.uses.size(), 6u);
+  EXPECT_EQ(f.uses[0].resource, cl.hca_tx(0, 0));
+  EXPECT_EQ(f.uses[1].resource, cl.hca_rx(1, 1));
+  EXPECT_EQ(f.uses[2].resource, cl.pcie(0, 0));
+  EXPECT_EQ(f.uses[3].resource, cl.pcie(1, 1));
+  EXPECT_EQ(f.uses[4].resource, cl.mem(0));
+  EXPECT_EQ(f.uses[5].resource, cl.mem(1));
+}
+
+TEST(Cluster, NicFlowLoopbackDoublesMemoryAndPcieWeight) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(2, 1));
+  auto f = cl.nic_flow(0, 1, 0, 1, 1000.0);
+  ASSERT_EQ(f.uses.size(), 4u);
+  EXPECT_EQ(f.uses[2].resource, cl.pcie(0, 1));
+  EXPECT_DOUBLE_EQ(f.uses[2].weight, 2.0);  // DMA out + DMA in
+  EXPECT_EQ(f.uses[3].resource, cl.mem(0));
+  EXPECT_DOUBLE_EQ(f.uses[3].weight, 2.0);
+}
+
+TEST(Cluster, CrossAdapterLoopbackSplitsPcie) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(1, 2));
+  auto f = cl.nic_flow(0, 0, 0, 1, 1000.0);
+  ASSERT_EQ(f.uses.size(), 5u);
+  EXPECT_EQ(f.uses[2].resource, cl.pcie(0, 0));
+  EXPECT_DOUBLE_EQ(f.uses[2].weight, 1.0);
+  EXPECT_EQ(f.uses[4].resource, cl.pcie(0, 1));
+  EXPECT_DOUBLE_EQ(f.uses[4].weight, 1.0);
+}
+
+TEST(Cluster, RoundRobinRailSelection) {
+  sim::Engine eng;
+  Cluster cl(eng, ClusterSpec::thor(2, 1));
+  EXPECT_EQ(cl.next_rail(0), 0);
+  EXPECT_EQ(cl.next_rail(0), 1);
+  EXPECT_EQ(cl.next_rail(0), 0);
+  EXPECT_EQ(cl.next_rail(1), 0);  // per-node counters
+}
+
+TEST(Cluster, TwoRailsDoubleAggregateBandwidth) {
+  sim::Engine eng;
+  auto spec = ClusterSpec::thor(2, 1);
+  Cluster cl(eng, spec);
+  // One flow per rail, node0 -> node1, 12.5 GB each: both run at full rail
+  // rate concurrently (memory: 2 x 12.5 = 25 GB/s < 115 GB/s).
+  auto t = [&](int h) -> sim::Task<void> {
+    co_await cl.net().transfer(cl.nic_flow(0, h, 1, h, 12.5e9));
+  };
+  eng.spawn(t(0));
+  eng.spawn(t(1));
+  eng.run();
+  EXPECT_NEAR(eng.now(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hmca::hw

@@ -1,0 +1,102 @@
+// Datatype sizes and reduction operator arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/buffer.hpp"
+#include "mpi/datatype.hpp"
+
+namespace hmca::mpi {
+namespace {
+
+TEST(Dtype, Sizes) {
+  EXPECT_EQ(dtype_size(Dtype::kByte), 1u);
+  EXPECT_EQ(dtype_size(Dtype::kInt32), 4u);
+  EXPECT_EQ(dtype_size(Dtype::kInt64), 8u);
+  EXPECT_EQ(dtype_size(Dtype::kFloat), 4u);
+  EXPECT_EQ(dtype_size(Dtype::kDouble), 8u);
+}
+
+template <class T>
+hw::Buffer typed_buffer(const std::vector<T>& v) {
+  auto b = hw::Buffer::data(v.size() * sizeof(T));
+  std::memcpy(b.bytes(), v.data(), v.size() * sizeof(T));
+  return b;
+}
+
+TEST(Reduce, SumInt32) {
+  auto a = typed_buffer<std::int32_t>({1, 2, 3});
+  auto b = typed_buffer<std::int32_t>({10, 20, 30});
+  apply_reduce(ReduceOp::kSum, Dtype::kInt32, a.view(), b.view(), 3);
+  EXPECT_EQ(a.as<std::int32_t>()[0], 11);
+  EXPECT_EQ(a.as<std::int32_t>()[2], 33);
+}
+
+TEST(Reduce, MaxDouble) {
+  auto a = typed_buffer<double>({1.5, 9.0, -3.0});
+  auto b = typed_buffer<double>({2.5, 1.0, -1.0});
+  apply_reduce(ReduceOp::kMax, Dtype::kDouble, a.view(), b.view(), 3);
+  EXPECT_DOUBLE_EQ(a.as<double>()[0], 2.5);
+  EXPECT_DOUBLE_EQ(a.as<double>()[1], 9.0);
+  EXPECT_DOUBLE_EQ(a.as<double>()[2], -1.0);
+}
+
+TEST(Reduce, MinFloat) {
+  auto a = typed_buffer<float>({1.0f, -2.0f});
+  auto b = typed_buffer<float>({0.5f, 3.0f});
+  apply_reduce(ReduceOp::kMin, Dtype::kFloat, a.view(), b.view(), 2);
+  EXPECT_FLOAT_EQ(a.as<float>()[0], 0.5f);
+  EXPECT_FLOAT_EQ(a.as<float>()[1], -2.0f);
+}
+
+TEST(Reduce, ProdInt64) {
+  auto a = typed_buffer<std::int64_t>({2, 3});
+  auto b = typed_buffer<std::int64_t>({5, 7});
+  apply_reduce(ReduceOp::kProd, Dtype::kInt64, a.view(), b.view(), 2);
+  EXPECT_EQ(a.as<std::int64_t>()[0], 10);
+  EXPECT_EQ(a.as<std::int64_t>()[1], 21);
+}
+
+TEST(Reduce, PhantomViewsAreNoOp) {
+  auto a = hw::Buffer::phantom(12);
+  auto b = hw::Buffer::phantom(12);
+  EXPECT_NO_THROW(
+      apply_reduce(ReduceOp::kSum, Dtype::kInt32, a.view(), b.view(), 3));
+}
+
+TEST(Reduce, ByteArithmeticRejected) {
+  auto a = hw::Buffer::data(4);
+  auto b = hw::Buffer::data(4);
+  EXPECT_THROW(apply_reduce(ReduceOp::kSum, Dtype::kByte, a.view(), b.view(), 4),
+               std::invalid_argument);
+}
+
+TEST(Reduce, TooSmallViewRejected) {
+  auto a = hw::Buffer::data(8);
+  auto b = hw::Buffer::data(8);
+  EXPECT_THROW(
+      apply_reduce(ReduceOp::kSum, Dtype::kInt32, a.view(), b.view(), 3),
+      std::invalid_argument);
+}
+
+TEST(Reduce, SumIsAssociativeAcrossChunks) {
+  // Reducing in two chunks equals reducing in one (integer sum).
+  std::vector<std::int32_t> x{1, 2, 3, 4}, y{5, 6, 7, 8};
+  auto whole_a = typed_buffer(x);
+  auto whole_b = typed_buffer(y);
+  apply_reduce(ReduceOp::kSum, Dtype::kInt32, whole_a.view(), whole_b.view(), 4);
+
+  auto part_a = typed_buffer(x);
+  auto part_b = typed_buffer(y);
+  apply_reduce(ReduceOp::kSum, Dtype::kInt32, part_a.view().sub(0, 8),
+               part_b.view().sub(0, 8), 2);
+  apply_reduce(ReduceOp::kSum, Dtype::kInt32, part_a.view().sub(8, 8),
+               part_b.view().sub(8, 8), 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(whole_a.as<std::int32_t>()[i], part_a.as<std::int32_t>()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hmca::mpi

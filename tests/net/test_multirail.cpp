@@ -1,0 +1,143 @@
+// Multi-rail behaviour: round-robin, striping threshold, bandwidth scaling.
+// These tests pin down the transport properties behind the paper's Figures
+// 1 and 3 (2 HCAs double large-message bandwidth / halve latency).
+#include <gtest/gtest.h>
+
+#include "hw/buffer.hpp"
+#include "hw/cluster.hpp"
+#include "net/net.hpp"
+#include "sim/engine.hpp"
+
+namespace hmca::net {
+namespace {
+
+// Measure one blocking pt2pt transfer of `n` bytes between two nodes.
+double measure_send(hw::ClusterSpec spec, std::size_t n) {
+  spec.carry_data = false;
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  Net net(cl);
+  auto src = hw::Buffer::phantom(n);
+  auto dst = hw::Buffer::phantom(n);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await net.send(0, 1, 0, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await net.recv(1, 0, 0, dst.view());
+  };
+  eng.spawn(sender());
+  eng.spawn(receiver());
+  eng.run();
+  return eng.now();
+}
+
+TEST(MultiRail, LargeMessagesGoTwiceAsFastOnTwoRails) {
+  auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
+  auto two = hw::ClusterSpec::multi_rail(2, 1, 2);
+  const std::size_t n = 4 << 20;  // 4 MB
+  const double t1 = measure_send(one, n);
+  const double t2 = measure_send(two, n);
+  EXPECT_GT(t1 / t2, 1.8);
+  EXPECT_LT(t1 / t2, 2.05);
+}
+
+TEST(MultiRail, SmallMessagesDoNotBenefitFromStriping) {
+  auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
+  auto two = hw::ClusterSpec::multi_rail(2, 1, 2);
+  const std::size_t n = 4096;  // below stripe threshold
+  const double t1 = measure_send(one, n);
+  const double t2 = measure_send(two, n);
+  EXPECT_NEAR(t1, t2, 1e-12);
+}
+
+TEST(MultiRail, StripingKicksInAboveThreshold) {
+  auto spec = hw::ClusterSpec::multi_rail(2, 1, 2);
+  // Just below and well above the 16 KB threshold; both rendezvous-sized.
+  const double below = measure_send(spec, 16384);
+  const double above = measure_send(spec, 32768);
+  // If 32 KB were on one rail it would take ~2x the 16 KB wire time; with
+  // striping each rail moves 16 KB so the data time is roughly equal.
+  const double wire_16k = 16384.0 / spec.hca_bw;
+  EXPECT_LT(above - below, wire_16k);
+}
+
+TEST(MultiRail, EightRailsScaleAggregateBandwidth) {
+  // ThetaGPU-like node (Sec. 1): 8 adapters.
+  auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
+  auto eight = hw::ClusterSpec::multi_rail(2, 1, 8);
+  // Keep memory out of the way: NIC traffic 8x12.5=100 GB/s < 115 GB/s.
+  const std::size_t n = 32 << 20;
+  const double t1 = measure_send(one, n);
+  const double t8 = measure_send(eight, n);
+  EXPECT_GT(t1 / t8, 6.0);
+  EXPECT_LT(t1 / t8, 8.2);
+}
+
+TEST(MultiRail, RoundRobinBalancesSmallMessages) {
+  auto spec = hw::ClusterSpec::multi_rail(2, 1, 2);
+  spec.carry_data = false;
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  Net net(cl);
+  auto src = hw::Buffer::phantom(1024);
+  auto dst = hw::Buffer::phantom(1024);
+  const int k = 8;
+  auto sender = [&]() -> sim::Task<void> {
+    for (int i = 0; i < k; ++i) co_await net.send(0, 1, i, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    for (int i = 0; i < k; ++i) co_await net.recv(1, 0, i, dst.view());
+  };
+  eng.spawn(sender());
+  eng.spawn(receiver());
+  eng.run();
+  const double rail0 = cl.net().bytes_served(cl.hca_tx(0, 0));
+  const double rail1 = cl.net().bytes_served(cl.hca_tx(0, 1));
+  EXPECT_NEAR(rail0, rail1, 1.0);  // alternating rails
+  EXPECT_NEAR(rail0 + rail1, 8.0 * 1024.0, 1.0);
+}
+
+TEST(MultiRail, ConcurrentSendersShareOneRailFairly) {
+  auto spec = hw::ClusterSpec::multi_rail(2, 4, 1);
+  spec.carry_data = false;
+  sim::Engine eng;
+  hw::Cluster cl(eng, spec);
+  Net net(cl);
+  const std::size_t n = 4 << 20;
+  auto src = hw::Buffer::phantom(n);
+  std::vector<hw::Buffer> dsts;
+  for (int i = 0; i < 4; ++i) dsts.push_back(hw::Buffer::phantom(n));
+  auto sender = [&](int r) -> sim::Task<void> {
+    co_await net.send(r, 4 + r, 0, src.view());
+  };
+  auto receiver = [&](int r) -> sim::Task<void> {
+    co_await net.recv(4 + r, r, 0, dsts[static_cast<size_t>(r)].view());
+  };
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn(sender(r));
+    eng.spawn(receiver(r));
+  }
+  eng.run();
+  // 4 flows of 4 MB over one 12.5 GB/s rail: ~ 16 MB / 12.5 GB/s.
+  const double expect = 4.0 * static_cast<double>(n) / spec.hca_bw;
+  EXPECT_NEAR(eng.now(), expect, 0.2 * expect);
+}
+
+TEST(MultiRail, LatencyHalvesForLargeMessagesWithTwoRails) {
+  // The Figure 3 shape: above the striping threshold, latency with 2 HCAs
+  // is about half of 1 HCA; below it they are equal.
+  auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
+  auto two = hw::ClusterSpec::multi_rail(2, 1, 2);
+  for (std::size_t n : {8192u, 65536u, 1048576u, 4194304u}) {
+    const double t1 = measure_send(one, n);
+    const double t2 = measure_send(two, n);
+    if (n <= two.stripe_threshold) {
+      EXPECT_NEAR(t1, t2, 1e-12) << n;
+    } else {
+      EXPECT_GT(t1 / t2, 1.5) << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmca::net

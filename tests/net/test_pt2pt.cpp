@@ -1,0 +1,271 @@
+// Point-to-point semantics: matching, ordering, wildcards, protocols.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hw/buffer.hpp"
+#include "hw/cluster.hpp"
+#include "net/net.hpp"
+#include "sim/engine.hpp"
+
+namespace hmca::net {
+namespace {
+
+struct Fixture {
+  explicit Fixture(hw::ClusterSpec spec)
+      : cl(eng, spec), net(cl) {}
+  sim::Engine eng;
+  hw::Cluster cl;
+  Net net;
+};
+
+hw::Buffer filled(std::size_t n, char c) {
+  auto b = hw::Buffer::data(n);
+  std::memset(b.bytes(), c, n);
+  return b;
+}
+
+TEST(Pt2Pt, EagerInterNodeDeliversPayload) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto src = filled(128, 'a');
+  auto dst = hw::Buffer::data(128);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 7, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 7, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[0], 'a');
+  EXPECT_EQ(dst.as<char>()[127], 'a');
+  EXPECT_EQ(f.net.messages_delivered(), 1u);
+}
+
+TEST(Pt2Pt, RendezvousInterNodeDeliversPayload) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  const std::size_t n = 1 << 20;  // 1 MB: rendezvous + striping
+  auto src = filled(n, 'z');
+  auto dst = hw::Buffer::data(n);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 0, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 0, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[0], 'z');
+  EXPECT_EQ(dst.as<char>()[n - 1], 'z');
+}
+
+TEST(Pt2Pt, IntraNodeSmallUsesDoubleCopy) {
+  Fixture f(hw::ClusterSpec::thor(1, 2));
+  auto src = filled(1024, 'q');
+  auto dst = hw::Buffer::data(1024);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 3, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 3, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[1023], 'q');
+}
+
+TEST(Pt2Pt, IntraNodeLargeUsesCmaSingleCopy) {
+  Fixture f(hw::ClusterSpec::thor(1, 2));
+  const std::size_t n = 1 << 20;
+  auto src = filled(n, 'c');
+  auto dst = hw::Buffer::data(n);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 0, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 0, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[n - 1], 'c');
+  // Single copy at ~core rate: roughly n / core_copy_bw seconds; the double
+  // copy path would be about twice that.
+  const double expect = static_cast<double>(n) / f.cl.spec().core_copy_bw;
+  EXPECT_LT(f.eng.now(), 1.6 * expect);
+  EXPECT_GT(f.eng.now(), 0.9 * expect);
+}
+
+TEST(Pt2Pt, UnexpectedMessageIsBufferedUntilRecv) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto src = filled(64, 'u');
+  auto dst = hw::Buffer::data(64);
+  double recv_done = -1;
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 5, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.eng.sleep(1.0);  // recv posted long after arrival
+    co_await f.net.recv(1, 0, 5, dst.view());
+    recv_done = f.eng.now();
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[0], 'u');
+  EXPECT_GE(recv_done, 1.0);
+  EXPECT_EQ(f.net.unexpected_messages(), 1u);
+}
+
+TEST(Pt2Pt, MessagesDoNotOvertakeSameSourceAndTag) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto a = filled(32, '1');
+  auto b = filled(32, '2');
+  auto d1 = hw::Buffer::data(32);
+  auto d2 = hw::Buffer::data(32);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 9, a.view());
+    co_await f.net.send(0, 1, 9, b.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 9, d1.view());
+    co_await f.net.recv(1, 0, 9, d2.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(d1.as<char>()[0], '1');
+  EXPECT_EQ(d2.as<char>()[0], '2');
+}
+
+TEST(Pt2Pt, TagsSelectMessages) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto a = filled(32, 'A');
+  auto b = filled(32, 'B');
+  auto da = hw::Buffer::data(32);
+  auto db = hw::Buffer::data(32);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 1, a.view());
+    co_await f.net.send(0, 1, 2, b.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    // Receive tag 2 first even though tag 1 arrived first.
+    co_await f.net.recv(1, 0, 2, db.view());
+    co_await f.net.recv(1, 0, 1, da.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(da.as<char>()[0], 'A');
+  EXPECT_EQ(db.as<char>()[0], 'B');
+}
+
+TEST(Pt2Pt, WildcardSourceAndTag) {
+  Fixture f(hw::ClusterSpec::thor(3, 1));
+  auto a = filled(16, 'x');
+  auto dst = hw::Buffer::data(16);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.eng.sleep(0.5);
+    co_await f.net.send(2, 1, 77, a.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, kAnySource, kAnyTag, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[0], 'x');
+}
+
+TEST(Pt2Pt, SizeMismatchThrows) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto src = filled(64, 's');
+  auto dst = hw::Buffer::data(32);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 0, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 0, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  EXPECT_THROW(f.eng.run(), sim::SimError);
+}
+
+TEST(Pt2Pt, SelfSendRejected) {
+  Fixture f(hw::ClusterSpec::thor(2, 1));
+  auto src = filled(8, 's');
+  auto t = [&]() -> sim::Task<void> { co_await f.net.send(0, 0, 0, src.view()); };
+  f.eng.spawn(t());
+  EXPECT_THROW(f.eng.run(), sim::SimError);
+}
+
+TEST(Pt2Pt, CmaGetCopiesWithoutMatching) {
+  Fixture f(hw::ClusterSpec::thor(1, 4));
+  auto src = filled(4096, 'g');
+  auto dst = hw::Buffer::data(4096);
+  auto getter = [&]() -> sim::Task<void> {
+    co_await f.net.cma_get(2, src.view(), dst.view());
+  };
+  f.eng.spawn(getter());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[4095], 'g');
+  EXPECT_EQ(f.net.messages_delivered(), 0u);
+}
+
+TEST(Pt2Pt, RdmaGetLoopbackMovesThroughHca) {
+  Fixture f(hw::ClusterSpec::thor(1, 4));
+  const std::size_t n = 1 << 20;
+  auto src = filled(n, 'r');
+  auto dst = hw::Buffer::data(n);
+  auto getter = [&]() -> sim::Task<void> {
+    co_await f.net.rdma_get(2, 0, src.view(), dst.view(), 0);
+  };
+  f.eng.spawn(getter());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[n - 1], 'r');
+  // Data must have crossed HCA0's ports.
+  EXPECT_GT(f.cl.net().bytes_served(f.cl.hca_tx(0, 0)), 0.0);
+  EXPECT_GT(f.cl.net().bytes_served(f.cl.hca_rx(0, 0)), 0.0);
+}
+
+TEST(Pt2Pt, RdmaGetStripedUsesAllRails) {
+  Fixture f(hw::ClusterSpec::thor(1, 4));
+  const std::size_t n = 1 << 20;
+  auto src = filled(n, 'S');
+  auto dst = hw::Buffer::data(n);
+  auto getter = [&]() -> sim::Task<void> {
+    co_await f.net.rdma_get(2, 0, src.view(), dst.view(), Net::kStripe);
+  };
+  f.eng.spawn(getter());
+  f.eng.run();
+  EXPECT_EQ(dst.as<char>()[0], 'S');
+  EXPECT_GT(f.cl.net().bytes_served(f.cl.hca_tx(0, 0)), 0.0);
+  EXPECT_GT(f.cl.net().bytes_served(f.cl.hca_tx(0, 1)), 0.0);
+}
+
+TEST(Pt2Pt, PhantomBuffersTimeWithoutData) {
+  auto spec = hw::ClusterSpec::thor(2, 1);
+  spec.carry_data = false;
+  Fixture f(spec);
+  auto src = hw::Buffer::phantom(1 << 20);
+  auto dst = hw::Buffer::phantom(1 << 20);
+  auto sender = [&]() -> sim::Task<void> {
+    co_await f.net.send(0, 1, 0, src.view());
+  };
+  auto receiver = [&]() -> sim::Task<void> {
+    co_await f.net.recv(1, 0, 0, dst.view());
+  };
+  f.eng.spawn(sender());
+  f.eng.spawn(receiver());
+  f.eng.run();
+  EXPECT_GT(f.eng.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace hmca::net

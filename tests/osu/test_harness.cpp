@@ -1,0 +1,102 @@
+// The OSU-style harness: measurement plumbing, formatting, sweeps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "osu/harness.hpp"
+
+namespace hmca::osu {
+namespace {
+
+coll::AllgatherFn fn_ring() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return coll::allgather_ring(c, r, s, rv, m, ip); };
+}
+
+TEST(Harness, AllgatherLatencyPositiveAndMonotonicInSize) {
+  const auto spec = hw::ClusterSpec::thor(2, 2);
+  const double t_small = measure_allgather(spec, fn_ring(), 1024);
+  const double t_large = measure_allgather(spec, fn_ring(), 1u << 20);
+  EXPECT_GT(t_small, 0.0);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(Harness, Pt2PtLatencyIntraVsInter) {
+  const auto spec = hw::ClusterSpec::thor(2, 2);
+  const double intra = measure_pt2pt_latency(spec, 0, 1, 1024);
+  const double inter = measure_pt2pt_latency(spec, 0, 2, 1024);
+  EXPECT_GT(intra, 0.0);
+  EXPECT_GT(inter, 0.0);
+  EXPECT_LT(intra, inter);  // small messages: shm beats the wire
+}
+
+TEST(Harness, BandwidthApproachesLinkRateForLargeMessages) {
+  // Fig. 1's saturation: 4 MB messages on 2 rails -> ~2 x 12.5 GB/s.
+  const auto spec = hw::ClusterSpec::thor(2, 1);
+  const double bw = measure_pt2pt_bandwidth(spec, 0, 1, 4u << 20, 16);
+  EXPECT_GT(bw, 0.85 * 2 * spec.hca_bw);
+  EXPECT_LT(bw, 1.02 * 2 * spec.hca_bw);
+}
+
+TEST(Harness, IntraNodeBandwidthMatchesCmaRate) {
+  const auto spec = hw::ClusterSpec::thor(1, 2);
+  const double bw = measure_pt2pt_bandwidth(spec, 0, 1, 4u << 20, 16);
+  EXPECT_GT(bw, 0.8 * spec.core_copy_bw);
+  EXPECT_LT(bw, 1.05 * spec.core_copy_bw);
+}
+
+TEST(Harness, AllreduceLatencyMeasured) {
+  const auto spec = hw::ClusterSpec::thor(2, 2);
+  const coll::AllreduceFn fn = [](mpi::Comm& c, int r, hw::BufView d,
+                                      std::size_t n, mpi::Dtype t,
+                                      mpi::ReduceOp op) {
+    return coll::allreduce_rd(c, r, d, n, t, op);
+  };
+  EXPECT_GT(measure_allreduce(spec, fn, 4096), 0.0);
+}
+
+TEST(Format, Sizes) {
+  EXPECT_EQ(format_size(256), "256");
+  EXPECT_EQ(format_size(1024), "1K");
+  EXPECT_EQ(format_size(262144), "256K");
+  EXPECT_EQ(format_size(4u << 20), "4M");
+  EXPECT_EQ(format_size(1000), "1000");
+}
+
+TEST(Format, Microseconds) {
+  EXPECT_EQ(format_us(1.5e-6), "1.50");
+  EXPECT_EQ(format_us(250.04e-6), "250.0");
+}
+
+TEST(Format, Ratio) { EXPECT_EQ(format_ratio(1.42), "1.42x"); }
+
+TEST(Format, SizeSweepDoubles) {
+  const auto sweep = size_sweep(1024, 8192);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep.front(), 1024u);
+  EXPECT_EQ(sweep.back(), 8192u);
+}
+
+TEST(TableOutput, PrintAndCsv) {
+  Table t;
+  t.title = "Demo";
+  t.headers = {"size", "hpcx", "mha"};
+  t.add_row({"1K", "10.0", "7.5"});
+  t.add_row({"2K", "20.0", "11.0"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("size"), std::string::npos);
+  EXPECT_NE(text.find("7.5"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("size,hpcx,mha"), std::string::npos);
+  EXPECT_NE(csv.str().find("2K,20.0,11.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmca::osu

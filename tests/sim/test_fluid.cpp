@@ -1,0 +1,233 @@
+// Unit tests for the max-min fair fluid-flow network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/sync.hpp"
+
+namespace hmca::sim {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Fixture {
+  Engine eng;
+  FluidNetwork net{eng};
+};
+
+Task<void> flow_task(FluidNetwork& net, FlowSpec spec, double* end_time,
+                     Engine& eng) {
+  co_await net.transfer(std::move(spec));
+  if (end_time) *end_time = eng.now();
+}
+
+TEST(Fluid, SingleFlowRunsAtCapacity) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);  // 100 B/s
+  double end = -1;
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 500.0, kNoRateCap}, &end,
+                        f.eng));
+  f.eng.run();
+  EXPECT_NEAR(end, 5.0, kTol);
+}
+
+TEST(Fluid, TwoFlowsShareFairly) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double e1 = -1, e2 = -1;
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 500.0, kNoRateCap}, &e1,
+                        f.eng));
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 500.0, kNoRateCap}, &e2,
+                        f.eng));
+  f.eng.run();
+  // Both at 50 B/s -> 10 s each.
+  EXPECT_NEAR(e1, 10.0, kTol);
+  EXPECT_NEAR(e2, 10.0, kTol);
+}
+
+TEST(Fluid, RemainingFlowSpeedsUpAfterCompletion) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double e_small = -1, e_big = -1;
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 100.0, kNoRateCap},
+                        &e_small, f.eng));
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 500.0, kNoRateCap}, &e_big,
+                        f.eng));
+  f.eng.run();
+  // Shared until t=2 (small done: 100 B at 50 B/s). Big has 400 B left at
+  // full 100 B/s -> finishes at 2 + 4 = 6.
+  EXPECT_NEAR(e_small, 2.0, kTol);
+  EXPECT_NEAR(e_big, 6.0, kTol);
+}
+
+TEST(Fluid, RateCapLimitsSingleFlow) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double end = -1;
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r, 1.0}}, 100.0, 10.0}, &end, f.eng));
+  f.eng.run();
+  EXPECT_NEAR(end, 10.0, kTol);
+}
+
+TEST(Fluid, CappedFlowLeavesBandwidthToOthers) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double e_capped = -1, e_free = -1;
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 200.0, 20.0}, &e_capped,
+                        f.eng));
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 800.0, kNoRateCap},
+                        &e_free, f.eng));
+  f.eng.run();
+  // Capped: 20 B/s -> 10 s. Free flow gets the remaining 80 B/s -> 10 s.
+  EXPECT_NEAR(e_capped, 10.0, kTol);
+  EXPECT_NEAR(e_free, 10.0, kTol);
+}
+
+TEST(Fluid, WeightedFlowConsumesMoreCapacity) {
+  Fixture f;
+  auto r = f.net.add_resource("mem", 100.0);
+  double end = -1;
+  // Weight 2 (CPU copy: read + write): payload rate = capacity / 2.
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r, 2.0}}, 100.0, kNoRateCap}, &end, f.eng));
+  f.eng.run();
+  EXPECT_NEAR(end, 2.0, kTol);
+}
+
+TEST(Fluid, MultiResourceFlowLimitedByTightest) {
+  Fixture f;
+  auto a = f.net.add_resource("a", 100.0);
+  auto b = f.net.add_resource("b", 30.0);
+  double end = -1;
+  f.eng.spawn(flow_task(
+      f.net, FlowSpec{{{a, 1.0}, {b, 1.0}}, 300.0, kNoRateCap}, &end, f.eng));
+  f.eng.run();
+  EXPECT_NEAR(end, 10.0, kTol);
+}
+
+TEST(Fluid, MaxMinAllocationAcrossTwoLinks) {
+  Fixture f;
+  // Classic max-min example: flows A (uses r1), B (uses r1+r2), C (uses r2).
+  // r1 = 100, r2 = 40. B is bottlenecked on r2 at 20; A then gets 80.
+  auto r1 = f.net.add_resource("r1", 100.0);
+  auto r2 = f.net.add_resource("r2", 40.0);
+  double ea = -1, eb = -1, ec = -1;
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r1, 1.0}}, 800.0, kNoRateCap}, &ea, f.eng));
+  f.eng.spawn(flow_task(f.net, FlowSpec{{{r1, 1.0}, {r2, 1.0}}, 200.0,
+                                        kNoRateCap},
+                        &eb, f.eng));
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r2, 1.0}}, 200.0, kNoRateCap}, &ec, f.eng));
+  f.eng.run();
+  // Rates: B and C share r2 -> 20 each; A gets 100 - 20 = 80.
+  // B: 200/20 = 10 s. C: 200/20 = 10 s. A: 800/80 = 10 s.
+  EXPECT_NEAR(ea, 10.0, kTol);
+  EXPECT_NEAR(eb, 10.0, kTol);
+  EXPECT_NEAR(ec, 10.0, kTol);
+}
+
+TEST(Fluid, ZeroByteFlowCompletesImmediately) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double end = -1;
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r, 1.0}}, 0.0, kNoRateCap}, &end, f.eng));
+  f.eng.run();
+  EXPECT_NEAR(end, 0.0, kTol);
+}
+
+TEST(Fluid, StaggeredArrivalsResliceBandwidth) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  double e1 = -1, e2 = -1;
+  auto delayed = [&](Duration d, double bytes, double* end) -> Task<void> {
+    co_await f.eng.sleep(d);
+    FlowSpec spec;
+    spec.uses = {{r, 1.0}};
+    spec.bytes = bytes;
+    co_await f.net.transfer(std::move(spec));
+    *end = f.eng.now();
+  };
+  f.eng.spawn(delayed(0.0, 600.0, &e1));
+  f.eng.spawn(delayed(2.0, 200.0, &e2));
+  f.eng.run();
+  // Flow1 alone [0,2): 200 B done. Shared at 50 B/s: flow2 finishes 200 B at
+  // t = 2 + 4 = 6; flow1 then has 600-200-200 = 200 B at 100 B/s -> t = 8.
+  EXPECT_NEAR(e2, 6.0, kTol);
+  EXPECT_NEAR(e1, 8.0, kTol);
+}
+
+TEST(Fluid, ServedBytesAreAccounted) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  f.eng.spawn(
+      flow_task(f.net, FlowSpec{{{r, 2.0}}, 300.0, kNoRateCap}, nullptr,
+                f.eng));
+  f.eng.run();
+  EXPECT_NEAR(f.net.bytes_served(r), 600.0, 1e-6);  // weight 2
+}
+
+TEST(Fluid, ManySymmetricFlowsBatchToOneTimestamp) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  const int n = 64;
+  std::vector<double> ends(n, -1);
+  for (int i = 0; i < n; ++i) {
+    f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 100.0, kNoRateCap},
+                          &ends[static_cast<size_t>(i)], f.eng));
+  }
+  f.eng.run();
+  for (double e : ends) EXPECT_NEAR(e, 64.0, 1e-6);
+}
+
+TEST(Fluid, InvalidSpecsThrow) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  EXPECT_THROW(f.net.transfer(FlowSpec{{{r + 1, 1.0}}, 10.0, kNoRateCap}),
+               SimError);
+  EXPECT_THROW(f.net.transfer(FlowSpec{{{r, 0.0}}, 10.0, kNoRateCap}),
+               SimError);
+  EXPECT_THROW(f.net.transfer(FlowSpec{{}, 10.0, kNoRateCap}), SimError);
+  EXPECT_THROW(f.net.transfer(FlowSpec{{{r, 1.0}}, 10.0, 0.0}), SimError);
+  EXPECT_THROW(f.net.add_resource("bad", 0.0), SimError);
+}
+
+TEST(Fluid, PeakFlowsTracksConcurrency) {
+  Fixture f;
+  auto r = f.net.add_resource("link", 100.0);
+  for (int i = 0; i < 5; ++i) {
+    f.eng.spawn(flow_task(f.net, FlowSpec{{{r, 1.0}}, 100.0, kNoRateCap},
+                          nullptr, f.eng));
+  }
+  f.eng.run();
+  EXPECT_EQ(f.net.peak_flows(), 5);
+  EXPECT_EQ(f.net.active_flows(), 0);
+}
+
+// Property: total completion time of equal flows over one resource scales
+// linearly with the flow count (work conservation).
+class FluidWorkConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidWorkConservation, LinearInFlowCount) {
+  const int n = GetParam();
+  Engine eng;
+  FluidNetwork net(eng);
+  auto r = net.add_resource("link", 1000.0);
+  for (int i = 0; i < n; ++i) {
+    eng.spawn(flow_task(net, FlowSpec{{{r, 1.0}}, 1000.0, kNoRateCap}, nullptr,
+                        eng));
+  }
+  eng.run();
+  EXPECT_NEAR(eng.now(), static_cast<double>(n), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FluidWorkConservation,
+                         ::testing::Values(1, 2, 3, 7, 16, 33));
+
+}  // namespace
+}  // namespace hmca::sim

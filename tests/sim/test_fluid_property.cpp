@@ -1,0 +1,170 @@
+// Property tests for the fluid-flow network: work conservation, cap
+// respect, and bit-exact determinism over randomized topologies driven by
+// the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/rng.hpp"
+
+namespace hmca::sim {
+namespace {
+
+struct RandomScenario {
+  std::vector<double> capacities;
+  struct FlowPlan {
+    std::vector<ResourceUse> uses;
+    double bytes;
+    double cap;
+    double start;
+  };
+  std::vector<FlowPlan> flows;
+};
+
+RandomScenario make_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomScenario sc;
+  const int resources = static_cast<int>(rng.uniform_int(1, 5));
+  for (int r = 0; r < resources; ++r) {
+    sc.capacities.push_back(rng.uniform(50.0, 500.0));
+  }
+  const int flows = static_cast<int>(rng.uniform_int(1, 12));
+  for (int f = 0; f < flows; ++f) {
+    RandomScenario::FlowPlan p;
+    const int uses = static_cast<int>(rng.uniform_int(1, resources));
+    for (int u = 0; u < uses; ++u) {
+      p.uses.push_back(ResourceUse{
+          static_cast<ResourceId>(rng.uniform_int(0, resources - 1)),
+          rng.uniform(0.5, 3.0)});
+    }
+    // Duplicate resource ids are legal (weights accumulate).
+    p.bytes = rng.uniform(10.0, 5000.0);
+    p.cap = rng.next_double() < 0.3 ? rng.uniform(5.0, 50.0) : kNoRateCap;
+    p.start = rng.uniform(0.0, 2.0);
+    sc.flows.push_back(std::move(p));
+  }
+  return sc;
+}
+
+struct RunResult {
+  double total_time;
+  std::vector<double> finish;
+  std::vector<double> served;
+};
+
+Task<void> scenario_flow(Engine& eng, FluidNetwork& net,
+                         const RandomScenario::FlowPlan& plan, double* end) {
+  co_await eng.sleep(plan.start);
+  FlowSpec spec;
+  spec.uses = plan.uses;
+  spec.bytes = plan.bytes;
+  spec.rate_cap = plan.cap;
+  co_await net.transfer(std::move(spec));
+  *end = eng.now();
+}
+
+RunResult run_scenario(const RandomScenario& sc) {
+  Engine eng;
+  FluidNetwork net(eng);
+  for (std::size_t r = 0; r < sc.capacities.size(); ++r) {
+    net.add_resource("r" + std::to_string(r), sc.capacities[r]);
+  }
+  RunResult out;
+  out.finish.assign(sc.flows.size(), -1.0);
+  for (std::size_t f = 0; f < sc.flows.size(); ++f) {
+    eng.spawn(scenario_flow(eng, net, sc.flows[f], &out.finish[f]));
+  }
+  eng.run();
+  out.total_time = eng.now();
+  for (std::size_t r = 0; r < sc.capacities.size(); ++r) {
+    out.served.push_back(net.bytes_served(static_cast<ResourceId>(r)));
+  }
+  return out;
+}
+
+class FluidRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidRandomized, EveryFlowCompletes) {
+  const auto sc = make_scenario(GetParam());
+  const auto res = run_scenario(sc);
+  for (std::size_t f = 0; f < sc.flows.size(); ++f) {
+    EXPECT_GE(res.finish[f], sc.flows[f].start) << "flow " << f;
+  }
+}
+
+TEST_P(FluidRandomized, ResourceAccountingMatchesDemand) {
+  // Sum of payload*weight over flows touching a resource equals the bytes
+  // the resource reports having served.
+  const auto sc = make_scenario(GetParam());
+  const auto res = run_scenario(sc);
+  std::vector<double> expect(sc.capacities.size(), 0.0);
+  for (const auto& f : sc.flows) {
+    for (const auto& u : f.uses) expect[u.resource] += f.bytes * u.weight;
+  }
+  for (std::size_t r = 0; r < expect.size(); ++r) {
+    EXPECT_NEAR(res.served[r], expect[r], 1e-3 + expect[r] * 1e-9) << "r" << r;
+  }
+}
+
+TEST_P(FluidRandomized, NoFlowBeatsItsOwnCapOrBottleneck) {
+  // Completion can never be earlier than bytes / min(cap, tightest
+  // single-resource full capacity / weight) after the start time.
+  const auto sc = make_scenario(GetParam());
+  const auto res = run_scenario(sc);
+  for (std::size_t f = 0; f < sc.flows.size(); ++f) {
+    const auto& plan = sc.flows[f];
+    double best_rate = plan.cap;
+    for (const auto& u : plan.uses) {
+      best_rate = std::min(best_rate, sc.capacities[u.resource] / u.weight);
+    }
+    const double min_time = plan.bytes / best_rate;
+    EXPECT_GE(res.finish[f] - plan.start, min_time * (1 - 1e-9)) << "flow " << f;
+  }
+}
+
+TEST_P(FluidRandomized, DeterministicAcrossRuns) {
+  const auto sc = make_scenario(GetParam());
+  const auto a = run_scenario(sc);
+  const auto b = run_scenario(sc);
+  EXPECT_EQ(a.total_time, b.total_time);
+  for (std::size_t f = 0; f < a.finish.size(); ++f) {
+    EXPECT_EQ(a.finish[f], b.finish[f]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidRandomized,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+TEST(FluidProperty, WorkConservationUnderChurn) {
+  // Staggered arrivals on one link: total time equals total bytes /
+  // capacity whenever the link never idles.
+  Engine eng;
+  FluidNetwork net(eng);
+  const auto r = net.add_resource("link", 100.0);
+  double total_bytes = 0.0;
+  std::vector<double> ends(20, -1.0);
+  RandomScenario::FlowPlan plan;
+  Rng rng(7);
+  std::vector<RandomScenario::FlowPlan> plans;
+  for (int i = 0; i < 20; ++i) {
+    RandomScenario::FlowPlan p;
+    p.uses = {{r, 1.0}};
+    p.bytes = rng.uniform(100.0, 400.0);
+    p.cap = kNoRateCap;
+    p.start = 0.0;  // all at once: no idle gaps by construction
+    total_bytes += p.bytes;
+    plans.push_back(p);
+  }
+  for (int i = 0; i < 20; ++i) {
+    eng.spawn(scenario_flow(eng, net, plans[static_cast<std::size_t>(i)],
+                            &ends[static_cast<std::size_t>(i)]));
+  }
+  eng.run();
+  EXPECT_NEAR(eng.now(), total_bytes / 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hmca::sim

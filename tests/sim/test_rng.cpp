@@ -1,0 +1,66 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hmca::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(10), 10u);
+    EXPECT_EQ(r.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(11);
+  bool seen_lo = false, seen_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen_lo |= (v == -2);
+    seen_hi |= (v == 2);
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng r(5);
+  std::vector<int> hist(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++hist[r.next_below(8)];
+  for (int c : hist) {
+    EXPECT_GT(c, n / 8 - n / 80);
+    EXPECT_LT(c, n / 8 + n / 80);
+  }
+}
+
+}  // namespace
+}  // namespace hmca::sim
