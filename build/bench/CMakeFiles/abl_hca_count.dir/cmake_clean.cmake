@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hca_count.dir/abl_hca_count.cpp.o"
+  "CMakeFiles/abl_hca_count.dir/abl_hca_count.cpp.o.d"
+  "abl_hca_count"
+  "abl_hca_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hca_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa3.dir/abl_numa3.cpp.o"
+  "CMakeFiles/abl_numa3.dir/abl_numa3.cpp.o.d"
+  "abl_numa3"
+  "abl_numa3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

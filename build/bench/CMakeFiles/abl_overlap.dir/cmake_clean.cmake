@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_overlap.dir/abl_overlap.cpp.o"
+  "CMakeFiles/abl_overlap.dir/abl_overlap.cpp.o.d"
+  "abl_overlap"
+  "abl_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_phase1_modes.dir/abl_phase1_modes.cpp.o"
+  "CMakeFiles/abl_phase1_modes.dir/abl_phase1_modes.cpp.o.d"
+  "abl_phase1_modes"
+  "abl_phase1_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_phase1_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ppn_sweep.dir/abl_ppn_sweep.cpp.o"
+  "CMakeFiles/abl_ppn_sweep.dir/abl_ppn_sweep.cpp.o.d"
+  "abl_ppn_sweep"
+  "abl_ppn_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ppn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pt2pt_bw.dir/fig01_pt2pt_bw.cpp.o"
+  "CMakeFiles/fig01_pt2pt_bw.dir/fig01_pt2pt_bw.cpp.o.d"
+  "fig01_pt2pt_bw"
+  "fig01_pt2pt_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pt2pt_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

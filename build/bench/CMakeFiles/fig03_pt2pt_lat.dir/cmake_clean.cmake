@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pt2pt_lat.dir/fig03_pt2pt_lat.cpp.o"
+  "CMakeFiles/fig03_pt2pt_lat.dir/fig03_pt2pt_lat.cpp.o.d"
+  "fig03_pt2pt_lat"
+  "fig03_pt2pt_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pt2pt_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_pt2pt_lat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_pt2pt_lat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_offload_curve.dir/fig05_offload_curve.cpp.o"
+  "CMakeFiles/fig05_offload_curve.dir/fig05_offload_curve.cpp.o.d"
+  "fig05_offload_curve"
+  "fig05_offload_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_offload_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

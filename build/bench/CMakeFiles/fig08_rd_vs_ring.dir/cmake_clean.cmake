@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rd_vs_ring.dir/fig08_rd_vs_ring.cpp.o"
+  "CMakeFiles/fig08_rd_vs_ring.dir/fig08_rd_vs_ring.cpp.o.d"
+  "fig08_rd_vs_ring"
+  "fig08_rd_vs_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rd_vs_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_rd_vs_ring.
+# This may be replaced when dependencies are built.

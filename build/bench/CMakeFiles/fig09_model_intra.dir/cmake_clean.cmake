@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_model_intra.dir/fig09_model_intra.cpp.o"
+  "CMakeFiles/fig09_model_intra.dir/fig09_model_intra.cpp.o.d"
+  "fig09_model_intra"
+  "fig09_model_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_model_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_model_intra.
+# This may be replaced when dependencies are built.

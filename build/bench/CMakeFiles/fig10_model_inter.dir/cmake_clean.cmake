@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_model_inter.dir/fig10_model_inter.cpp.o"
+  "CMakeFiles/fig10_model_inter.dir/fig10_model_inter.cpp.o.d"
+  "fig10_model_inter"
+  "fig10_model_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_model_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_intra_allgather.dir/fig11_intra_allgather.cpp.o"
+  "CMakeFiles/fig11_intra_allgather.dir/fig11_intra_allgather.cpp.o.d"
+  "fig11_intra_allgather"
+  "fig11_intra_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_intra_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inter_allgather_256.dir/fig12_inter_allgather_256.cpp.o"
+  "CMakeFiles/fig12_inter_allgather_256.dir/fig12_inter_allgather_256.cpp.o.d"
+  "fig12_inter_allgather_256"
+  "fig12_inter_allgather_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inter_allgather_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_inter_allgather_256.
+# This may be replaced when dependencies are built.

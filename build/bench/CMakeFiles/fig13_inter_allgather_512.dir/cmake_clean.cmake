@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_inter_allgather_512.dir/fig13_inter_allgather_512.cpp.o"
+  "CMakeFiles/fig13_inter_allgather_512.dir/fig13_inter_allgather_512.cpp.o.d"
+  "fig13_inter_allgather_512"
+  "fig13_inter_allgather_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_inter_allgather_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_inter_allgather_512.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_inter_allgather_512.
+# This may be replaced when dependencies are built.

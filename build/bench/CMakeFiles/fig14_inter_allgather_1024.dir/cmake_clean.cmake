@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_inter_allgather_1024.dir/fig14_inter_allgather_1024.cpp.o"
+  "CMakeFiles/fig14_inter_allgather_1024.dir/fig14_inter_allgather_1024.cpp.o.d"
+  "fig14_inter_allgather_1024"
+  "fig14_inter_allgather_1024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_inter_allgather_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

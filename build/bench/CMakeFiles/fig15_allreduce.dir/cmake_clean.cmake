@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_allreduce.dir/fig15_allreduce.cpp.o"
+  "CMakeFiles/fig15_allreduce.dir/fig15_allreduce.cpp.o.d"
+  "fig15_allreduce"
+  "fig15_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_matvec.dir/fig16_matvec.cpp.o"
+  "CMakeFiles/fig16_matvec.dir/fig16_matvec.cpp.o.d"
+  "fig16_matvec"
+  "fig16_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

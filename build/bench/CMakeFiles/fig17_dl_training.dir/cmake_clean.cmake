@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dl_training.dir/fig17_dl_training.cpp.o"
+  "CMakeFiles/fig17_dl_training.dir/fig17_dl_training.cpp.o.d"
+  "fig17_dl_training"
+  "fig17_dl_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dl_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

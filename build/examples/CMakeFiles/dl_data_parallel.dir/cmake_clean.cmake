@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_data_parallel.dir/dl_data_parallel.cpp.o"
+  "CMakeFiles/dl_data_parallel.dir/dl_data_parallel.cpp.o.d"
+  "dl_data_parallel"
+  "dl_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

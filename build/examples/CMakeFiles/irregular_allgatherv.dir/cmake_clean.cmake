@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_allgatherv.dir/irregular_allgatherv.cpp.o"
+  "CMakeFiles/irregular_allgatherv.dir/irregular_allgatherv.cpp.o.d"
+  "irregular_allgatherv"
+  "irregular_allgatherv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_allgatherv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

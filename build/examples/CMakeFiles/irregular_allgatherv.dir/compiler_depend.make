@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for irregular_allgatherv.
+# This may be replaced when dependencies are built.

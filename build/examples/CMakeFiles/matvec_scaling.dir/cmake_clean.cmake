@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec_scaling.dir/matvec_scaling.cpp.o"
+  "CMakeFiles/matvec_scaling.dir/matvec_scaling.cpp.o.d"
+  "matvec_scaling"
+  "matvec_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_demo.dir/timeline_demo.cpp.o"
+  "CMakeFiles/timeline_demo.dir/timeline_demo.cpp.o.d"
+  "timeline_demo"
+  "timeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

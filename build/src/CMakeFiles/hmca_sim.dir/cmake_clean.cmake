@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/hmca_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/hmca_sim.dir/sim/fluid.cpp.o"
+  "CMakeFiles/hmca_sim.dir/sim/fluid.cpp.o.d"
+  "libhmca_sim.a"
+  "libhmca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

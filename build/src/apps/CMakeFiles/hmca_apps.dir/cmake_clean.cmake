@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_apps.dir/dl_training.cpp.o"
+  "CMakeFiles/hmca_apps.dir/dl_training.cpp.o.d"
+  "CMakeFiles/hmca_apps.dir/matvec.cpp.o"
+  "CMakeFiles/hmca_apps.dir/matvec.cpp.o.d"
+  "libhmca_apps.a"
+  "libhmca_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/allgather.cpp" "src/coll/CMakeFiles/hmca_coll.dir/allgather.cpp.o" "gcc" "src/coll/CMakeFiles/hmca_coll.dir/allgather.cpp.o.d"
+  "/root/repo/src/coll/allgatherv.cpp" "src/coll/CMakeFiles/hmca_coll.dir/allgatherv.cpp.o" "gcc" "src/coll/CMakeFiles/hmca_coll.dir/allgatherv.cpp.o.d"
+  "/root/repo/src/coll/allreduce.cpp" "src/coll/CMakeFiles/hmca_coll.dir/allreduce.cpp.o" "gcc" "src/coll/CMakeFiles/hmca_coll.dir/allreduce.cpp.o.d"
+  "/root/repo/src/coll/barrier.cpp" "src/coll/CMakeFiles/hmca_coll.dir/barrier.cpp.o" "gcc" "src/coll/CMakeFiles/hmca_coll.dir/barrier.cpp.o.d"
+  "/root/repo/src/coll/bcast.cpp" "src/coll/CMakeFiles/hmca_coll.dir/bcast.cpp.o" "gcc" "src/coll/CMakeFiles/hmca_coll.dir/bcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmca_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hmca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/hmca_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/hmca_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmca_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

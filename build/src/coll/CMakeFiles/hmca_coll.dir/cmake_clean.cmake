@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_coll.dir/allgather.cpp.o"
+  "CMakeFiles/hmca_coll.dir/allgather.cpp.o.d"
+  "CMakeFiles/hmca_coll.dir/allgatherv.cpp.o"
+  "CMakeFiles/hmca_coll.dir/allgatherv.cpp.o.d"
+  "CMakeFiles/hmca_coll.dir/allreduce.cpp.o"
+  "CMakeFiles/hmca_coll.dir/allreduce.cpp.o.d"
+  "CMakeFiles/hmca_coll.dir/barrier.cpp.o"
+  "CMakeFiles/hmca_coll.dir/barrier.cpp.o.d"
+  "CMakeFiles/hmca_coll.dir/bcast.cpp.o"
+  "CMakeFiles/hmca_coll.dir/bcast.cpp.o.d"
+  "libhmca_coll.a"
+  "libhmca_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/hmca_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/mha.cpp" "src/core/CMakeFiles/hmca_core.dir/mha.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/mha.cpp.o.d"
+  "/root/repo/src/core/mha_allgatherv.cpp" "src/core/CMakeFiles/hmca_core.dir/mha_allgatherv.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/mha_allgatherv.cpp.o.d"
+  "/root/repo/src/core/mha_intra.cpp" "src/core/CMakeFiles/hmca_core.dir/mha_intra.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/mha_intra.cpp.o.d"
+  "/root/repo/src/core/mha_rooted.cpp" "src/core/CMakeFiles/hmca_core.dir/mha_rooted.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/mha_rooted.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/hmca_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/tuning_table.cpp" "src/core/CMakeFiles/hmca_core.dir/tuning_table.cpp.o" "gcc" "src/core/CMakeFiles/hmca_core.dir/tuning_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmca_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hmca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/hmca_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/hmca_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/hmca_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hmca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/osu/CMakeFiles/hmca_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmca_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

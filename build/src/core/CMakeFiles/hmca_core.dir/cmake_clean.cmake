@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/hmca_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/mha.cpp.o"
+  "CMakeFiles/hmca_core.dir/mha.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/mha_allgatherv.cpp.o"
+  "CMakeFiles/hmca_core.dir/mha_allgatherv.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/mha_intra.cpp.o"
+  "CMakeFiles/hmca_core.dir/mha_intra.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/mha_rooted.cpp.o"
+  "CMakeFiles/hmca_core.dir/mha_rooted.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/tuner.cpp.o"
+  "CMakeFiles/hmca_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/hmca_core.dir/tuning_table.cpp.o"
+  "CMakeFiles/hmca_core.dir/tuning_table.cpp.o.d"
+  "libhmca_core.a"
+  "libhmca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_hw.dir/cluster.cpp.o"
+  "CMakeFiles/hmca_hw.dir/cluster.cpp.o.d"
+  "libhmca_hw.a"
+  "libhmca_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

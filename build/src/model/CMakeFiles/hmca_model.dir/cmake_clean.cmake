@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_model.dir/cost.cpp.o"
+  "CMakeFiles/hmca_model.dir/cost.cpp.o.d"
+  "CMakeFiles/hmca_model.dir/params.cpp.o"
+  "CMakeFiles/hmca_model.dir/params.cpp.o.d"
+  "libhmca_model.a"
+  "libhmca_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmca_model.a"
+)

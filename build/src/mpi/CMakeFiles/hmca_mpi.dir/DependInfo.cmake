@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/hmca_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/hmca_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/hmca_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/hmca_mpi.dir/datatype.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmca_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hmca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/hmca_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmca_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_mpi.dir/comm.cpp.o"
+  "CMakeFiles/hmca_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/hmca_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/hmca_mpi.dir/datatype.cpp.o.d"
+  "libhmca_mpi.a"
+  "libhmca_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

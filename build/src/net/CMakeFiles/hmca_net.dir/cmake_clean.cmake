@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_net.dir/net.cpp.o"
+  "CMakeFiles/hmca_net.dir/net.cpp.o.d"
+  "libhmca_net.a"
+  "libhmca_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_osu.dir/harness.cpp.o"
+  "CMakeFiles/hmca_osu.dir/harness.cpp.o.d"
+  "libhmca_osu.a"
+  "libhmca_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_profiles.dir/profiles.cpp.o"
+  "CMakeFiles/hmca_profiles.dir/profiles.cpp.o.d"
+  "libhmca_profiles.a"
+  "libhmca_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_shm.dir/shm.cpp.o"
+  "CMakeFiles/hmca_shm.dir/shm.cpp.o.d"
+  "libhmca_shm.a"
+  "libhmca_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmca_trace.dir/trace.cpp.o"
+  "CMakeFiles/hmca_trace.dir/trace.cpp.o.d"
+  "libhmca_trace.a"
+  "libhmca_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmca_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

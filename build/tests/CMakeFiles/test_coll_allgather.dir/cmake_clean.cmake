@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_allgather.dir/coll/test_allgather.cpp.o"
+  "CMakeFiles/test_coll_allgather.dir/coll/test_allgather.cpp.o.d"
+  "test_coll_allgather"
+  "test_coll_allgather.pdb"
+  "test_coll_allgather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

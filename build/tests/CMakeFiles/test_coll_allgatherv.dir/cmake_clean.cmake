@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_allgatherv.dir/coll/test_allgatherv.cpp.o"
+  "CMakeFiles/test_coll_allgatherv.dir/coll/test_allgatherv.cpp.o.d"
+  "test_coll_allgatherv"
+  "test_coll_allgatherv.pdb"
+  "test_coll_allgatherv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_allgatherv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

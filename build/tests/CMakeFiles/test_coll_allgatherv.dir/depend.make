@@ -1,0 +1,2 @@
+# Empty dependencies file for test_coll_allgatherv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_allreduce.dir/coll/test_allreduce.cpp.o"
+  "CMakeFiles/test_coll_allreduce.dir/coll/test_allreduce.cpp.o.d"
+  "test_coll_allreduce"
+  "test_coll_allreduce.pdb"
+  "test_coll_allreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_rooted.dir/coll/test_rooted.cpp.o"
+  "CMakeFiles/test_coll_rooted.dir/coll/test_rooted.cpp.o.d"
+  "test_coll_rooted"
+  "test_coll_rooted.pdb"
+  "test_coll_rooted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_rooted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

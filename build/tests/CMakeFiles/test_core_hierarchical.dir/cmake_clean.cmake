@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_hierarchical.dir/core/test_hierarchical.cpp.o"
+  "CMakeFiles/test_core_hierarchical.dir/core/test_hierarchical.cpp.o.d"
+  "test_core_hierarchical"
+  "test_core_hierarchical.pdb"
+  "test_core_hierarchical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mha_dispatch.dir/core/test_mha_dispatch.cpp.o"
+  "CMakeFiles/test_core_mha_dispatch.dir/core/test_mha_dispatch.cpp.o.d"
+  "test_core_mha_dispatch"
+  "test_core_mha_dispatch.pdb"
+  "test_core_mha_dispatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mha_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mha_intra.dir/core/test_mha_intra.cpp.o"
+  "CMakeFiles/test_core_mha_intra.dir/core/test_mha_intra.cpp.o.d"
+  "test_core_mha_intra"
+  "test_core_mha_intra.pdb"
+  "test_core_mha_intra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mha_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

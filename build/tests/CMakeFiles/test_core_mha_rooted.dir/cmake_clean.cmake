@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mha_rooted.dir/core/test_mha_rooted.cpp.o"
+  "CMakeFiles/test_core_mha_rooted.dir/core/test_mha_rooted.cpp.o.d"
+  "test_core_mha_rooted"
+  "test_core_mha_rooted.pdb"
+  "test_core_mha_rooted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mha_rooted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

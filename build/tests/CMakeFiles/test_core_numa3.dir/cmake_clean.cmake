@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_numa3.dir/core/test_numa3.cpp.o"
+  "CMakeFiles/test_core_numa3.dir/core/test_numa3.cpp.o.d"
+  "test_core_numa3"
+  "test_core_numa3.pdb"
+  "test_core_numa3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_numa3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tuning_table.dir/core/test_tuning_table.cpp.o"
+  "CMakeFiles/test_core_tuning_table.dir/core/test_tuning_table.cpp.o.d"
+  "test_core_tuning_table"
+  "test_core_tuning_table.pdb"
+  "test_core_tuning_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tuning_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_buffer.dir/hw/test_buffer.cpp.o"
+  "CMakeFiles/test_hw_buffer.dir/hw/test_buffer.cpp.o.d"
+  "test_hw_buffer"
+  "test_hw_buffer.pdb"
+  "test_hw_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_cluster.dir/hw/test_cluster.cpp.o"
+  "CMakeFiles/test_hw_cluster.dir/hw/test_cluster.cpp.o.d"
+  "test_hw_cluster"
+  "test_hw_cluster.pdb"
+  "test_hw_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_comm.dir/mpi/test_comm.cpp.o"
+  "CMakeFiles/test_mpi_comm.dir/mpi/test_comm.cpp.o.d"
+  "test_mpi_comm"
+  "test_mpi_comm.pdb"
+  "test_mpi_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_datatype.dir/mpi/test_datatype.cpp.o"
+  "CMakeFiles/test_mpi_datatype.dir/mpi/test_datatype.cpp.o.d"
+  "test_mpi_datatype"
+  "test_mpi_datatype.pdb"
+  "test_mpi_datatype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

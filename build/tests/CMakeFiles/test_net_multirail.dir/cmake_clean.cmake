@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_multirail.dir/net/test_multirail.cpp.o"
+  "CMakeFiles/test_net_multirail.dir/net/test_multirail.cpp.o.d"
+  "test_net_multirail"
+  "test_net_multirail.pdb"
+  "test_net_multirail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_multirail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

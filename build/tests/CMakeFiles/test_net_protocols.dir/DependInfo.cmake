@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_protocols.cpp" "tests/CMakeFiles/test_net_protocols.dir/net/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/test_net_protocols.dir/net/test_protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hmca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hmca_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hmca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/hmca_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/hmca_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmca_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/hmca_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hmca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiles/CMakeFiles/hmca_profiles.dir/DependInfo.cmake"
+  "/root/repo/build/src/osu/CMakeFiles/hmca_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hmca_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

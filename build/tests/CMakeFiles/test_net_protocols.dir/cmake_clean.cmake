@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_protocols.dir/net/test_protocols.cpp.o"
+  "CMakeFiles/test_net_protocols.dir/net/test_protocols.cpp.o.d"
+  "test_net_protocols"
+  "test_net_protocols.pdb"
+  "test_net_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

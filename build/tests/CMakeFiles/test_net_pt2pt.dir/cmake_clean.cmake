@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_pt2pt.dir/net/test_pt2pt.cpp.o"
+  "CMakeFiles/test_net_pt2pt.dir/net/test_pt2pt.cpp.o.d"
+  "test_net_pt2pt"
+  "test_net_pt2pt.pdb"
+  "test_net_pt2pt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_pt2pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osu_harness.dir/osu/test_harness.cpp.o"
+  "CMakeFiles/test_osu_harness.dir/osu/test_harness.cpp.o.d"
+  "test_osu_harness"
+  "test_osu_harness.pdb"
+  "test_osu_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm.dir/shm/test_shm.cpp.o"
+  "CMakeFiles/test_shm.dir/shm/test_shm.cpp.o.d"
+  "test_shm"
+  "test_shm.pdb"
+  "test_shm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

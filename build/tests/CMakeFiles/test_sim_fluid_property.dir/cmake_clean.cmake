@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fluid_property.dir/sim/test_fluid_property.cpp.o"
+  "CMakeFiles/test_sim_fluid_property.dir/sim/test_fluid_property.cpp.o.d"
+  "test_sim_fluid_property"
+  "test_sim_fluid_property.pdb"
+  "test_sim_fluid_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fluid_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

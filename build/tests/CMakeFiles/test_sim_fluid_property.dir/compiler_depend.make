@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sim_fluid_property.
+# This may be replaced when dependencies are built.

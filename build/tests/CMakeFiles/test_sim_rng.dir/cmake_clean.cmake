@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_rng.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/test_sim_rng.dir/sim/test_rng.cpp.o.d"
+  "test_sim_rng"
+  "test_sim_rng.pdb"
+  "test_sim_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

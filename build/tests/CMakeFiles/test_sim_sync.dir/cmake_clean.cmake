@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_sync.dir/sim/test_sync.cpp.o"
+  "CMakeFiles/test_sim_sync.dir/sim/test_sync.cpp.o.d"
+  "test_sim_sync"
+  "test_sim_sync.pdb"
+  "test_sim_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
