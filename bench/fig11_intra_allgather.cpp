@@ -1,15 +1,29 @@
 // Figure 11 (a-d): intra-node Allgather, MHA vs the HPC-X and MVAPICH2-X
 // profiles, for 2/4/8/16 processes, 256 KB - 16 MB, plus the Sec. 5.2
 // improvement summary (gains shrink as PPN grows on a fixed adapter count).
+// `--algo list` / `--algo <name>` pins a registry algorithm (see README).
 #include <iostream>
 
+#include "core/selector.hpp"
 #include "hw/spec.hpp"
+#include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
 
 using namespace hmca;
 
-int main() {
+int main(int argc, char** argv) {
+  core::register_core_algorithms();
+  const auto flag = osu::parse_algo_flag(argc, argv);
+  if (flag.list) {
+    osu::print_algo_list(std::cout);
+    return 0;
+  }
+  const std::string subject = flag.name.empty() ? "mha" : flag.name;
+  const coll::AllgatherFn subject_fn = flag.name.empty()
+                                           ? profiles::mha().allgather
+                                           : osu::pinned_allgather(flag.name);
+
   double best_gain[5] = {0, 0, 0, 0, 0};
   const int procs[] = {2, 4, 8, 16};
   for (int pi = 0; pi < 4; ++pi) {
@@ -19,14 +33,13 @@ int main() {
     t.title = "Figure 11" + std::string(1, static_cast<char>('a' + pi)) +
               ": intra-node Allgather latency (us), " + std::to_string(p) +
               " processes";
-    t.headers = {"size", "hpcx", "mvapich2x", "mha", "vs_hpcx", "vs_mvapich"};
+    t.headers = {"size", "hpcx", "mvapich2x", subject, "vs_hpcx", "vs_mvapich"};
     for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
       const double h =
           osu::measure_allgather(spec, profiles::hpcx().allgather, sz);
       const double v =
           osu::measure_allgather(spec, profiles::mvapich().allgather, sz);
-      const double m =
-          osu::measure_allgather(spec, profiles::mha().allgather, sz);
+      const double m = osu::measure_allgather(spec, subject_fn, sz);
       best_gain[pi] = std::max(best_gain[pi], std::max(h, v) / m);
       t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                  osu::format_us(m), osu::format_ratio(h / m),
@@ -42,8 +55,10 @@ int main() {
     std::cout << "  " << procs[pi]
               << " processes: " << osu::format_ratio(best_gain[pi]) << "\n";
   }
-  std::cout << "shape check: MHA wins at every size; the gain decreases as "
-               "the process count grows with 2 fixed adapters (paper: 64-65% "
-               "at 2 procs down to 10-35% at 16).\n";
+  if (flag.name.empty()) {
+    std::cout << "shape check: MHA wins at every size; the gain decreases as "
+                 "the process count grows with 2 fixed adapters (paper: 64-65% "
+                 "at 2 procs down to 10-35% at 16).\n";
+  }
   return 0;
 }

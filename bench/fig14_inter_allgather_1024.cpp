@@ -1,8 +1,9 @@
 // Figure 14: inter-node Allgather vs HPC-X / MVAPICH2-X profiles on
 // 1024 processes (32 nodes x 32 PPN), medium and large messages.
+// `--algo list` / `--algo <name>` pins a registry algorithm (see README).
 #include "inter_allgather_common.hpp"
 
-int main() {
-  hmca::benchfig::run_inter_allgather_figure("Figure 14", 32, 32);
-  return 0;
+int main(int argc, char** argv) {
+  return hmca::benchfig::run_inter_allgather_figure("Figure 14", 32, 32, argc,
+                                                    argv);
 }

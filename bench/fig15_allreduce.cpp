@@ -1,8 +1,11 @@
 // Figure 15 (a-c): Ring-Allreduce accelerated by the MHA Allgather vs the
 // HPC-X and MVAPICH2-X profiles at 8/16/32 nodes x 32 PPN.
+// `--algo list` / `--algo <name>` pins a registry *allreduce* algorithm.
 #include <iostream>
 
+#include "core/selector.hpp"
 #include "hw/spec.hpp"
+#include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
 
@@ -10,20 +13,21 @@ using namespace hmca;
 
 namespace {
 
-void run(char sub, int nodes) {
+void run(char sub, int nodes, const std::string& subject,
+         const coll::AllreduceFn& subject_fn) {
   const auto spec = hw::ClusterSpec::thor(nodes, 32);
   osu::Table t;
   t.title = std::string("Figure 15") + sub + ": Allreduce latency (us), " +
             std::to_string(nodes * 32) + " processes (" +
             std::to_string(nodes) + " nodes x 32 PPN)";
-  t.headers = {"size", "hpcx", "mvapich2x", "mha", "vs_hpcx", "vs_mvapich"};
+  t.headers = {"size", "hpcx", "mvapich2x", subject, "vs_hpcx", "vs_mvapich"};
   // 4x size steps keep the 1024-process sweep tractable on one host CPU.
   for (std::size_t sz = 64 * 1024; sz <= (16u << 20); sz *= 4) {
     const double h =
         osu::measure_allreduce(spec, profiles::hpcx().allreduce, sz);
     const double v =
         osu::measure_allreduce(spec, profiles::mvapich().allreduce, sz);
-    const double m = osu::measure_allreduce(spec, profiles::mha().allreduce, sz);
+    const double m = osu::measure_allreduce(spec, subject_fn, sz);
     t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                osu::format_us(m), osu::format_ratio(h / m),
                osu::format_ratio(v / m)});
@@ -34,14 +38,27 @@ void run(char sub, int nodes) {
 
 }  // namespace
 
-int main() {
-  run('a', 8);
-  run('b', 16);
-  run('c', 32);
-  std::cout << "shape check: the MHA Allgather phase accelerates "
-               "Ring-Allreduce, with the advantage growing with node count "
-               "(paper: 34/39/56% vs HPC-X at 256/512/1024 procs); at the "
-               "very largest vectors the designs converge onto the copy "
-               "bound.\n";
+int main(int argc, char** argv) {
+  core::register_core_algorithms();
+  const auto flag = osu::parse_algo_flag(argc, argv);
+  if (flag.list) {
+    osu::print_algo_list(std::cout);
+    return 0;
+  }
+  const std::string subject = flag.name.empty() ? "mha" : flag.name;
+  const coll::AllreduceFn subject_fn = flag.name.empty()
+                                           ? profiles::mha().allreduce
+                                           : osu::pinned_allreduce(flag.name);
+
+  run('a', 8, subject, subject_fn);
+  run('b', 16, subject, subject_fn);
+  run('c', 32, subject, subject_fn);
+  if (flag.name.empty()) {
+    std::cout << "shape check: the MHA Allgather phase accelerates "
+                 "Ring-Allreduce, with the advantage growing with node count "
+                 "(paper: 34/39/56% vs HPC-X at 256/512/1024 procs); at the "
+                 "very largest vectors the designs converge onto the copy "
+                 "bound.\n";
+  }
   return 0;
 }

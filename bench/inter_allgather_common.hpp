@@ -1,18 +1,34 @@
 // Shared driver for Figures 12-14: inter-node Allgather comparison tables
 // (medium 256 B - 8 KB and large 16 KB - 256 KB) at a given node count.
+//
+// `--algo list` prints the algorithm registry; `--algo <name>` swaps the
+// MHA column for the pinned registry entry (headers follow the name).
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "core/selector.hpp"
 #include "hw/spec.hpp"
+#include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
 
 namespace hmca::benchfig {
 
-inline void run_inter_allgather_figure(const std::string& figure, int nodes,
-                                       int ppn) {
+inline int run_inter_allgather_figure(const std::string& figure, int nodes,
+                                      int ppn, int argc, char** argv) {
+  core::register_core_algorithms();
+  const auto flag = osu::parse_algo_flag(argc, argv);
+  if (flag.list) {
+    osu::print_algo_list(std::cout);
+    return 0;
+  }
+  const std::string subject = flag.name.empty() ? "mha" : flag.name;
+  const coll::AllgatherFn subject_fn = flag.name.empty()
+                                           ? profiles::mha().allgather
+                                           : osu::pinned_allgather(flag.name);
+
   const auto spec = hw::ClusterSpec::thor(nodes, ppn);
   const int procs = nodes * ppn;
 
@@ -21,14 +37,14 @@ inline void run_inter_allgather_figure(const std::string& figure, int nodes,
     t.title = figure + " (" + label + "): Allgather latency (us), " +
               std::to_string(procs) + " processes (" + std::to_string(nodes) +
               " nodes x " + std::to_string(ppn) + " PPN)";
-    t.headers = {"size", "hpcx", "mvapich2x", "mha", "vs_hpcx", "vs_mvapich"};
+    t.headers = {"size",    "hpcx",           "mvapich2x",
+                 subject,   "vs_hpcx",        "vs_mvapich"};
     for (std::size_t sz : osu::size_sweep(lo, hi)) {
       const double h =
           osu::measure_allgather(spec, profiles::hpcx().allgather, sz);
       const double v =
           osu::measure_allgather(spec, profiles::mvapich().allgather, sz);
-      const double m =
-          osu::measure_allgather(spec, profiles::mha().allgather, sz);
+      const double m = osu::measure_allgather(spec, subject_fn, sz);
       t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                  osu::format_us(m), osu::format_ratio(h / m),
                  osu::format_ratio(v / m)});
@@ -39,10 +55,13 @@ inline void run_inter_allgather_figure(const std::string& figure, int nodes,
 
   table("medium messages", 256, 8192);
   table("large messages", 16384, 262144);
-  std::cout << "shape check: MHA wins clearly across the medium sizes "
-               "(paper: 21-62%, growing with node count); at the largest "
-               "sizes all designs converge onto the node copy-throughput "
-               "bound (see EXPERIMENTS.md).\n\n";
+  if (flag.name.empty()) {
+    std::cout << "shape check: MHA wins clearly across the medium sizes "
+                 "(paper: 21-62%, growing with node count); at the largest "
+                 "sizes all designs converge onto the node copy-throughput "
+                 "bound (see EXPERIMENTS.md).\n\n";
+  }
+  return 0;
 }
 
 }  // namespace hmca::benchfig

@@ -1,6 +1,7 @@
 #include "coll/allgather.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -176,9 +177,16 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
   if (comm.size() != cl.world_size()) {
     throw std::invalid_argument("allgather_multi_leader: world comm required");
   }
-  if (groups < 1 || ppn % groups != 0) {
+  if (groups < 1) {
     throw std::invalid_argument(
-        "allgather_multi_leader: ppn must be divisible by groups");
+        "allgather_multi_leader: groups must be >= 1 (got " +
+        std::to_string(groups) + ")");
+  }
+  if (ppn % groups != 0) {
+    throw std::invalid_argument(
+        "allgather_multi_leader: ppn (" + std::to_string(ppn) +
+        ") must be divisible by groups (" + std::to_string(groups) +
+        "): leader groups would be unequal");
   }
   const int gs = ppn / groups;          // group size
   const int node = comm.node_of(my);
@@ -243,6 +251,68 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
       co_await region3->wait_published(i + 1);
       const auto c = region3->chunk(i);
       co_await region3->copy_out(comm.to_global(my), i, recv.sub(c.offset, c.len));
+    }
+  }
+}
+
+sim::Task<void> allgather_node_aware_bruck(mpi::Comm& comm, int my,
+                                           hw::BufView send, hw::BufView recv,
+                                           std::size_t msg, bool in_place) {
+  check_args(comm, my, send, recv, msg, in_place);
+  auto& cl = comm.cluster();
+  if (comm.size() != cl.world_size()) {
+    throw std::invalid_argument(
+        "allgather_node_aware_bruck: world comm required");
+  }
+  const int ppn = cl.ppn();
+  const int nodes = cl.nodes();
+  const int node = comm.node_of(my);
+  const int local = comm.node_local_rank(my);
+  const bool leader = (local == 0);
+  const std::uint64_t seq = comm.next_op_seq(my);
+  const std::size_t chunk = static_cast<std::size_t>(ppn) * msg;
+  const hw::BufView node_slice =
+      recv.sub(static_cast<std::size_t>(node) * chunk, chunk);
+
+  // ---- Phase 1: intra-node exchange (no wire traffic) ----
+  if (ppn > 1) {
+    auto& ncomm = comm.world().node_comm(node);
+    co_await allgather_rd_or_bruck(ncomm, local, send, node_slice, msg,
+                                   in_place);
+  } else {
+    co_await seed_own_block(comm, my, send, recv, msg, in_place);
+  }
+  if (nodes == 1) co_return;
+
+  // ---- Phase 2: inter-node Bruck over whole node blocks, leaders only ----
+  if (leader) {
+    auto& lcomm = comm.world().leader_comm();
+    co_await allgather_bruck(lcomm, node, hw::BufView{}, recv, chunk,
+                             /*in_place=*/true);
+  }
+
+  // ---- Phase 3: node-level distribution of the remote blocks via shm ----
+  if (ppn > 1) {
+    auto region = comm.share().acquire<shm::ShmRegion>(
+        node, op_key(comm.ctx(), seq, 7), ppn, [&] {
+          return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
+                                                  comm.tracer());
+        });
+    if (leader) {
+      for (int o = 1; o < nodes; ++o) {
+        const int other = (node + o) % nodes;
+        const std::size_t off = static_cast<std::size_t>(other) * chunk;
+        co_await region->copy_in_publish(comm.to_global(my),
+                                         recv.sub(off, chunk), off);
+      }
+    } else {
+      for (int i = 0; i + 1 < nodes; ++i) {
+        co_await region->wait_published(static_cast<std::size_t>(i) + 1);
+        const auto c = region->chunk(static_cast<std::size_t>(i));
+        co_await region->copy_out(comm.to_global(my),
+                                  static_cast<std::size_t>(i),
+                                  recv.sub(c.offset, c.len));
+      }
     }
   }
 }

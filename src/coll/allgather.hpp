@@ -75,6 +75,19 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
                                        std::size_t msg, bool in_place = false,
                                        int groups = 2);
 
+/// Node-aware (locality-aware Bruck-style) Allgather, after Bienz et al.:
+///   1. intra-node exchange (RD/Bruck over the node-local communicator) so
+///      every rank holds its node's block — no wire traffic,
+///   2. node leaders run a flat Bruck over whole node blocks (any node
+///      count; only L of the P ranks touch the network),
+///   3. leaders publish the N-1 remote node blocks through shared memory
+///      and members copy them out.
+/// Requires the node-major world communicator.
+sim::Task<void> allgather_node_aware_bruck(mpi::Comm& comm, int my,
+                                           hw::BufView send, hw::BufView recv,
+                                           std::size_t msg,
+                                           bool in_place = false);
+
 bool is_power_of_two(int n);
 int log2_floor(int n);
 

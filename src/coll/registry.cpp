@@ -1,0 +1,328 @@
+#include "coll/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "coll/bcast.hpp"
+
+namespace hmca::coll {
+
+CommShape CommShape::of(const mpi::Comm& comm) {
+  auto& cl = comm.cluster();
+  CommShape s;
+  s.comm_size = comm.size();
+  s.ppn = cl.ppn();
+  s.hcas = cl.spec().hcas_per_node;
+  s.sockets = cl.sockets();
+  s.world = comm.size() == cl.world_size();
+  std::vector<char> seen(static_cast<std::size_t>(cl.nodes()), 0);
+  int distinct = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    auto& flag = seen[static_cast<std::size_t>(comm.node_of(r))];
+    if (!flag) {
+      flag = 1;
+      ++distinct;
+    }
+  }
+  s.nodes = distinct;
+  return s;
+}
+
+namespace {
+
+// ---- Coarse alpha-beta cost terms (candidate *ranking*, not prediction;
+// the paper-accurate Eqs. 2/6/7 are attached to the MHA entries by
+// core::register_core_algorithms) ----
+
+double step_alpha(const model::ModelParams& p, const CommShape& s) {
+  return s.nodes > 1 ? p.alpha_h : p.alpha_c;
+}
+
+double step_bw(const model::ModelParams& p, const CommShape& s) {
+  // Inter-node steps can stripe over all rails; intra-node steps are bound
+  // by one copier.
+  return s.nodes > 1 ? p.bw_h * p.hcas : p.bw_c;
+}
+
+double cost_ring(const model::ModelParams& p, const CommShape& s,
+                 std::size_t m) {
+  const double n = s.comm_size;
+  return (n - 1) * (step_alpha(p, s) + static_cast<double>(m) / step_bw(p, s));
+}
+
+double cost_rd(const model::ModelParams& p, const CommShape& s,
+               std::size_t m) {
+  const double n = s.comm_size;
+  return std::log2(std::max(2.0, n)) * step_alpha(p, s) +
+         (n - 1) * static_cast<double>(m) / step_bw(p, s);
+}
+
+double cost_bruck(const model::ModelParams& p, const CommShape& s,
+                  std::size_t m) {
+  const double n = s.comm_size;
+  // ceil(log2 N) startups, (N-1) blocks on the wire, plus the final local
+  // re-rotation pass over the whole buffer.
+  return std::ceil(std::log2(std::max(2.0, n))) * step_alpha(p, s) +
+         (n - 1) * static_cast<double>(m) / step_bw(p, s) +
+         n * static_cast<double>(m) / p.bw_l;
+}
+
+double cost_direct(const model::ModelParams& p, const CommShape& s,
+                   std::size_t m) {
+  const double n = s.comm_size;
+  // All transfers posted up front: startups serialize on the posting core,
+  // payloads share the path.
+  return (n - 1) * step_alpha(p, s) +
+         (n - 1) * static_cast<double>(m) / step_bw(p, s);
+}
+
+double cost_node_aware_bruck(const model::ModelParams& p, const CommShape& s,
+                             std::size_t m) {
+  const double l = s.ppn;
+  const double n = s.nodes;
+  const double msg = static_cast<double>(m);
+  // Intra exchange + leader Bruck over node blocks + shm distribution.
+  double t = std::ceil(std::log2(std::max(2.0, l))) * p.alpha_c +
+             (l - 1) * msg / p.bw_c;
+  if (n > 1) {
+    t += std::ceil(std::log2(n)) * p.alpha_h +
+         (n - 1) * l * msg / (p.bw_h * p.hcas);
+    if (l > 1) t += (n - 1) * l * msg / p.bw_l;  // copy-in + copy-out
+  }
+  return t;
+}
+
+double cost_allreduce_rd(const model::ModelParams& p, const CommShape& s,
+                         std::size_t bytes) {
+  const double n = s.comm_size;
+  return std::log2(std::max(2.0, n)) *
+         (step_alpha(p, s) + static_cast<double>(bytes) / step_bw(p, s));
+}
+
+double cost_allreduce_ring(const model::ModelParams& p, const CommShape& s,
+                           std::size_t bytes) {
+  const double n = s.comm_size;
+  // Reduce-scatter + allgather: 2(N-1) steps of one chunk each.
+  return 2 * (n - 1) *
+         (step_alpha(p, s) +
+          static_cast<double>(bytes) / n / step_bw(p, s));
+}
+
+bool power_of_two_comm(const CommShape& s, std::size_t) {
+  return is_power_of_two(s.comm_size);
+}
+
+void register_flat(Registry& r) {
+  r.add_allgather(
+      {"ring", "flat Ring: N-1 neighbour steps, bandwidth-optimal",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_ring(c, my, s, rv, m, ip); },
+       {}, cost_ring});
+  r.add_allgather(
+      {"rd", "Recursive Doubling: log2(N) exchanges, power-of-two sizes",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_rd(c, my, s, rv, m, ip); },
+       power_of_two_comm, cost_rd});
+  r.add_allgather(
+      {"bruck", "Bruck: ceil(log2 N) store-and-forward steps, any N",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_bruck(c, my, s, rv, m, ip); },
+       {}, cost_bruck});
+  r.add_allgather(
+      {"direct", "Direct Spread: all transfers posted nonblocking up front",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_direct(c, my, s, rv, m, ip); },
+       {}, cost_direct});
+  r.add_allgather(
+      {"rd_or_bruck", "RD when N is a power of two, Bruck otherwise",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_rd_or_bruck(c, my, s, rv, m, ip); },
+       {},
+       [](const model::ModelParams& p, const CommShape& s, std::size_t m) {
+         return is_power_of_two(s.comm_size) ? cost_rd(p, s, m)
+                                             : cost_bruck(p, s, m);
+       }});
+  r.add_allgather(
+      {"multi_leader2",
+       "Kandalla two-level, 2 leader groups/node, strict phases",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_multi_leader(c, my, s, rv, m, ip, 2); },
+       [](const CommShape& s, std::size_t) {
+         return s.world && s.ppn >= 2 && s.ppn % 2 == 0;
+       },
+       {}});
+  r.add_allgather(
+      {"multi_leader1",
+       "Kandalla two-level, single leader/node, strict phases",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_multi_leader(c, my, s, rv, m, ip, 1); },
+       [](const CommShape& s, std::size_t) { return s.world && s.ppn > 1; },
+       {}});
+  r.add_allgather(
+      {"node_aware_bruck",
+       "locality-aware: intra-node exchange, inter-node Bruck over leaders",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_node_aware_bruck(c, my, s, rv, m, ip); },
+       [](const CommShape& s, std::size_t) { return s.world; },
+       cost_node_aware_bruck});
+
+  r.add_allreduce(
+      {"rd",
+       "recursive doubling on the full vector, non-power-of-two fold",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) { return allreduce_rd(c, my, d, n, t, op); },
+       {}, cost_allreduce_rd});
+  r.add_allreduce(
+      {"ring",
+       "ring reduce-scatter + flat ring allgather (Patarasuk-Yuan)",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) { return allreduce_ring(c, my, d, n, t, op); },
+       [](const CommShape& s, std::size_t count, std::size_t) {
+         return count % static_cast<std::size_t>(s.comm_size) == 0;
+       },
+       cost_allreduce_ring});
+
+  r.add_bcast({"binomial", "binomial tree, log2(N) rounds",
+               [](mpi::Comm& c, int my, int root, hw::BufView d) {
+                 return bcast_binomial(c, my, root, d);
+               },
+               {},
+               [](const model::ModelParams& p, const CommShape& s,
+                  std::size_t m) {
+                 return std::log2(std::max(2.0, double(s.comm_size))) *
+                        (step_alpha(p, s) +
+                         static_cast<double>(m) / step_bw(p, s));
+               }});
+  r.add_bcast({"scatter_allgather",
+               "van de Geijn scatter + ring allgather, large messages",
+               [](mpi::Comm& c, int my, int root, hw::BufView d) {
+                 return bcast_scatter_allgather(c, my, root, d);
+               },
+               [](const CommShape& s, std::size_t m) {
+                 return m % static_cast<std::size_t>(s.comm_size) == 0;
+               },
+               {}});
+
+  r.add_allgatherv({"ring", "ring forwarding of variable-size blocks",
+                    [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                       const VarLayout& l, bool ip) {
+                      return allgatherv_ring(c, my, s, rv, l, ip);
+                    },
+                    {},
+                    {}});
+  r.add_allgatherv({"direct", "all variable-size transfers posted up front",
+                    [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                       const VarLayout& l, bool ip) {
+                      return allgatherv_direct(c, my, s, rv, l, ip);
+                    },
+                    {},
+                    {}});
+}
+
+template <class Algo>
+const Algo* find_in(const std::deque<Algo>& entries, const std::string& name) {
+  for (const auto& a : entries) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+template <class Algo>
+std::vector<std::string> names_of(const std::deque<Algo>& entries) {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const auto& a : entries) out.push_back(a.name);
+  return out;
+}
+
+template <class Algo>
+void add_entry(std::deque<Algo>& entries, Algo a, const char* what) {
+  if (a.name.empty()) {
+    throw std::invalid_argument(std::string("registry: ") + what +
+                                " algorithm must have a name");
+  }
+  if (!a.fn) {
+    throw std::invalid_argument(std::string("registry: ") + what + " '" +
+                                a.name + "' has no implementation");
+  }
+  if (find_in(entries, a.name) != nullptr) {
+    throw std::invalid_argument(std::string("registry: duplicate ") + what +
+                                " algorithm '" + a.name + "'");
+  }
+  entries.push_back(std::move(a));
+}
+
+template <class Algo>
+const Algo& get_entry(const std::deque<Algo>& entries, const std::string& name,
+                      const char* what) {
+  if (const Algo* a = find_in(entries, name)) return *a;
+  std::string msg = std::string("registry: unknown ") + what + " algorithm '" +
+                    name + "' (known:";
+  for (const auto& a : entries) msg += " " + a.name;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    register_flat(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void Registry::add_allgather(AllgatherAlgo a) {
+  add_entry(ag_, std::move(a), "allgather");
+}
+void Registry::add_allreduce(AllreduceAlgo a) {
+  add_entry(ar_, std::move(a), "allreduce");
+}
+void Registry::add_bcast(BcastAlgo a) { add_entry(bc_, std::move(a), "bcast"); }
+void Registry::add_allgatherv(AllgathervAlgo a) {
+  add_entry(agv_, std::move(a), "allgatherv");
+}
+
+const AllgatherAlgo* Registry::find_allgather(
+    const std::string& name) const noexcept {
+  return find_in(ag_, name);
+}
+const AllreduceAlgo* Registry::find_allreduce(
+    const std::string& name) const noexcept {
+  return find_in(ar_, name);
+}
+const BcastAlgo* Registry::find_bcast(const std::string& name) const noexcept {
+  return find_in(bc_, name);
+}
+const AllgathervAlgo* Registry::find_allgatherv(
+    const std::string& name) const noexcept {
+  return find_in(agv_, name);
+}
+
+const AllgatherAlgo& Registry::get_allgather(const std::string& name) const {
+  return get_entry(ag_, name, "allgather");
+}
+const AllreduceAlgo& Registry::get_allreduce(const std::string& name) const {
+  return get_entry(ar_, name, "allreduce");
+}
+const BcastAlgo& Registry::get_bcast(const std::string& name) const {
+  return get_entry(bc_, name, "bcast");
+}
+const AllgathervAlgo& Registry::get_allgatherv(const std::string& name) const {
+  return get_entry(agv_, name, "allgatherv");
+}
+
+std::vector<std::string> Registry::allgather_names() const {
+  return names_of(ag_);
+}
+std::vector<std::string> Registry::allreduce_names() const {
+  return names_of(ar_);
+}
+std::vector<std::string> Registry::bcast_names() const { return names_of(bc_); }
+std::vector<std::string> Registry::allgatherv_names() const {
+  return names_of(agv_);
+}
+
+}  // namespace hmca::coll

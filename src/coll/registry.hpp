@@ -1,0 +1,146 @@
+// Collective-algorithm registry: the bottom layer of the selection stack
+// (registry -> selection engine -> profiles), modeled on Open MPI's `coll`
+// framework and MVAPICH's tuning infrastructure.
+//
+// Every Allgather / Allgatherv / Allreduce / Bcast implementation registers
+// here by name together with
+//   - an *applicability predicate* over the communicator shape (power-of-two
+//     size, node-major world layout, divisible ppn, multi-node, ...) so a
+//     selector never dispatches into an algorithm that would throw, and
+//   - an optional *cost-estimate hook* bound to the analytic models in
+//     model/cost.hpp, letting cost-model-driven selection rank candidates.
+//
+// The flat algorithms of this library register during `Registry::instance()`
+// bootstrap; the paper's MHA designs register via
+// `core::register_core_algorithms()` (called by the selection engine and the
+// profiles). Registration order is preserved for listings (`--algo list`).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allgatherv.hpp"
+#include "coll/allreduce.hpp"
+#include "hw/buffer.hpp"
+#include "model/params.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+/// Pluggable broadcast signature (`data` is input at root, output elsewhere).
+using BcastFn = std::function<sim::Task<void>(mpi::Comm&, int my, int root,
+                                              hw::BufView data)>;
+
+/// Pluggable allgatherv signature (see coll/allgatherv.hpp for buffer
+/// conventions).
+using AllgathervFn = std::function<sim::Task<void>(
+    mpi::Comm&, int my, hw::BufView send, hw::BufView recv, const VarLayout&,
+    bool in_place)>;
+
+/// The communicator shape an applicability predicate / cost hook sees.
+struct CommShape {
+  int comm_size = 1;  ///< ranks in the communicator
+  int nodes = 1;      ///< distinct nodes spanned by the communicator
+  int ppn = 1;        ///< cluster processes per node
+  int hcas = 1;       ///< adapters per node
+  int sockets = 1;    ///< NUMA sockets per node
+  bool world = false; ///< comm is the (node-major) world communicator
+
+  static CommShape of(const mpi::Comm& comm);
+};
+
+/// True when the algorithm can run on this shape for this per-process
+/// message size (bytes). A null predicate means "always applicable".
+using Applicability = std::function<bool(const CommShape&, std::size_t msg)>;
+
+/// Estimated completion time in seconds (analytic, for ranking candidates —
+/// not a promise of absolute accuracy). A null hook means "no estimate".
+using CostFn = std::function<double(const model::ModelParams&,
+                                    const CommShape&, std::size_t msg)>;
+
+struct AllgatherAlgo {
+  std::string name;
+  std::string summary;  ///< one line for `--algo list`
+  AllgatherFn fn;
+  Applicability applies;  ///< null = always
+  CostFn cost;            ///< null = no estimate
+};
+
+struct AllreduceAlgo {
+  std::string name;
+  std::string summary;
+  AllreduceFn fn;
+  /// Predicate over (shape, element count, element size): allreduce
+  /// applicability depends on count divisibility, not only bytes.
+  std::function<bool(const CommShape&, std::size_t count,
+                     std::size_t elem_size)>
+      applies;
+  CostFn cost;  ///< msg = total vector bytes
+};
+
+struct BcastAlgo {
+  std::string name;
+  std::string summary;
+  BcastFn fn;
+  Applicability applies;  ///< msg = payload bytes
+  CostFn cost;
+};
+
+struct AllgathervAlgo {
+  std::string name;
+  std::string summary;
+  AllgathervFn fn;
+  Applicability applies;  ///< msg = total gathered bytes
+  CostFn cost;
+};
+
+/// Process-wide algorithm registry. Single-threaded (like the simulator);
+/// `add_*` throws std::invalid_argument on duplicate names.
+class Registry {
+ public:
+  /// The registry, with the flat `coll` algorithms already registered.
+  static Registry& instance();
+
+  void add_allgather(AllgatherAlgo a);
+  void add_allreduce(AllreduceAlgo a);
+  void add_bcast(BcastAlgo a);
+  void add_allgatherv(AllgathervAlgo a);
+
+  /// Lookup by name; nullptr when absent.
+  const AllgatherAlgo* find_allgather(const std::string& name) const noexcept;
+  const AllreduceAlgo* find_allreduce(const std::string& name) const noexcept;
+  const BcastAlgo* find_bcast(const std::string& name) const noexcept;
+  const AllgathervAlgo* find_allgatherv(const std::string& name) const noexcept;
+
+  /// Lookup by name; throws std::invalid_argument listing the known names.
+  const AllgatherAlgo& get_allgather(const std::string& name) const;
+  const AllreduceAlgo& get_allreduce(const std::string& name) const;
+  const BcastAlgo& get_bcast(const std::string& name) const;
+  const AllgathervAlgo& get_allgatherv(const std::string& name) const;
+
+  std::vector<std::string> allgather_names() const;
+  std::vector<std::string> allreduce_names() const;
+  std::vector<std::string> bcast_names() const;
+  std::vector<std::string> allgatherv_names() const;
+
+  /// Registration-order iteration (for listings and cost-model scans).
+  const std::deque<AllgatherAlgo>& allgathers() const noexcept { return ag_; }
+  const std::deque<AllreduceAlgo>& allreduces() const noexcept { return ar_; }
+  const std::deque<BcastAlgo>& bcasts() const noexcept { return bc_; }
+  const std::deque<AllgathervAlgo>& allgathervs() const noexcept { return agv_; }
+
+ private:
+  Registry() = default;
+  std::deque<AllgatherAlgo> ag_;
+  std::deque<AllreduceAlgo> ar_;
+  std::deque<BcastAlgo> bc_;
+  std::deque<AllgathervAlgo> agv_;
+};
+
+}  // namespace hmca::coll

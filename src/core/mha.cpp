@@ -1,42 +1,22 @@
 #include "core/mha.hpp"
 
-#include "coll/allgather.hpp"
-#include "coll/allreduce.hpp"
-#include "core/hierarchical.hpp"
-#include "core/mha_intra.hpp"
+#include "core/selector.hpp"
 
 namespace hmca::core {
 
 sim::Task<void> mha_allgather(mpi::Comm& comm, int my, hw::BufView send,
                               hw::BufView recv, std::size_t msg, bool in_place,
                               MhaTuning tuning) {
-  auto& cl = comm.cluster();
-  if (cl.nodes() == 1 || comm.size() <= cl.ppn()) {
-    if (msg < tuning.intra_small_threshold) {
-      co_await coll::allgather_rd_or_bruck(comm, my, send, recv, msg, in_place);
-    } else {
-      co_await allgather_mha_intra(comm, my, send, recv, msg, in_place);
-    }
-    co_return;
-  }
-  co_await allgather_mha_inter(comm, my, send, recv, msg, in_place);
+  auto sel = default_selector().select_allgather(comm, my, msg, tuning);
+  co_await sel.fn(comm, my, send, recv, msg, in_place);
 }
 
 sim::Task<void> mha_allreduce(mpi::Comm& comm, int my, hw::BufView data,
                               std::size_t count, mpi::Dtype dtype,
                               mpi::ReduceOp op, MhaTuning tuning) {
-  const std::size_t bytes = count * mpi::dtype_size(dtype);
-  const auto n = static_cast<std::size_t>(comm.size());
-  if (bytes <= tuning.allreduce_rd_threshold || count % n != 0) {
-    co_await coll::allreduce_rd(comm, my, data, count, dtype, op);
-    co_return;
-  }
-  coll::AllgatherFn ag = [tuning](mpi::Comm& c, int r, hw::BufView s,
-                                  hw::BufView rv, std::size_t m,
-                                  bool ip) -> sim::Task<void> {
-    co_await mha_allgather(c, r, s, rv, m, ip, tuning);
-  };
-  co_await coll::allreduce_ring(comm, my, data, count, dtype, op, ag);
+  auto sel =
+      default_selector().select_allreduce(comm, my, count, dtype, tuning);
+  co_await sel.fn(comm, my, data, count, dtype, op);
 }
 
 }  // namespace hmca::core

@@ -1,0 +1,336 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/hierarchical.hpp"
+#include "core/mha_allgatherv.hpp"
+#include "core/mha_intra.hpp"
+#include "core/mha_rooted.hpp"
+#include "model/cost.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::core {
+
+namespace {
+
+// Ring-Allreduce with the MHA Allgather in the distribution phase
+// (Sec. 5.4). A named coroutine so registry/selector lambdas can stay
+// non-coroutine (returning the task keeps captures out of coroutine frames).
+sim::Task<void> ring_mha_allreduce(mpi::Comm& comm, int my, hw::BufView data,
+                                   std::size_t count, mpi::Dtype dtype,
+                                   mpi::ReduceOp op, MhaTuning tuning) {
+  coll::AllgatherFn ag = [tuning](mpi::Comm& c, int r, hw::BufView s,
+                                  hw::BufView rv, std::size_t m, bool ip) {
+    return mha_allgather(c, r, s, rv, m, ip, tuning);
+  };
+  co_await coll::allreduce_ring(comm, my, data, count, dtype, op,
+                                std::move(ag));
+}
+
+void register_core_impl(coll::Registry& reg) {
+  const auto intra_only = [](const coll::CommShape& s, std::size_t) {
+    return s.nodes == 1;
+  };
+  const auto world_multi_node = [](const coll::CommShape& s, std::size_t) {
+    return s.world && s.nodes > 1;
+  };
+
+  reg.add_allgather(
+      {"mha_intra",
+       "Sec. 3.1: CMA direct spread + tuned HCA loopback offload (Eq. 1)",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_mha_intra(c, my, s, rv, m, ip); },
+       intra_only,
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         return model::mha_intra_time(p, s.comm_size,
+                                      static_cast<double>(m));
+       }});
+  reg.add_allgather(
+      {"mha_inter_rd",
+       "Sec. 3.2 hierarchical, RD inter-leader phase, overlapped",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) {
+         HierOptions o;
+         o.phase2 = Phase2Algo::kRD;
+         return allgather_hierarchical(c, my, s, rv, m, ip, o);
+       },
+       [](const coll::CommShape& s, std::size_t) {
+         return s.world && s.nodes > 1 && coll::is_power_of_two(s.nodes);
+       },
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         return model::mha_inter_time_rd(p, s.nodes, s.ppn,
+                                         static_cast<double>(m));
+       }});
+  reg.add_allgather(
+      {"mha_inter_ring",
+       "Sec. 3.2 hierarchical, Ring inter-leader phase, overlapped",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) {
+         HierOptions o;
+         o.phase2 = Phase2Algo::kRing;
+         return allgather_hierarchical(c, my, s, rv, m, ip, o);
+       },
+       world_multi_node,
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         return model::mha_inter_time_ring(p, s.nodes, s.ppn,
+                                           static_cast<double>(m));
+       }});
+  reg.add_allgather(
+      {"mha_inter",
+       "Sec. 3.2 hierarchical, model-resolved RD/Ring phase 2 (Fig. 8)",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_mha_inter(c, my, s, rv, m, ip); },
+       world_multi_node,
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         const double mm = static_cast<double>(m);
+         return std::min(model::mha_inter_time_rd(p, s.nodes, s.ppn, mm),
+                         model::mha_inter_time_ring(p, s.nodes, s.ppn, mm));
+       }});
+  reg.add_allgather(
+      {"single_leader",
+       "Mamidala prior design: shm gather, RD exchange, overlapped",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_single_leader(c, my, s, rv, m, ip); },
+       [](const coll::CommShape& s, std::size_t) { return s.world; },
+       {}});
+  reg.add_allgather(
+      {"numa3",
+       "Sec. 7: 3-level NUMA-aware hierarchical (socket, node, cluster)",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_numa3(c, my, s, rv, m, ip); },
+       [](const coll::CommShape& s, std::size_t) { return s.world; },
+       {}});
+
+  reg.add_allreduce(
+      {"ring_mha",
+       "ring reduce-scatter + MHA Allgather of the chunks (Sec. 5.4)",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) {
+         return ring_mha_allreduce(c, my, d, n, t, op, MhaTuning{});
+       },
+       [](const coll::CommShape& s, std::size_t count, std::size_t) {
+         return count % static_cast<std::size_t>(s.comm_size) == 0;
+       },
+       {}});
+
+  reg.add_bcast({"mha",
+                 "hierarchical: leader scatter-allgather + pipelined shm",
+                 [](mpi::Comm& c, int my, int root, hw::BufView d) {
+                   return mha_bcast(c, my, root, d);
+                 },
+                 [](const coll::CommShape& s, std::size_t) { return s.world; },
+                 {}});
+
+  reg.add_allgatherv(
+      {"mha",
+       "hierarchical Allgatherv: byte-budget offload, overlapped phases",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          const coll::VarLayout& l, bool ip) {
+         return allgatherv_mha(c, my, s, rv, l, ip);
+       },
+       [](const coll::CommShape& s, std::size_t) { return s.world; },
+       {}});
+}
+
+/// Record the decision as a zero-length kPhase span on the deciding rank.
+template <class Algo>
+void trace_decision(mpi::Comm& comm, int my, const char* what, const Algo* a,
+                    const std::string& reason, std::size_t bytes) {
+  trace::Tracer* tr = comm.tracer();
+  if (tr == nullptr) return;
+  const sim::Time now = comm.engine().now();
+  tr->record(trace::Span{comm.to_global(my), trace::Kind::kPhase, now, now,
+                         /*peer=*/-1, bytes,
+                         std::string("select:") + what + "=" + a->name + " [" +
+                             reason + "]"});
+}
+
+const char* env_override(const char* var) {
+  const char* v = std::getenv(var);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+void register_core_algorithms() {
+  static const bool done = [] {
+    register_core_impl(coll::Registry::instance());
+    return true;
+  }();
+  (void)done;
+}
+
+AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
+                                              std::size_t msg,
+                                              const MhaTuning& tuning) const {
+  register_core_algorithms();
+  auto& reg = coll::Registry::instance();
+  const auto shape = coll::CommShape::of(comm);
+  const auto& spec = comm.cluster().spec();
+
+  const auto finish = [&](const coll::AllgatherAlgo& a, coll::AllgatherFn fn,
+                          std::string reason) {
+    trace_decision(comm, my, "allgather", &a, reason, msg);
+    return AllgatherSelection{&a, std::move(fn), std::move(reason)};
+  };
+
+  // 1. Environment override: pin any registry entry for experiments.
+  if (const char* env = env_override(kAllgatherAlgoEnv)) {
+    const auto& a = reg.get_allgather(env);
+    if (a.applies && !a.applies(shape, msg)) {
+      throw std::invalid_argument(
+          std::string("selector: ") + kAllgatherAlgoEnv + "=" + env +
+          " is not applicable to this communicator (size=" +
+          std::to_string(shape.comm_size) +
+          ", nodes=" + std::to_string(shape.nodes) +
+          ", ppn=" + std::to_string(shape.ppn) + ")");
+    }
+    return finish(a, a.fn, std::string("env:") + kAllgatherAlgoEnv);
+  }
+
+  // 2. Tuning table, when it was generated for this cluster shape.
+  if (table_ && shape.world && table_->nodes() == shape.nodes &&
+      table_->ppn() == shape.ppn) {
+    if (shape.nodes > 1 && !table_->inter_entries().empty()) {
+      HierOptions opts = table_->options_for(msg);
+      const Phase2Algo p2 =
+          resolve_phase2(spec, shape.nodes, shape.ppn, msg, opts.phase2);
+      opts.phase2 = p2;
+      const auto& a = reg.get_allgather(
+          p2 == Phase2Algo::kRing ? "mha_inter_ring" : "mha_inter_rd");
+      return finish(a,
+                    [opts](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                           std::size_t m, bool ip) {
+                      return allgather_hierarchical(c, r, s, rv, m, ip, opts);
+                    },
+                    "tuning-table");
+    }
+    if (shape.nodes == 1 && msg >= tuning.intra_small_threshold &&
+        !table_->intra_entries().empty()) {
+      const double offload = table_->offload_for(msg);
+      const auto& a = reg.get_allgather("mha_intra");
+      return finish(a,
+                    [offload](mpi::Comm& c, int r, hw::BufView s,
+                              hw::BufView rv, std::size_t m, bool ip) {
+                      return allgather_mha_intra(c, r, s, rv, m, ip, offload);
+                    },
+                    "tuning-table");
+    }
+  }
+
+  // 3. Cost model: cheapest applicable entry with an estimate.
+  if (use_cost_model_) {
+    const auto params = model::ModelParams::from_spec(spec);
+    const coll::AllgatherAlgo* best = nullptr;
+    double best_cost = 0;
+    for (const auto& a : reg.allgathers()) {
+      if (!a.cost) continue;
+      if (a.applies && !a.applies(shape, msg)) continue;
+      const double c = a.cost(params, shape, msg);
+      if (best == nullptr || c < best_cost) {
+        best = &a;
+        best_cost = c;
+      }
+    }
+    if (best != nullptr) return finish(*best, best->fn, "cost-model");
+  }
+
+  // 4. Static thresholds: the paper's defaults (historical dispatch).
+  if (shape.nodes == 1) {
+    if (msg < tuning.intra_small_threshold) {
+      const auto& a = reg.get_allgather("rd_or_bruck");
+      return finish(a, a.fn, "threshold:intra-small");
+    }
+    const auto& a = reg.get_allgather("mha_intra");
+    return finish(a, a.fn, "threshold:intra-large");
+  }
+  if (shape.world) {
+    const Phase2Algo p2 =
+        resolve_phase2(spec, shape.nodes, shape.ppn, msg, Phase2Algo::kAuto);
+    if (p2 == Phase2Algo::kRing) {
+      const auto& a = reg.get_allgather("mha_inter_ring");
+      return finish(a, a.fn, "threshold:fig8-ring");
+    }
+    const auto& a = reg.get_allgather("mha_inter_rd");
+    return finish(a, a.fn, "threshold:fig8-rd");
+  }
+  // Multi-node subset communicator: the hierarchical engine needs the
+  // node-major world layout, so fall back to a flat algorithm instead of
+  // throwing (the historical dispatcher did the latter).
+  const auto& a = reg.get_allgather("rd_or_bruck");
+  return finish(a, a.fn, "threshold:flat-fallback");
+}
+
+AllreduceSelection Selector::select_allreduce(mpi::Comm& comm, int my,
+                                              std::size_t count,
+                                              mpi::Dtype dtype,
+                                              const MhaTuning& tuning) const {
+  register_core_algorithms();
+  auto& reg = coll::Registry::instance();
+  const auto shape = coll::CommShape::of(comm);
+  const std::size_t elem = mpi::dtype_size(dtype);
+  const std::size_t bytes = count * elem;
+
+  const auto finish = [&](const coll::AllreduceAlgo& a, coll::AllreduceFn fn,
+                          std::string reason) {
+    trace_decision(comm, my, "allreduce", &a, reason, bytes);
+    return AllreduceSelection{&a, std::move(fn), std::move(reason)};
+  };
+
+  // 1. Environment override.
+  if (const char* env = env_override(kAllreduceAlgoEnv)) {
+    const auto& a = reg.get_allreduce(env);
+    if (a.applies && !a.applies(shape, count, elem)) {
+      throw std::invalid_argument(
+          std::string("selector: ") + kAllreduceAlgoEnv + "=" + env +
+          " is not applicable (size=" + std::to_string(shape.comm_size) +
+          ", count=" + std::to_string(count) + ")");
+    }
+    return finish(a, a.fn, std::string("env:") + kAllreduceAlgoEnv);
+  }
+
+  // 2. Cost model.
+  if (use_cost_model_) {
+    const auto params = model::ModelParams::from_spec(comm.cluster().spec());
+    const coll::AllreduceAlgo* best = nullptr;
+    double best_cost = 0;
+    for (const auto& a : reg.allreduces()) {
+      if (!a.cost) continue;
+      if (a.applies && !a.applies(shape, count, elem)) continue;
+      const double c = a.cost(params, shape, bytes);
+      if (best == nullptr || c < best_cost) {
+        best = &a;
+        best_cost = c;
+      }
+    }
+    if (best != nullptr) return finish(*best, best->fn, "cost-model");
+  }
+
+  // 3. Static thresholds (Sec. 5.4): RD for small vectors or when the count
+  // does not split evenly over the ranks; Ring + MHA Allgather otherwise.
+  if (bytes <= tuning.allreduce_rd_threshold ||
+      count % static_cast<std::size_t>(shape.comm_size) != 0) {
+    const auto& a = reg.get_allreduce("rd");
+    return finish(a, a.fn, "threshold:small-or-indivisible");
+  }
+  const auto& a = reg.get_allreduce("ring_mha");
+  return finish(a,
+                [tuning](mpi::Comm& c, int r, hw::BufView d, std::size_t n,
+                         mpi::Dtype t, mpi::ReduceOp op) {
+                  return ring_mha_allreduce(c, r, d, n, t, op, tuning);
+                },
+                "threshold:large");
+}
+
+Selector& default_selector() {
+  static Selector s;
+  return s;
+}
+
+}  // namespace hmca::core

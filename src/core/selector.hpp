@@ -1,0 +1,92 @@
+// Selection engine: resolves (communicator shape, message size) to a
+// registered collective algorithm — the middle layer of the stack
+// (coll/registry -> core/selector -> profiles).
+//
+// Resolution order for each call:
+//   1. environment override (HMCA_ALLGATHER_ALGO / HMCA_ALLREDUCE_ALGO) —
+//      pins any registry entry by name for experiments; unknown or
+//      inapplicable names fail loudly,
+//   2. installed tuning table (MVAPICH-style, core/tuning_table.hpp) when it
+//      matches the cluster shape: tuned offload + measured RD/Ring winner,
+//   3. cost model (opt-in): rank every applicable registry entry by its
+//      model/cost.hpp hook and take the cheapest,
+//   4. static thresholds — the paper's defaults (MhaTuning small-message
+//      cutoffs, the Fig. 8 RD/Ring crossover), reproducing the historical
+//      hard-coded dispatch exactly.
+//
+// Every decision is recorded as a trace::Kind::kPhase span (algorithm name +
+// reason) when the communicator carries a tracer, so benches can show *why*
+// a path was taken.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "coll/registry.hpp"
+#include "core/mha.hpp"
+#include "core/tuning_table.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+
+namespace hmca::core {
+
+/// Environment variables honored by the selection engine.
+inline constexpr const char* kAllgatherAlgoEnv = "HMCA_ALLGATHER_ALGO";
+inline constexpr const char* kAllreduceAlgoEnv = "HMCA_ALLREDUCE_ALGO";
+
+/// Register the MHA designs (mha_intra, mha_inter_{rd,ring}, single_leader,
+/// numa3, ring_mha allreduce, mha bcast/allgatherv) with the registry.
+/// Idempotent; invoked automatically by the selector and the profiles.
+void register_core_algorithms();
+
+/// A resolved allgather decision. `fn` is the callable to run — usually the
+/// registry entry's, but the tuning-table path binds tuned options (offload,
+/// phase-2 algorithm) into a wrapper.
+struct AllgatherSelection {
+  const coll::AllgatherAlgo* algo = nullptr;
+  coll::AllgatherFn fn;
+  std::string reason;
+
+  const std::string& name() const { return algo->name; }
+};
+
+struct AllreduceSelection {
+  const coll::AllreduceAlgo* algo = nullptr;
+  coll::AllreduceFn fn;
+  std::string reason;
+
+  const std::string& name() const { return algo->name; }
+};
+
+class Selector {
+ public:
+  Selector() = default;
+
+  /// Install a persistent tuning table; consulted (before the cost model
+  /// and thresholds) whenever the communicator matches its cluster shape.
+  void set_table(TuningTable table) { table_ = std::move(table); }
+  void clear_table() { table_.reset(); }
+  bool has_table() const noexcept { return table_.has_value(); }
+
+  /// Rank applicable registry entries by their cost hooks instead of the
+  /// static thresholds (env override and tuning table still win).
+  void set_use_cost_model(bool on) noexcept { use_cost_model_ = on; }
+  bool use_cost_model() const noexcept { return use_cost_model_; }
+
+  AllgatherSelection select_allgather(mpi::Comm& comm, int my, std::size_t msg,
+                                      const MhaTuning& tuning = {}) const;
+  AllreduceSelection select_allreduce(mpi::Comm& comm, int my,
+                                      std::size_t count, mpi::Dtype dtype,
+                                      const MhaTuning& tuning = {}) const;
+
+ private:
+  std::optional<TuningTable> table_;
+  bool use_cost_model_ = false;
+};
+
+/// The process-wide selector used by mha_allgather / mha_allreduce and the
+/// `mha` profile. Holds no tuning table by default (static thresholds).
+Selector& default_selector();
+
+}  // namespace hmca::core

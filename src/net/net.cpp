@@ -79,7 +79,7 @@ sim::Task<void> Net::consume(int dst, Arrival& a, hw::BufView out) {
                         : trace::Tracer::Handle{};
     co_await eng.sleep(spec.shm_copy_startup);
     co_await cl_->cpu_copy_between(dst, a.src, static_cast<double>(a.bytes));
-    if (out.real() && a.payload_real) {
+    if (out.real() && a.payload_real && a.bytes > 0) {
       std::memcpy(out.ptr, a.payload.data(), a.bytes);
     }
     span.close(eng.now());

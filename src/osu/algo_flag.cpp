@@ -1,0 +1,90 @@
+#include "osu/algo_flag.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "coll/registry.hpp"
+#include "mpi/datatype.hpp"
+
+namespace hmca::osu {
+
+AlgoFlag parse_algo_flag(int argc, char** argv) {
+  AlgoFlag flag;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--algo") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--algo requires a value (try --algo list)");
+      }
+      value = argv[++i];
+    } else if (arg.rfind("--algo=", 0) == 0) {
+      value = arg.substr(7);
+      if (value.empty()) {
+        throw std::invalid_argument("--algo requires a value (try --algo list)");
+      }
+    } else {
+      continue;
+    }
+    if (value == "list") {
+      flag.list = true;
+    } else {
+      flag.name = value;
+    }
+  }
+  return flag;
+}
+
+void print_algo_list(std::ostream& os) {
+  const auto& reg = coll::Registry::instance();
+  const auto section = [&os](const char* title, const auto& entries) {
+    os << title << ":\n";
+    for (const auto& a : entries) {
+      os << "  " << a.name;
+      for (std::size_t i = a.name.size(); i < 18; ++i) os << ' ';
+      os << a.summary << '\n';
+    }
+  };
+  section("allgather", reg.allgathers());
+  section("allreduce", reg.allreduces());
+  section("bcast", reg.bcasts());
+  section("allgatherv", reg.allgathervs());
+}
+
+namespace {
+
+[[noreturn]] void inapplicable(const char* what, const std::string& name,
+                               const coll::CommShape& s) {
+  throw std::invalid_argument(
+      std::string("--algo ") + name + ": " + what +
+      " is not applicable to this communicator (size=" +
+      std::to_string(s.comm_size) + ", nodes=" + std::to_string(s.nodes) +
+      ", ppn=" + std::to_string(s.ppn) + ")");
+}
+
+}  // namespace
+
+coll::AllgatherFn pinned_allgather(const std::string& name) {
+  const auto& a = coll::Registry::instance().get_allgather(name);
+  return [&a, name](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                    std::size_t m, bool ip) {
+    if (a.applies && !a.applies(coll::CommShape::of(c), m)) {
+      inapplicable("allgather", name, coll::CommShape::of(c));
+    }
+    return a.fn(c, my, s, rv, m, ip);
+  };
+}
+
+coll::AllreduceFn pinned_allreduce(const std::string& name) {
+  const auto& a = coll::Registry::instance().get_allreduce(name);
+  return [&a, name](mpi::Comm& c, int my, hw::BufView d, std::size_t n,
+                    mpi::Dtype t, mpi::ReduceOp op) {
+    if (a.applies && !a.applies(coll::CommShape::of(c), n, mpi::dtype_size(t))) {
+      inapplicable("allreduce", name, coll::CommShape::of(c));
+    }
+    return a.fn(c, my, d, n, t, op);
+  };
+}
+
+}  // namespace hmca::osu

@@ -1,0 +1,45 @@
+// `--algo` command-line support for the OSU-style bench binaries: list the
+// algorithm registry or pin one entry by name, bypassing profile/selector
+// dispatch (the CLI face of the registry -> selector -> profiles stack).
+//
+// Usage accepted by parse_algo_flag:
+//   bench_binary                 # default comparison table
+//   bench_binary --algo list     # print registry entries and exit
+//   bench_binary --algo ring     # pin the "ring" allgather everywhere
+//   bench_binary --algo=ring
+//
+// Callers that want the MHA designs listed must register them first
+// (core::register_core_algorithms()); this header deliberately depends only
+// on the registry layer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+
+namespace hmca::osu {
+
+struct AlgoFlag {
+  std::string name;   ///< empty = no --algo given
+  bool list = false;  ///< --algo list
+};
+
+/// Extract `--algo <name>` / `--algo=<name>` / `--algo list` from argv.
+/// Throws std::invalid_argument on a dangling `--algo`; other arguments are
+/// ignored (benches take none).
+AlgoFlag parse_algo_flag(int argc, char** argv);
+
+/// Print every registry entry (name + one-line summary) per collective.
+void print_algo_list(std::ostream& os);
+
+/// An AllgatherFn running the named registry entry. The name is resolved
+/// eagerly (throws on unknown names, listing the registry); applicability
+/// is checked per call so shape errors name the offending algorithm.
+coll::AllgatherFn pinned_allgather(const std::string& name);
+
+/// Same for Allreduce.
+coll::AllreduceFn pinned_allreduce(const std::string& name);
+
+}  // namespace hmca::osu

@@ -1,103 +1,171 @@
 #include "profiles/profiles.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
-#include "coll/allreduce.hpp"
 #include "core/mha.hpp"
+#include "core/selector.hpp"
 
 namespace hmca::profiles {
 
 namespace {
 
-// ---- HPC-X (Open MPI): flat algorithms ----
-
+// Library decision thresholds (per-process message bytes / vector bytes).
 constexpr std::size_t kHpcxBruckThreshold = 2048;
 constexpr std::size_t kHpcxAllreduceRd = 32768;
-
-sim::Task<void> hpcx_allgather(mpi::Comm& comm, int my, hw::BufView send,
-                               hw::BufView recv, std::size_t msg,
-                               bool in_place) {
-  if (msg <= kHpcxBruckThreshold) {
-    co_await coll::allgather_bruck(comm, my, send, recv, msg, in_place);
-  } else {
-    co_await coll::allgather_ring(comm, my, send, recv, msg, in_place);
-  }
-}
-
-sim::Task<void> hpcx_allreduce(mpi::Comm& comm, int my, hw::BufView data,
-                               std::size_t count, mpi::Dtype dtype,
-                               mpi::ReduceOp op) {
-  const std::size_t bytes = count * mpi::dtype_size(dtype);
-  if (bytes <= kHpcxAllreduceRd ||
-      count % static_cast<std::size_t>(comm.size()) != 0) {
-    co_await coll::allreduce_rd(comm, my, data, count, dtype, op);
-  } else {
-    co_await coll::allreduce_ring(comm, my, data, count, dtype, op);
-  }
-}
-
-// ---- MVAPICH2-X: two-level multi-leader for large Allgathers ----
-
 constexpr std::size_t kMvapichSmallThreshold = 4096;
 constexpr std::size_t kMvapichAllreduceRd = 16384;
 
-sim::Task<void> mvapich_allgather(mpi::Comm& comm, int my, hw::BufView send,
-                                  hw::BufView recv, std::size_t msg,
-                                  bool in_place) {
-  if (msg <= kMvapichSmallThreshold) {
-    co_await coll::allgather_rd_or_bruck(comm, my, send, recv, msg, in_place);
-    co_return;
+AllgatherRule ag_rule(std::string algo, std::size_t min_msg = 0,
+                      std::size_t max_msg = SIZE_MAX) {
+  AllgatherRule r;
+  r.algo = std::move(algo);
+  if (min_msg != 0 || max_msg != SIZE_MAX) {
+    r.when = [min_msg, max_msg](const coll::CommShape&, std::size_t m) {
+      return m >= min_msg && m <= max_msg;
+    };
   }
-  const int ppn = comm.cluster().ppn();
-  if (comm.size() == comm.cluster().world_size() && ppn % 2 == 0 && ppn >= 2) {
-    co_await coll::allgather_multi_leader(comm, my, send, recv, msg, in_place,
-                                          /*groups=*/2);
-  } else if (comm.size() == comm.cluster().world_size() && ppn > 1) {
-    co_await coll::allgather_multi_leader(comm, my, send, recv, msg, in_place,
-                                          /*groups=*/1);
-  } else {
-    co_await coll::allgather_ring(comm, my, send, recv, msg, in_place);
-  }
+  return r;
 }
 
-sim::Task<void> mvapich_allreduce(mpi::Comm& comm, int my, hw::BufView data,
-                                  std::size_t count, mpi::Dtype dtype,
-                                  mpi::ReduceOp op) {
-  const std::size_t bytes = count * mpi::dtype_size(dtype);
-  if (bytes <= kMvapichAllreduceRd ||
-      count % static_cast<std::size_t>(comm.size()) != 0) {
-    co_await coll::allreduce_rd(comm, my, data, count, dtype, op);
-  } else {
-    co_await coll::allreduce_ring(comm, my, data, count, dtype, op);
+/// Allreduce rule that fires for vectors strictly above `min_bytes`.
+AllreduceRule ar_rule(std::string algo, std::size_t min_bytes = 0) {
+  AllreduceRule r;
+  r.algo = std::move(algo);
+  if (min_bytes != 0) {
+    r.when = [min_bytes](const coll::CommShape&, std::size_t count,
+                         std::size_t elem) {
+      return count * elem > min_bytes;
+    };
   }
+  return r;
 }
 
-// ---- MHA: this paper ----
-
-sim::Task<void> mha_ag(mpi::Comm& comm, int my, hw::BufView send,
-                       hw::BufView recv, std::size_t msg, bool in_place) {
-  co_await core::mha_allgather(comm, my, send, recv, msg, in_place);
+const AllgatherRule* match(const std::vector<AllgatherRule>& rules,
+                           const coll::CommShape& shape, std::size_t msg) {
+  auto& reg = coll::Registry::instance();
+  for (const auto& r : rules) {
+    if (r.when && !r.when(shape, msg)) continue;
+    const auto& a = reg.get_allgather(r.algo);
+    if (a.applies && !a.applies(shape, msg)) continue;
+    return &r;
+  }
+  return nullptr;
 }
 
-sim::Task<void> mha_ar(mpi::Comm& comm, int my, hw::BufView data,
-                       std::size_t count, mpi::Dtype dtype, mpi::ReduceOp op) {
-  co_await core::mha_allreduce(comm, my, data, count, dtype, op);
+const AllreduceRule* match(const std::vector<AllreduceRule>& rules,
+                           const coll::CommShape& shape, std::size_t count,
+                           std::size_t elem) {
+  auto& reg = coll::Registry::instance();
+  for (const auto& r : rules) {
+    if (r.when && !r.when(shape, count, elem)) continue;
+    const auto& a = reg.get_allreduce(r.algo);
+    if (a.applies && !a.applies(shape, count, elem)) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+/// Bind a policy's rule list into a callable. Non-coroutine lambdas that
+/// *return* the chosen entry's task, so no captures outlive the call.
+Profile bind(const Policy& p) {
+  Profile prof;
+  prof.name = p.name;
+  if (p.use_selector) {
+    prof.allgather = [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                        std::size_t m, bool ip) {
+      return core::mha_allgather(c, my, s, rv, m, ip);
+    };
+    prof.allreduce = [](mpi::Comm& c, int my, hw::BufView d, std::size_t n,
+                        mpi::Dtype t, mpi::ReduceOp op) {
+      return core::mha_allreduce(c, my, d, n, t, op);
+    };
+    return prof;
+  }
+  prof.allgather = [&p](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                        std::size_t m, bool ip) {
+    const auto shape = coll::CommShape::of(c);
+    const AllgatherRule* r = match(p.allgather, shape, m);
+    if (r == nullptr) {
+      throw std::runtime_error("profile '" + p.name +
+                               "': no applicable allgather rule");
+    }
+    return coll::Registry::instance().get_allgather(r->algo).fn(c, my, s, rv,
+                                                                m, ip);
+  };
+  prof.allreduce = [&p](mpi::Comm& c, int my, hw::BufView d, std::size_t n,
+                        mpi::Dtype t, mpi::ReduceOp op) {
+    const auto shape = coll::CommShape::of(c);
+    const AllreduceRule* r = match(p.allreduce, shape, n, mpi::dtype_size(t));
+    if (r == nullptr) {
+      throw std::runtime_error("profile '" + p.name +
+                               "': no applicable allreduce rule");
+    }
+    return coll::Registry::instance().get_allreduce(r->algo).fn(c, my, d, n,
+                                                                t, op);
+  };
+  return prof;
+}
+
+Policy make_hpcx() {
+  Policy p;
+  p.name = "hpcx";
+  p.allgather = {ag_rule("bruck", 0, kHpcxBruckThreshold),  //
+                 ag_rule("ring")};
+  p.allreduce = {ar_rule("ring", kHpcxAllreduceRd),  // needs divisible count
+                 ar_rule("rd")};
+  return p;
+}
+
+Policy make_mvapich() {
+  Policy p;
+  p.name = "mvapich";
+  // Large messages: two leader groups when ppn splits evenly, one group
+  // when the comm is at least node-major world, flat Ring otherwise — the
+  // registry applicability predicates encode the layout requirements, so
+  // the fallback chain is just rule order.
+  p.allgather = {ag_rule("rd_or_bruck", 0, kMvapichSmallThreshold),
+                 ag_rule("multi_leader2"),  //
+                 ag_rule("multi_leader1"),  //
+                 ag_rule("ring")};
+  p.allreduce = {ar_rule("ring", kMvapichAllreduceRd),  //
+                 ar_rule("rd")};
+  return p;
+}
+
+Policy make_mha() {
+  Policy p;
+  p.name = "mha";
+  p.use_selector = true;
+  return p;
 }
 
 }  // namespace
 
+const Policy& policy(const std::string& name) {
+  core::register_core_algorithms();
+  static const Policy hp = make_hpcx();
+  static const Policy mv = make_mvapich();
+  static const Policy mh = make_mha();
+  if (name == "hpcx") return hp;
+  if (name == "mvapich") return mv;
+  if (name == "mha") return mh;
+  throw std::invalid_argument("unknown profile: " + name);
+}
+
 const Profile& mha() {
-  static const Profile p{"mha", mha_ag, mha_ar};
+  static const Profile p = bind(policy("mha"));
   return p;
 }
 
 const Profile& hpcx() {
-  static const Profile p{"hpcx", hpcx_allgather, hpcx_allreduce};
+  static const Profile p = bind(policy("hpcx"));
   return p;
 }
 
 const Profile& mvapich() {
-  static const Profile p{"mvapich", mvapich_allgather, mvapich_allreduce};
+  static const Profile p = bind(policy("mvapich"));
   return p;
 }
 

@@ -1,9 +1,9 @@
 // Library comparator profiles.
 //
 // The paper evaluates against MVAPICH2-X 2.3 and NVIDIA HPC-X 2.10. We
-// cannot run those binaries; instead each profile is an algorithm-selection
-// stack over the *same* simulated substrate, implementing the designs the
-// paper attributes to each library (Sec. 1.1, Sec. 6):
+// cannot run those binaries; instead each profile is a *selection policy*
+// over the shared algorithm registry (coll/registry.hpp), implementing the
+// designs the paper attributes to each library (Sec. 1.1, Sec. 6):
 //
 //   hpcx     - flat algorithms: Bruck for small Allgathers, Ring for large
 //              (Open MPI tuned decisions); Ring-Allreduce with a flat Ring
@@ -11,19 +11,29 @@
 //   mvapich  - RD/Bruck for small Allgathers; Kandalla-style multi-leader
 //              two-level design with strictly separated phases for large;
 //              Ring-Allreduce for large vectors, RD for small.
-//   mha      - this paper: MHA-intra + hierarchical MHA-inter with
-//              model-selected RD/Ring phase 2 and overlapped distribution.
+//   mha      - this paper: routed through the selection engine
+//              (core/selector.hpp) — MHA-intra + hierarchical MHA-inter
+//              with model-selected RD/Ring phase 2.
+//
+// A policy is declarative data: an ordered rule list mapping (communicator
+// shape, message size) predicates to registry algorithm names. The first
+// rule whose guard passes *and* whose registry entry is applicable wins, so
+// a policy can express "multi-leader when the layout allows it, Ring
+// otherwise" without hand-wiring fallbacks. The `mha` policy instead defers
+// wholesale to the selection engine (`use_selector`).
 //
 // Win/lose *shape* against these profiles is meaningful; absolute numbers
 // of the real libraries are not claimed (see DESIGN.md).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/registry.hpp"
 #include "hw/buffer.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
@@ -32,6 +42,37 @@
 namespace hmca::profiles {
 
 using AllreduceFn = coll::AllreduceFn;
+
+/// One allgather dispatch rule: run registry entry `algo` when `when`
+/// passes (null = always) and the entry's applicability predicate accepts
+/// the communicator shape.
+struct AllgatherRule {
+  std::string algo;
+  std::function<bool(const coll::CommShape&, std::size_t msg)> when;
+};
+
+/// One allreduce dispatch rule (guards see the element count and size, as
+/// registry applicability does).
+struct AllreduceRule {
+  std::string algo;
+  std::function<bool(const coll::CommShape&, std::size_t count,
+                     std::size_t elem_size)>
+      when;
+};
+
+/// A library profile as declarative selection policy. Either `use_selector`
+/// (route through core::default_selector(), the paper's engine) or ordered
+/// first-match rule lists over the registry.
+struct Policy {
+  std::string name;
+  bool use_selector = false;
+  std::vector<AllgatherRule> allgather;
+  std::vector<AllreduceRule> allreduce;
+};
+
+/// The declarative policy behind a profile ("mha", "hpcx", "mvapich");
+/// throws on unknown names. Exposed for introspection and tests.
+const Policy& policy(const std::string& name);
 
 struct Profile {
   std::string name;

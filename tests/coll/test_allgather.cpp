@@ -155,6 +155,73 @@ TEST(MultiLeader, RejectsIndivisibleGroups) {
                std::invalid_argument);
 }
 
+TEST(MultiLeader, RejectsNonPositiveGroups) {
+  EXPECT_THROW(check_allgather(fn_multi_leader(0), 2, 4, 64),
+               std::invalid_argument);
+  EXPECT_THROW(check_allgather(fn_multi_leader(-2), 2, 4, 64),
+               std::invalid_argument);
+}
+
+TEST(MultiLeader, RejectsMoreGroupsThanPpn) {
+  // 8 groups cannot be carved out of 4 processes per node.
+  EXPECT_THROW(check_allgather(fn_multi_leader(8), 2, 4, 64),
+               std::invalid_argument);
+}
+
+TEST(MultiLeader, IndivisibleErrorNamesTheShape) {
+  try {
+    check_allgather(fn_multi_leader(3), 2, 4, 64);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ppn (4)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("groups (3)"), std::string::npos) << msg;
+  }
+}
+
+// ---- Node-aware (locality-aware Bruck) Allgather ----
+
+coll::AllgatherFn fn_node_aware_bruck() {
+  return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+            bool ip) { return allgather_node_aware_bruck(c, r, s, rv, m, ip); };
+}
+
+class NodeAwareBruckSweep : public ::testing::TestWithParam<Topo> {};
+
+TEST_P(NodeAwareBruckSweep, GathersCorrectly) {
+  auto [nodes, ppn, msg] = GetParam();
+  check_allgather(fn_node_aware_bruck(), nodes, ppn, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, NodeAwareBruckSweep,
+    ::testing::Values(Topo{1, 1, 64}, Topo{1, 4, 1024},   // degenerate intra
+                      Topo{2, 1, 256},                    // leaders only
+                      Topo{2, 4, 4096}, Topo{3, 2, 512},  // non-p2 nodes
+                      Topo{5, 3, 1000},                   // odd everything
+                      Topo{4, 4, 65536},                  // rendezvous sizes
+                      Topo{8, 2, 2048}));
+
+TEST(NodeAwareBruck, InPlace) {
+  check_allgather(fn_node_aware_bruck(), 3, 4, 512, true);
+}
+
+TEST(NodeAwareBruck, RejectsSubsetCommunicator) {
+  // Needs the node-major world communicator: run it on the leader comm.
+  auto spec = hw::ClusterSpec::thor(2, 2);
+  sim::Engine eng;
+  mpi::World world(eng, spec);
+  auto& lcomm = world.leader_comm();
+  auto send = hw::Buffer::data(64);
+  auto recv = hw::Buffer::data(64 * 2);
+  auto t = [&]() -> sim::Task<void> {
+    co_await allgather_node_aware_bruck(lcomm, 0, send.view(), recv.view(), 64,
+                                        false);
+  };
+  eng.spawn(t());
+  EXPECT_THROW(eng.run(), std::invalid_argument);
+}
+
 // ---- Structural/performance sanity ----
 
 TEST(AllgatherShape, RingSlowerThanRdForSmallManyRanks) {

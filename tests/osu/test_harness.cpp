@@ -1,14 +1,69 @@
-// The OSU-style harness: measurement plumbing, formatting, sweeps.
+// The OSU-style harness: measurement plumbing, formatting, sweeps, and the
+// --algo registry flag.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "core/selector.hpp"
+#include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 
 namespace hmca::osu {
 namespace {
+
+AlgoFlag parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return parse_algo_flag(static_cast<int>(args.size()),
+                         const_cast<char**>(args.data()));
+}
+
+TEST(AlgoFlag, ParsesAllForms) {
+  EXPECT_TRUE(parse({}).name.empty());
+  EXPECT_FALSE(parse({}).list);
+  EXPECT_EQ(parse({"--algo", "ring"}).name, "ring");
+  EXPECT_EQ(parse({"--algo=ring"}).name, "ring");
+  EXPECT_TRUE(parse({"--algo", "list"}).list);
+  EXPECT_TRUE(parse({"--algo=list"}).list);
+  EXPECT_THROW(parse({"--algo"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--algo="}), std::invalid_argument);
+}
+
+TEST(AlgoFlag, ListIncludesFlatAndCoreEntries) {
+  core::register_core_algorithms();
+  std::ostringstream os;
+  print_algo_list(os);
+  const std::string out = os.str();
+  for (const char* needle :
+       {"allgather", "ring", "node_aware_bruck", "mha_inter", "allreduce",
+        "ring_mha", "bcast", "allgatherv"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(AlgoFlag, PinnedAllgatherRunsAndMeasures) {
+  core::register_core_algorithms();
+  const auto spec = hw::ClusterSpec::thor(2, 2);
+  EXPECT_GT(measure_allgather(spec, pinned_allgather("node_aware_bruck"), 4096),
+            0.0);
+  EXPECT_GT(measure_allreduce(spec, pinned_allreduce("rd"), 4096), 0.0);
+}
+
+TEST(AlgoFlag, UnknownNameThrowsEagerly) {
+  EXPECT_THROW(pinned_allgather("nope"), std::invalid_argument);
+  EXPECT_THROW(pinned_allreduce("nope"), std::invalid_argument);
+}
+
+TEST(AlgoFlag, InapplicablePinFailsAtCallTime) {
+  core::register_core_algorithms();
+  // mha_inter_rd needs a power-of-two node count; pinning it on 3 nodes
+  // must fail when the measurement runs, naming the algorithm.
+  const auto spec = hw::ClusterSpec::thor(3, 2);
+  EXPECT_THROW(measure_allgather(spec, pinned_allgather("mha_inter_rd"), 4096),
+               std::invalid_argument);
+}
 
 coll::AllgatherFn fn_ring() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,

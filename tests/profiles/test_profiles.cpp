@@ -22,6 +22,44 @@ TEST(Registry, NamesAndLookup) {
   EXPECT_THROW(by_name("openmpi"), std::invalid_argument);
 }
 
+TEST(Policy, DeclarativeRulesNameRegistryEntries) {
+  const auto& hp = policy("hpcx");
+  EXPECT_FALSE(hp.use_selector);
+  ASSERT_EQ(hp.allgather.size(), 2u);
+  EXPECT_EQ(hp.allgather[0].algo, "bruck");
+  EXPECT_EQ(hp.allgather[1].algo, "ring");
+
+  const auto& mv = policy("mvapich");
+  ASSERT_EQ(mv.allgather.size(), 4u);
+  EXPECT_EQ(mv.allgather[0].algo, "rd_or_bruck");
+  EXPECT_EQ(mv.allgather[1].algo, "multi_leader2");
+  EXPECT_EQ(mv.allgather[2].algo, "multi_leader1");
+  EXPECT_EQ(mv.allgather[3].algo, "ring");
+
+  // Every named algorithm must resolve in the registry.
+  auto& reg = coll::Registry::instance();
+  for (const auto* p : {&hp, &mv}) {
+    for (const auto& r : p->allgather) {
+      EXPECT_NE(reg.find_allgather(r.algo), nullptr) << r.algo;
+    }
+    for (const auto& r : p->allreduce) {
+      EXPECT_NE(reg.find_allreduce(r.algo), nullptr) << r.algo;
+    }
+  }
+
+  EXPECT_TRUE(policy("mha").use_selector);
+  EXPECT_THROW(policy("openmpi"), std::invalid_argument);
+}
+
+TEST(Policy, RuleChainFallsBackByApplicability) {
+  // mvapich large-message dispatch: the multi_leader2 rule is guarded by
+  // its registry applicability (world && even ppn), so odd-PPN worlds fall
+  // through to multi_leader1 and subset comms to ring — rule order, not
+  // hand-wired if/else.
+  check_allgather(mvapich().allgather, 2, 3, 16384);  // odd ppn -> leader1
+  check_allgather(mvapich().allgather, 2, 1, 16384);  // ppn 1 -> flat ring
+}
+
 class ProfileCorrectness : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ProfileCorrectness, AllgatherSmall) {

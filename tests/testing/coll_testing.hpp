@@ -23,10 +23,13 @@ inline std::byte block_byte(int r, std::size_t i) {
                                 0xff);
 }
 
-inline sim::Task<void> ag_rank_program(mpi::Comm& comm,
-                                       const coll::AllgatherFn& fn, int r,
-                                       hw::BufView send, hw::BufView recv,
-                                       std::size_t msg, bool in_place) {
+// Coroutine parameters are taken by value: a reference parameter would
+// dangle when a caller passes a temporary std::function and the coroutine
+// suspends (the temporary dies at the end of the spawning full-expression).
+inline sim::Task<void> ag_rank_program(mpi::Comm& comm, coll::AllgatherFn fn,
+                                       int r, hw::BufView send,
+                                       hw::BufView recv, std::size_t msg,
+                                       bool in_place) {
   co_await fn(comm, r, send, recv, msg, in_place);
 }
 
@@ -85,10 +88,10 @@ inline double check_allgather(const coll::AllgatherFn& fn, int nodes, int ppn,
   return eng.now();
 }
 
-inline sim::Task<void> ar_rank_program(mpi::Comm& comm,
-                                       const profiles::AllreduceFn& fn, int r,
-                                       hw::BufView data, std::size_t count,
-                                       mpi::Dtype dtype, mpi::ReduceOp op) {
+inline sim::Task<void> ar_rank_program(mpi::Comm& comm, profiles::AllreduceFn fn,
+                                       int r, hw::BufView data,
+                                       std::size_t count, mpi::Dtype dtype,
+                                       mpi::ReduceOp op) {
   co_await fn(comm, r, data, count, dtype, op);
 }
 
