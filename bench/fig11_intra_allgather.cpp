@@ -1,7 +1,8 @@
 // Figure 11 (a-d): intra-node Allgather, MHA vs the HPC-X and MVAPICH2-X
 // profiles, for 2/4/8/16 processes, 256 KB - 16 MB, plus the Sec. 5.2
 // improvement summary (gains shrink as PPN grows on a fixed adapter count).
-// `--algo list` / `--algo <name>` pins a registry algorithm (see README).
+// `--algo list` / `--algo <name>` pins a registry algorithm; `--faults
+// <plan>` (or HMCA_FAULTS) injects rail faults into every world (see README).
 #include <iostream>
 
 #include "core/selector.hpp"
@@ -9,6 +10,7 @@
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
+#include "sim/fault.hpp"
 
 using namespace hmca;
 
@@ -24,11 +26,16 @@ int main(int argc, char** argv) {
                                            ? profiles::mha().allgather
                                            : osu::pinned_allgather(flag.name);
 
+  if (!flag.faults.empty()) {
+    std::cout << "fault plan: " << sim::FaultPlan::parse(flag.faults).to_string()
+              << "\n\n";
+  }
+
   double best_gain[5] = {0, 0, 0, 0, 0};
   const int procs[] = {2, 4, 8, 16};
   for (int pi = 0; pi < 4; ++pi) {
     const int p = procs[pi];
-    const auto spec = hw::ClusterSpec::thor(1, p);
+    const auto spec = osu::with_faults(hw::ClusterSpec::thor(1, p), flag);
     osu::Table t;
     t.title = "Figure 11" + std::string(1, static_cast<char>('a' + pi)) +
               ": intra-node Allgather latency (us), " + std::to_string(p) +

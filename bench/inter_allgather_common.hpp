@@ -2,7 +2,9 @@
 // (medium 256 B - 8 KB and large 16 KB - 256 KB) at a given node count.
 //
 // `--algo list` prints the algorithm registry; `--algo <name>` swaps the
-// MHA column for the pinned registry entry (headers follow the name).
+// MHA column for the pinned registry entry (headers follow the name);
+// `--faults <plan>` (or HMCA_FAULTS) injects a rail fault plan into every
+// measured world, so the tables show degraded-mode latency.
 #pragma once
 
 #include <iostream>
@@ -13,6 +15,7 @@
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
+#include "sim/fault.hpp"
 
 namespace hmca::benchfig {
 
@@ -29,8 +32,12 @@ inline int run_inter_allgather_figure(const std::string& figure, int nodes,
                                            ? profiles::mha().allgather
                                            : osu::pinned_allgather(flag.name);
 
-  const auto spec = hw::ClusterSpec::thor(nodes, ppn);
+  const auto spec = osu::with_faults(hw::ClusterSpec::thor(nodes, ppn), flag);
   const int procs = nodes * ppn;
+  if (!flag.faults.empty()) {
+    std::cout << "fault plan: " << sim::FaultPlan::parse(flag.faults).to_string()
+              << "\n\n";
+  }
 
   auto table = [&](const char* label, std::size_t lo, std::size_t hi) {
     osu::Table t;

@@ -1,5 +1,6 @@
 #include "coll/registry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -17,11 +18,14 @@ CommShape CommShape::of(const mpi::Comm& comm) {
   s.world = comm.size() == cl.world_size();
   std::vector<char> seen(static_cast<std::size_t>(cl.nodes()), 0);
   int distinct = 0;
+  s.healthy_hcas = s.hcas;
   for (int r = 0; r < comm.size(); ++r) {
-    auto& flag = seen[static_cast<std::size_t>(comm.node_of(r))];
+    const int node = comm.node_of(r);
+    auto& flag = seen[static_cast<std::size_t>(node)];
     if (!flag) {
       flag = 1;
       ++distinct;
+      s.healthy_hcas = std::min(s.healthy_hcas, cl.alive_rail_count(node));
     }
   }
   s.nodes = distinct;

@@ -48,9 +48,17 @@ struct CommShape {
   int comm_size = 1;  ///< ranks in the communicator
   int nodes = 1;      ///< distinct nodes spanned by the communicator
   int ppn = 1;        ///< cluster processes per node
-  int hcas = 1;       ///< adapters per node
+  int hcas = 1;       ///< adapters *installed* per node
   int sockets = 1;    ///< NUMA sockets per node
   bool world = false; ///< comm is the (node-major) world communicator
+  /// Smallest count of currently-alive rails over the nodes the
+  /// communicator spans (== hcas on a healthy cluster, 0 when some node
+  /// lost every adapter). Selection consults this so degraded shapes route
+  /// to algorithms that still fit the surviving topology.
+  int healthy_hcas = 1;
+
+  /// True when some spanned node has lost or degraded rail capacity.
+  bool degraded() const noexcept { return healthy_hcas < hcas; }
 
   static CommShape of(const mpi::Comm& comm);
 };

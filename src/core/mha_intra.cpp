@@ -16,6 +16,17 @@ double analytic_offload(const hw::ClusterSpec& spec, int l, std::size_t msg) {
   return model::optimal_offload(params, l, static_cast<double>(msg));
 }
 
+double analytic_offload_degraded(const hw::ClusterSpec& spec, int l,
+                                 std::size_t msg, int healthy_rails) {
+  if (healthy_rails <= 0) return 0.0;
+  if (healthy_rails >= spec.hcas_per_node) return analytic_offload(spec, l, msg);
+  // Eq. 1 re-evaluated over the surviving adapters: the offload share
+  // shrinks with the loopback capacity the dead rails took with them.
+  hw::ClusterSpec surviving = spec;
+  surviving.hcas_per_node = healthy_rails;
+  return analytic_offload(surviving, l, msg);
+}
+
 sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
                                     hw::BufView send, hw::BufView recv,
                                     std::size_t msg, bool in_place,
@@ -37,7 +48,20 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
   auto& cl = node_comm.cluster();
   auto& eng = node_comm.engine();
   const int grank = node_comm.to_global(my);
-  if (offload < 0) offload = analytic_offload(cl.spec(), l, msg);
+  // The offload split d is recomputed over the *surviving* loopback rails:
+  // a dead HCA invalidates the Eq. 1 balance, and with no rail left the
+  // design degenerates to the CPU-only CMA Direct Spread baseline.
+  const int healthy = cl.alive_rail_count(node);
+  if (offload < 0) offload = analytic_offload_degraded(cl.spec(), l, msg, healthy);
+  if (healthy == 0 && offload > 0) {
+    offload = 0;
+    if (auto* tr = node_comm.tracer()) {
+      const sim::Time now = eng.now();
+      tr->record(trace::Span{grank, trace::Kind::kPhase, now, now,
+                             /*peer=*/-1, msg,
+                             "fault:mha_intra cpu-only (all rails down)"});
+    }
+  }
   offload = std::clamp(offload, 0.0, static_cast<double>(l - 1));
 
   if (l == 1) {

@@ -61,4 +61,10 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
 /// size l (real-valued).
 double analytic_offload(const hw::ClusterSpec& spec, int l, std::size_t msg);
 
+/// Eq. 1 re-balanced over `healthy_rails` surviving adapters (rail fault
+/// injection): 0 rails => 0 (CPU-only fallback), all rails => the plain
+/// analytic optimum.
+double analytic_offload_degraded(const hw::ClusterSpec& spec, int l,
+                                 std::size_t msg, int healthy_rails);
+
 }  // namespace hmca::core

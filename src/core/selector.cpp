@@ -224,9 +224,14 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
     }
   }
 
-  // 3. Cost model: cheapest applicable entry with an estimate.
+  // 3. Cost model: cheapest applicable entry with an estimate. Under rail
+  // faults the models see the surviving adapter count, so estimates track
+  // the degraded loopback/stripe capacity.
   if (use_cost_model_) {
-    const auto params = model::ModelParams::from_spec(spec);
+    auto params = model::ModelParams::from_spec(spec);
+    if (shape.degraded() && shape.healthy_hcas >= 1) {
+      params.hcas = shape.healthy_hcas;
+    }
     const coll::AllgatherAlgo* best = nullptr;
     double best_cost = 0;
     for (const auto& a : reg.allgathers()) {
@@ -241,16 +246,43 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
     if (best != nullptr) return finish(*best, best->fn, "cost-model");
   }
 
-  // 4. Static thresholds: the paper's defaults (historical dispatch).
+  // 4. Static thresholds: the paper's defaults (historical dispatch), with
+  // rail health as an applicability input — degraded shapes route to the
+  // variants that fit the surviving topology.
+  const auto degraded_reason = [&shape] {
+    return "degraded:rails=" + std::to_string(shape.healthy_hcas) + "/" +
+           std::to_string(shape.hcas);
+  };
   if (shape.nodes == 1) {
     if (msg < tuning.intra_small_threshold) {
       const auto& a = reg.get_allgather("rd_or_bruck");
       return finish(a, a.fn, "threshold:intra-small");
     }
     const auto& a = reg.get_allgather("mha_intra");
+    if (shape.healthy_hcas == 0) {
+      // Every loopback rail is down: pin the CPU-only CMA baseline rather
+      // than relying on the in-algorithm fallback, so the decision is
+      // visible in the trace.
+      return finish(a,
+                    [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                       std::size_t m, bool ip) {
+                      return allgather_mha_intra(c, r, s, rv, m, ip,
+                                                 /*offload=*/0.0);
+                    },
+                    degraded_reason() + ":cpu-only");
+    }
+    if (shape.degraded()) return finish(a, a.fn, degraded_reason());
     return finish(a, a.fn, "threshold:intra-large");
   }
   if (shape.world) {
+    if (shape.degraded()) {
+      // A lost or weakened rail breaks the Fig. 8 calibration (it assumed
+      // the full stripe width). Ring's single-chunk steps restripe over
+      // the surviving rails every hop and keep per-post exposure minimal,
+      // so degraded shapes pin the Ring phase-2 variant.
+      const auto& a = reg.get_allgather("mha_inter_ring");
+      return finish(a, a.fn, degraded_reason() + ":ring");
+    }
     const Phase2Algo p2 =
         resolve_phase2(spec, shape.nodes, shape.ppn, msg, Phase2Algo::kAuto);
     if (p2 == Phase2Algo::kRing) {

@@ -1,5 +1,6 @@
 #include "hw/cluster.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace hmca::hw {
@@ -40,6 +41,97 @@ Cluster::Cluster(sim::Engine& eng, ClusterSpec spec)
       tx_lock_.push_back(std::make_unique<sim::Semaphore>(eng, 1));
     }
   }
+  rails_.assign(static_cast<std::size_t>(spec_.nodes) * per_node, RailState{});
+  if (!spec_.fault_plan.empty()) {
+    install_faults(sim::FaultPlan::parse(spec_.fault_plan));
+  }
+}
+
+int Cluster::next_rail(int src_node) {
+  auto& c = rail_rr_.at(static_cast<std::size_t>(src_node));
+  for (int tried = 0; tried < spec_.hcas_per_node; ++tried) {
+    const int r = c;
+    c = (c + 1) % spec_.hcas_per_node;
+    if (rail_alive(src_node, r)) return r;
+  }
+  throw sim::SimError("Cluster::next_rail: node " + std::to_string(src_node) +
+                      " has no healthy rail left");
+}
+
+void Cluster::install_faults(const sim::FaultPlan& plan) {
+  plan.validate(spec_.nodes, spec_.hcas_per_node);
+  for (const auto& e : plan.events) {
+    faults_.events.push_back(e);
+    // Armed as an engine callback: rail state flips at exactly e.t in the
+    // deterministic (time, sequence) order, before/between algorithm events
+    // at the same timestamp according to insertion order.
+    eng_->schedule_callback(
+        [this, e] {
+          apply_fault(e);
+          if (fault_listener_) fault_listener_(e);
+        },
+        std::max(e.t, eng_->now()));
+  }
+  if (plan.transient) {
+    faults_.transient = plan.transient;
+    fault_rng_ = sim::Rng(plan.transient->seed);
+  }
+}
+
+void Cluster::apply_fault(const sim::FaultEvent& e) {
+  const int n0 = e.node < 0 ? 0 : e.node;
+  const int n1 = e.node < 0 ? spec_.nodes : e.node + 1;
+  const int h0 = e.hca < 0 ? 0 : e.hca;
+  const int h1 = e.hca < 0 ? spec_.hcas_per_node : e.hca + 1;
+  for (int n = n0; n < n1; ++n) {
+    for (int h = h0; h < h1; ++h) apply_fault_to_rail(e, n, h);
+  }
+}
+
+void Cluster::apply_fault_to_rail(const sim::FaultEvent& e, int node, int hca) {
+  auto& rail = rails_.at(index(node, hca));
+  const bool was_degraded =
+      !rail.alive || rail.bw_factor < 1.0 || rail.lat_factor > 1.0;
+  if (e.kind == sim::FaultKind::kKill) {
+    rail.alive = false;
+  } else {
+    // Repeated degrades compound (a flaky link getting worse).
+    rail.bw_factor *= e.bw_factor;
+    rail.lat_factor *= e.lat_factor;
+  }
+  if (!was_degraded) ++degraded_count_;
+}
+
+int Cluster::alive_rail_count(int node) const {
+  int n = 0;
+  for (int h = 0; h < spec_.hcas_per_node; ++h) {
+    if (rail_alive(node, h)) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Cluster::healthy_rails(int node) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(spec_.hcas_per_node));
+  for (int h = 0; h < spec_.hcas_per_node; ++h) {
+    if (rail_alive(node, h)) out.push_back(h);
+  }
+  return out;
+}
+
+int Cluster::min_alive_rails() const {
+  int best = spec_.hcas_per_node;
+  for (int n = 0; n < spec_.nodes; ++n) {
+    best = std::min(best, alive_rail_count(n));
+  }
+  return best;
+}
+
+bool Cluster::transient_drop(int attempt) {
+  if (!faults_.transient) return false;
+  const auto& t = *faults_.transient;
+  if (attempt >= t.max_consecutive) return false;
+  return fault_rng_.next_double() < t.rate;
 }
 
 sim::Task<void> Cluster::cpu_copy(int node, double bytes) {
@@ -116,11 +208,22 @@ sim::FlowSpec Cluster::nic_flow(int src_node, int src_hca, int dst_node,
   f.bytes = bytes;
   const int ss = hca_socket(src_hca);
   const int ds = hca_socket(dst_hca);
+  // A degraded rail serves payload at bw_factor of its port rate. The weight
+  // inflation makes concurrent flows share the *reduced* capacity max-min
+  // fairly, but a weight alone cannot slow a flow that has a resource to
+  // itself, so the reduced port rate is also imposed as a hard rate cap.
+  const double tx_f = rail_bw_factor(src_node, src_hca);
+  const double rx_f = rail_bw_factor(dst_node, dst_hca);
+  const double tx_w = 1.0 / tx_f;
+  const double rx_w = 1.0 / rx_f;
+  if (const double worst = std::min(tx_f, rx_f); worst < 1.0) {
+    f.rate_cap = worst * spec_.hca_bw;
+  }
   if (src_node == dst_node) {
     // Adapter loopback: one rail's ports, the HCA's socket memory crossed
     // twice (DMA read + DMA write), and the PCIe link crossed twice.
-    f.uses = {{hca_tx(src_node, src_hca), 1.0},
-              {hca_rx(dst_node, dst_hca), 1.0},
+    f.uses = {{hca_tx(src_node, src_hca), tx_w},
+              {hca_rx(dst_node, dst_hca), rx_w},
               {pcie(src_node, src_hca), 2.0},
               {mem(src_node, ss), 2.0 * spec_.nic_mem_weight}};
     if (src_hca != dst_hca) {
@@ -129,8 +232,8 @@ sim::FlowSpec Cluster::nic_flow(int src_node, int src_hca, int dst_node,
       f.uses.push_back({pcie(dst_node, dst_hca), 1.0});
     }
   } else {
-    f.uses = {{hca_tx(src_node, src_hca), 1.0},
-              {hca_rx(dst_node, dst_hca), 1.0},
+    f.uses = {{hca_tx(src_node, src_hca), tx_w},
+              {hca_rx(dst_node, dst_hca), rx_w},
               {pcie(src_node, src_hca), 1.0},
               {pcie(dst_node, dst_hca), 1.0},
               {mem(src_node, ss), spec_.nic_mem_weight},

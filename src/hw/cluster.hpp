@@ -3,11 +3,13 @@
 // sweep, rail path construction) that higher layers compose.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "hw/spec.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/fluid.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -112,15 +114,63 @@ class Cluster {
                          double bytes) const;
 
   /// Round-robin rail selection counter for small messages (per source
-  /// node, as a NIC-level channel scheduler would).
-  int next_rail(int src_node) {
-    auto& c = rail_rr_.at(src_node);
-    const int r = c;
-    c = (c + 1) % spec_.hcas_per_node;
-    return r;
+  /// node, as a NIC-level channel scheduler would). Dead rails are skipped;
+  /// throws sim::SimError when the node has no usable rail left.
+  int next_rail(int src_node);
+
+  // ---- Rail health (fault injection, sim/fault.hpp) ----
+
+  /// Install and arm a fault plan: kill/degrade events are scheduled as
+  /// engine callbacks at their times; a transient spec activates drop
+  /// injection. May be called more than once (events accumulate). The
+  /// spec's `fault_plan` string, if any, is installed at construction.
+  void install_faults(const sim::FaultPlan& plan);
+
+  /// Called with every kill/degrade event when it fires (after the rail
+  /// state flipped); the tracer wiring in mpi::World uses this to emit
+  /// fault spans. hw itself stays trace-free.
+  using FaultListener = std::function<void(const sim::FaultEvent&)>;
+  void set_fault_listener(FaultListener fn) { fault_listener_ = std::move(fn); }
+
+  bool rail_alive(int node, int hca) const {
+    return rails_.at(index(node, hca)).alive;
   }
+  /// Current bandwidth multiplier of a rail's ports, (0, 1].
+  double rail_bw_factor(int node, int hca) const {
+    return rails_.at(index(node, hca)).bw_factor;
+  }
+  /// Current per-post startup multiplier of a rail, >= 1.
+  double rail_lat_factor(int node, int hca) const {
+    return rails_.at(index(node, hca)).lat_factor;
+  }
+  int alive_rail_count(int node) const;
+  /// Rail indices currently alive on `node`, ascending.
+  std::vector<int> healthy_rails(int node) const;
+  /// Smallest alive-rail count over all nodes (selector health input).
+  int min_alive_rails() const;
+  /// True when any rail is currently dead or degraded.
+  bool rails_degraded() const noexcept { return degraded_count_ > 0; }
+
+  const sim::FaultPlan& fault_plan() const noexcept { return faults_; }
+  /// Transient-drop parameters, or nullptr when no transient injection.
+  const sim::TransientSpec* transient_spec() const noexcept {
+    return faults_.transient ? &*faults_.transient : nullptr;
+  }
+  /// Draw from the plan's deterministic drop stream: true when the post
+  /// attempt numbered `attempt` (0-based) must fail. Bounded: attempts at
+  /// or past `max_consecutive` always succeed, so retries make progress.
+  bool transient_drop(int attempt);
 
  private:
+  struct RailState {
+    bool alive = true;
+    double bw_factor = 1.0;
+    double lat_factor = 1.0;
+  };
+
+  void apply_fault(const sim::FaultEvent& e);
+  void apply_fault_to_rail(const sim::FaultEvent& e, int node, int hca);
+
   std::size_t index(int node, int hca) const {
     return static_cast<std::size_t>(node) * spec_.hcas_per_node + hca;
   }
@@ -140,6 +190,11 @@ class Cluster {
   std::vector<std::unique_ptr<sim::Semaphore>> tx_lock_;
   std::vector<std::unique_ptr<sim::Semaphore>> rank_lock_;
   std::vector<int> rail_rr_;
+  std::vector<RailState> rails_;  // per (node, hca)
+  sim::FaultPlan faults_;
+  sim::Rng fault_rng_;
+  int degraded_count_ = 0;  // rails currently dead or degraded
+  FaultListener fault_listener_;
 };
 
 }  // namespace hmca::hw

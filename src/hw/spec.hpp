@@ -80,6 +80,13 @@ struct ClusterSpec {
   /// benches where materializing 1024 ranks' buffers is infeasible).
   bool carry_data = true;
 
+  // ---- Fault injection ----
+  /// Fault plan spec (sim/fault.hpp grammar), parsed and armed by the
+  /// Cluster at construction. Empty = healthy run. Carried on the spec so
+  /// every world builder (tests, OSU harness, benches) threads faults
+  /// without signature changes.
+  std::string fault_plan;
+
   int total_ranks() const { return nodes * ppn; }
 
   /// The paper's testbed (Thor): 2 HDR100 rails/node.

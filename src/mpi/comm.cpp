@@ -105,6 +105,18 @@ sim::Task<void> Comm::barrier(int my) {
 
 World::World(sim::Engine& eng, hw::ClusterSpec spec, trace::Tracer* tracer)
     : eng_(&eng), cluster_(eng, spec), tracer_(tracer), net_(cluster_, tracer) {
+  if (tracer_ != nullptr) {
+    // Fault events become zero-length kPhase spans on the affected node's
+    // first rank (rank 0 for whole-cluster events), so degraded runs are
+    // diagnosable from the ordinary trace.
+    cluster_.set_fault_listener([this](const sim::FaultEvent& e) {
+      const sim::Time now = eng_->now();
+      tracer_->record(trace::Span{
+          cluster_.global_rank(e.node < 0 ? 0 : e.node, 0),
+          trace::Kind::kPhase, now, now, /*peer=*/-1, /*bytes=*/0,
+          "fault:" + e.describe()});
+    });
+  }
   std::vector<int> all(static_cast<std::size_t>(cluster_.world_size()));
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
   comms_.push_back(

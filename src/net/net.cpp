@@ -132,24 +132,60 @@ sim::Task<void> Net::send(int src, int dst, int tag, hw::BufView data) {
 sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
                                    double bytes) {
   const auto& spec = cl_->spec();
-  auto& lock = cl_->tx_post_lock(src_node, hca);
-  co_await lock.acquire();
-  co_await engine().sleep(spec.hca_startup);
-  lock.release();
-  co_await cl_->net().transfer(cl_->nic_flow(src_node, hca, dst_node, hca, bytes));
+  auto& eng = engine();
+  for (int attempt = 0;; ++attempt) {
+    // A rail chosen earlier (striping loop, explicit rdma_get rail) may
+    // have died since, or die between retries: re-resolve both endpoints
+    // against the current health state. next_rail throws when none is left.
+    if (!cl_->rail_alive(src_node, hca)) hca = cl_->next_rail(src_node);
+    const int rx = cl_->rail_alive(dst_node, hca) ? hca
+                                                  : cl_->next_rail(dst_node);
+    auto& lock = cl_->tx_post_lock(src_node, hca);
+    co_await lock.acquire();
+    co_await eng.sleep(spec.hca_startup *
+                       cl_->rail_lat_factor(src_node, hca));
+    lock.release();
+    if (cl_->transient_drop(attempt)) {
+      // The post was dropped on the wire: back off (bounded exponential)
+      // and repost. The drop stream guarantees at most `burst` consecutive
+      // failures, so this loop always terminates.
+      const auto* t = cl_->transient_spec();
+      const double delay = t->backoff(attempt + 1);
+      ++retries_;
+      if (tracer_ != nullptr) {
+        const sim::Time now = eng.now();
+        tracer_->record(trace::Span{
+            cl_->global_rank(src_node, 0), trace::Kind::kPhase, now,
+            now + delay, /*peer=*/-1, static_cast<std::size_t>(bytes),
+            "fault:retry rail=" + std::to_string(hca) +
+                " attempt=" + std::to_string(attempt + 1)});
+      }
+      co_await eng.sleep(delay);
+      continue;
+    }
+    co_await cl_->net().transfer(
+        cl_->nic_flow(src_node, hca, dst_node, rx, bytes));
+    co_return;
+  }
 }
 
 sim::Task<void> Net::striped_transfer(int src_node, int dst_node,
                                       double bytes) {
-  const int rails = cl_->hcas();
-  if (rails == 1 || bytes <= static_cast<double>(cl_->spec().stripe_threshold)) {
+  const auto rails = cl_->healthy_rails(src_node);
+  if (rails.empty()) {
+    throw sim::SimError("Net::striped_transfer: node " +
+                        std::to_string(src_node) + " has no healthy rail");
+  }
+  if (rails.size() == 1 ||
+      bytes <= static_cast<double>(cl_->spec().stripe_threshold)) {
     co_await rail_transfer(src_node, dst_node, cl_->next_rail(src_node), bytes);
     co_return;
   }
   sim::WaitGroup wg(engine());
-  const double chunk = bytes / rails;
-  for (int h = 0; h < rails && h < static_cast<int>(kMaxRails); ++h) {
-    wg.spawn(rail_transfer(src_node, dst_node, h, chunk));
+  const auto count = std::min(rails.size(), kMaxRails);
+  const double chunk = bytes / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    wg.spawn(rail_transfer(src_node, dst_node, rails[i], chunk));
   }
   co_await wg.wait();
 }

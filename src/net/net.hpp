@@ -14,7 +14,12 @@
 //   - one-sided primitives: `cma_get` (kernel-assisted read of a peer's
 //     exported buffer) and `rdma_get` (RDMA read through a chosen rail or
 //     striped across all rails), which MHA-intra uses to offload transfers
-//     to idle HCAs.
+//     to idle HCAs,
+//   - rail fault awareness (sim/fault.hpp): posts avoid dead rails
+//     (fail-stop at post granularity — flows already in flight drain),
+//     striping re-stripes over the currently healthy rail set, a dead
+//     receive-side rail reroutes to a healthy one, and transient drops are
+//     retried with bounded exponential backoff, each retry traced.
 #pragma once
 
 #include <cstddef>
@@ -69,6 +74,14 @@ class Net {
   std::uint64_t messages_delivered() const noexcept { return delivered_; }
   /// Messages that arrived before a matching receive was posted.
   std::uint64_t unexpected_messages() const noexcept { return unexpected_; }
+
+  // ---- Rail health (pass-through to the cluster's fault state) ----
+  bool rail_healthy(int node, int hca) const {
+    return cl_->rail_alive(node, hca);
+  }
+  int healthy_rail_count(int node) const { return cl_->alive_rail_count(node); }
+  /// Transient-drop retries performed so far (diagnostics/tests).
+  std::uint64_t retries() const noexcept { return retries_; }
 
  private:
   // A rendezvous coordination block living in the sender's coroutine frame.
@@ -127,9 +140,14 @@ class Net {
   sim::Task<void> send_intra(int src, int dst, int tag, hw::BufView data);
 
   // Pay the serialized per-message post cost then move bytes over one rail.
+  // Re-picks a healthy rail if `hca` is (or goes) dead, reroutes the
+  // receive side off dead rails, and retries transient drops with bounded
+  // exponential backoff. Throws sim::SimError when either node has no
+  // healthy rail at post time.
   sim::Task<void> rail_transfer(int src_node, int dst_node, int hca,
                                 double bytes);
-  // Stripe across all rails (each chunk pays its own post cost).
+  // Stripe across the currently healthy rails (each chunk pays its own
+  // post cost).
   sim::Task<void> striped_transfer(int src_node, int dst_node, double bytes);
 
   hw::Cluster* cl_;
@@ -137,6 +155,7 @@ class Net {
   std::vector<RankBox> boxes_;
   std::uint64_t delivered_ = 0;
   std::uint64_t unexpected_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace hmca::net

@@ -1,39 +1,76 @@
 #include "osu/algo_flag.hpp"
 
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "coll/registry.hpp"
 #include "mpi/datatype.hpp"
+#include "sim/fault.hpp"
 
 namespace hmca::osu {
+
+namespace {
+
+std::string load_fault_spec(const std::string& value) {
+  if (value.empty() || value.front() != '@') return value;
+  const std::string path = value.substr(1);
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("--faults: cannot read plan file '" + path +
+                                "'");
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+}  // namespace
 
 AlgoFlag parse_algo_flag(int argc, char** argv) {
   AlgoFlag flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string value;
-    if (arg == "--algo") {
-      if (i + 1 >= argc) {
-        throw std::invalid_argument("--algo requires a value (try --algo list)");
+    const auto value_of = [&](const char* name, std::size_t eq_len) {
+      std::string value;
+      if (arg.size() == eq_len - 1) {  // bare flag: value in the next arg
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(std::string(name) + " requires a value");
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(eq_len);
       }
-      value = argv[++i];
-    } else if (arg.rfind("--algo=", 0) == 0) {
-      value = arg.substr(7);
       if (value.empty()) {
-        throw std::invalid_argument("--algo requires a value (try --algo list)");
+        throw std::invalid_argument(std::string(name) + " requires a value");
       }
-    } else {
-      continue;
-    }
-    if (value == "list") {
-      flag.list = true;
-    } else {
-      flag.name = value;
+      return value;
+    };
+    if (arg == "--algo" || arg.rfind("--algo=", 0) == 0) {
+      const std::string value = value_of("--algo (try --algo list)", 7);
+      if (value == "list") {
+        flag.list = true;
+      } else {
+        flag.name = value;
+      }
+    } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
+      flag.faults = load_fault_spec(value_of("--faults", 9));
     }
   }
+  if (flag.faults.empty()) {
+    if (const char* env = std::getenv(kFaultsEnv)) flag.faults = env;
+  }
+  // Fail on typos now, not inside the Nth measurement.
+  sim::FaultPlan::parse(flag.faults);
   return flag;
+}
+
+hw::ClusterSpec with_faults(hw::ClusterSpec spec, const AlgoFlag& flag) {
+  if (!flag.faults.empty()) spec.fault_plan = flag.faults;
+  return spec;
 }
 
 void print_algo_list(std::ostream& os) {

@@ -1,12 +1,18 @@
-// `--algo` command-line support for the OSU-style bench binaries: list the
-// algorithm registry or pin one entry by name, bypassing profile/selector
-// dispatch (the CLI face of the registry -> selector -> profiles stack).
+// `--algo` / `--faults` command-line support for the OSU-style bench
+// binaries: list the algorithm registry or pin one entry by name, bypassing
+// profile/selector dispatch (the CLI face of the registry -> selector ->
+// profiles stack), and inject a rail fault plan into every measured world.
 //
 // Usage accepted by parse_algo_flag:
 //   bench_binary                 # default comparison table
 //   bench_binary --algo list     # print registry entries and exit
 //   bench_binary --algo ring     # pin the "ring" allgather everywhere
 //   bench_binary --algo=ring
+//   bench_binary --faults 'kill:node=0,hca=1,t=5e-6'   # sim/fault.hpp spec
+//   bench_binary --faults=@plan.json                   # read spec from file
+//
+// When no --faults flag is given, the HMCA_FAULTS environment variable is
+// consulted, so fault plans also reach binaries without flag plumbing.
 //
 // Callers that want the MHA designs listed must register them first
 // (core::register_core_algorithms()); this header deliberately depends only
@@ -18,18 +24,28 @@
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "hw/spec.hpp"
 
 namespace hmca::osu {
 
+/// Environment variable consulted when no --faults flag is present.
+inline constexpr const char* kFaultsEnv = "HMCA_FAULTS";
+
 struct AlgoFlag {
-  std::string name;   ///< empty = no --algo given
-  bool list = false;  ///< --algo list
+  std::string name;    ///< empty = no --algo given
+  bool list = false;   ///< --algo list
+  std::string faults;  ///< fault plan spec (--faults or HMCA_FAULTS)
 };
 
-/// Extract `--algo <name>` / `--algo=<name>` / `--algo list` from argv.
-/// Throws std::invalid_argument on a dangling `--algo`; other arguments are
-/// ignored (benches take none).
+/// Extract `--algo <name>` / `--algo=<name>` / `--algo list` and
+/// `--faults <spec|@file>` from argv; an absent --faults falls back to
+/// HMCA_FAULTS. The plan is parse-checked eagerly so typos fail before any
+/// measurement. Throws std::invalid_argument on a dangling flag or a
+/// malformed plan; other arguments are ignored.
 AlgoFlag parse_algo_flag(int argc, char** argv);
+
+/// `spec` with the flag's fault plan attached (no-op when none was given).
+hw::ClusterSpec with_faults(hw::ClusterSpec spec, const AlgoFlag& flag);
 
 /// Print every registry entry (name + one-line summary) per collective.
 void print_algo_list(std::ostream& os);

@@ -1,0 +1,300 @@
+// Randomized differential conformance suite (tests/testing/conformance.hpp).
+//
+// Every registry algorithm runs on sampled shapes / sizes under every fault
+// category and is byte-compared against the naive gather+bcast reference.
+// Seeds: HMCA_CONFORMANCE_SEED or a fixed default; every failure prints the
+// replay command.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "profiles/profiles.hpp"
+#include "sim/fault.hpp"
+#include "testing/conformance.hpp"
+
+namespace hmca {
+namespace {
+
+using testing::conf::RankBytes;
+using testing::conf::Trial;
+using Category = sim::FaultPlan::Category;
+
+class Conformance : public ::testing::Test {
+ protected:
+  void SetUp() override { core::register_core_algorithms(); }
+};
+
+// Message-size menu: zero bytes, odd non-power-of-two sizes, an eager-sized,
+// a rendezvous-sized and a stripe-sized message.
+constexpr std::size_t kMsgSizes[] = {0, 1, 3, 100, 1000, 4096, 20000, 65536};
+constexpr int kTrialsPerCategory = 4;
+
+std::uint64_t category_salt(Category c) {
+  return 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(c) + 1);
+}
+
+/// Independent RNG stream per sub-suite, all derived from the one seed.
+std::uint64_t rng_seed_for(const char* what, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char* p = what; *p; ++p) {
+    h = h * 131 + static_cast<unsigned char>(*p);
+  }
+  return h;
+}
+
+/// Sample one trial of the given fault category. Shapes stay small (<= 16
+/// ranks) so a full category sweep finishes in seconds.
+Trial sample_trial(sim::Rng& rng, std::uint64_t seed, int index, Category cat) {
+  Trial t;
+  t.seed = seed;
+  t.index = index;
+  t.nodes = static_cast<int>(rng.uniform_int(1, 4));
+  t.ppn = static_cast<int>(rng.uniform_int(1, 4));
+  t.hcas = static_cast<int>(rng.uniform_int(1, 3));
+  t.msg = kMsgSizes[rng.next_below(std::size(kMsgSizes))];
+  t.in_place = rng.next_below(2) == 0;
+  t.fault_plan =
+      sim::FaultPlan::random(rng, t.nodes, t.hcas, cat).to_string();
+  return t;
+}
+
+/// Run every applicable registry allgather on the trial and compare against
+/// the shared reference result.
+void check_allgather_trial(const Trial& t) {
+  SCOPED_TRACE(t.context());
+  const RankBytes want = testing::conf::reference_allgather(t);
+  for (const auto& algo : coll::Registry::instance().allgathers()) {
+    if (algo.applies && !algo.applies(testing::conf::shape_of(t), t.msg)) {
+      continue;
+    }
+    const RankBytes got = testing::conf::run_allgather(algo.fn, t);
+    EXPECT_EQ(testing::conf::diff_results(got, want), "")
+        << "allgather '" << algo.name << "' diverged from the reference";
+  }
+}
+
+void run_category(Category cat) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(seed ^ category_salt(cat));
+  for (int i = 0; i < kTrialsPerCategory; ++i) {
+    check_allgather_trial(sample_trial(rng, seed, i, cat));
+  }
+}
+
+TEST_F(Conformance, AllgatherHealthy) { run_category(Category::kNone); }
+TEST_F(Conformance, AllgatherUnderKills) { run_category(Category::kKill); }
+TEST_F(Conformance, AllgatherUnderDegrades) { run_category(Category::kDegrade); }
+TEST_F(Conformance, AllgatherUnderTransients) {
+  run_category(Category::kTransient);
+}
+TEST_F(Conformance, AllgatherUnderMixedFaults) {
+  run_category(Category::kMixed);
+}
+
+// ---- Allreduce: exact arithmetic in every dtype, all fault categories ----
+
+TEST_F(Conformance, AllreduceAllDtypes) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  const mpi::Dtype dtypes[] = {mpi::Dtype::kInt32, mpi::Dtype::kInt64,
+                               mpi::Dtype::kFloat, mpi::Dtype::kDouble};
+  const mpi::ReduceOp ops[] = {mpi::ReduceOp::kSum, mpi::ReduceOp::kProd,
+                               mpi::ReduceOp::kMax, mpi::ReduceOp::kMin};
+  const std::size_t counts[] = {1, 5, 96, 1000};
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  sim::Rng rng(seed ^ 0xa11dedu);
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    const mpi::Dtype dtype =
+        dtypes[rng.next_below(std::size(dtypes))];
+    const mpi::ReduceOp op = ops[rng.next_below(std::size(ops))];
+    const std::size_t count = counts[rng.next_below(std::size(counts))];
+    SCOPED_TRACE(t.context());
+    SCOPED_TRACE("dtype=" + std::to_string(static_cast<int>(dtype)) +
+                 " op=" + std::to_string(static_cast<int>(op)) +
+                 " count=" + std::to_string(count));
+    for (const auto& algo : coll::Registry::instance().allreduces()) {
+      if (algo.applies && !algo.applies(testing::conf::shape_of(t), count,
+                                        mpi::dtype_size(dtype))) {
+        continue;
+      }
+      const RankBytes got =
+          testing::conf::run_allreduce(algo.fn, t, count, dtype, op);
+      for (int r = 0; r < t.procs(); ++r) {
+        const auto& bytes = got[static_cast<std::size_t>(r)];
+        for (std::size_t e = 0; e < count; ++e) {
+          const std::int64_t want =
+              testing::conf::reduce_expected(t.procs(), e, op);
+          std::int64_t have = 0;
+          switch (dtype) {
+            case mpi::Dtype::kByte:
+              have = std::to_integer<std::int64_t>(bytes[e]);
+              break;
+            case mpi::Dtype::kInt32:
+              have = *reinterpret_cast<const std::int32_t*>(&bytes[e * 4]);
+              break;
+            case mpi::Dtype::kInt64:
+              have = *reinterpret_cast<const std::int64_t*>(&bytes[e * 8]);
+              break;
+            case mpi::Dtype::kFloat:
+              have = static_cast<std::int64_t>(
+                  *reinterpret_cast<const float*>(&bytes[e * 4]));
+              break;
+            case mpi::Dtype::kDouble:
+              have = static_cast<std::int64_t>(
+                  *reinterpret_cast<const double*>(&bytes[e * 8]));
+              break;
+          }
+          ASSERT_EQ(have, want)
+              << "allreduce '" << algo.name << "' rank " << r << " elem " << e;
+        }
+      }
+    }
+  }
+}
+
+// ---- Bcast / Allgatherv under faults: expected-bytes checks ----
+
+TEST_F(Conformance, BcastAllCategories) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("bcast", seed));
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    SCOPED_TRACE(t.context());
+    for (const auto& algo : coll::Registry::instance().bcasts()) {
+      if (algo.applies && !algo.applies(testing::conf::shape_of(t), t.msg)) {
+        continue;
+      }
+      const RankBytes got = testing::conf::run_bcast(algo.fn, t);
+      for (int r = 0; r < t.procs(); ++r) {
+        const auto& bytes = got[static_cast<std::size_t>(r)];
+        std::size_t bad = t.msg;
+        for (std::size_t i = 0; i < t.msg; ++i) {
+          if (bytes[i] != testing::conf::content_byte(0, i)) {
+            bad = i;
+            break;
+          }
+        }
+        ASSERT_EQ(bad, t.msg)
+            << "bcast '" << algo.name << "' rank " << r << " first bad byte";
+      }
+    }
+  }
+}
+
+TEST_F(Conformance, AllgathervAllCategories) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("allgatherv", seed));
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    SCOPED_TRACE(t.context());
+    // Irregular counts including empty contributions and one large block.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(t.procs()));
+    for (auto& c : counts) {
+      const std::size_t menu[] = {0, 1, 17, 300, 5000, 40000};
+      c = menu[rng.next_below(std::size(menu))];
+    }
+    const auto layout = coll::VarLayout::from_counts(counts);
+    const auto want = testing::conf::allgatherv_expected(layout);
+    for (const auto& algo : coll::Registry::instance().allgathervs()) {
+      if (algo.applies &&
+          !algo.applies(testing::conf::shape_of(t), layout.total)) {
+        continue;
+      }
+      const RankBytes got =
+          testing::conf::run_allgatherv(algo.fn, t, counts);
+      for (int r = 0; r < t.procs(); ++r) {
+        ASSERT_EQ(got[static_cast<std::size_t>(r)], want)
+            << "allgatherv '" << algo.name << "' rank " << r;
+      }
+    }
+  }
+}
+
+// ---- Property: any kill plan leaving >= 1 healthy rail per node keeps the
+// MHA allgather byte-identical to the fault-free run ----
+
+TEST_F(Conformance, SurvivableKillPlansPreserveOutput) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("property", seed));
+  for (int i = 0; i < 6; ++i) {
+    Trial t = sample_trial(rng, seed, i, Category::kKill);
+    t.hcas = static_cast<int>(rng.uniform_int(2, 3));  // room to lose rails
+    t.fault_plan =
+        sim::FaultPlan::random(rng, t.nodes, t.hcas, Category::kKill)
+            .to_string();
+    SCOPED_TRACE(t.context());
+
+    Trial healthy = t;
+    healthy.fault_plan.clear();
+    const RankBytes want =
+        testing::conf::run_allgather(profiles::mha().allgather, healthy);
+    const RankBytes got =
+        testing::conf::run_allgather(profiles::mha().allgather, t);
+    EXPECT_EQ(testing::conf::diff_results(got, want), "")
+        << "MHA output changed under a survivable kill plan";
+  }
+}
+
+// ---- Acceptance: kill one of two HCAs mid-run; every registered allgather
+// still completes correctly ----
+
+TEST_F(Conformance, KillOneOfTwoHcasMidRun) {
+  Trial t;
+  t.seed = testing::conf::suite_seed();
+  t.nodes = 2;
+  t.ppn = 4;
+  t.hcas = 2;
+  t.msg = 65536;  // big enough that the kill lands mid-collective
+  t.fault_plan = "kill:node=*,hca=1,t=2e-5";
+  check_allgather_trial(t);
+}
+
+// ---- Determinism: same plan + same seed => byte-identical traces ----
+
+TEST_F(Conformance, SamePlanSameSeedSameTrace) {
+  Trial t;
+  t.seed = testing::conf::suite_seed();
+  t.nodes = 2;
+  t.ppn = 2;
+  t.hcas = 2;
+  t.msg = 40000;
+  t.fault_plan =
+      "kill:node=0,hca=1,t=1e-5;degrade:node=1,hca=0,t=0,bw=0.5,lat=2;"
+      "flaky:rate=0.2,burst=2,seed=42";
+
+  auto one_run = [&](std::string* csv) {
+    trace::Tracer tracer;
+    const RankBytes out =
+        testing::conf::run_allgather(profiles::mha().allgather, t, &tracer);
+    std::ostringstream os;
+    tracer.write_csv(os);
+    *csv = os.str();
+    return out;
+  };
+
+  std::string csv_a, csv_b;
+  const RankBytes out_a = one_run(&csv_a);
+  const RankBytes out_b = one_run(&csv_b);
+  EXPECT_EQ(testing::conf::diff_results(out_a, out_b), "");
+  EXPECT_EQ(csv_a, csv_b) << "fault-injected trace is not deterministic";
+  EXPECT_NE(csv_a.find("fault:"), std::string::npos)
+      << "expected fault spans in the trace";
+}
+
+}  // namespace
+}  // namespace hmca

@@ -1,0 +1,163 @@
+// Degraded-mode collectives: Eq. 1 offload recomputation over surviving
+// rails, the CPU-only MHA-intra fallback, CommShape rail health, and the
+// selector's degraded routing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "coll/registry.hpp"
+#include "core/mha_intra.hpp"
+#include "core/selector.hpp"
+#include "hw/spec.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+#include "testing/conformance.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::core {
+namespace {
+
+TEST(AnalyticOffloadDegraded, MatchesHealthyOptimumWithAllRails) {
+  const auto spec = hw::ClusterSpec::multi_rail(1, 8, 2);
+  const std::size_t msg = 1 << 20;
+  EXPECT_DOUBLE_EQ(analytic_offload_degraded(spec, 8, msg, 2),
+                   analytic_offload(spec, 8, msg));
+}
+
+TEST(AnalyticOffloadDegraded, ZeroRailsMeansNoOffload) {
+  const auto spec = hw::ClusterSpec::multi_rail(1, 8, 2);
+  EXPECT_DOUBLE_EQ(analytic_offload_degraded(spec, 8, 1 << 20, 0), 0.0);
+}
+
+TEST(AnalyticOffloadDegraded, FewerRailsOffloadLess) {
+  const auto spec = hw::ClusterSpec::multi_rail(1, 16, 4);
+  const std::size_t msg = 1 << 20;
+  double prev = 0.0;
+  for (int rails = 1; rails <= 4; ++rails) {
+    const double d = analytic_offload_degraded(spec, 16, msg, rails);
+    EXPECT_GE(d, prev) << rails << " rails";
+    prev = d;
+  }
+  EXPECT_LT(analytic_offload_degraded(spec, 16, msg, 1),
+            analytic_offload(spec, 16, msg));
+}
+
+TEST(CommShape, ReportsHealthyRailMinimum) {
+  auto spec = hw::ClusterSpec::multi_rail(2, 2, 2);
+  spec.fault_plan = "kill:node=1,hca=0,t=0";
+  sim::Engine eng;
+  mpi::World world(eng, spec);
+  eng.run();  // fire the kill
+  const auto shape = coll::CommShape::of(world.comm_world());
+  EXPECT_EQ(shape.hcas, 2);
+  EXPECT_EQ(shape.healthy_hcas, 1);  // min over nodes: node 1 has 1 left
+  EXPECT_TRUE(shape.degraded());
+}
+
+TEST(CommShape, HealthyClusterIsNotDegraded) {
+  sim::Engine eng;
+  mpi::World world(eng, hw::ClusterSpec::multi_rail(2, 2, 2));
+  const auto shape = coll::CommShape::of(world.comm_world());
+  EXPECT_EQ(shape.healthy_hcas, 2);
+  EXPECT_FALSE(shape.degraded());
+}
+
+/// What the default selector picks on a faulted world (faults fired first).
+AllgatherSelection select_faulted(int nodes, int ppn, std::size_t msg,
+                                  const std::string& plan) {
+  auto spec = hw::ClusterSpec::thor(nodes, ppn);
+  spec.fault_plan = plan;
+  sim::Engine eng;
+  mpi::World world(eng, spec);
+  eng.run();
+  return default_selector().select_allgather(world.comm_world(), 0, msg);
+}
+
+TEST(SelectorDegraded, WorldWithLostRailPinsRing) {
+  // Healthy, this shape picks RD (chunk 512*16 = 8 KB <= 16 KB crossover).
+  const auto healthy = select_faulted(2, 16, 512, "");
+  EXPECT_EQ(healthy.name(), "mha_inter_rd");
+  const auto degraded = select_faulted(2, 16, 512, "kill:node=0,hca=1,t=0");
+  EXPECT_EQ(degraded.name(), "mha_inter_ring");
+  EXPECT_EQ(degraded.reason, "degraded:rails=1/2:ring");
+}
+
+TEST(SelectorDegraded, IntraWithLostRailStaysOnMhaIntra) {
+  const auto sel =
+      select_faulted(1, 8, 65536, "kill:node=0,hca=1,t=0");
+  EXPECT_EQ(sel.name(), "mha_intra");
+  EXPECT_EQ(sel.reason, "degraded:rails=1/2");
+}
+
+TEST(SelectorDegraded, AllRailsDownPinsCpuOnlyIntra) {
+  const auto sel = select_faulted(1, 8, 65536, "kill:node=0,hca=*,t=0");
+  EXPECT_EQ(sel.name(), "mha_intra");
+  EXPECT_EQ(sel.reason, "degraded:rails=0/2:cpu-only");
+}
+
+TEST(SelectorDegraded, SmallIntraMessagesKeepConventionalPath) {
+  // The conventional small-message algorithms never touch the loopback
+  // rails, so degraded shapes keep the healthy decision there.
+  const auto sel = select_faulted(1, 8, 1024, "kill:node=0,hca=*,t=0");
+  EXPECT_EQ(sel.name(), "rd_or_bruck");
+  EXPECT_EQ(sel.reason, "threshold:intra-small");
+}
+
+TEST(MhaIntraDegraded, CpuOnlyFallbackStillGathersCorrectly) {
+  // Every loopback rail dead from t=0; the analytic offload path must fall
+  // back to plain CMA Direct Spread and still produce the right bytes.
+  testing::conf::Trial t;
+  t.nodes = 1;
+  t.ppn = 8;
+  t.hcas = 2;
+  t.msg = 65536;
+  t.fault_plan = "kill:node=0,hca=*,t=0";
+  const coll::AllgatherFn fn = [](mpi::Comm& c, int my, hw::BufView s,
+                                  hw::BufView r, std::size_t m, bool ip) {
+    return allgather_mha_intra(c, my, s, r, m, ip);  // offload = analytic
+  };
+  const auto got = testing::conf::run_allgather(fn, t);
+  const auto want = testing::conf::reference_allgather(t);
+  EXPECT_EQ(testing::conf::diff_results(got, want), "");
+}
+
+TEST(MhaIntraDegraded, CpuOnlyFallbackIsTraced) {
+  testing::conf::Trial t;
+  t.nodes = 1;
+  t.ppn = 4;
+  t.hcas = 2;
+  t.msg = 65536;
+  t.fault_plan = "kill:node=0,hca=*,t=0";
+  trace::Tracer tracer;
+  const coll::AllgatherFn fn = [](mpi::Comm& c, int my, hw::BufView s,
+                                  hw::BufView r, std::size_t m, bool ip) {
+    return allgather_mha_intra(c, my, s, r, m, ip, /*offload=*/2.0);
+  };
+  testing::conf::run_allgather(fn, t, &tracer);
+  bool saw_fallback = false;
+  for (const auto& s : tracer.spans()) {
+    if (s.label.rfind("fault:mha_intra cpu-only", 0) == 0) saw_fallback = true;
+  }
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST(MhaIntraDegraded, SurvivingRailRunsReducedOffload) {
+  // One of two rails dead: the collective still completes correctly using
+  // the reduced Eq. 1 split on the surviving rail.
+  testing::conf::Trial t;
+  t.nodes = 1;
+  t.ppn = 8;
+  t.hcas = 2;
+  t.msg = 1 << 20;
+  t.fault_plan = "kill:node=0,hca=1,t=0";
+  const coll::AllgatherFn fn = [](mpi::Comm& c, int my, hw::BufView s,
+                                  hw::BufView r, std::size_t m, bool ip) {
+    return allgather_mha_intra(c, my, s, r, m, ip);
+  };
+  const auto got = testing::conf::run_allgather(fn, t);
+  const auto want = testing::conf::reference_allgather(t);
+  EXPECT_EQ(testing::conf::diff_results(got, want), "");
+}
+
+}  // namespace
+}  // namespace hmca::core

@@ -1,0 +1,390 @@
+// Randomized differential conformance harness.
+//
+// Every registered collective algorithm is run on sampled communicator
+// shapes / message sizes / fault plans and byte-compared against a naive
+// gather+bcast reference executed on a fault-free world of the same shape.
+// All randomness flows from one seed (env HMCA_CONFORMANCE_SEED, fixed
+// default otherwise); every failure message carries `Trial::context()`,
+// which embeds that seed, so any red run replays exactly with
+//   HMCA_CONFORMANCE_SEED=<seed> ctest -L conformance
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allgatherv.hpp"
+#include "coll/registry.hpp"
+#include "hw/buffer.hpp"
+#include "hw/spec.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::testing::conf {
+
+/// Environment variable overriding the suite seed (CI's random leg sets it
+/// to the run id; failures print the value for local replay).
+inline constexpr const char* kSeedEnv = "HMCA_CONFORMANCE_SEED";
+
+/// The suite seed: HMCA_CONFORMANCE_SEED when set (any strtoull base-0
+/// form), a fixed default otherwise so plain `ctest` stays reproducible.
+inline std::uint64_t suite_seed() {
+  if (const char* env = std::getenv(kSeedEnv)) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC04F04A11C3ull;
+}
+
+/// One sampled conformance trial: a topology, a per-process message size
+/// and a fault plan ("" = healthy run).
+struct Trial {
+  int nodes = 1;
+  int ppn = 1;
+  int hcas = 1;
+  std::size_t msg = 0;
+  bool in_place = false;
+  std::string fault_plan;
+  std::uint64_t seed = 0;  ///< suite seed, for replay instructions
+  int index = 0;           ///< trial number within its suite
+
+  int procs() const { return nodes * ppn; }
+
+  /// Replay breadcrumb appended to every assertion in the suite.
+  std::string context() const {
+    std::ostringstream os;
+    os << "[trial " << index << ": nodes=" << nodes << " ppn=" << ppn
+       << " hcas=" << hcas << " msg=" << msg
+       << (in_place ? " in_place" : "") << " faults='" << fault_plan
+       << "'] replay with " << kSeedEnv << "=" << seed;
+    return os.str();
+  }
+};
+
+inline hw::ClusterSpec spec_of(const Trial& t) {
+  auto spec = hw::ClusterSpec::multi_rail(t.nodes, t.ppn, t.hcas);
+  spec.carry_data = true;
+  spec.fault_plan = t.fault_plan;
+  return spec;
+}
+
+/// The shape a world of this trial presents at time zero (all rails still
+/// alive), used to honor registry applicability predicates without paying
+/// for a throwaway cluster.
+inline coll::CommShape shape_of(const Trial& t) {
+  coll::CommShape s;
+  s.comm_size = t.procs();
+  s.nodes = t.nodes;
+  s.ppn = t.ppn;
+  s.hcas = t.hcas;
+  s.sockets = 1;
+  s.world = true;
+  s.healthy_hcas = t.hcas;
+  return s;
+}
+
+/// Deterministic content byte for position `i` of rank `r`'s block (same
+/// pattern as coll_testing.hpp, duplicated so this header stands alone).
+inline std::byte content_byte(int r, std::size_t i) {
+  return static_cast<std::byte>(
+      (static_cast<std::size_t>(r) * 131 + i * 7 + 3) & 0xff);
+}
+
+/// Per-rank result payloads of one collective run.
+using RankBytes = std::vector<std::vector<std::byte>>;
+
+namespace detail {
+
+inline sim::Task<void> ag_rank(mpi::Comm& comm, coll::AllgatherFn fn, int r,
+                               hw::BufView send, hw::BufView recv,
+                               std::size_t msg, bool in_place) {
+  co_await fn(comm, r, send, recv, msg, in_place);
+}
+
+// Naive reference: rank 0 gathers every block point-to-point, then sends
+// the assembled vector back out. Slow and boring on purpose — it exercises
+// nothing but pt2pt, so a mismatch indicts the algorithm under test.
+inline sim::Task<void> ref_rank(mpi::Comm& comm, int r, hw::BufView mine,
+                                hw::BufView full, std::size_t msg) {
+  if (msg == 0) co_return;
+  const int p = comm.size();
+  constexpr int kGatherTag = 9001;
+  constexpr int kBcastTag = 9002;
+  if (r == 0) {
+    for (int src = 1; src < p; ++src) {
+      co_await comm.recv(0, src, kGatherTag,
+                         full.sub(static_cast<std::size_t>(src) * msg, msg));
+    }
+    for (int dst = 1; dst < p; ++dst) {
+      co_await comm.send(0, dst, kBcastTag, full);
+    }
+  } else {
+    co_await comm.send(r, 0, kGatherTag, mine);
+    co_await comm.recv(r, 0, kBcastTag, full);
+  }
+}
+
+inline RankBytes harvest(std::vector<hw::Buffer>& bufs) {
+  RankBytes out;
+  out.reserve(bufs.size());
+  for (auto& b : bufs) {
+    out.emplace_back(b.bytes(), b.bytes() + b.size());
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Run `fn` on the trial's (possibly faulted) world; returns every rank's
+/// receive buffer. Pass a tracer to also capture the run's spans.
+inline RankBytes run_allgather(const coll::AllgatherFn& fn, const Trial& t,
+                               trace::Tracer* tracer = nullptr) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t), tracer);
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const std::size_t msg = t.msg;
+
+  std::vector<hw::Buffer> sends, recvs;
+  for (int r = 0; r < p; ++r) {
+    auto recv = hw::Buffer::data(msg * static_cast<std::size_t>(p));
+    hw::Buffer send;
+    if (t.in_place) {
+      send = hw::Buffer::data(0);
+      for (std::size_t i = 0; i < msg; ++i) {
+        recv.bytes()[static_cast<std::size_t>(r) * msg + i] =
+            content_byte(r, i);
+      }
+    } else {
+      send = hw::Buffer::data(msg);
+      for (std::size_t i = 0; i < msg; ++i) {
+        send.bytes()[i] = content_byte(r, i);
+      }
+    }
+    sends.push_back(std::move(send));
+    recvs.push_back(std::move(recv));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::ag_rank(comm, fn, r,
+                              sends[static_cast<std::size_t>(r)].view(),
+                              recvs[static_cast<std::size_t>(r)].view(), msg,
+                              t.in_place));
+  }
+  eng.run();
+  return detail::harvest(recvs);
+}
+
+/// The naive gather+bcast reference result for this trial's shape, computed
+/// on a FAULT-FREE world (faults must never change payload bytes, so the
+/// healthy reference is the oracle for every fault category).
+inline RankBytes reference_allgather(const Trial& t) {
+  sim::Engine eng;
+  auto spec = spec_of(t);
+  spec.fault_plan.clear();
+  mpi::World world(eng, spec);
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const std::size_t msg = t.msg;
+
+  std::vector<hw::Buffer> mine, full;
+  for (int r = 0; r < p; ++r) {
+    auto m = hw::Buffer::data(msg);
+    for (std::size_t i = 0; i < msg; ++i) m.bytes()[i] = content_byte(r, i);
+    auto f = hw::Buffer::data(msg * static_cast<std::size_t>(p));
+    // Every rank seeds its own block; rank 0's gather fills the rest.
+    for (std::size_t i = 0; i < msg; ++i) {
+      f.bytes()[static_cast<std::size_t>(r) * msg + i] = content_byte(r, i);
+    }
+    mine.push_back(std::move(m));
+    full.push_back(std::move(f));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::ref_rank(comm, r, mine[static_cast<std::size_t>(r)].view(),
+                               full[static_cast<std::size_t>(r)].view(), msg));
+  }
+  eng.run();
+  return detail::harvest(full);
+}
+
+/// First differing (rank, byte) between two results, or "" when identical.
+inline std::string diff_results(const RankBytes& got, const RankBytes& want) {
+  if (got.size() != want.size()) {
+    return "rank-count mismatch: got " + std::to_string(got.size()) +
+           " want " + std::to_string(want.size());
+  }
+  for (std::size_t r = 0; r < got.size(); ++r) {
+    if (got[r].size() != want[r].size()) {
+      return "rank " + std::to_string(r) + " size mismatch: got " +
+             std::to_string(got[r].size()) + " want " +
+             std::to_string(want[r].size());
+    }
+    for (std::size_t i = 0; i < got[r].size(); ++i) {
+      if (got[r][i] != want[r][i]) {
+        return "rank " + std::to_string(r) + " byte " + std::to_string(i) +
+               ": got " + std::to_string(std::to_integer<int>(got[r][i])) +
+               " want " + std::to_string(std::to_integer<int>(want[r][i]));
+      }
+    }
+  }
+  return {};
+}
+
+namespace detail {
+
+inline sim::Task<void> ar_rank(mpi::Comm& comm, coll::AllreduceFn fn, int r,
+                               hw::BufView data, std::size_t count,
+                               mpi::Dtype dtype, mpi::ReduceOp op) {
+  co_await fn(comm, r, data, count, dtype, op);
+}
+
+inline sim::Task<void> bc_rank(mpi::Comm& comm, coll::BcastFn fn, int r,
+                               int root, hw::BufView data) {
+  co_await fn(comm, r, root, data);
+}
+
+inline sim::Task<void> agv_rank(mpi::Comm& comm, coll::AllgathervFn fn, int r,
+                                hw::BufView send, hw::BufView recv,
+                                const coll::VarLayout& layout, bool in_place) {
+  co_await fn(comm, r, send, recv, layout, in_place);
+}
+
+}  // namespace detail
+
+/// Initial element value for allreduce trials: {1, 2} only, so sums, prods,
+/// mins and maxes stay exact in every supported dtype (2^16 fits a float's
+/// mantissa; int-valued floats make float/double reductions bit-exact).
+inline int reduce_init(int r, std::size_t e) {
+  return 1 + static_cast<int>((static_cast<std::size_t>(r) + e) & 1);
+}
+
+/// Run an allreduce of `count` elements of `dtype` on the trial's world;
+/// returns every rank's final data buffer (raw bytes).
+inline RankBytes run_allreduce(const coll::AllreduceFn& fn, const Trial& t,
+                               std::size_t count, mpi::Dtype dtype,
+                               mpi::ReduceOp op) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const std::size_t bytes = count * mpi::dtype_size(dtype);
+
+  std::vector<hw::Buffer> bufs;
+  for (int r = 0; r < p; ++r) {
+    auto b = hw::Buffer::data(bytes);
+    for (std::size_t e = 0; e < count; ++e) {
+      const int v = reduce_init(r, e);
+      switch (dtype) {
+        case mpi::Dtype::kByte:
+          b.bytes()[e] = static_cast<std::byte>(v);
+          break;
+        case mpi::Dtype::kInt32:
+          b.as<std::int32_t>()[e] = v;
+          break;
+        case mpi::Dtype::kInt64:
+          b.as<std::int64_t>()[e] = v;
+          break;
+        case mpi::Dtype::kFloat:
+          b.as<float>()[e] = static_cast<float>(v);
+          break;
+        case mpi::Dtype::kDouble:
+          b.as<double>()[e] = static_cast<double>(v);
+          break;
+      }
+    }
+    bufs.push_back(std::move(b));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::ar_rank(comm, fn, r,
+                              bufs[static_cast<std::size_t>(r)].view(), count,
+                              dtype, op));
+  }
+  eng.run();
+  return detail::harvest(bufs);
+}
+
+/// The exact expected value of element `e` after reducing `p` ranks.
+inline std::int64_t reduce_expected(int p, std::size_t e, mpi::ReduceOp op) {
+  std::int64_t acc = reduce_init(0, e);
+  for (int r = 1; r < p; ++r) {
+    const std::int64_t v = reduce_init(r, e);
+    switch (op) {
+      case mpi::ReduceOp::kSum: acc += v; break;
+      case mpi::ReduceOp::kProd: acc *= v; break;
+      case mpi::ReduceOp::kMax: acc = std::max(acc, v); break;
+      case mpi::ReduceOp::kMin: acc = std::min(acc, v); break;
+    }
+  }
+  return acc;
+}
+
+/// Run a root-0 bcast of `t.msg` bytes; returns every rank's buffer.
+inline RankBytes run_bcast(const coll::BcastFn& fn, const Trial& t) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+
+  std::vector<hw::Buffer> bufs;
+  for (int r = 0; r < p; ++r) {
+    auto b = hw::Buffer::data(t.msg);
+    if (r == 0) {
+      for (std::size_t i = 0; i < t.msg; ++i) b.bytes()[i] = content_byte(0, i);
+    }
+    bufs.push_back(std::move(b));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::bc_rank(comm, fn, r, /*root=*/0,
+                              bufs[static_cast<std::size_t>(r)].view()));
+  }
+  eng.run();
+  return detail::harvest(bufs);
+}
+
+/// Run an allgatherv with the given per-rank counts; returns every rank's
+/// receive buffer.
+inline RankBytes run_allgatherv(const coll::AllgathervFn& fn, const Trial& t,
+                                std::vector<std::size_t> counts) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const auto layout = coll::VarLayout::from_counts(std::move(counts));
+
+  std::vector<hw::Buffer> sends, recvs;
+  for (int r = 0; r < p; ++r) {
+    auto send = hw::Buffer::data(layout.count(r));
+    for (std::size_t i = 0; i < layout.count(r); ++i) {
+      send.bytes()[i] = content_byte(r, i);
+    }
+    sends.push_back(std::move(send));
+    recvs.push_back(hw::Buffer::data(layout.total));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::agv_rank(comm, fn, r,
+                               sends[static_cast<std::size_t>(r)].view(),
+                               recvs[static_cast<std::size_t>(r)].view(),
+                               layout, /*in_place=*/false));
+  }
+  eng.run();
+  return detail::harvest(recvs);
+}
+
+/// Expected allgatherv receive image for a layout.
+inline std::vector<std::byte> allgatherv_expected(
+    const coll::VarLayout& layout) {
+  std::vector<std::byte> want(layout.total);
+  for (std::size_t r = 0; r < layout.counts.size(); ++r) {
+    for (std::size_t i = 0; i < layout.counts[r]; ++i) {
+      want[layout.offsets[r] + i] = content_byte(static_cast<int>(r), i);
+    }
+  }
+  return want;
+}
+
+}  // namespace hmca::testing::conf
