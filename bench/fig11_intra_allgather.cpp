@@ -2,13 +2,16 @@
 // profiles, for 2/4/8/16 processes, 256 KB - 16 MB, plus the Sec. 5.2
 // improvement summary (gains shrink as PPN grows on a fixed adapter count).
 // `--algo list` / `--algo <name>` pins a registry algorithm; `--faults
-// <plan>` (or HMCA_FAULTS) injects rail faults into every world (see README).
+// <plan>` (or HMCA_FAULTS) injects rail faults into every world;
+// `--stats[=json|csv]` / `--trace <file>` capture per-invocation stats and
+// a Chrome-trace export (see README).
 #include <iostream>
 
 #include "core/selector.hpp"
 #include "hw/spec.hpp"
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
+#include "osu/stats.hpp"
 #include "profiles/profiles.hpp"
 #include "sim/fault.hpp"
 
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
               << "\n\n";
   }
 
+  osu::StatsSession stats(flag.stats, "fig11_intra_allgather");
   double best_gain[5] = {0, 0, 0, 0, 0};
   const int procs[] = {2, 4, 8, 16};
   for (int pi = 0; pi < 4; ++pi) {
@@ -43,10 +47,10 @@ int main(int argc, char** argv) {
     t.headers = {"size", "hpcx", "mvapich2x", subject, "vs_hpcx", "vs_mvapich"};
     for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
       const double h =
-          osu::measure_allgather(spec, profiles::hpcx().allgather, sz);
-      const double v =
-          osu::measure_allgather(spec, profiles::mvapich().allgather, sz);
-      const double m = osu::measure_allgather(spec, subject_fn, sz);
+          stats.measure_allgather(spec, "hpcx", profiles::hpcx().allgather, sz);
+      const double v = stats.measure_allgather(
+          spec, "mvapich2x", profiles::mvapich().allgather, sz);
+      const double m = stats.measure_allgather(spec, subject, subject_fn, sz);
       best_gain[pi] = std::max(best_gain[pi], std::max(h, v) / m);
       t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                  osu::format_us(m), osu::format_ratio(h / m),
@@ -67,5 +71,6 @@ int main(int argc, char** argv) {
                  "the process count grows with 2 fixed adapters (paper: 64-65% "
                  "at 2 procs down to 10-35% at 16).\n";
   }
+  stats.finish(std::cout);
   return 0;
 }

@@ -1,20 +1,23 @@
 // Figure 15 (a-c): Ring-Allreduce accelerated by the MHA Allgather vs the
 // HPC-X and MVAPICH2-X profiles at 8/16/32 nodes x 32 PPN.
-// `--algo list` / `--algo <name>` pins a registry *allreduce* algorithm.
+// `--algo list` / `--algo <name>` pins a registry *allreduce* algorithm;
+// `--stats[=json|csv]` / `--trace <file>` capture per-invocation stats and
+// a Chrome-trace export (see README).
 #include <iostream>
 
 #include "core/selector.hpp"
 #include "hw/spec.hpp"
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
+#include "osu/stats.hpp"
 #include "profiles/profiles.hpp"
 
 using namespace hmca;
 
 namespace {
 
-void run(char sub, int nodes, const std::string& subject,
-         const coll::AllreduceFn& subject_fn) {
+void run(osu::StatsSession& stats, char sub, int nodes,
+         const std::string& subject, const coll::AllreduceFn& subject_fn) {
   const auto spec = hw::ClusterSpec::thor(nodes, 32);
   osu::Table t;
   t.title = std::string("Figure 15") + sub + ": Allreduce latency (us), " +
@@ -24,10 +27,10 @@ void run(char sub, int nodes, const std::string& subject,
   // 4x size steps keep the 1024-process sweep tractable on one host CPU.
   for (std::size_t sz = 64 * 1024; sz <= (16u << 20); sz *= 4) {
     const double h =
-        osu::measure_allreduce(spec, profiles::hpcx().allreduce, sz);
-    const double v =
-        osu::measure_allreduce(spec, profiles::mvapich().allreduce, sz);
-    const double m = osu::measure_allreduce(spec, subject_fn, sz);
+        stats.measure_allreduce(spec, "hpcx", profiles::hpcx().allreduce, sz);
+    const double v = stats.measure_allreduce(
+        spec, "mvapich2x", profiles::mvapich().allreduce, sz);
+    const double m = stats.measure_allreduce(spec, subject, subject_fn, sz);
     t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                osu::format_us(m), osu::format_ratio(h / m),
                osu::format_ratio(v / m)});
@@ -50,9 +53,10 @@ int main(int argc, char** argv) {
                                            ? profiles::mha().allreduce
                                            : osu::pinned_allreduce(flag.name);
 
-  run('a', 8, subject, subject_fn);
-  run('b', 16, subject, subject_fn);
-  run('c', 32, subject, subject_fn);
+  osu::StatsSession stats(flag.stats, "fig15_allreduce");
+  run(stats, 'a', 8, subject, subject_fn);
+  run(stats, 'b', 16, subject, subject_fn);
+  run(stats, 'c', 32, subject, subject_fn);
   if (flag.name.empty()) {
     std::cout << "shape check: the MHA Allgather phase accelerates "
                  "Ring-Allreduce, with the advantage growing with node count "
@@ -60,5 +64,6 @@ int main(int argc, char** argv) {
                  "very largest vectors the designs converge onto the copy "
                  "bound.\n";
   }
+  stats.finish(std::cout);
   return 0;
 }

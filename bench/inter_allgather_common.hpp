@@ -5,6 +5,11 @@
 // MHA column for the pinned registry entry (headers follow the name);
 // `--faults <plan>` (or HMCA_FAULTS) injects a rail fault plan into every
 // measured world, so the tables show degraded-mode latency.
+// `--stats[=json|csv]` (or HMCA_STATS) appends a per-invocation stats
+// report — selector decisions, per-rail byte counters, critical path,
+// phase overlap — plus one extra 1 MiB subject measurement so the report
+// always covers a rendezvous-sized point; `--trace <file>` exports that
+// last run as Chrome-trace JSON (see DESIGN.md section 9).
 #pragma once
 
 #include <iostream>
@@ -14,6 +19,7 @@
 #include "hw/spec.hpp"
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
+#include "osu/stats.hpp"
 #include "profiles/profiles.hpp"
 #include "sim/fault.hpp"
 
@@ -38,6 +44,7 @@ inline int run_inter_allgather_figure(const std::string& figure, int nodes,
     std::cout << "fault plan: " << sim::FaultPlan::parse(flag.faults).to_string()
               << "\n\n";
   }
+  osu::StatsSession stats(flag.stats, figure);
 
   auto table = [&](const char* label, std::size_t lo, std::size_t hi) {
     osu::Table t;
@@ -48,10 +55,10 @@ inline int run_inter_allgather_figure(const std::string& figure, int nodes,
                  subject,   "vs_hpcx",        "vs_mvapich"};
     for (std::size_t sz : osu::size_sweep(lo, hi)) {
       const double h =
-          osu::measure_allgather(spec, profiles::hpcx().allgather, sz);
-      const double v =
-          osu::measure_allgather(spec, profiles::mvapich().allgather, sz);
-      const double m = osu::measure_allgather(spec, subject_fn, sz);
+          stats.measure_allgather(spec, "hpcx", profiles::hpcx().allgather, sz);
+      const double v = stats.measure_allgather(
+          spec, "mvapich2x", profiles::mvapich().allgather, sz);
+      const double m = stats.measure_allgather(spec, subject, subject_fn, sz);
       t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                  osu::format_us(m), osu::format_ratio(h / m),
                  osu::format_ratio(v / m)});
@@ -67,6 +74,12 @@ inline int run_inter_allgather_figure(const std::string& figure, int nodes,
                  "(paper: 21-62%, growing with node count); at the largest "
                  "sizes all designs converge onto the node copy-throughput "
                  "bound (see EXPERIMENTS.md).\n\n";
+  }
+  if (stats.enabled()) {
+    // One rendezvous-sized point past the table sweep, so the stats report
+    // (and the exported trace) always covers the 1 MiB critical path.
+    stats.measure_allgather(spec, subject, subject_fn, 1u << 20);
+    stats.finish(std::cout);
   }
   return 0;
 }

@@ -153,7 +153,10 @@ sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
     const int dst = (my + i) % n;
     reqs.push_back(comm.isend(my, dst, i, own));
   }
-  co_await comm.wait_all(std::move(reqs));
+  // Drain completions in whatever order they land (MPI_Waitany loop).
+  for (std::size_t left = reqs.size(); left > 0; --left) {
+    co_await comm.wait_any(reqs);
+  }
 }
 
 sim::Task<void> allgather_rd_or_bruck(mpi::Comm& comm, int my,
@@ -195,13 +198,13 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
   const int leader_local = group * gs;
   const bool is_leader = (local == leader_local);
   const std::uint64_t seq = comm.next_op_seq(my);
-  trace::Tracer* tracer = comm.tracer();
+  obs::Sink& sink = comm.sink();
 
   // ---- Phase 1: members share blocks with the group leader via shm ----
   const std::size_t group_block = static_cast<std::size_t>(gs) * msg;
   auto region1 = comm.share().acquire<shm::ShmRegion>(
       node, op_key(comm.ctx(), seq, group), gs, [&] {
-        return std::make_shared<shm::ShmRegion>(cl, node, group_block, tracer);
+        return std::make_shared<shm::ShmRegion>(cl, node, group_block, sink);
       });
   const std::size_t my_block_off = static_cast<std::size_t>(my) * msg;
   if (is_leader) {
@@ -236,7 +239,7 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
   const std::size_t total = recv.len;
   auto region3 = comm.share().acquire<shm::ShmRegion>(
       node, op_key(comm.ctx(), seq, groups + 1), ppn, [&] {
-        return std::make_shared<shm::ShmRegion>(cl, node, total, tracer);
+        return std::make_shared<shm::ShmRegion>(cl, node, total, sink);
       });
   if (is_leader) {
     // Leaders split the broadcast: leader g publishes slice g of the result.
@@ -296,7 +299,7 @@ sim::Task<void> allgather_node_aware_bruck(mpi::Comm& comm, int my,
     auto region = comm.share().acquire<shm::ShmRegion>(
         node, op_key(comm.ctx(), seq, 7), ppn, [&] {
           return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
-                                                  comm.tracer());
+                                                  comm.sink());
         });
     if (leader) {
       for (int o = 1; o < nodes; ++o) {

@@ -223,50 +223,6 @@ void register_flat(Registry& r) {
                     {}});
 }
 
-template <class Algo>
-const Algo* find_in(const std::deque<Algo>& entries, const std::string& name) {
-  for (const auto& a : entries) {
-    if (a.name == name) return &a;
-  }
-  return nullptr;
-}
-
-template <class Algo>
-std::vector<std::string> names_of(const std::deque<Algo>& entries) {
-  std::vector<std::string> out;
-  out.reserve(entries.size());
-  for (const auto& a : entries) out.push_back(a.name);
-  return out;
-}
-
-template <class Algo>
-void add_entry(std::deque<Algo>& entries, Algo a, const char* what) {
-  if (a.name.empty()) {
-    throw std::invalid_argument(std::string("registry: ") + what +
-                                " algorithm must have a name");
-  }
-  if (!a.fn) {
-    throw std::invalid_argument(std::string("registry: ") + what + " '" +
-                                a.name + "' has no implementation");
-  }
-  if (find_in(entries, a.name) != nullptr) {
-    throw std::invalid_argument(std::string("registry: duplicate ") + what +
-                                " algorithm '" + a.name + "'");
-  }
-  entries.push_back(std::move(a));
-}
-
-template <class Algo>
-const Algo& get_entry(const std::deque<Algo>& entries, const std::string& name,
-                      const char* what) {
-  if (const Algo* a = find_in(entries, name)) return *a;
-  std::string msg = std::string("registry: unknown ") + what + " algorithm '" +
-                    name + "' (known:";
-  for (const auto& a : entries) msg += " " + a.name;
-  msg += ")";
-  throw std::invalid_argument(msg);
-}
-
 }  // namespace
 
 Registry& Registry::instance() {
@@ -276,57 +232,6 @@ Registry& Registry::instance() {
     return r;
   }();
   return *reg;
-}
-
-void Registry::add_allgather(AllgatherAlgo a) {
-  add_entry(ag_, std::move(a), "allgather");
-}
-void Registry::add_allreduce(AllreduceAlgo a) {
-  add_entry(ar_, std::move(a), "allreduce");
-}
-void Registry::add_bcast(BcastAlgo a) { add_entry(bc_, std::move(a), "bcast"); }
-void Registry::add_allgatherv(AllgathervAlgo a) {
-  add_entry(agv_, std::move(a), "allgatherv");
-}
-
-const AllgatherAlgo* Registry::find_allgather(
-    const std::string& name) const noexcept {
-  return find_in(ag_, name);
-}
-const AllreduceAlgo* Registry::find_allreduce(
-    const std::string& name) const noexcept {
-  return find_in(ar_, name);
-}
-const BcastAlgo* Registry::find_bcast(const std::string& name) const noexcept {
-  return find_in(bc_, name);
-}
-const AllgathervAlgo* Registry::find_allgatherv(
-    const std::string& name) const noexcept {
-  return find_in(agv_, name);
-}
-
-const AllgatherAlgo& Registry::get_allgather(const std::string& name) const {
-  return get_entry(ag_, name, "allgather");
-}
-const AllreduceAlgo& Registry::get_allreduce(const std::string& name) const {
-  return get_entry(ar_, name, "allreduce");
-}
-const BcastAlgo& Registry::get_bcast(const std::string& name) const {
-  return get_entry(bc_, name, "bcast");
-}
-const AllgathervAlgo& Registry::get_allgatherv(const std::string& name) const {
-  return get_entry(agv_, name, "allgatherv");
-}
-
-std::vector<std::string> Registry::allgather_names() const {
-  return names_of(ag_);
-}
-std::vector<std::string> Registry::allreduce_names() const {
-  return names_of(ar_);
-}
-std::vector<std::string> Registry::bcast_names() const { return names_of(bc_); }
-std::vector<std::string> Registry::allgatherv_names() const {
-  return names_of(agv_);
 }
 
 }  // namespace hmca::coll

@@ -19,7 +19,9 @@
 #include <cstddef>
 #include <functional>
 #include <deque>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coll/allgather.hpp"
@@ -72,83 +74,151 @@ using Applicability = std::function<bool(const CommShape&, std::size_t msg)>;
 using CostFn = std::function<double(const model::ModelParams&,
                                     const CommShape&, std::size_t msg)>;
 
-struct AllgatherAlgo {
+/// Allreduce applicability depends on count divisibility, not only bytes,
+/// so that family predicates over (shape, element count, element size).
+using AllreduceApplicability =
+    std::function<bool(const CommShape&, std::size_t count,
+                       std::size_t elem_size)>;
+
+/// One registered algorithm. Every collective family is an instantiation of
+/// this record with its call signature (`Fn`) and applicability predicate
+/// type (`Applies`); the per-family names below are thin aliases. The
+/// `msg` a cost hook sees is the family's natural size: per-process bytes
+/// (allgather), total vector bytes (allreduce), payload bytes (bcast),
+/// total gathered bytes (allgatherv).
+template <class Fn, class Applies>
+struct Algo {
   std::string name;
   std::string summary;  ///< one line for `--algo list`
-  AllgatherFn fn;
-  Applicability applies;  ///< null = always
-  CostFn cost;            ///< null = no estimate
+  Fn fn;
+  Applies applies;  ///< null = always applicable
+  CostFn cost;      ///< null = no estimate
 };
 
-struct AllreduceAlgo {
-  std::string name;
-  std::string summary;
-  AllreduceFn fn;
-  /// Predicate over (shape, element count, element size): allreduce
-  /// applicability depends on count divisibility, not only bytes.
-  std::function<bool(const CommShape&, std::size_t count,
-                     std::size_t elem_size)>
-      applies;
-  CostFn cost;  ///< msg = total vector bytes
+using AllgatherAlgo = Algo<AllgatherFn, Applicability>;
+using AllreduceAlgo = Algo<AllreduceFn, AllreduceApplicability>;
+using BcastAlgo = Algo<BcastFn, Applicability>;
+using AllgathervAlgo = Algo<AllgathervFn, Applicability>;
+
+/// One family's ordered table: registration-order iteration, name lookup,
+/// duplicate rejection. `what` names the family in error messages.
+template <class A>
+class AlgoTable {
+ public:
+  explicit AlgoTable(const char* what) : what_(what) {}
+
+  void add(A a) {
+    if (a.name.empty()) {
+      throw std::invalid_argument(std::string("registry: ") + what_ +
+                                  " algorithm must have a name");
+    }
+    if (!a.fn) {
+      throw std::invalid_argument(std::string("registry: ") + what_ + " '" +
+                                  a.name + "' has no implementation");
+    }
+    if (find(a.name) != nullptr) {
+      throw std::invalid_argument(std::string("registry: duplicate ") + what_ +
+                                  " algorithm '" + a.name + "'");
+    }
+    entries_.push_back(std::move(a));
+  }
+
+  const A* find(const std::string& name) const noexcept {
+    for (const auto& a : entries_) {
+      if (a.name == name) return &a;
+    }
+    return nullptr;
+  }
+
+  const A& get(const std::string& name) const {
+    if (const A* a = find(name)) return *a;
+    std::string msg = std::string("registry: unknown ") + what_ +
+                      " algorithm '" + name + "' (known:";
+    for (const auto& a : entries_) msg += " " + a.name;
+    msg += ")";
+    throw std::invalid_argument(msg);
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& a : entries_) out.push_back(a.name);
+    return out;
+  }
+
+  const std::deque<A>& entries() const noexcept { return entries_; }
+
+ private:
+  const char* what_;
+  std::deque<A> entries_;
 };
 
-struct BcastAlgo {
-  std::string name;
-  std::string summary;
-  BcastFn fn;
-  Applicability applies;  ///< msg = payload bytes
-  CostFn cost;
-};
-
-struct AllgathervAlgo {
-  std::string name;
-  std::string summary;
-  AllgathervFn fn;
-  Applicability applies;  ///< msg = total gathered bytes
-  CostFn cost;
-};
-
-/// Process-wide algorithm registry. Single-threaded (like the simulator);
-/// `add_*` throws std::invalid_argument on duplicate names.
+/// Process-wide algorithm registry: one AlgoTable per collective family.
+/// Single-threaded (like the simulator); `add_*` throws
+/// std::invalid_argument on duplicate names. The per-family methods are
+/// kept as thin wrappers so callsites don't churn.
 class Registry {
  public:
   /// The registry, with the flat `coll` algorithms already registered.
   static Registry& instance();
 
-  void add_allgather(AllgatherAlgo a);
-  void add_allreduce(AllreduceAlgo a);
-  void add_bcast(BcastAlgo a);
-  void add_allgatherv(AllgathervAlgo a);
+  void add_allgather(AllgatherAlgo a) { ag_.add(std::move(a)); }
+  void add_allreduce(AllreduceAlgo a) { ar_.add(std::move(a)); }
+  void add_bcast(BcastAlgo a) { bc_.add(std::move(a)); }
+  void add_allgatherv(AllgathervAlgo a) { agv_.add(std::move(a)); }
 
   /// Lookup by name; nullptr when absent.
-  const AllgatherAlgo* find_allgather(const std::string& name) const noexcept;
-  const AllreduceAlgo* find_allreduce(const std::string& name) const noexcept;
-  const BcastAlgo* find_bcast(const std::string& name) const noexcept;
-  const AllgathervAlgo* find_allgatherv(const std::string& name) const noexcept;
+  const AllgatherAlgo* find_allgather(const std::string& name) const noexcept {
+    return ag_.find(name);
+  }
+  const AllreduceAlgo* find_allreduce(const std::string& name) const noexcept {
+    return ar_.find(name);
+  }
+  const BcastAlgo* find_bcast(const std::string& name) const noexcept {
+    return bc_.find(name);
+  }
+  const AllgathervAlgo* find_allgatherv(
+      const std::string& name) const noexcept {
+    return agv_.find(name);
+  }
 
   /// Lookup by name; throws std::invalid_argument listing the known names.
-  const AllgatherAlgo& get_allgather(const std::string& name) const;
-  const AllreduceAlgo& get_allreduce(const std::string& name) const;
-  const BcastAlgo& get_bcast(const std::string& name) const;
-  const AllgathervAlgo& get_allgatherv(const std::string& name) const;
+  const AllgatherAlgo& get_allgather(const std::string& name) const {
+    return ag_.get(name);
+  }
+  const AllreduceAlgo& get_allreduce(const std::string& name) const {
+    return ar_.get(name);
+  }
+  const BcastAlgo& get_bcast(const std::string& name) const {
+    return bc_.get(name);
+  }
+  const AllgathervAlgo& get_allgatherv(const std::string& name) const {
+    return agv_.get(name);
+  }
 
-  std::vector<std::string> allgather_names() const;
-  std::vector<std::string> allreduce_names() const;
-  std::vector<std::string> bcast_names() const;
-  std::vector<std::string> allgatherv_names() const;
+  std::vector<std::string> allgather_names() const { return ag_.names(); }
+  std::vector<std::string> allreduce_names() const { return ar_.names(); }
+  std::vector<std::string> bcast_names() const { return bc_.names(); }
+  std::vector<std::string> allgatherv_names() const { return agv_.names(); }
 
   /// Registration-order iteration (for listings and cost-model scans).
-  const std::deque<AllgatherAlgo>& allgathers() const noexcept { return ag_; }
-  const std::deque<AllreduceAlgo>& allreduces() const noexcept { return ar_; }
-  const std::deque<BcastAlgo>& bcasts() const noexcept { return bc_; }
-  const std::deque<AllgathervAlgo>& allgathervs() const noexcept { return agv_; }
+  const std::deque<AllgatherAlgo>& allgathers() const noexcept {
+    return ag_.entries();
+  }
+  const std::deque<AllreduceAlgo>& allreduces() const noexcept {
+    return ar_.entries();
+  }
+  const std::deque<BcastAlgo>& bcasts() const noexcept { return bc_.entries(); }
+  const std::deque<AllgathervAlgo>& allgathervs() const noexcept {
+    return agv_.entries();
+  }
 
  private:
   Registry() = default;
-  std::deque<AllgatherAlgo> ag_;
-  std::deque<AllreduceAlgo> ar_;
-  std::deque<BcastAlgo> bc_;
-  std::deque<AllgathervAlgo> agv_;
+  AlgoTable<AllgatherAlgo> ag_{"allgather"};
+  AlgoTable<AllreduceAlgo> ar_{"allreduce"};
+  AlgoTable<BcastAlgo> bc_{"bcast"};
+  AlgoTable<AllgathervAlgo> agv_{"allgatherv"};
 };
 
 }  // namespace hmca::coll

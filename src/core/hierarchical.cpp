@@ -36,7 +36,7 @@ sim::Task<void> shm_gather_phase1(mpi::Comm& comm, int my, hw::BufView send,
       node, op_key(comm.ctx(), seq, 1), l, [&] {
         return std::make_shared<shm::ShmRegion>(
             comm.cluster(), node, static_cast<std::size_t>(l) * msg,
-            comm.tracer());
+            comm.sink());
       });
   const hw::BufView contribution =
       in_place ? node_slice.sub(static_cast<std::size_t>(local) * msg, msg)
@@ -90,7 +90,7 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
   auto region = comm.share().acquire<shm::ShmRegion>(
       node, op_key(comm.ctx(), seq, 5 + socket), spp, [&] {
         return std::make_shared<shm::ShmRegion>(
-            cl, node, static_cast<std::size_t>(l) * msg, comm.tracer(),
+            cl, node, static_cast<std::size_t>(l) * msg, comm.sink(),
             cl.global_rank(node, s0));
       });
   if (local == s0) {  // socket leader
@@ -231,8 +231,13 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
 
   const Phase2Algo algo = resolve_phase2(cl.spec(), n, l, msg, opts.phase2);
   auto& eng = comm.engine();
+  obs::Sink& sink = comm.sink();
 
   // ---- Phase 1: node-level aggregation ----
+  // Phase spans ("phase1"/"phase2"/"phase3") feed the critical-path
+  // analyzer's attribution and the phase-2/3 overlap-fraction report.
+  auto p1 = sink.open(comm.to_global(my), trace::Kind::kPhase, eng.now(), -1,
+                      msg, "phase1");
   if (l > 1) {
     auto& ncomm = comm.world().node_comm(node);
     switch (opts.phase1) {
@@ -256,6 +261,7 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
   } else {
     co_await coll::seed_own_block(comm, my, send, recv, msg, in_place);
   }
+  p1.close(eng.now());
   if (n == 1) co_return;
 
   // ---- Phases 2 + 3 ----
@@ -264,11 +270,13 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
     region = comm.share().acquire<shm::ShmRegion>(
         node, op_key(comm.ctx(), seq, 2), l, [&] {
           return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
-                                                  comm.tracer());
+                                                  comm.sink());
         });
   }
 
   if (leader) {
+    auto p2 = sink.open(comm.to_global(my), trace::Kind::kPhase, eng.now(), -1,
+                        recv.len, "phase2");
     auto& lcomm = comm.world().leader_comm();
     if (algo == Phase2Algo::kRing) {
       co_await leader_ring(lcomm, node, recv, chunk, region.get(),
@@ -277,9 +285,12 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
       co_await leader_rd(lcomm, node, recv, chunk, region.get(), opts.overlap,
                          comm.to_global(my), eng);
     }
+    p2.close(eng.now());
   } else {
     // Members drain published chunks as they appear; region offsets mirror
     // the recv buffer layout.
+    auto p3 = sink.open(comm.to_global(my), trace::Kind::kPhase, eng.now(), -1,
+                        recv.len, "phase3");
     const int chunks = publish_count(algo, n);
     for (int i = 0; i < chunks; ++i) {
       co_await region->wait_published(static_cast<std::size_t>(i) + 1);
@@ -287,6 +298,7 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
       co_await region->copy_out(comm.to_global(my), static_cast<std::size_t>(i),
                                 recv.sub(c.offset, c.len));
     }
+    p3.close(eng.now());
   }
 }
 

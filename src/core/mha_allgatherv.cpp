@@ -152,7 +152,7 @@ sim::Task<void> allgatherv_mha(mpi::Comm& comm, int my, hw::BufView send,
     region = comm.share().acquire<shm::ShmRegion>(
         node, op_key(comm.ctx(), seq, 12), l, [&] {
           return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
-                                                  comm.tracer(),
+                                                  comm.sink(),
                                                   cl.global_rank(node, 0));
         });
   }

@@ -52,17 +52,17 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
   // a dead HCA invalidates the Eq. 1 balance, and with no rail left the
   // design degenerates to the CPU-only CMA Direct Spread baseline.
   const int healthy = cl.alive_rail_count(node);
+  obs::Sink& sink = node_comm.sink();
   if (offload < 0) offload = analytic_offload_degraded(cl.spec(), l, msg, healthy);
   if (healthy == 0 && offload > 0) {
     offload = 0;
-    if (auto* tr = node_comm.tracer()) {
-      const sim::Time now = eng.now();
-      tr->record(trace::Span{grank, trace::Kind::kPhase, now, now,
-                             /*peer=*/-1, msg,
-                             "fault:mha_intra cpu-only (all rails down)"});
-    }
+    const sim::Time now = eng.now();
+    sink.record(trace::Span{grank, trace::Kind::kPhase, now, now,
+                            /*peer=*/-1, msg,
+                            "fault:mha_intra cpu-only (all rails down)"});
   }
   offload = std::clamp(offload, 0.0, static_cast<double>(l - 1));
+  sink.gauge("core.offload_d", offload, {{"node", std::to_string(node)}});
 
   if (l == 1) {
     co_await coll::seed_own_block(node_comm, my, send, recv, msg, in_place);

@@ -65,7 +65,7 @@ sim::Task<void> mha_bcast(mpi::Comm& comm, int my, int root, hw::BufView data,
   auto region = comm.share().acquire<shm::ShmRegion>(
       node, op_key(comm.ctx(), seq, 7), l, [&] {
         return std::make_shared<shm::ShmRegion>(cl, node, data.len,
-                                                comm.tracer(),
+                                                comm.sink(),
                                                 cl.global_rank(node, 0));
       });
   const std::size_t chunks =
@@ -124,7 +124,7 @@ sim::Task<void> mha_reduce(mpi::Comm& comm, int my, int root, hw::BufView data,
           node, op_key(comm.ctx(), seq, 8), l, [&] {
             return std::make_shared<shm::ShmRegion>(
                 cl, node, data.len * static_cast<std::size_t>(l - 1),
-                comm.tracer(), cl.global_rank(node, 0));
+                comm.sink(), cl.global_rank(node, 0));
           });
       if (!leader) {
         co_await region->copy_in_publish(

@@ -1,7 +1,6 @@
 #include "core/selector.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "core/hierarchical.hpp"
@@ -9,6 +8,7 @@
 #include "core/mha_intra.hpp"
 #include "core/mha_rooted.hpp"
 #include "model/cost.hpp"
+#include "osu/env.hpp"
 #include "trace/trace.hpp"
 
 namespace hmca::core {
@@ -138,22 +138,22 @@ void register_core_impl(coll::Registry& reg) {
        {}});
 }
 
-/// Record the decision as a zero-length kPhase span on the deciding rank.
+/// Record the decision as a zero-length kPhase span on the deciding rank,
+/// and count it by (collective, algo, reason) — once per invocation, on
+/// rank 0, since every SPMD rank resolves the same decision.
 template <class Algo>
 void trace_decision(mpi::Comm& comm, int my, const char* what, const Algo* a,
                     const std::string& reason, std::size_t bytes) {
-  trace::Tracer* tr = comm.tracer();
-  if (tr == nullptr) return;
+  obs::Sink& sink = comm.sink();
   const sim::Time now = comm.engine().now();
-  tr->record(trace::Span{comm.to_global(my), trace::Kind::kPhase, now, now,
-                         /*peer=*/-1, bytes,
-                         std::string("select:") + what + "=" + a->name + " [" +
-                             reason + "]"});
-}
-
-const char* env_override(const char* var) {
-  const char* v = std::getenv(var);
-  return (v != nullptr && *v != '\0') ? v : nullptr;
+  sink.record(trace::Span{comm.to_global(my), trace::Kind::kPhase, now, now,
+                          /*peer=*/-1, bytes,
+                          std::string("select:") + what + "=" + a->name +
+                              " [" + reason + "]"});
+  if (my == 0 && sink.wants_metrics()) {
+    sink.count("core.selector.decision", 1,
+               {{"collective", what}, {"algo", a->name}, {"reason", reason}});
+  }
 }
 
 }  // namespace
@@ -181,11 +181,11 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
   };
 
   // 1. Environment override: pin any registry entry for experiments.
-  if (const char* env = env_override(kAllgatherAlgoEnv)) {
-    const auto& a = reg.get_allgather(env);
+  if (const auto env = osu::Env::allgather_algo()) {
+    const auto& a = reg.get_allgather(*env);
     if (a.applies && !a.applies(shape, msg)) {
       throw std::invalid_argument(
-          std::string("selector: ") + kAllgatherAlgoEnv + "=" + env +
+          std::string("selector: ") + kAllgatherAlgoEnv + "=" + *env +
           " is not applicable to this communicator (size=" +
           std::to_string(shape.comm_size) +
           ", nodes=" + std::to_string(shape.nodes) +
@@ -316,11 +316,11 @@ AllreduceSelection Selector::select_allreduce(mpi::Comm& comm, int my,
   };
 
   // 1. Environment override.
-  if (const char* env = env_override(kAllreduceAlgoEnv)) {
-    const auto& a = reg.get_allreduce(env);
+  if (const auto env = osu::Env::allreduce_algo()) {
+    const auto& a = reg.get_allreduce(*env);
     if (a.applies && !a.applies(shape, count, elem)) {
       throw std::invalid_argument(
-          std::string("selector: ") + kAllreduceAlgoEnv + "=" + env +
+          std::string("selector: ") + kAllreduceAlgoEnv + "=" + *env +
           " is not applicable (size=" + std::to_string(shape.comm_size) +
           ", count=" + std::to_string(count) + ")");
     }

@@ -28,12 +28,14 @@
 #include "core/tuning_table.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
+#include "osu/env.hpp"
 
 namespace hmca::core {
 
-/// Environment variables honored by the selection engine.
-inline constexpr const char* kAllgatherAlgoEnv = "HMCA_ALLGATHER_ALGO";
-inline constexpr const char* kAllreduceAlgoEnv = "HMCA_ALLREDUCE_ALGO";
+/// Environment variables honored by the selection engine (aliases of the
+/// typed osu::Env table, the single documented HMCA_* surface).
+inline constexpr const char* kAllgatherAlgoEnv = osu::Env::kAllgatherAlgo;
+inline constexpr const char* kAllreduceAlgoEnv = osu::Env::kAllreduceAlgo;
 
 /// Register the MHA designs (mha_intra, mha_inter_{rd,ring}, single_leader,
 /// numa3, ring_mha allreduce, mha bcast/allgatherv) with the registry.

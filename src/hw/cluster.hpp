@@ -150,6 +150,8 @@ class Cluster {
   int min_alive_rails() const;
   /// True when any rail is currently dead or degraded.
   bool rails_degraded() const noexcept { return degraded_count_ > 0; }
+  /// Number of rails currently dead or degraded (observability).
+  int degraded_count() const noexcept { return degraded_count_; }
 
   const sim::FaultPlan& fault_plan() const noexcept { return faults_; }
   /// Transient-drop parameters, or nullptr when no transient injection.

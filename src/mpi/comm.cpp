@@ -38,7 +38,7 @@ hw::Cluster& Comm::cluster() const noexcept { return world_->cluster(); }
 net::Net& Comm::net() const noexcept { return world_->net(); }
 shm::NodeShare& Comm::share() const noexcept { return world_->share(); }
 sim::Engine& Comm::engine() const noexcept { return world_->engine(); }
-trace::Tracer* Comm::tracer() const noexcept { return world_->tracer(); }
+obs::Sink& Comm::sink() const noexcept { return world_->sink(); }
 
 int Comm::wire_tag(int tag) const {
   if (tag == kAnyTag) return kAnyTag;
@@ -91,6 +91,41 @@ sim::Task<void> Comm::wait_all(std::vector<Request> rs) {
   for (auto& r : rs) co_await wait(r);
 }
 
+sim::Task<void> Comm::notify_when_done(std::shared_ptr<Request::State> st,
+                                       std::shared_ptr<AnyState> any) {
+  while (!st->done) co_await st->cv.wait();
+  any->cv.notify_all();
+}
+
+sim::Task<std::size_t> Comm::wait_any(std::vector<Request>& rs) {
+  bool have_valid = false;
+  for (const auto& r : rs) have_valid = have_valid || r.valid();
+  if (!have_valid) {
+    throw std::invalid_argument("Comm::wait_any: no valid request");
+  }
+  // One watcher coroutine per pending request funnels completions into a
+  // shared condition (named coroutines with shared_ptr parameters — see
+  // the GCC 12 note in wait()). Watchers outliving this call is harmless:
+  // they hold their state alive and notify an AnyState nobody waits on.
+  const auto any = std::make_shared<AnyState>(engine());
+  bool spawned = false;
+  for (;;) {
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].valid() && rs[i].st_->done) {
+        rs[i] = Request{};
+        co_return i;
+      }
+    }
+    if (!spawned) {
+      for (const auto& r : rs) {
+        if (r.valid()) engine().spawn(notify_when_done(r.st_, any));
+      }
+      spawned = true;
+    }
+    co_await any->cv.wait();
+  }
+}
+
 sim::Task<void> Comm::sendrecv(int my, int dst, int stag, hw::BufView sdata,
                                int src, int rtag, hw::BufView rout) {
   Request rr = irecv(my, src, rtag, rout);
@@ -103,20 +138,51 @@ sim::Task<void> Comm::barrier(int my) {
   co_await barrier_->arrive_and_wait();
 }
 
+World::World(sim::Engine& eng, hw::ClusterSpec spec, obs::Sink& sink)
+    : eng_(&eng), cluster_(eng, spec), sink_(&sink), net_(cluster_, sink) {
+  init();
+}
+
 World::World(sim::Engine& eng, hw::ClusterSpec spec, trace::Tracer* tracer)
-    : eng_(&eng), cluster_(eng, spec), tracer_(tracer), net_(cluster_, tracer) {
-  if (tracer_ != nullptr) {
-    // Fault events become zero-length kPhase spans on the affected node's
-    // first rank (rank 0 for whole-cluster events), so degraded runs are
-    // diagnosable from the ordinary trace.
-    cluster_.set_fault_listener([this](const sim::FaultEvent& e) {
-      const sim::Time now = eng_->now();
-      tracer_->record(trace::Span{
-          cluster_.global_rank(e.node < 0 ? 0 : e.node, 0),
-          trace::Kind::kPhase, now, now, /*peer=*/-1, /*bytes=*/0,
-          "fault:" + e.describe()});
-    });
-  }
+    : eng_(&eng),
+      cluster_(eng, spec),
+      tracer_(tracer),
+      compat_sink_(tracer != nullptr ? std::make_unique<obs::CollectSink>(
+                                           tracer, &compat_metrics_)
+                                     : nullptr),
+      sink_(compat_sink_ != nullptr
+                ? static_cast<obs::Sink*>(compat_sink_.get())
+                : &obs::null_sink()),
+      net_(cluster_, *sink_) {
+  init();
+}
+
+void World::init() {
+  // Fault events become zero-length kPhase spans on the affected node's
+  // first rank (rank 0 for whole-cluster events), so degraded runs are
+  // diagnosable from the ordinary trace; the metric channel additionally
+  // counts transitions and tracks the shrinking healthy-rail floor.
+  cluster_.set_fault_listener([this](const sim::FaultEvent& e) {
+    const sim::Time now = eng_->now();
+    sink_->record(trace::Span{
+        cluster_.global_rank(e.node < 0 ? 0 : e.node, 0),
+        trace::Kind::kPhase, now, now, /*peer=*/-1, /*bytes=*/0,
+        "fault:" + e.describe()});
+    if (sink_->wants_metrics()) {
+      const char* name = e.kind == sim::FaultKind::kKill
+                             ? "cluster.rail.kill"
+                             : "cluster.rail.degrade";
+      sink_->count(name, 1,
+                   {{"node", e.node < 0 ? "*" : std::to_string(e.node)},
+                    {"rail", e.hca < 0 ? "*" : std::to_string(e.hca)}});
+      sink_->gauge("cluster.min_alive_rails", cluster_.min_alive_rails());
+      // Stamped at the first transition and left alone after: the virtual
+      // time since which the cluster has not been fully healthy.
+      if (cluster_.degraded_count() == 1) {
+        sink_->gauge("cluster.degraded_since_us", sim::to_us(now));
+      }
+    }
+  });
   std::vector<int> all(static_cast<std::size_t>(cluster_.world_size()));
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
   comms_.push_back(

@@ -17,10 +17,11 @@
 #include "hw/buffer.hpp"
 #include "hw/cluster.hpp"
 #include "net/net.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "shm/shm.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
-#include "trace/trace.hpp"
 
 namespace hmca::mpi {
 
@@ -36,6 +37,13 @@ class Request {
   Request() = default;
   bool valid() const noexcept { return static_cast<bool>(st_); }
   bool done() const noexcept { return st_ && st_->done; }
+
+  /// Nonblocking completion probe (MPI_Test without the status). Throws
+  /// std::invalid_argument on an invalid (default-constructed) request.
+  bool test() const {
+    if (!valid()) throw std::invalid_argument("Request::test: invalid request");
+    return st_->done;
+  }
 
  private:
   friend class Comm;
@@ -71,6 +79,10 @@ class Comm {
 
   sim::Task<void> wait(Request r);
   sim::Task<void> wait_all(std::vector<Request> rs);
+  /// Wait for any valid request in `rs` to complete; returns its index and
+  /// invalidates that slot (MPI_Waitany). Throws std::invalid_argument when
+  /// `rs` holds no valid request.
+  sim::Task<std::size_t> wait_any(std::vector<Request>& rs);
 
   /// Synchronization barrier for harness/phase alignment. Costless in
   /// virtual time (rank coroutines align at max arrival time); the
@@ -89,14 +101,23 @@ class Comm {
   net::Net& net() const noexcept;
   shm::NodeShare& share() const noexcept;
   sim::Engine& engine() const noexcept;
-  trace::Tracer* tracer() const noexcept;
+  /// The world's observability channel (never null; defaults to the null
+  /// sink). All collective instrumentation flows through this.
+  obs::Sink& sink() const noexcept;
 
  private:
   friend class World;
   Comm(World& world, int ctx, std::vector<int> granks);
 
+  struct AnyState {
+    explicit AnyState(sim::Engine& eng) : cv(eng) {}
+    sim::Condition cv;
+  };
+
   static sim::Task<void> run_and_signal(sim::Task<void> op,
                                         std::shared_ptr<Request::State> st);
+  static sim::Task<void> notify_when_done(std::shared_ptr<Request::State> st,
+                                          std::shared_ptr<AnyState> any);
 
   int wire_tag(int tag) const;
 
@@ -111,8 +132,14 @@ class Comm {
 /// Owns the simulated machine and the communicator registry.
 class World {
  public:
+  /// Primary constructor: all instrumentation (spans + metrics) flows into
+  /// `sink`, which must outlive the World. Defaults to the null sink.
   World(sim::Engine& eng, hw::ClusterSpec spec,
-        trace::Tracer* tracer = nullptr);
+        obs::Sink& sink = obs::null_sink());
+  /// Compatibility constructor for tracer-based tools: spans land in
+  /// `tracer` and metrics in an internally owned registry (see metrics()).
+  /// nullptr behaves exactly like the null sink.
+  World(sim::Engine& eng, hw::ClusterSpec spec, trace::Tracer* tracer);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -120,7 +147,14 @@ class World {
   net::Net& net() noexcept { return net_; }
   shm::NodeShare& share() noexcept { return share_; }
   sim::Engine& engine() noexcept { return *eng_; }
+  obs::Sink& sink() noexcept { return *sink_; }
+  /// The tracer passed to the compatibility constructor, else nullptr.
   trace::Tracer* tracer() noexcept { return tracer_; }
+  /// The owned metrics registry of the compatibility constructor, else
+  /// nullptr (the external sink decides where metrics go).
+  obs::Metrics* metrics() noexcept {
+    return compat_sink_ ? compat_sink_->metrics() : nullptr;
+  }
 
   Comm& comm_world() noexcept { return *comms_.front(); }
 
@@ -142,9 +176,14 @@ class World {
   Comm& socket_comm(int node, int socket);
 
  private:
+  void init();
+
   sim::Engine* eng_;
   hw::Cluster cluster_;
-  trace::Tracer* tracer_;
+  trace::Tracer* tracer_ = nullptr;
+  obs::Metrics compat_metrics_;
+  std::unique_ptr<obs::CollectSink> compat_sink_;
+  obs::Sink* sink_;
   net::Net net_;
   shm::NodeShare share_;
   std::deque<std::unique_ptr<Comm>> comms_;

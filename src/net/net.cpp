@@ -10,8 +10,8 @@ namespace {
 constexpr std::size_t kMaxRails = 64;
 }
 
-Net::Net(hw::Cluster& cluster, trace::Tracer* tracer)
-    : cl_(&cluster), tracer_(tracer), boxes_(cluster.world_size()) {}
+Net::Net(hw::Cluster& cluster, obs::Sink& sink)
+    : cl_(&cluster), sink_(&sink), boxes_(cluster.world_size()) {}
 
 Net::Arrival* Net::deliver(int dst, Arrival a) {
   auto& box = boxes_.at(static_cast<std::size_t>(dst));
@@ -74,9 +74,8 @@ sim::Task<void> Net::consume(int dst, Arrival& a, hw::BufView out) {
 
   if (a.eager) {
     // Bounce-buffer copy-out by the receiving CPU.
-    auto span = tracer_ ? tracer_->open(dst, trace::Kind::kCopyOut, eng.now(),
-                                        a.src, a.bytes)
-                        : trace::Tracer::Handle{};
+    auto span = sink_->open(dst, trace::Kind::kCopyOut, eng.now(), a.src,
+                            a.bytes);
     co_await eng.sleep(spec.shm_copy_startup);
     co_await cl_->cpu_copy_between(dst, a.src, static_cast<double>(a.bytes));
     if (out.real() && a.payload_real && a.bytes > 0) {
@@ -89,9 +88,8 @@ sim::Task<void> Net::consume(int dst, Arrival& a, hw::BufView out) {
   Rendezvous* r = a.rndv;
   if (r->intra) {
     // Receiver drives a CMA single copy from the sender's exported pages.
-    auto span = tracer_ ? tracer_->open(dst, trace::Kind::kCmaCopy, eng.now(),
-                                        a.src, a.bytes)
-                        : trace::Tracer::Handle{};
+    auto span = sink_->open(dst, trace::Kind::kCmaCopy, eng.now(), a.src,
+                            a.bytes);
     co_await eng.sleep(spec.cma_startup);
     co_await cl_->cpu_copy_between(dst, a.src, static_cast<double>(a.bytes));
     hw::copy_payload(out, r->src_view);
@@ -105,9 +103,7 @@ sim::Task<void> Net::consume(int dst, Arrival& a, hw::BufView out) {
   r->dst_view = out;
   r->granted = true;
   r->cv_sender.notify_all();
-  auto span = tracer_ ? tracer_->open(dst, trace::Kind::kWait, eng.now(),
-                                      a.src, a.bytes)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(dst, trace::Kind::kWait, eng.now(), a.src, a.bytes);
   // Single-shot wait: cv_receiver fires exactly once (data complete). The
   // Rendezvous block lives in the sender's frame, which may be destroyed
   // right after the notify, so `r` must not be touched after resuming.
@@ -137,9 +133,13 @@ sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
     // A rail chosen earlier (striping loop, explicit rdma_get rail) may
     // have died since, or die between retries: re-resolve both endpoints
     // against the current health state. next_rail throws when none is left.
-    if (!cl_->rail_alive(src_node, hca)) hca = cl_->next_rail(src_node);
+    if (!cl_->rail_alive(src_node, hca)) {
+      hca = cl_->next_rail(src_node);
+      sink_->count("net.restripes", 1);
+    }
     const int rx = cl_->rail_alive(dst_node, hca) ? hca
                                                   : cl_->next_rail(dst_node);
+    if (rx != hca) sink_->count("net.rx_reroute", 1);
     auto& lock = cl_->tx_post_lock(src_node, hca);
     co_await lock.acquire();
     co_await eng.sleep(spec.hca_startup *
@@ -152,9 +152,10 @@ sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
       const auto* t = cl_->transient_spec();
       const double delay = t->backoff(attempt + 1);
       ++retries_;
-      if (tracer_ != nullptr) {
+      sink_->count("net.retries", 1);
+      {
         const sim::Time now = eng.now();
-        tracer_->record(trace::Span{
+        sink_->record(trace::Span{
             cl_->global_rank(src_node, 0), trace::Kind::kPhase, now,
             now + delay, /*peer=*/-1, static_cast<std::size_t>(bytes),
             "fault:retry rail=" + std::to_string(hca) +
@@ -162,6 +163,12 @@ sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
       }
       co_await eng.sleep(delay);
       continue;
+    }
+    if (sink_->wants_metrics()) {
+      obs::Labels rail{{"node", std::to_string(src_node)},
+                       {"rail", std::to_string(hca)}};
+      sink_->count("net.rail.posts", 1, rail);
+      sink_->count("net.rail.bytes", bytes, std::move(rail));
     }
     co_await cl_->net().transfer(
         cl_->nic_flow(src_node, hca, dst_node, rx, bytes));
@@ -207,9 +214,7 @@ sim::Task<void> Net::send_eager_net(int src, int dst, int tag,
     a.payload_real = true;
   }
 
-  auto span = tracer_ ? tracer_->open(src, trace::Kind::kIsend, eng.now(), dst,
-                                      data.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(src, trace::Kind::kIsend, eng.now(), dst, data.len);
   co_await rail_transfer(sn, dn, cl_->next_rail(sn), static_cast<double>(data.len));
   co_await eng.sleep(spec.wire_latency);
   span.close(eng.now());
@@ -242,9 +247,8 @@ sim::Task<void> Net::send_rndv_net(int src, int dst, int tag,
   // CTS control message back.
   co_await eng.sleep(spec.ctrl_latency + spec.wire_latency);
 
-  auto span = tracer_ ? tracer_->open(src, trace::Kind::kNicXfer, eng.now(),
-                                      dst, data.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(src, trace::Kind::kNicXfer, eng.now(), dst,
+                          data.len);
   co_await striped_transfer(sn, dn, static_cast<double>(data.len));
   co_await eng.sleep(spec.wire_latency);
   span.close(eng.now());
@@ -272,9 +276,8 @@ sim::Task<void> Net::send_intra(int src, int dst, int tag, hw::BufView data) {
       a.payload.assign(data.ptr, data.ptr + data.len);
       a.payload_real = true;
     }
-    auto span = tracer_ ? tracer_->open(src, trace::Kind::kCopyIn, eng.now(),
-                                        dst, data.len)
-                        : trace::Tracer::Handle{};
+    auto span = sink_->open(src, trace::Kind::kCopyIn, eng.now(), dst,
+                            data.len);
     co_await eng.sleep(spec.shm_copy_startup);
     co_await cl_->cpu_copy_by(src, static_cast<double>(data.len));
     span.close(eng.now());
@@ -299,9 +302,7 @@ sim::Task<void> Net::send_intra(int src, int dst, int tag, hw::BufView data) {
   a.rndv = &r;
   deliver(dst, std::move(a));
 
-  auto span = tracer_ ? tracer_->open(src, trace::Kind::kWait, eng.now(), dst,
-                                      data.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(src, trace::Kind::kWait, eng.now(), dst, data.len);
   co_await r.cv_sender.wait_until([&] { return r.done; });
   span.close(eng.now());
 }
@@ -313,9 +314,8 @@ sim::Task<void> Net::cma_get(int getter, hw::BufView src, hw::BufView dst,
   if (src.len != dst.len) {
     throw sim::SimError("Net::cma_get: size mismatch");
   }
-  auto span = tracer_ ? tracer_->open(getter, trace::Kind::kCmaCopy, eng.now(),
-                                      -1, src.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(getter, trace::Kind::kCmaCopy, eng.now(), -1,
+                          src.len);
   co_await eng.sleep(spec.cma_startup);
   co_await cl_->cpu_copy_between(getter, owner, static_cast<double>(src.len));
   hw::copy_payload(dst, src);
@@ -333,9 +333,8 @@ sim::Task<void> Net::rdma_get(int getter, int owner, hw::BufView src,
   const double latency =
       (gn == on) ? spec.loopback_latency : spec.wire_latency;
 
-  auto span = tracer_ ? tracer_->open(getter, trace::Kind::kNicXfer, eng.now(),
-                                      owner, src.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(getter, trace::Kind::kNicXfer, eng.now(), owner,
+                          src.len);
   // RDMA read: data moves owner -> getter over the chosen rail(s).
   if (hca == kStripe) {
     co_await striped_transfer(on, gn, static_cast<double>(src.len));

@@ -28,9 +28,9 @@
 
 #include "hw/buffer.hpp"
 #include "hw/cluster.hpp"
+#include "obs/sink.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
-#include "trace/trace.hpp"
 
 namespace hmca::net {
 
@@ -39,7 +39,7 @@ inline constexpr int kAnyTag = -1;
 
 class Net {
  public:
-  explicit Net(hw::Cluster& cluster, trace::Tracer* tracer = nullptr);
+  explicit Net(hw::Cluster& cluster, obs::Sink& sink = obs::null_sink());
   Net(const Net&) = delete;
   Net& operator=(const Net&) = delete;
 
@@ -151,7 +151,7 @@ class Net {
   sim::Task<void> striped_transfer(int src_node, int dst_node, double bytes);
 
   hw::Cluster* cl_;
-  trace::Tracer* tracer_;
+  obs::Sink* sink_;
   std::vector<RankBox> boxes_;
   std::uint64_t delivered_ = 0;
   std::uint64_t unexpected_ = 0;

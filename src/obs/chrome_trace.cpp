@@ -1,0 +1,74 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace hmca::obs {
+
+namespace {
+
+std::string us(sim::Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", sim::to_us(t));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<trace::Span>& spans) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n") << "  ";
+    first = false;
+  };
+
+  // Metadata: name each rank's track so Perfetto shows "rank N" lanes in
+  // numeric order instead of bare tids.
+  std::set<int> ranks;
+  for (const auto& s : spans) ranks.insert(s.rank);
+  for (const int r : ranks) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << r << ", \"args\": {\"name\": \"rank " << r << "\"}}";
+  }
+
+  for (const auto& s : spans) {
+    sep();
+    const bool instant = !(s.t1 > s.t0);
+    const char* name =
+        s.label.empty() ? trace::kind_name(s.kind) : s.label.c_str();
+    os << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+       << trace::kind_name(s.kind) << "\", \"ph\": \""
+       << (instant ? 'i' : 'X') << "\", \"pid\": 0, \"tid\": " << s.rank
+       << ", \"ts\": " << us(s.t0);
+    if (instant) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": " << us(s.t1 - s.t0);
+    }
+    os << ", \"args\": {";
+    bool farg = true;
+    const auto arg = [&](const char* k) -> std::ostream& {
+      if (!farg) os << ", ";
+      farg = false;
+      os << '"' << k << "\": ";
+      return os;
+    };
+    arg("kind") << '"' << trace::kind_name(s.kind) << '"';
+    if (s.peer >= 0) arg("peer") << s.peer;
+    if (s.bytes != 0) arg("bytes") << s.bytes;
+    if (!s.label.empty()) arg("label") << '"' << json_escape(s.label) << '"';
+    os << "}}";
+  }
+
+  if (!first) os << '\n';
+  os << "]}\n";
+}
+
+}  // namespace hmca::obs

@@ -1,0 +1,23 @@
+// Chrome-trace-event JSON exporter for the span stream: the produced file
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: one pid for the whole simulation, one tid per rank (with "M"
+// thread_name metadata), "X" complete events for spans with duration, "i"
+// instant events for zero-length annotations (selector decisions, fault
+// markers). Timestamps are virtual-time microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+
+/// Serialize `spans` as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}). Deterministic: events appear in recording
+/// order after the per-rank metadata block.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<trace::Span>& spans);
+
+}  // namespace hmca::obs

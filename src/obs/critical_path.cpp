@@ -1,0 +1,210 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace hmca::obs {
+
+namespace {
+
+// Tolerance for "finished at or before": virtual times are exact doubles
+// produced by the same arithmetic on both ends, but summed delays can
+// differ in the last ulp.
+constexpr double kEps = 1e-12;
+
+bool is_link(const trace::Span& s) {
+  return s.kind != trace::Kind::kPhase && s.t1 > s.t0;
+}
+
+// Innermost enclosing kPhase label on the step's rank ("" if none).
+std::string phase_of(const std::vector<trace::Span>& spans,
+                     const trace::Span& step) {
+  const trace::Span* best = nullptr;
+  for (const auto& p : spans) {
+    if (p.kind != trace::Kind::kPhase || p.rank != step.rank) continue;
+    if (p.t0 > step.t0 + kEps || p.t1 + kEps < step.t1) continue;
+    if (best == nullptr || p.t1 - p.t0 < best->t1 - best->t0) best = &p;
+  }
+  return best != nullptr ? best->label : std::string{};
+}
+
+// Merge a span-interval list into a disjoint sorted union.
+std::vector<std::pair<sim::Time, sim::Time>> merged(
+    std::vector<std::pair<sim::Time, sim::Time>> iv) {
+  std::sort(iv.begin(), iv.end());
+  std::vector<std::pair<sim::Time, sim::Time>> out;
+  for (const auto& [a, b] : iv) {
+    if (!out.empty() && a <= out.back().second) {
+      out.back().second = std::max(out.back().second, b);
+    } else {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+sim::Duration total_len(
+    const std::vector<std::pair<sim::Time, sim::Time>>& iv) {
+  sim::Duration t = 0;
+  for (const auto& [a, b] : iv) t += b - a;
+  return t;
+}
+
+std::string us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(
+    const std::vector<trace::Span>& spans) {
+  CriticalPathReport rep;
+
+  // Start at the latest-ending real activity.
+  const trace::Span* cur = nullptr;
+  for (const auto& s : spans) {
+    if (!is_link(s)) continue;
+    if (cur == nullptr || s.t1 > cur->t1) cur = &s;
+  }
+  if (cur == nullptr) return rep;
+
+  std::vector<const trace::Span*> chain;
+  while (cur != nullptr && chain.size() < spans.size()) {
+    chain.push_back(cur);
+    // Predecessor: the latest-ending span that finished by the time `cur`
+    // started. A span on the same rank or across cur's message edge
+    // (peer -> rank) is the releasing dependency; fall back to any rank
+    // so chains survive spans the instrumentation didn't connect.
+    const trace::Span* best_related = nullptr;
+    const trace::Span* best_any = nullptr;
+    for (const auto& s : spans) {
+      if (!is_link(s) || &s == cur) continue;
+      if (s.t1 > cur->t0 + kEps) continue;
+      const bool related = s.rank == cur->rank || s.rank == cur->peer ||
+                           s.peer == cur->rank;
+      if (related && (best_related == nullptr || s.t1 > best_related->t1)) {
+        best_related = &s;
+      }
+      if (best_any == nullptr || s.t1 > best_any->t1) best_any = &s;
+    }
+    cur = best_related != nullptr ? best_related : best_any;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  for (const trace::Span* s : chain) {
+    const sim::Duration d = s->t1 - s->t0;
+    std::string phase = phase_of(spans, *s);
+    rep.steps.push_back(CriticalPathReport::Step{
+        s->rank, s->kind, s->t0, s->t1, s->peer, s->bytes, s->label, phase});
+    rep.total += d;
+    rep.by_kind[trace::kind_name(s->kind)] += d;
+    if (!phase.empty()) rep.by_phase[phase] += d;
+  }
+
+  // Dominant kind: the longest contributor that isn't blocked time — waits
+  // are a symptom, not the resource to optimize.
+  sim::Duration best = -1;
+  for (const auto& [kind, d] : rep.by_kind) {
+    if (kind == trace::kind_name(trace::Kind::kWait)) continue;
+    if (d > best) {
+      best = d;
+      rep.dominant_kind = kind;
+    }
+  }
+  if (rep.dominant_kind.empty() && !rep.by_kind.empty()) {
+    rep.dominant_kind = rep.by_kind.begin()->first;
+  }
+  best = -1;
+  for (const auto& [phase, d] : rep.by_phase) {
+    if (d > best) {
+      best = d;
+      rep.dominant_phase = phase;
+    }
+  }
+  return rep;
+}
+
+void CriticalPathReport::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\n";
+  os << pad << "  \"total_us\": " << us(total) << ",\n";
+  os << pad << "  \"dominant_kind\": \"" << json_escape(dominant_kind)
+     << "\",\n";
+  os << pad << "  \"dominant_phase\": \"" << json_escape(dominant_phase)
+     << "\",\n";
+  const auto table = [&](const char* name,
+                         const std::map<std::string, sim::Duration>& m) {
+    os << pad << "  \"" << name << "\": {";
+    bool first = true;
+    for (const auto& [k, d] : m) {
+      os << (first ? "" : ", ") << '"' << json_escape(k)
+         << "\": " << us(d);
+      first = false;
+    }
+    os << "},\n";
+  };
+  table("by_kind_us", by_kind);
+  table("by_phase_us", by_phase);
+  os << pad << "  \"steps\": [";
+  bool first = true;
+  for (const auto& st : steps) {
+    os << (first ? "\n" : ",\n") << pad << "    {\"rank\": " << st.rank
+       << ", \"kind\": \"" << trace::kind_name(st.kind)
+       << "\", \"t0_us\": " << us(st.t0)
+       << ", \"dur_us\": " << us(st.t1 - st.t0) << ", \"peer\": " << st.peer
+       << ", \"bytes\": " << st.bytes << ", \"label\": \""
+       << json_escape(st.label) << "\", \"phase\": \""
+       << json_escape(st.phase) << "\"}";
+    first = false;
+  }
+  if (!first) os << '\n' << pad << "  ";
+  os << "]\n" << pad << '}';
+}
+
+std::string CriticalPathReport::summary() const {
+  if (steps.empty()) return "critical path: no spans";
+  std::string out = "critical path " + us(total) + " us over " +
+                    std::to_string(steps.size()) + " spans";
+  if (!dominant_kind.empty()) {
+    const auto it = by_kind.find(dominant_kind);
+    const double share =
+        total > 0 && it != by_kind.end() ? it->second / total * 100.0 : 0.0;
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.0f%%", share);
+    out += "; dominant kind " + dominant_kind + " (" + pct + ")";
+  }
+  if (!dominant_phase.empty()) out += "; dominant phase " + dominant_phase;
+  return out;
+}
+
+double phase_overlap_fraction(const std::vector<trace::Span>& spans) {
+  std::vector<std::pair<sim::Time, sim::Time>> p2;
+  std::vector<std::pair<sim::Time, sim::Time>> p3;
+  for (const auto& s : spans) {
+    if (s.kind != trace::Kind::kPhase || !(s.t1 > s.t0)) continue;
+    if (s.label == "phase2") p2.emplace_back(s.t0, s.t1);
+    if (s.label == "phase3") p3.emplace_back(s.t0, s.t1);
+  }
+  const auto u2 = merged(std::move(p2));
+  const auto u3 = merged(std::move(p3));
+  const sim::Duration len3 = total_len(u3);
+  if (!(len3 > 0)) return 0.0;
+
+  sim::Duration inter = 0;
+  for (const auto& [a2, b2] : u2) {
+    for (const auto& [a3, b3] : u3) {
+      const sim::Time lo = std::max(a2, a3);
+      const sim::Time hi = std::min(b2, b3);
+      if (hi > lo) inter += hi - lo;
+    }
+  }
+  return inter / len3;
+}
+
+}  // namespace hmca::obs

@@ -1,0 +1,83 @@
+// Metrics registry: counters, gauges and histograms keyed by (name, label
+// set), advancing in virtual time with the simulation that feeds them.
+//
+// Storage is ordered (std::map over a normalized key) so every export —
+// JSON, CSV, test assertions — is deterministic across runs, matching the
+// simulator's reproducibility guarantees.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace hmca::obs {
+
+class Metrics {
+ public:
+  /// Metric identity: name plus normalized (key-sorted) labels.
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  void count(std::string_view name, double delta, Labels labels = {});
+  void gauge(std::string_view name, double value, Labels labels = {});
+  void observe(std::string_view name, double value, Labels labels = {});
+
+  /// Lookups (tests, report derivation). Counters/gauges default to 0 for
+  /// absent keys; histogram lookup returns nullptr.
+  double counter_value(std::string_view name, const Labels& labels = {}) const;
+  double gauge_value(std::string_view name, const Labels& labels = {}) const;
+  const Histogram* histogram(std::string_view name,
+                             const Labels& labels = {}) const;
+
+  /// Sum of every counter series sharing `name` (all label sets).
+  double counter_total(std::string_view name) const;
+
+  const std::map<Key, double>& counters() const noexcept { return counters_; }
+  const std::map<Key, double>& gauges() const noexcept { return gauges_; }
+  const std::map<Key, Histogram>& histograms() const noexcept {
+    return hists_;
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+  void clear();
+
+  /// {"counters":[{"name":..,"labels":{..},"value":..},..],
+  ///  "gauges":[..], "histograms":[..]} — keys emitted in sorted order.
+  /// `indent` spaces prefix every line (for embedding in a larger object).
+  void write_json(std::ostream& os, int indent = 0) const;
+
+  /// kind,name,labels,value[,count/min/max] rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  static Key make_key(std::string_view name, Labels labels);
+
+  std::map<Key, double> counters_;
+  std::map<Key, double> gauges_;
+  std::map<Key, Histogram> hists_;
+};
+
+/// JSON string escaping shared by the metrics and chrome-trace exporters.
+std::string json_escape(std::string_view s);
+
+}  // namespace hmca::obs

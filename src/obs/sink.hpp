@@ -1,0 +1,156 @@
+// The observability channel the whole stack reports through.
+//
+// `obs::Sink` carries both telemetry streams of the library — timeline
+// spans (trace/trace.hpp) and metrics (counters / gauges / histograms,
+// obs/metrics.hpp) — behind one interface. Instrumented layers (net, shm,
+// coll, core) hold a `Sink&` instead of a nullable `trace::Tracer*`:
+// the null sink is a real object that ignores everything, so callsites
+// never branch on "is tracing on". Recording never advances virtual time;
+// a null-sink run is event-for-event identical to an instrumented one.
+//
+// `wants_spans()` / `wants_metrics()` let hot paths skip building labels
+// or label strings when nobody is listening (the null sink wants nothing).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+
+/// Metric identity labels, e.g. {{"node","0"},{"rail","1"}}. Order is
+/// normalized (sorted by key) by the metrics registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// An open span. Default-constructed or null-sink handles are inert, so
+  /// `close()` is always safe to call exactly once.
+  class Span {
+   public:
+    Span() = default;
+    void close(sim::Time t1) {
+      if (sink_ != nullptr) sink_->span_close(id_, t1);
+      sink_ = nullptr;
+    }
+
+   private:
+    friend class Sink;
+    Sink* sink_ = nullptr;
+    std::size_t id_ = 0;
+  };
+
+  // ---- Span channel ----
+
+  /// Open a span at `t0`; close the returned handle when the activity ends.
+  Span open(int rank, trace::Kind kind, sim::Time t0, int peer = -1,
+            std::size_t bytes = 0, std::string label = {}) {
+    Span s;
+    if (wants_spans()) {
+      s.sink_ = this;
+      s.id_ = span_open(
+          trace::Span{rank, kind, t0, t0, peer, bytes, std::move(label)});
+    }
+    return s;
+  }
+
+  /// Record a complete span (typically a zero-length kPhase annotation).
+  void record(trace::Span s) {
+    if (wants_spans()) span_record(std::move(s));
+  }
+
+  // ---- Metric channel ----
+
+  /// Increment a counter (monotonic; `delta` >= 0 by convention).
+  void count(std::string_view name, double delta, Labels labels = {}) {
+    if (wants_metrics()) metric_count(name, delta, std::move(labels));
+  }
+  /// Set a gauge to its latest value.
+  void gauge(std::string_view name, double value, Labels labels = {}) {
+    if (wants_metrics()) metric_gauge(name, value, std::move(labels));
+  }
+  /// Record one histogram observation.
+  void observe(std::string_view name, double value, Labels labels = {}) {
+    if (wants_metrics()) metric_observe(name, value, std::move(labels));
+  }
+
+  /// Guards for hot paths: skip label construction when nobody listens.
+  virtual bool wants_spans() const noexcept { return false; }
+  virtual bool wants_metrics() const noexcept { return false; }
+
+ protected:
+  /// Backend hooks; only invoked when the matching wants_*() is true.
+  virtual std::size_t span_open(trace::Span s) {
+    (void)s;
+    return 0;
+  }
+  virtual void span_close(std::size_t id, sim::Time t1) {
+    (void)id;
+    (void)t1;
+  }
+  virtual void span_record(trace::Span s) { (void)s; }
+  virtual void metric_count(std::string_view name, double delta,
+                            Labels labels) {
+    (void)name;
+    (void)delta;
+    (void)labels;
+  }
+  virtual void metric_gauge(std::string_view name, double value,
+                            Labels labels) {
+    (void)name;
+    (void)value;
+    (void)labels;
+  }
+  virtual void metric_observe(std::string_view name, double value,
+                              Labels labels) {
+    (void)name;
+    (void)value;
+    (void)labels;
+  }
+};
+
+/// The process-wide discard sink: wants nothing, records nothing. Layers
+/// default their `Sink&` to this, replacing the old nullable tracer.
+Sink& null_sink() noexcept;
+
+class Metrics;
+
+/// A sink that forwards spans to a `trace::Tracer` and metrics to an
+/// `obs::Metrics` registry; either backend may be absent. This is the
+/// bridge that keeps the existing tracer-based tools (ASCII timeline, CSV
+/// dump, busy_time assertions) working on top of the new channel.
+class CollectSink final : public Sink {
+ public:
+  explicit CollectSink(trace::Tracer* tracer, Metrics* metrics = nullptr)
+      : tracer_(tracer), metrics_(metrics) {}
+
+  bool wants_spans() const noexcept override { return tracer_ != nullptr; }
+  bool wants_metrics() const noexcept override { return metrics_ != nullptr; }
+
+  trace::Tracer* tracer() const noexcept { return tracer_; }
+  Metrics* metrics() const noexcept { return metrics_; }
+
+ protected:
+  std::size_t span_open(trace::Span s) override;
+  void span_close(std::size_t id, sim::Time t1) override;
+  void span_record(trace::Span s) override;
+  void metric_count(std::string_view name, double delta,
+                    Labels labels) override;
+  void metric_gauge(std::string_view name, double value,
+                    Labels labels) override;
+  void metric_observe(std::string_view name, double value,
+                      Labels labels) override;
+
+ private:
+  trace::Tracer* tracer_;
+  Metrics* metrics_;
+};
+
+}  // namespace hmca::obs

@@ -31,7 +31,9 @@ std::string load_fault_spec(const std::string& value) {
 }  // namespace
 
 AlgoFlag parse_algo_flag(int argc, char** argv) {
+  Env::warn_unknown_once();
   AlgoFlag flag;
+  bool stats_flag_seen = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&](const char* name, std::size_t eq_len) {
@@ -58,10 +60,26 @@ AlgoFlag parse_algo_flag(int argc, char** argv) {
       }
     } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
       flag.faults = load_fault_spec(value_of("--faults", 9));
+    } else if (arg == "--stats") {  // bare flag: text report, no value taken
+      flag.stats.enabled = true;
+      flag.stats.format = StatsFormat::kText;
+      stats_flag_seen = true;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      flag.stats.enabled = true;
+      flag.stats.format = parse_stats_format(arg.substr(8), "--stats");
+      stats_flag_seen = true;
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      flag.stats.trace_path = value_of("--trace", 8);
     }
   }
   if (flag.faults.empty()) {
-    if (const char* env = std::getenv(kFaultsEnv)) flag.faults = env;
+    if (const auto env = Env::faults()) flag.faults = *env;
+  }
+  if (!stats_flag_seen) {
+    if (const auto fmt = Env::stats()) {
+      flag.stats.enabled = true;
+      flag.stats.format = *fmt;
+    }
   }
   // Fail on typos now, not inside the Nth measurement.
   sim::FaultPlan::parse(flag.faults);

@@ -10,9 +10,13 @@
 //   bench_binary --algo=ring
 //   bench_binary --faults 'kill:node=0,hca=1,t=5e-6'   # sim/fault.hpp spec
 //   bench_binary --faults=@plan.json                   # read spec from file
+//   bench_binary --stats         # per-invocation stats report (text)
+//   bench_binary --stats=json    # ... machine-readable (or csv)
+//   bench_binary --trace out.json  # Chrome-trace export of the last run
 //
-// When no --faults flag is given, the HMCA_FAULTS environment variable is
-// consulted, so fault plans also reach binaries without flag plumbing.
+// When no --faults / --stats flag is given, the HMCA_FAULTS / HMCA_STATS
+// environment variables are consulted (via osu::Env), so both reach
+// binaries without flag plumbing. Unknown HMCA_* variables warn once.
 //
 // Callers that want the MHA designs listed must register them first
 // (core::register_core_algorithms()); this header deliberately depends only
@@ -25,23 +29,26 @@
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
 #include "hw/spec.hpp"
+#include "osu/env.hpp"
 
 namespace hmca::osu {
 
 /// Environment variable consulted when no --faults flag is present.
-inline constexpr const char* kFaultsEnv = "HMCA_FAULTS";
+inline constexpr const char* kFaultsEnv = Env::kFaults;
 
 struct AlgoFlag {
   std::string name;    ///< empty = no --algo given
   bool list = false;   ///< --algo list
   std::string faults;  ///< fault plan spec (--faults or HMCA_FAULTS)
+  StatsOptions stats;  ///< --stats / --trace / HMCA_STATS request
 };
 
-/// Extract `--algo <name>` / `--algo=<name>` / `--algo list` and
-/// `--faults <spec|@file>` from argv; an absent --faults falls back to
-/// HMCA_FAULTS. The plan is parse-checked eagerly so typos fail before any
-/// measurement. Throws std::invalid_argument on a dangling flag or a
-/// malformed plan; other arguments are ignored.
+/// Extract `--algo <name>` / `--algo=<name>` / `--algo list`,
+/// `--faults <spec|@file>`, `--stats[=text|json|csv]` and `--trace <file>`
+/// from argv; absent --faults / --stats fall back to HMCA_FAULTS /
+/// HMCA_STATS. The plan is parse-checked eagerly so typos fail before any
+/// measurement. Throws std::invalid_argument on a dangling flag, a
+/// malformed plan or a bad stats format; other arguments are ignored.
 AlgoFlag parse_algo_flag(int argc, char** argv);
 
 /// `spec` with the flag's fault plan attached (no-op when none was given).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <utility>
 
 #include "hw/buffer.hpp"
 #include "mpi/comm.hpp"
@@ -26,9 +27,17 @@ sim::Task<void> ar_rank(mpi::Comm& comm, const coll::AllreduceFn& fn,
 
 double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
                          std::size_t msg, trace::Tracer* tracer) {
+  obs::CollectSink sink(tracer);
+  return measure_allgather(std::move(spec), fn, msg,
+                           tracer != nullptr ? static_cast<obs::Sink&>(sink)
+                                             : obs::null_sink());
+}
+
+double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
+                         std::size_t msg, obs::Sink& sink) {
   spec.carry_data = false;
   sim::Engine eng;
-  mpi::World world(eng, spec, tracer);
+  mpi::World world(eng, spec, sink);
   auto& comm = world.comm_world();
   const int p = comm.size();
   std::vector<hw::Buffer> sends, recvs;
@@ -48,10 +57,18 @@ double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
 
 double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
                          std::size_t bytes, trace::Tracer* tracer) {
+  obs::CollectSink sink(tracer);
+  return measure_allreduce(std::move(spec), fn, bytes,
+                           tracer != nullptr ? static_cast<obs::Sink&>(sink)
+                                             : obs::null_sink());
+}
+
+double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
+                         std::size_t bytes, obs::Sink& sink) {
   spec.carry_data = false;
   const std::size_t count = bytes / mpi::dtype_size(mpi::Dtype::kFloat);
   sim::Engine eng;
-  mpi::World world(eng, spec, tracer);
+  mpi::World world(eng, spec, sink);
   auto& comm = world.comm_world();
   const int p = comm.size();
   std::vector<hw::Buffer> bufs;

@@ -15,15 +15,24 @@
 #include "coll/allreduce.hpp"
 #include "hw/spec.hpp"
 #include "mpi/datatype.hpp"
+#include "obs/sink.hpp"
 #include "trace/trace.hpp"
 
 namespace hmca::osu {
 
-/// Latency (seconds) of one Allgather of `msg` bytes per process.
+/// Latency (seconds) of one Allgather of `msg` bytes per process, with the
+/// run's spans and metrics delivered to `sink`.
+double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
+                         std::size_t msg, obs::Sink& sink);
+
+/// Tracer-pointer convenience (spans only; nullptr = no capture).
 double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
                          std::size_t msg, trace::Tracer* tracer = nullptr);
 
 /// Latency (seconds) of one Allreduce of `bytes` (float32 sum).
+double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
+                         std::size_t bytes, obs::Sink& sink);
+
 double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
                          std::size_t bytes, trace::Tracer* tracer = nullptr);
 

@@ -1,0 +1,199 @@
+#include "osu/stats.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <utility>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/sink.hpp"
+#include "osu/harness.hpp"
+
+namespace hmca::osu {
+
+namespace {
+
+std::string us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string fraction(double f) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.4f", f);
+  return buf;
+}
+
+std::vector<std::string> decision_labels(const std::vector<trace::Span>& spans) {
+  std::vector<std::string> out;
+  for (const auto& s : spans) {
+    if (s.label.rfind("select:", 0) != 0) continue;
+    const std::string d = s.label.substr(7);
+    bool seen = false;
+    for (const auto& have : out) {
+      if (have == d) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsSession::StatsSession(StatsOptions opts, std::string bench)
+    : opts_(std::move(opts)), bench_(std::move(bench)) {}
+
+double StatsSession::measure_allgather(const hw::ClusterSpec& spec,
+                                       const std::string& subject,
+                                       const coll::AllgatherFn& fn,
+                                       std::size_t msg) {
+  if (!enabled()) return osu::measure_allgather(spec, fn, msg);
+  trace::Tracer tracer;
+  obs::Metrics metrics;
+  obs::CollectSink sink(&tracer, &metrics);
+  const double t = osu::measure_allgather(spec, fn, msg, sink);
+  capture(subject, "allgather", msg, t, std::move(tracer), std::move(metrics));
+  return t;
+}
+
+double StatsSession::measure_allreduce(const hw::ClusterSpec& spec,
+                                       const std::string& subject,
+                                       const coll::AllreduceFn& fn,
+                                       std::size_t bytes) {
+  if (!enabled()) return osu::measure_allreduce(spec, fn, bytes);
+  trace::Tracer tracer;
+  obs::Metrics metrics;
+  obs::CollectSink sink(&tracer, &metrics);
+  const double t = osu::measure_allreduce(spec, fn, bytes, sink);
+  capture(subject, "allreduce", bytes, t, std::move(tracer),
+          std::move(metrics));
+  return t;
+}
+
+void StatsSession::capture(std::string subject, const char* op,
+                           std::size_t msg_bytes, double seconds,
+                           trace::Tracer tracer, obs::Metrics metrics) {
+  InvocationStats rec;
+  rec.subject = std::move(subject);
+  rec.op = op;
+  rec.msg_bytes = msg_bytes;
+  rec.seconds = seconds;
+  rec.decisions = decision_labels(tracer.spans());
+  rec.overlap_fraction = obs::phase_overlap_fraction(tracer.spans());
+  rec.critical_path = obs::analyze_critical_path(tracer.spans());
+  rec.metrics = std::move(metrics);
+  recs_.push_back(std::move(rec));
+  last_spans_ = tracer.take_spans();
+}
+
+void StatsSession::write(std::ostream& os) const {
+  switch (opts_.format) {
+    case StatsFormat::kText: {
+      os << "== stats: " << bench_ << " ==\n";
+      for (const auto& r : recs_) {
+        os << r.subject << ' ' << r.op << ' ' << format_size(r.msg_bytes)
+           << ": " << us(r.seconds) << " us";
+        if (!r.decisions.empty()) os << "  [" << r.decisions.front() << ']';
+        os << '\n';
+        os << "  " << r.critical_path.summary() << '\n';
+        if (r.overlap_fraction > 0) {
+          os << "  phase-2/3 overlap: " << fraction(r.overlap_fraction)
+             << '\n';
+        }
+        const double rail = r.metrics.counter_total("net.rail.bytes");
+        if (rail > 0) {
+          os << "  net rail bytes: " << static_cast<long long>(rail)
+             << ", retries: "
+             << static_cast<long long>(r.metrics.counter_total("net.retries"))
+             << ", restripes: "
+             << static_cast<long long>(
+                    r.metrics.counter_total("net.restripes"))
+             << '\n';
+        }
+      }
+      break;
+    }
+    case StatsFormat::kJson: {
+      os << "{\n  \"bench\": \"" << obs::json_escape(bench_)
+         << "\",\n  \"invocations\": [";
+      bool first = true;
+      for (const auto& r : recs_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\n";
+        os << "      \"subject\": \"" << obs::json_escape(r.subject)
+           << "\",\n";
+        os << "      \"op\": \"" << r.op << "\",\n";
+        os << "      \"msg_bytes\": " << r.msg_bytes << ",\n";
+        os << "      \"latency_us\": " << us(r.seconds) << ",\n";
+        os << "      \"selector_decisions\": [";
+        for (std::size_t i = 0; i < r.decisions.size(); ++i) {
+          os << (i == 0 ? "" : ", ") << '"' << obs::json_escape(r.decisions[i])
+             << '"';
+        }
+        os << "],\n";
+        os << "      \"phase_overlap_fraction\": "
+           << fraction(r.overlap_fraction) << ",\n";
+        os << "      \"critical_path\":\n";
+        r.critical_path.write_json(os, 6);
+        os << ",\n      \"metrics\":\n";
+        r.metrics.write_json(os, 6);
+        os << "\n    }";
+      }
+      if (!first) os << '\n' << "  ";
+      os << "]\n}\n";
+      break;
+    }
+    case StatsFormat::kCsv: {
+      os << "bench,subject,op,msg_bytes,latency_us,decision,dominant_kind,"
+            "dominant_phase,critical_path_us,overlap_fraction,"
+            "net_rail_bytes,net_retries,net_restripes,shm_copy_bytes\n";
+      for (const auto& r : recs_) {
+        os << bench_ << ',' << r.subject << ',' << r.op << ',' << r.msg_bytes
+           << ',' << us(r.seconds) << ','
+           << (r.decisions.empty() ? "" : r.decisions.front()) << ','
+           << r.critical_path.dominant_kind << ','
+           << r.critical_path.dominant_phase << ','
+           << us(r.critical_path.total) << ','
+           << fraction(r.overlap_fraction) << ','
+           << static_cast<long long>(
+                  r.metrics.counter_total("net.rail.bytes"))
+           << ','
+           << static_cast<long long>(r.metrics.counter_total("net.retries"))
+           << ','
+           << static_cast<long long>(
+                  r.metrics.counter_total("net.restripes"))
+           << ','
+           << static_cast<long long>(
+                  r.metrics.counter_total("shm.copy_bytes"))
+           << '\n';
+      }
+      break;
+    }
+  }
+}
+
+void StatsSession::write_trace(std::ostream& os) const {
+  obs::write_chrome_trace(os, last_spans_);
+}
+
+void StatsSession::finish(std::ostream& os) const {
+  if (opts_.enabled) write(os);
+  if (opts_.trace_path.empty()) return;
+  std::ofstream out(opts_.trace_path);
+  if (!out) {
+    std::cerr << "hmca: cannot write trace file '" << opts_.trace_path
+              << "'\n";
+    return;
+  }
+  write_trace(out);
+  std::cerr << "trace written to " << opts_.trace_path
+            << " (load in Perfetto or chrome://tracing)\n";
+}
+
+}  // namespace hmca::osu

@@ -1,0 +1,87 @@
+// Per-invocation stats capture for the bench binaries: every measurement
+// taken through a StatsSession runs with a collecting obs::Sink, and the
+// session derives a uniform machine-readable report — selector decisions,
+// per-rail byte counters, retry/restripe counts, phase-2/3 overlap fraction
+// and the critical-path breakdown of each invocation.
+//
+// The report prints after the human tables (`--stats`, `--stats=json`,
+// `--stats=csv`, or HMCA_STATS), so `bench --stats=json | tail -n +K` style
+// extraction and the checked-in schema (schemas/stats.schema.json) both
+// work. `--trace <file>` additionally exports the *last* measured
+// invocation as Chrome-trace JSON loadable in Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "hw/spec.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "osu/env.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::osu {
+
+/// One measured collective invocation with its observability capture.
+struct InvocationStats {
+  std::string subject;  ///< bench column, e.g. "mha", "hpcx"
+  std::string op;       ///< "allgather" | "allreduce"
+  std::size_t msg_bytes = 0;
+  double seconds = 0;  ///< slowest-rank completion time
+  /// Unique "select:..." decision span labels, in first-seen order (empty
+  /// when the measured fn bypasses the selector).
+  std::vector<std::string> decisions;
+  double overlap_fraction = 0;  ///< phase-2/3 overlap (0 for flat runs)
+  obs::CriticalPathReport critical_path;
+  obs::Metrics metrics;
+};
+
+/// Owns the stats/trace request of one bench process. When disabled, the
+/// measure_* methods are exactly the plain harness calls; when enabled they
+/// run under a collecting sink and append an InvocationStats record.
+class StatsSession {
+ public:
+  StatsSession(StatsOptions opts, std::string bench);
+
+  /// True when measurements must run under a collecting sink (a report or
+  /// a trace file was requested).
+  bool enabled() const noexcept {
+    return opts_.enabled || !opts_.trace_path.empty();
+  }
+
+  double measure_allgather(const hw::ClusterSpec& spec,
+                           const std::string& subject,
+                           const coll::AllgatherFn& fn, std::size_t msg);
+  double measure_allreduce(const hw::ClusterSpec& spec,
+                           const std::string& subject,
+                           const coll::AllreduceFn& fn, std::size_t bytes);
+
+  const std::vector<InvocationStats>& invocations() const noexcept {
+    return recs_;
+  }
+
+  /// The report in the requested format.
+  void write(std::ostream& os) const;
+  /// Chrome-trace JSON of the last measured invocation.
+  void write_trace(std::ostream& os) const;
+
+  /// Print the report to `os` (when `--stats` asked for one) and write the
+  /// trace file (when `--trace` did). Call once, after the last
+  /// measurement; no-op when both are off.
+  void finish(std::ostream& os) const;
+
+ private:
+  void capture(std::string subject, const char* op, std::size_t msg_bytes,
+               double seconds, trace::Tracer tracer, obs::Metrics metrics);
+
+  StatsOptions opts_;
+  std::string bench_;
+  std::vector<InvocationStats> recs_;
+  std::vector<trace::Span> last_spans_;
+};
+
+}  // namespace hmca::osu

@@ -5,9 +5,9 @@ namespace hmca::shm {
 sim::Task<void> ShmRegion::copy_in_publish(int rank, hw::BufView src,
                                            std::size_t offset, int src_owner) {
   auto& eng = cl_->engine();
-  auto span = tracer_ ? tracer_->open(rank, trace::Kind::kCopyIn, eng.now(),
-                                      -1, src.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(rank, trace::Kind::kCopyIn, eng.now(), -1, src.len);
+  sink_->count("shm.copy_bytes", static_cast<double>(src.len),
+               {{"dir", "in"}});
   co_await eng.sleep(cl_->spec().shm_copy_startup);
   co_await cl_->cpu_copy_between(
       rank, src_owner >= 0 ? src_owner : home_rank_,
@@ -23,9 +23,9 @@ sim::Task<void> ShmRegion::copy_out(int rank, std::size_t i, hw::BufView dst) {
     throw std::invalid_argument("ShmRegion::copy_out: size mismatch");
   }
   auto& eng = cl_->engine();
-  auto span = tracer_ ? tracer_->open(rank, trace::Kind::kCopyOut, eng.now(),
-                                      -1, c.len)
-                      : trace::Tracer::Handle{};
+  auto span = sink_->open(rank, trace::Kind::kCopyOut, eng.now(), -1, c.len);
+  sink_->count("shm.copy_bytes", static_cast<double>(c.len),
+               {{"dir", "out"}});
   co_await eng.sleep(cl_->spec().shm_copy_startup);
   co_await cl_->cpu_copy_between(rank, home_rank_, static_cast<double>(c.len));
   hw::copy_payload(dst, store_.slice(c.offset, c.len));

@@ -21,9 +21,9 @@
 
 #include "hw/buffer.hpp"
 #include "hw/cluster.hpp"
+#include "obs/sink.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
-#include "trace/trace.hpp"
 
 namespace hmca::shm {
 
@@ -40,10 +40,10 @@ class ShmRegion {
   /// (first-toucher); on NUMA nodes, copies from other sockets traverse
   /// the UPI link. -1 = socket-oblivious (single-socket nodes).
   ShmRegion(hw::Cluster& cluster, int node, std::size_t bytes,
-            trace::Tracer* tracer = nullptr, int home_rank = -1)
+            obs::Sink& sink = obs::null_sink(), int home_rank = -1)
       : cl_(&cluster),
         node_(node),
-        tracer_(tracer),
+        sink_(&sink),
         home_rank_(home_rank),
         store_(hw::Buffer::make(bytes, cluster.spec().carry_data)),
         cv_(cluster.engine()) {}
@@ -81,7 +81,7 @@ class ShmRegion {
  private:
   hw::Cluster* cl_;
   int node_;
-  trace::Tracer* tracer_;
+  obs::Sink* sink_;
   int home_rank_ = -1;
   hw::Buffer store_;
   sim::Condition cv_;

@@ -68,7 +68,19 @@ class Tracer {
 
   void record(Span s) { spans_.push_back(std::move(s)); }
 
+  /// Index-based open/close for adapters (obs::CollectSink) that manage
+  /// their own handle lifetime. `open_span` returns the span's index;
+  /// `close_span` stamps its end time.
+  std::size_t open_span(Span s) {
+    spans_.push_back(std::move(s));
+    return spans_.size() - 1;
+  }
+  void close_span(std::size_t idx, sim::Time t1) { spans_.at(idx).t1 = t1; }
+
   const std::vector<Span>& spans() const noexcept { return spans_; }
+  /// Steal the span store (leaves the tracer empty). Lets consumers that
+  /// own the tracer keep a multi-million-span stream without copying it.
+  std::vector<Span> take_spans() noexcept { return std::move(spans_); }
   void clear() { spans_.clear(); }
 
   /// Total time covered by spans of `kind` on `rank` (merging overlaps).

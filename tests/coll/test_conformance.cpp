@@ -73,7 +73,8 @@ void check_allgather_trial(const Trial& t) {
     }
     const RankBytes got = testing::conf::run_allgather(algo.fn, t);
     EXPECT_EQ(testing::conf::diff_results(got, want), "")
-        << "allgather '" << algo.name << "' diverged from the reference";
+        << "allgather '" << algo.name << "' diverged from the reference\n"
+        << testing::conf::failure_stats(algo.fn, t);
   }
 }
 
@@ -246,7 +247,8 @@ TEST_F(Conformance, SurvivableKillPlansPreserveOutput) {
     const RankBytes got =
         testing::conf::run_allgather(profiles::mha().allgather, t);
     EXPECT_EQ(testing::conf::diff_results(got, want), "")
-        << "MHA output changed under a survivable kill plan";
+        << "MHA output changed under a survivable kill plan\n"
+        << testing::conf::failure_stats(profiles::mha().allgather, t);
   }
 }
 

@@ -10,6 +10,7 @@
 #include "hw/buffer.hpp"
 #include "hw/cluster.hpp"
 #include "net/net.hpp"
+#include "obs/sink.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "trace/trace.hpp"
@@ -36,7 +37,8 @@ SendStats measure_send(const std::string& plan, std::size_t n, int hcas = 2,
                  trace::Tracer* tracer = nullptr) {
   sim::Engine eng;
   hw::Cluster cl(eng, faulted_spec(2, 1, hcas, plan));
-  Net net(cl, tracer);
+  obs::CollectSink sink(tracer);
+  Net net(cl, sink);
   auto src = hw::Buffer::phantom(n);
   auto dst = hw::Buffer::phantom(n);
   auto sender = [&]() -> sim::Task<void> {

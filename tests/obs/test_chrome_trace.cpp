@@ -1,0 +1,71 @@
+// Chrome-trace exporter: golden-file comparison plus edge cases, so the
+// JSON stays loadable in Perfetto / chrome://tracing across refactors.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The span set exercises every branch of the exporter: a duration phase
+// span (label becomes the event name), a nic_xfer with peer+bytes but no
+// label, an instant span (t1 == t0 -> ph "i") whose label needs JSON
+// escaping, and a labelled copy carrying every args field at once.
+std::vector<trace::Span> golden_spans() {
+  using trace::Kind;
+  return {
+      {0, Kind::kPhase, 0.0, 10e-6, -1, 0, "phase1"},
+      {0, Kind::kNicXfer, 2e-6, 8e-6, 1, 4096, ""},
+      {1, Kind::kPhase, 5e-6, 5e-6, -1, 0, "select:allgather=\"mha\""},
+      {1, Kind::kCmaCopy, 1e-6, 3e-6, 0, 128, "drain"},
+  };
+}
+
+TEST(ChromeTrace, MatchesGoldenFile) {
+  std::ostringstream out;
+  write_chrome_trace(out, golden_spans());
+  const std::string golden =
+      read_file(std::string(HMCA_TEST_SRCDIR) + "/obs/golden/chrome_trace.json");
+  EXPECT_EQ(out.str(), golden);
+}
+
+TEST(ChromeTrace, EmptySpanListIsValidJson) {
+  std::ostringstream out;
+  write_chrome_trace(out, {});
+  EXPECT_EQ(out.str(), "{\"traceEvents\": []}\n");
+}
+
+TEST(ChromeTrace, RankMetadataIsSortedAndDeduplicated) {
+  using trace::Kind;
+  std::vector<trace::Span> spans = {
+      {7, Kind::kCompute, 0.0, 1e-6, -1, 0, ""},
+      {3, Kind::kCompute, 0.0, 1e-6, -1, 0, ""},
+      {7, Kind::kCompute, 1e-6, 2e-6, -1, 0, ""},
+  };
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  const std::string s = out.str();
+  const auto r3 = s.find("\"rank 3\"");
+  const auto r7 = s.find("\"rank 7\"");
+  ASSERT_NE(r3, std::string::npos);
+  ASSERT_NE(r7, std::string::npos);
+  EXPECT_LT(r3, r7);  // numeric order, not span order
+  EXPECT_EQ(s.find("\"rank 7\"", r7 + 1), std::string::npos);  // exactly once
+}
+
+}  // namespace
+}  // namespace hmca::obs

@@ -23,6 +23,9 @@
 #include "hw/spec.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "osu/env.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "trace/trace.hpp"
@@ -31,14 +34,12 @@ namespace hmca::testing::conf {
 
 /// Environment variable overriding the suite seed (CI's random leg sets it
 /// to the run id; failures print the value for local replay).
-inline constexpr const char* kSeedEnv = "HMCA_CONFORMANCE_SEED";
+inline constexpr const char* kSeedEnv = osu::Env::kConformanceSeed;
 
 /// The suite seed: HMCA_CONFORMANCE_SEED when set (any strtoull base-0
 /// form), a fixed default otherwise so plain `ctest` stays reproducible.
 inline std::uint64_t suite_seed() {
-  if (const char* env = std::getenv(kSeedEnv)) {
-    return std::strtoull(env, nullptr, 0);
-  }
+  if (const auto env = osu::Env::conformance_seed()) return *env;
   return 0xC04F04A11C3ull;
 }
 
@@ -141,12 +142,12 @@ inline RankBytes harvest(std::vector<hw::Buffer>& bufs) {
 
 }  // namespace detail
 
-/// Run `fn` on the trial's (possibly faulted) world; returns every rank's
-/// receive buffer. Pass a tracer to also capture the run's spans.
+/// Run `fn` on the trial's (possibly faulted) world with its spans and
+/// metrics delivered to `sink`; returns every rank's receive buffer.
 inline RankBytes run_allgather(const coll::AllgatherFn& fn, const Trial& t,
-                               trace::Tracer* tracer = nullptr) {
+                               obs::Sink& sink) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t), tracer);
+  mpi::World world(eng, spec_of(t), sink);
   auto& comm = world.comm_world();
   const int p = comm.size();
   const std::size_t msg = t.msg;
@@ -178,6 +179,38 @@ inline RankBytes run_allgather(const coll::AllgatherFn& fn, const Trial& t,
   }
   eng.run();
   return detail::harvest(recvs);
+}
+
+/// Tracer-pointer convenience (spans only; nullptr = no capture).
+inline RankBytes run_allgather(const coll::AllgatherFn& fn, const Trial& t,
+                               trace::Tracer* tracer = nullptr) {
+  obs::CollectSink sink(tracer);
+  return run_allgather(fn, t,
+                       tracer != nullptr ? static_cast<obs::Sink&>(sink)
+                                         : obs::null_sink());
+}
+
+/// Machine-readable stats block for failure messages: replays `fn` on the
+/// trial under a collecting sink and returns the run's span count and
+/// metrics as JSON, so a red CI log carries the observability capture
+/// alongside the replay seed. (Replay is exact: same plan + same seed
+/// produce byte-identical runs.)
+inline std::string failure_stats(const coll::AllgatherFn& fn, const Trial& t) {
+  trace::Tracer tracer;
+  obs::Metrics metrics;
+  obs::CollectSink sink(&tracer, &metrics);
+  std::ostringstream os;
+  os << "stats: {\"trial\": " << t.index << ", \"spans\": ";
+  try {
+    run_allgather(fn, t, sink);
+    os << tracer.spans().size() << ", \"metrics\":\n";
+    metrics.write_json(os);
+    os << '}';
+  } catch (const std::exception& e) {
+    os << tracer.spans().size() << ", \"error\": \""
+       << obs::json_escape(e.what()) << "\"}";
+  }
+  return os.str();
 }
 
 /// The naive gather+bcast reference result for this trial's shape, computed

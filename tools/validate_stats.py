@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a bench --stats=json report against schemas/stats.schema.json.
+
+Stdlib only (CI runners have no jsonschema package), so this implements the
+small JSON-Schema subset the stats schema actually uses: type, properties,
+required, items, enum, minItems. Unknown keywords are ignored, matching
+JSON-Schema semantics.
+
+Benches print their latency tables and the stats block to the same stdout,
+so this tool also accepts a full bench transcript: if the input is not pure
+JSON it extracts the trailing object starting at the last line that is
+exactly "{".
+
+Usage: validate_stats.py <schema.json> <report.json|bench-stdout>
+Exit status 0 on success; 1 with a path-qualified message on the first
+violation.
+"""
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _check_type(expected, value, path):
+    if expected == "number":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif expected == "integer":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif expected == "null":
+        ok = value is None
+    else:
+        ok = isinstance(value, _TYPES[expected])
+    if not ok:
+        raise ValidationError(
+            f"{path}: expected {expected}, got {type(value).__name__}"
+        )
+
+
+def validate(schema, value, path="$"):
+    if "type" in schema:
+        _check_type(schema["type"], value, path)
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValidationError(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                raise ValidationError(f"{path}: missing required key '{name}'")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                validate(sub, value[name], f"{path}.{name}")
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            raise ValidationError(
+                f"{path}: {len(value)} items < minItems {schema['minItems']}"
+            )
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(value):
+                validate(item_schema, item, f"{path}[{i}]")
+
+
+def extract_json(text):
+    """The report, from a pure-JSON file or a full bench transcript."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    lines = text.splitlines()
+    for i in range(len(lines) - 1, -1, -1):
+        if lines[i] == "{":
+            return json.loads("\n".join(lines[i:]))
+    raise ValidationError("no JSON object found in input")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        text = f.read()
+    try:
+        report = extract_json(text)
+        validate(schema, report)
+    except (ValidationError, json.JSONDecodeError) as e:
+        print(f"validate_stats: FAIL: {e}", file=sys.stderr)
+        return 1
+    n = len(report.get("invocations", []))
+    print(f"validate_stats: OK ({argv[2]}: {n} invocations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
