@@ -3,37 +3,42 @@
 //
 // Expected shape: intra-node CMA ~= inter-node 1 HCA at saturation
 // (~12.5 GB/s); inter-node with 2 HCAs doubles once striping kicks in.
-#include <iostream>
+// `--json` (osu::bench_main) emits the table machine-readably.
+#include <cstdio>
+#include <string>
 
-#include "hw/spec.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 
 using namespace hmca;
 
-int main() {
-  osu::Table t;
-  t.title =
-      "Figure 1: pt2pt bandwidth (MB/s), intra-node CMA vs inter-node 1/2 HCAs";
-  t.headers = {"size", "intra_cma", "inter_1hca", "inter_2hca"};
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig01_pt2pt_bw", argc, argv, [](osu::BenchContext& ctx) {
+        osu::Table t;
+        t.title =
+            "Figure 1: pt2pt bandwidth (MB/s), intra-node CMA vs inter-node "
+            "1/2 HCAs";
+        t.headers = {"size", "intra_cma", "inter_1hca", "inter_2hca"};
 
-  const auto intra = hw::ClusterSpec::thor(1, 2);
-  const auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
-  const auto two = hw::ClusterSpec::multi_rail(2, 1, 2);
+        const auto intra = ctx.faulted(hw::ClusterSpec::thor(1, 2));
+        const auto one = ctx.faulted(hw::ClusterSpec::multi_rail(2, 1, 1));
+        const auto two = ctx.faulted(hw::ClusterSpec::multi_rail(2, 1, 2));
 
-  auto mbps = [](double bytes_per_s) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", bytes_per_s / 1e6);
-    return std::string(buf);
-  };
+        auto mbps = [](double bytes_per_s) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.0f", bytes_per_s / 1e6);
+          return std::string(buf);
+        };
 
-  for (std::size_t sz : osu::size_sweep(8192, 4u << 20)) {
-    t.add_row({osu::format_size(sz),
-               mbps(osu::measure_pt2pt_bandwidth(intra, 0, 1, sz)),
-               mbps(osu::measure_pt2pt_bandwidth(one, 0, 1, sz)),
-               mbps(osu::measure_pt2pt_bandwidth(two, 0, 1, sz))});
-  }
-  t.print(std::cout);
-  std::cout << "\nshape check: 2-HCA bandwidth should approach 2x the other "
-               "two columns at 4M.\n";
-  return 0;
+        for (std::size_t sz : osu::size_sweep(8192, 4u << 20)) {
+          t.add_row({osu::format_size(sz),
+                     mbps(osu::measure_pt2pt_bandwidth(intra, 0, 1, sz)),
+                     mbps(osu::measure_pt2pt_bandwidth(one, 0, 1, sz)),
+                     mbps(osu::measure_pt2pt_bandwidth(two, 0, 1, sz))});
+        }
+        ctx.out.table(t);
+        ctx.out.note(
+            "shape check: 2-HCA bandwidth should approach 2x the other two "
+            "columns at 4M.");
+      });
 }

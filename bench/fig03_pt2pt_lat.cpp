@@ -1,29 +1,29 @@
 // Figure 3: inter-node pt2pt latency with one vs two HCAs, 8 KB - 4 MB.
 // Expected shape: equal below the 16 KB striping threshold; roughly halved
-// above it.
-#include <iostream>
-
-#include "hw/spec.hpp"
-#include "osu/harness.hpp"
+// above it. `--json` (osu::bench_main) emits the table machine-readably.
+#include "osu/bench_main.hpp"
 
 using namespace hmca;
 
-int main() {
-  osu::Table t;
-  t.title = "Figure 3: inter-node pt2pt latency (us), 1 vs 2 HCAs";
-  t.headers = {"size", "1hca_us", "2hca_us", "speedup"};
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig03_pt2pt_lat", argc, argv, [](osu::BenchContext& ctx) {
+        osu::Table t;
+        t.title = "Figure 3: inter-node pt2pt latency (us), 1 vs 2 HCAs";
+        t.headers = {"size", "1hca_us", "2hca_us", "speedup"};
 
-  const auto one = hw::ClusterSpec::multi_rail(2, 1, 1);
-  const auto two = hw::ClusterSpec::multi_rail(2, 1, 2);
+        const auto one = ctx.faulted(hw::ClusterSpec::multi_rail(2, 1, 1));
+        const auto two = ctx.faulted(hw::ClusterSpec::multi_rail(2, 1, 2));
 
-  for (std::size_t sz : osu::size_sweep(8192, 4u << 20)) {
-    const double t1 = osu::measure_pt2pt_latency(one, 0, 1, sz);
-    const double t2 = osu::measure_pt2pt_latency(two, 0, 1, sz);
-    t.add_row({osu::format_size(sz), osu::format_us(t1), osu::format_us(t2),
-               osu::format_ratio(t1 / t2)});
-  }
-  t.print(std::cout);
-  std::cout << "\nshape check: speedup ~1.0x at 8K-16K, approaching 2.0x by "
-               "4M (striping threshold at 16K, Sec. 2.1).\n";
-  return 0;
+        for (std::size_t sz : osu::size_sweep(8192, 4u << 20)) {
+          const double t1 = osu::measure_pt2pt_latency(one, 0, 1, sz);
+          const double t2 = osu::measure_pt2pt_latency(two, 0, 1, sz);
+          t.add_row({osu::format_size(sz), osu::format_us(t1),
+                     osu::format_us(t2), osu::format_ratio(t1 / t2)});
+        }
+        ctx.out.table(t);
+        ctx.out.note(
+            "shape check: speedup ~1.0x at 8K-16K, approaching 2.0x by 4M "
+            "(striping threshold at 16K, Sec. 2.1).");
+      });
 }

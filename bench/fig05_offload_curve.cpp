@@ -2,33 +2,42 @@
 // tuner's chosen point and the Eq. 1 analytic point.
 // Expected shape: a V — latency falls as work moves to the idle HCAs, then
 // rises once the CPUs idle instead.
-#include <iostream>
+// `--json` (osu::bench_main) emits the curve machine-readably.
+#include <string>
 
 #include "core/mha_intra.hpp"
 #include "core/tuner.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 
 using namespace hmca;
 
-int main() {
-  const int l = 8;
-  const std::size_t msg = 4u << 20;
-  const auto spec = hw::ClusterSpec::thor(1, l);
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig05_offload_curve", argc, argv, [](osu::BenchContext& ctx) {
+        const int l = 8;
+        const std::size_t msg = 4u << 20;
+        const auto spec = ctx.faulted(hw::ClusterSpec::thor(1, l));
 
-  osu::Table t;
-  t.title = "Figure 5: MHA-intra latency vs offload d (8 procs, 4M)";
-  t.headers = {"offload_d", "latency_us"};
-  for (const auto& s : core::OffloadTuner::sweep(spec, l, msg)) {
-    t.add_row({std::to_string(s.offload), osu::format_us(s.latency_s)});
-  }
-  t.print(std::cout);
+        osu::Table t;
+        t.title = "Figure 5: MHA-intra latency vs offload d (8 procs, 4M)";
+        t.headers = {"offload_d", "latency_us"};
+        for (const auto& s : core::OffloadTuner::sweep(spec, l, msg)) {
+          t.add_row({std::to_string(s.offload),
+                     osu::format_us(s.latency_s)});
+        }
+        ctx.out.table(t);
 
-  const int d_tuned = core::OffloadTuner::search(spec, l, msg);
-  const int d_eq1 = core::analytic_offload(spec, l, msg);
-  std::cout << "\ntuner optimum d = " << d_tuned << " (latency "
-            << osu::format_us(core::OffloadTuner::measure(spec, l, msg, d_tuned))
-            << " us), Eq.1 analytic d = " << d_eq1 << "\n";
-  std::cout << "shape check: latency is V-shaped with the minimum strictly "
-               "between d=0 and d=" << (l - 1) << ".\n";
-  return 0;
+        const int d_tuned =
+            static_cast<int>(core::OffloadTuner::search(spec, l, msg));
+        const int d_eq1 =
+            static_cast<int>(core::analytic_offload(spec, l, msg));
+        ctx.out.note(
+            "tuner optimum d = " + std::to_string(d_tuned) + " (latency " +
+            osu::format_us(core::OffloadTuner::measure(spec, l, msg, d_tuned)) +
+            " us), Eq.1 analytic d = " + std::to_string(d_eq1));
+        ctx.out.note(
+            "shape check: latency is V-shaped with the minimum strictly "
+            "between d=0 and d=" +
+            std::to_string(l - 1) + ".");
+      });
 }

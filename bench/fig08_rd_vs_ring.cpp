@@ -3,10 +3,11 @@
 // Expected shape: RD wins for small per-process messages (fewer startups),
 // Ring wins for large ones (better overlap with the shm distribution); the
 // crossover moves with node count.
-#include <iostream>
+// `--json` (osu::bench_main) emits the tables machine-readably.
+#include <string>
 
 #include "core/hierarchical.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 
 using namespace hmca;
 
@@ -21,13 +22,13 @@ coll::AllgatherFn hier(core::Phase2Algo algo) {
   };
 }
 
-void run(int nodes, int ppn) {
+void run(osu::BenchContext& ctx, int nodes, int ppn) {
   osu::Table t;
   t.title = "Figure 8: RD vs Ring inter-leader exchange, " +
             std::to_string(nodes) + " nodes x " + std::to_string(ppn) +
             " PPN (latency us)";
   t.headers = {"size", "rd_us", "ring_us", "winner"};
-  const auto spec = hw::ClusterSpec::thor(nodes, ppn);
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
   for (std::size_t sz : osu::size_sweep(64, 256 * 1024)) {
     const double rd =
         osu::measure_allgather(spec, hier(core::Phase2Algo::kRD), sz);
@@ -36,16 +37,18 @@ void run(int nodes, int ppn) {
     t.add_row({osu::format_size(sz), osu::format_us(rd), osu::format_us(ring),
                rd < ring ? "RD" : "Ring"});
   }
-  t.print(std::cout);
-  std::cout << '\n';
+  ctx.out.table(t);
 }
 
 }  // namespace
 
-int main() {
-  run(16, 32);
-  run(32, 32);
-  std::cout << "shape check: RD wins the small sizes, Ring the large ones, "
-               "with a crossover in between (Fig. 8a/8b).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig08_rd_vs_ring", argc, argv, [](osu::BenchContext& ctx) {
+        run(ctx, 16, 32);
+        run(ctx, 32, 32);
+        ctx.out.note(
+            "shape check: RD wins the small sizes, Ring the large ones, "
+            "with a crossover in between (Fig. 8a/8b).");
+      });
 }

@@ -1,37 +1,44 @@
 // Figure 9: validation of the MHA-intra cost model (Eq. 2) against the
 // measured (simulated) latency with 4 processes, 256 KB - 16 MB.
+// `--json` (osu::bench_main) emits the table machine-readably.
+#include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <cstdio>
+#include <string>
 
 #include "core/tuner.hpp"
 #include "model/cost.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 
 using namespace hmca;
 
-int main() {
-  const int l = 4;
-  const auto spec = hw::ClusterSpec::thor(1, l);
-  const auto params = model::ModelParams::measure(spec);
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig09_model_intra", argc, argv, [](osu::BenchContext& ctx) {
+        const int l = 4;
+        const auto spec = ctx.faulted(hw::ClusterSpec::thor(1, l));
+        const auto params = model::ModelParams::measure(spec);
 
-  osu::Table t;
-  t.title = "Figure 9: MHA-intra model validation, 4 processes";
-  t.headers = {"size", "actual_us", "predicted_us", "error"};
-  double worst = 0.0;
-  for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
-    const double actual = core::OffloadTuner::measure(spec, l, sz, -1);
-    const double predicted =
-        model::mha_intra_time(params, l, static_cast<double>(sz));
-    const double err = std::abs(predicted - actual) / actual;
-    worst = std::max(worst, err);
-    char pct[16];
-    std::snprintf(pct, sizeof pct, "%.0f%%", err * 100);
-    t.add_row({osu::format_size(sz), osu::format_us(actual),
-               osu::format_us(predicted), pct});
-  }
-  t.print(std::cout);
-  std::cout << "\nshape check: predicted tracks actual across the sweep "
-               "(worst error " << static_cast<int>(worst * 100)
-            << "%; the paper reports 'close' without a number).\n";
-  return 0;
+        osu::Table t;
+        t.title = "Figure 9: MHA-intra model validation, 4 processes";
+        t.headers = {"size", "actual_us", "predicted_us", "error"};
+        double worst = 0.0;
+        for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
+          const double actual = core::OffloadTuner::measure(spec, l, sz, -1);
+          const double predicted =
+              model::mha_intra_time(params, l, static_cast<double>(sz));
+          const double err = std::abs(predicted - actual) / actual;
+          worst = std::max(worst, err);
+          char pct[16];
+          std::snprintf(pct, sizeof pct, "%.0f%%", err * 100);
+          t.add_row({osu::format_size(sz), osu::format_us(actual),
+                     osu::format_us(predicted), pct});
+        }
+        ctx.out.table(t);
+        ctx.out.note(
+            "shape check: predicted tracks actual across the sweep (worst "
+            "error " +
+            std::to_string(static_cast<int>(worst * 100)) +
+            "%; the paper reports 'close' without a number).");
+      });
 }

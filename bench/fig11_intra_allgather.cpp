@@ -1,76 +1,59 @@
 // Figure 11 (a-d): intra-node Allgather, MHA vs the HPC-X and MVAPICH2-X
 // profiles, for 2/4/8/16 processes, 256 KB - 16 MB, plus the Sec. 5.2
 // improvement summary (gains shrink as PPN grows on a fixed adapter count).
-// `--algo list` / `--algo <name>` pins a registry algorithm; `--faults
-// <plan>` (or HMCA_FAULTS) injects rail faults into every world;
-// `--stats[=json|csv]` / `--trace <file>` capture per-invocation stats and
-// a Chrome-trace export (see README).
-#include <iostream>
+// Shared flags (osu::bench_main): `--algo list` / `--algo <name>` pins a
+// registry algorithm; `--faults <plan>` injects rail faults; `--json` emits
+// the tables machine-readably; `--stats[=json|csv]` / `--trace <file>`
+// capture per-invocation stats and a Chrome-trace export (see README).
+#include <algorithm>
+#include <string>
 
-#include "core/selector.hpp"
-#include "hw/spec.hpp"
-#include "osu/algo_flag.hpp"
-#include "osu/harness.hpp"
-#include "osu/stats.hpp"
+#include "osu/bench_main.hpp"
 #include "profiles/profiles.hpp"
-#include "sim/fault.hpp"
 
 using namespace hmca;
 
 int main(int argc, char** argv) {
-  core::register_core_algorithms();
-  const auto flag = osu::parse_algo_flag(argc, argv);
-  if (flag.list) {
-    osu::print_algo_list(std::cout);
-    return 0;
-  }
-  const std::string subject = flag.name.empty() ? "mha" : flag.name;
-  const coll::AllgatherFn subject_fn = flag.name.empty()
-                                           ? profiles::mha().allgather
-                                           : osu::pinned_allgather(flag.name);
+  return osu::bench_main(
+      "fig11_intra_allgather", argc, argv, [](osu::BenchContext& ctx) {
+        const auto subject_fn = ctx.subject_allgather();
+        double best_gain[4] = {0, 0, 0, 0};
+        const int procs[] = {2, 4, 8, 16};
+        for (int pi = 0; pi < 4; ++pi) {
+          const int p = procs[pi];
+          const auto spec = ctx.faulted(hw::ClusterSpec::thor(1, p));
+          osu::Table t;
+          t.title = "Figure 11" + std::string(1, static_cast<char>('a' + pi)) +
+                    ": intra-node Allgather latency (us), " +
+                    std::to_string(p) + " processes";
+          t.headers = {"size",      "hpcx",    "mvapich2x",
+                       ctx.subject, "vs_hpcx", "vs_mvapich"};
+          for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
+            const double h = ctx.stats.measure_allgather(
+                spec, "hpcx", profiles::hpcx().allgather, sz);
+            const double v = ctx.stats.measure_allgather(
+                spec, "mvapich2x", profiles::mvapich().allgather, sz);
+            const double m =
+                ctx.stats.measure_allgather(spec, ctx.subject, subject_fn, sz);
+            best_gain[pi] = std::max(best_gain[pi], std::max(h, v) / m);
+            t.add_row({osu::format_size(sz), osu::format_us(h),
+                       osu::format_us(v), osu::format_us(m),
+                       osu::format_ratio(h / m), osu::format_ratio(v / m)});
+          }
+          ctx.out.table(t);
+        }
 
-  if (!flag.faults.empty()) {
-    std::cout << "fault plan: " << sim::FaultPlan::parse(flag.faults).to_string()
-              << "\n\n";
-  }
-
-  osu::StatsSession stats(flag.stats, "fig11_intra_allgather");
-  double best_gain[5] = {0, 0, 0, 0, 0};
-  const int procs[] = {2, 4, 8, 16};
-  for (int pi = 0; pi < 4; ++pi) {
-    const int p = procs[pi];
-    const auto spec = osu::with_faults(hw::ClusterSpec::thor(1, p), flag);
-    osu::Table t;
-    t.title = "Figure 11" + std::string(1, static_cast<char>('a' + pi)) +
-              ": intra-node Allgather latency (us), " + std::to_string(p) +
-              " processes";
-    t.headers = {"size", "hpcx", "mvapich2x", subject, "vs_hpcx", "vs_mvapich"};
-    for (std::size_t sz : osu::size_sweep(256 * 1024, 16u << 20)) {
-      const double h =
-          stats.measure_allgather(spec, "hpcx", profiles::hpcx().allgather, sz);
-      const double v = stats.measure_allgather(
-          spec, "mvapich2x", profiles::mvapich().allgather, sz);
-      const double m = stats.measure_allgather(spec, subject, subject_fn, sz);
-      best_gain[pi] = std::max(best_gain[pi], std::max(h, v) / m);
-      t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
-                 osu::format_us(m), osu::format_ratio(h / m),
-                 osu::format_ratio(v / m)});
-    }
-    t.print(std::cout);
-    std::cout << '\n';
-  }
-
-  std::cout << "Sec. 5.2 summary (best-case speedup over the slower "
-               "baseline):\n";
-  for (int pi = 0; pi < 4; ++pi) {
-    std::cout << "  " << procs[pi]
-              << " processes: " << osu::format_ratio(best_gain[pi]) << "\n";
-  }
-  if (flag.name.empty()) {
-    std::cout << "shape check: MHA wins at every size; the gain decreases as "
-                 "the process count grows with 2 fixed adapters (paper: 64-65% "
-                 "at 2 procs down to 10-35% at 16).\n";
-  }
-  stats.finish(std::cout);
-  return 0;
+        ctx.out.note(
+            "Sec. 5.2 summary (best-case speedup over the slower baseline):");
+        for (int pi = 0; pi < 4; ++pi) {
+          ctx.out.note("  " + std::to_string(procs[pi]) + " processes: " +
+                       osu::format_ratio(best_gain[pi]));
+        }
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: MHA wins at every size; the gain decreases as "
+              "the process count grows with 2 fixed adapters (paper: 64-65% "
+              "at 2 procs down to 10-35% at 16).");
+        }
+      });
 }

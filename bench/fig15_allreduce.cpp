@@ -1,69 +1,58 @@
 // Figure 15 (a-c): Ring-Allreduce accelerated by the MHA Allgather vs the
 // HPC-X and MVAPICH2-X profiles at 8/16/32 nodes x 32 PPN.
-// `--algo list` / `--algo <name>` pins a registry *allreduce* algorithm;
-// `--stats[=json|csv]` / `--trace <file>` capture per-invocation stats and
-// a Chrome-trace export (see README).
-#include <iostream>
+// Shared flags (osu::bench_main): `--algo list` / `--algo <name>` pins a
+// registry *allreduce* algorithm; `--json` emits the tables machine-
+// readably; `--stats[=json|csv]` / `--trace <file>` capture per-invocation
+// stats and a Chrome-trace export (see README).
+#include <string>
 
-#include "core/selector.hpp"
-#include "hw/spec.hpp"
-#include "osu/algo_flag.hpp"
-#include "osu/harness.hpp"
-#include "osu/stats.hpp"
+#include "osu/bench_main.hpp"
 #include "profiles/profiles.hpp"
 
 using namespace hmca;
 
 namespace {
 
-void run(osu::StatsSession& stats, char sub, int nodes,
-         const std::string& subject, const coll::AllreduceFn& subject_fn) {
-  const auto spec = hw::ClusterSpec::thor(nodes, 32);
+void run(osu::BenchContext& ctx, const coll::AllreduceFn& subject_fn,
+         char sub, int nodes) {
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, 32));
   osu::Table t;
   t.title = std::string("Figure 15") + sub + ": Allreduce latency (us), " +
             std::to_string(nodes * 32) + " processes (" +
             std::to_string(nodes) + " nodes x 32 PPN)";
-  t.headers = {"size", "hpcx", "mvapich2x", subject, "vs_hpcx", "vs_mvapich"};
+  t.headers = {"size",      "hpcx",    "mvapich2x",
+               ctx.subject, "vs_hpcx", "vs_mvapich"};
   // 4x size steps keep the 1024-process sweep tractable on one host CPU.
   for (std::size_t sz = 64 * 1024; sz <= (16u << 20); sz *= 4) {
-    const double h =
-        stats.measure_allreduce(spec, "hpcx", profiles::hpcx().allreduce, sz);
-    const double v = stats.measure_allreduce(
+    const double h = ctx.stats.measure_allreduce(
+        spec, "hpcx", profiles::hpcx().allreduce, sz);
+    const double v = ctx.stats.measure_allreduce(
         spec, "mvapich2x", profiles::mvapich().allreduce, sz);
-    const double m = stats.measure_allreduce(spec, subject, subject_fn, sz);
+    const double m =
+        ctx.stats.measure_allreduce(spec, ctx.subject, subject_fn, sz);
     t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
                osu::format_us(m), osu::format_ratio(h / m),
                osu::format_ratio(v / m)});
   }
-  t.print(std::cout);
-  std::cout << '\n';
+  ctx.out.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::register_core_algorithms();
-  const auto flag = osu::parse_algo_flag(argc, argv);
-  if (flag.list) {
-    osu::print_algo_list(std::cout);
-    return 0;
-  }
-  const std::string subject = flag.name.empty() ? "mha" : flag.name;
-  const coll::AllreduceFn subject_fn = flag.name.empty()
-                                           ? profiles::mha().allreduce
-                                           : osu::pinned_allreduce(flag.name);
-
-  osu::StatsSession stats(flag.stats, "fig15_allreduce");
-  run(stats, 'a', 8, subject, subject_fn);
-  run(stats, 'b', 16, subject, subject_fn);
-  run(stats, 'c', 32, subject, subject_fn);
-  if (flag.name.empty()) {
-    std::cout << "shape check: the MHA Allgather phase accelerates "
-                 "Ring-Allreduce, with the advantage growing with node count "
-                 "(paper: 34/39/56% vs HPC-X at 256/512/1024 procs); at the "
-                 "very largest vectors the designs converge onto the copy "
-                 "bound.\n";
-  }
-  stats.finish(std::cout);
-  return 0;
+  return osu::bench_main(
+      "fig15_allreduce", argc, argv, [](osu::BenchContext& ctx) {
+        const auto subject_fn = ctx.subject_allreduce();
+        run(ctx, subject_fn, 'a', 8);
+        run(ctx, subject_fn, 'b', 16);
+        run(ctx, subject_fn, 'c', 32);
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: the MHA Allgather phase accelerates "
+              "Ring-Allreduce, with the advantage growing with node count "
+              "(paper: 34/39/56% vs HPC-X at 256/512/1024 procs); at the "
+              "very largest vectors the designs converge onto the copy "
+              "bound.");
+        }
+      });
 }

@@ -1,9 +1,13 @@
 // Figure 16 (a-b): matrix-vector multiplication kernel, strong scaling
 // (1024 x 32768) and weak scaling, GFLOP/s (higher is better).
-#include <iostream>
+// The third column is the measured subject — the MHA profile by default, or
+// any registry algorithm via --algo. `--json` (osu::bench_main) emits the
+// tables machine-readably.
+#include <cstdio>
+#include <string>
 
 #include "apps/matvec.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 #include "profiles/profiles.hpp"
 
 using namespace hmca;
@@ -16,12 +20,12 @@ std::string gf(double v) {
   return buf;
 }
 
-void row(osu::Table& t, const std::string& label, int nodes, int ppn,
-         const apps::MatVecConfig& cfg) {
-  const auto spec = hw::ClusterSpec::thor(nodes, ppn);
+void row(osu::BenchContext& ctx, osu::Table& t, const std::string& label,
+         int nodes, int ppn, const apps::MatVecConfig& cfg) {
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
   const auto h = apps::run_matvec(spec, profiles::hpcx().allgather, cfg);
   const auto v = apps::run_matvec(spec, profiles::mvapich().allgather, cfg);
-  const auto m = apps::run_matvec(spec, profiles::mha().allgather, cfg);
+  const auto m = apps::run_matvec(spec, ctx.subject_allgather(), cfg);
   t.add_row({label, gf(h.gflops), gf(v.gflops), gf(m.gflops),
              osu::format_ratio(m.gflops / h.gflops),
              osu::format_ratio(m.gflops / v.gflops)});
@@ -29,38 +33,46 @@ void row(osu::Table& t, const std::string& label, int nodes, int ppn,
 
 }  // namespace
 
-int main() {
-  // The paper uses 256/512/1024 processes at 32 PPN; the problem is sized
-  // so communication dominates ("matrix A and input vector are long").
-  apps::MatVecConfig strong;
-  strong.rows = 1024;
-  strong.cols = 32768;
-  strong.iterations = 10;
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig16_matvec", argc, argv, [](osu::BenchContext& ctx) {
+        // The paper uses 256/512/1024 processes at 32 PPN; the problem is
+        // sized so communication dominates ("matrix A and input vector are
+        // long").
+        apps::MatVecConfig strong;
+        strong.rows = 1024;
+        strong.cols = 32768;
+        strong.iterations = 10;
 
-  osu::Table a;
-  a.title = "Figure 16a: MatVec strong scaling, problem 1024 x 32768 (GFLOP/s)";
-  a.headers = {"processes", "hpcx", "mvapich2x", "mha", "vs_hpcx", "vs_mvapich"};
-  row(a, "256", 8, 32, strong);
-  row(a, "512", 16, 32, strong);
-  row(a, "1024", 32, 32, strong);
-  a.print(std::cout);
-  std::cout << '\n';
+        osu::Table a;
+        a.title =
+            "Figure 16a: MatVec strong scaling, problem 1024 x 32768 "
+            "(GFLOP/s)";
+        a.headers = {"processes", "hpcx", "mvapich2x", ctx.subject, "vs_hpcx",
+                     "vs_mvapich"};
+        row(ctx, a, "256", 8, 32, strong);
+        row(ctx, a, "512", 16, 32, strong);
+        row(ctx, a, "1024", 32, 32, strong);
+        ctx.out.table(a);
 
-  osu::Table b;
-  b.title = "Figure 16b: MatVec weak scaling (GFLOP/s)";
-  b.headers = {"processes (problem)", "hpcx", "mvapich2x", "mha", "vs_hpcx",
-               "vs_mvapich"};
-  apps::MatVecConfig weak = strong;
-  weak.cols = 32768;
-  row(b, "256 (1024x32768)", 8, 32, weak);
-  weak.cols = 65536;
-  row(b, "512 (1024x65536)", 16, 32, weak);
-  weak.cols = 131072;
-  row(b, "1024 (1024x131072)", 32, 32, weak);
-  b.print(std::cout);
+        osu::Table b;
+        b.title = "Figure 16b: MatVec weak scaling (GFLOP/s)";
+        b.headers = {"processes (problem)", "hpcx", "mvapich2x", ctx.subject,
+                     "vs_hpcx", "vs_mvapich"};
+        apps::MatVecConfig weak = strong;
+        weak.cols = 32768;
+        row(ctx, b, "256 (1024x32768)", 8, 32, weak);
+        weak.cols = 65536;
+        row(ctx, b, "512 (1024x65536)", 16, 32, weak);
+        weak.cols = 131072;
+        row(ctx, b, "1024 (1024x131072)", 32, 32, weak);
+        ctx.out.table(b);
 
-  std::cout << "\nshape check: MHA delivers the highest GFLOP/s everywhere, "
-               "with the margin growing toward 1024 processes (paper: up to "
-               "1.98x/1.42x strong, 1.84x/1.94x weak).\n";
-  return 0;
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: MHA delivers the highest GFLOP/s everywhere, "
+              "with the margin growing toward 1024 processes (paper: up to "
+              "1.98x/1.42x strong, 1.84x/1.94x weak).");
+        }
+      });
 }

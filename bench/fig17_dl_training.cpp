@@ -1,11 +1,14 @@
 // Figure 17 (a-c): synthetic Horovod-style training of ResNet-50/101/152,
-// images/second and epoch time, MHA vs the MVAPICH2-X profile.
+// images/second and epoch time, the measured subject (MHA by default, or
+// --algo) vs the MVAPICH2-X profile.
 // (The paper could not run HPC-X with Horovod and benches MVAPICH2-X only;
-// we mirror that.)
-#include <iostream>
+// we mirror that.) `--json` (osu::bench_main) emits the tables
+// machine-readably.
+#include <cstdio>
+#include <string>
 
 #include "apps/dl_training.hpp"
-#include "osu/harness.hpp"
+#include "osu/bench_main.hpp"
 #include "profiles/profiles.hpp"
 
 using namespace hmca;
@@ -18,38 +21,46 @@ std::string fmt(double v) {
   return buf;
 }
 
-void run(char sub, const apps::DlModel& model) {
+void run(osu::BenchContext& ctx, char sub, const apps::DlModel& model) {
   osu::Table t;
   t.title = std::string("Figure 17") + sub + ": " + model.name +
             " (batch 16/process), images/s and epoch time";
-  t.headers = {"processes", "mvapich_img/s", "mha_img/s", "speedup",
-               "mvapich_epoch_s", "mha_epoch_s"};
+  t.headers = {"processes",
+               "mvapich_img/s",
+               ctx.subject + "_img/s",
+               "speedup",
+               "mvapich_epoch_s",
+               ctx.subject + "_epoch_s"};
   for (int nodes : {8, 16, 32}) {
     apps::DlConfig cfg;
     cfg.model = model;
     cfg.steps = 1;  // deterministic simulator: one step is exact
     cfg.bucket_bytes = 8u << 20;  // tuned Horovod fusion buffer
-    const auto spec = hw::ClusterSpec::thor(nodes, 32);
+    const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, 32));
     const auto base =
         apps::run_training(spec, profiles::mvapich().allreduce, cfg);
-    const auto ours = apps::run_training(spec, profiles::mha().allreduce, cfg);
+    const auto ours = apps::run_training(spec, ctx.subject_allreduce(), cfg);
     t.add_row({std::to_string(nodes * 32), fmt(base.imgs_per_sec),
                fmt(ours.imgs_per_sec),
                osu::format_ratio(ours.imgs_per_sec / base.imgs_per_sec),
                fmt(base.epoch_seconds), fmt(ours.epoch_seconds)});
   }
-  t.print(std::cout);
-  std::cout << '\n';
+  ctx.out.table(t);
 }
 
 }  // namespace
 
-int main() {
-  run('a', apps::resnet50());
-  run('b', apps::resnet101());
-  run('c', apps::resnet152());
-  std::cout << "shape check: single-digit-percent throughput gains that "
-               "grow with scale (paper: up to 7.83% for ResNet-50 at 1024 "
-               "processes), similar across the three network sizes.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "fig17_dl_training", argc, argv, [](osu::BenchContext& ctx) {
+        run(ctx, 'a', apps::resnet50());
+        run(ctx, 'b', apps::resnet101());
+        run(ctx, 'c', apps::resnet152());
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: single-digit-percent throughput gains that grow "
+              "with scale (paper: up to 7.83% for ResNet-50 at 1024 "
+              "processes), similar across the three network sizes.");
+        }
+      });
 }

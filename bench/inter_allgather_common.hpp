@@ -1,87 +1,69 @@
 // Shared driver for Figures 12-14: inter-node Allgather comparison tables
 // (medium 256 B - 8 KB and large 16 KB - 256 KB) at a given node count.
 //
-// `--algo list` prints the algorithm registry; `--algo <name>` swaps the
-// MHA column for the pinned registry entry (headers follow the name);
-// `--faults <plan>` (or HMCA_FAULTS) injects a rail fault plan into every
-// measured world, so the tables show degraded-mode latency.
+// Runs under osu::bench_main, so all fig benches share one flag surface:
+// `--algo list` / `--algo <name>` swaps the MHA column for a pinned
+// registry entry (headers follow the name); `--faults <plan>` (or
+// HMCA_FAULTS) injects a rail fault plan into every measured world;
+// `--json` emits the tables as one machine-readable document;
 // `--stats[=json|csv]` (or HMCA_STATS) appends a per-invocation stats
-// report — selector decisions, per-rail byte counters, critical path,
-// phase overlap — plus one extra 1 MiB subject measurement so the report
-// always covers a rendezvous-sized point; `--trace <file>` exports that
-// last run as Chrome-trace JSON (see DESIGN.md section 9).
+// report plus one extra 1 MiB subject measurement so the report always
+// covers a rendezvous-sized point; `--trace <file>` exports that last run
+// as Chrome-trace JSON (see DESIGN.md section 9).
 #pragma once
 
-#include <iostream>
 #include <string>
 
-#include "core/selector.hpp"
-#include "hw/spec.hpp"
-#include "osu/algo_flag.hpp"
-#include "osu/harness.hpp"
-#include "osu/stats.hpp"
+#include "osu/bench_main.hpp"
 #include "profiles/profiles.hpp"
-#include "sim/fault.hpp"
 
 namespace hmca::benchfig {
 
 inline int run_inter_allgather_figure(const std::string& figure, int nodes,
                                       int ppn, int argc, char** argv) {
-  core::register_core_algorithms();
-  const auto flag = osu::parse_algo_flag(argc, argv);
-  if (flag.list) {
-    osu::print_algo_list(std::cout);
-    return 0;
-  }
-  const std::string subject = flag.name.empty() ? "mha" : flag.name;
-  const coll::AllgatherFn subject_fn = flag.name.empty()
-                                           ? profiles::mha().allgather
-                                           : osu::pinned_allgather(flag.name);
+  return osu::bench_main(figure, argc, argv, [&](osu::BenchContext& ctx) {
+    const auto subject_fn = ctx.subject_allgather();
+    const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
+    const int procs = nodes * ppn;
 
-  const auto spec = osu::with_faults(hw::ClusterSpec::thor(nodes, ppn), flag);
-  const int procs = nodes * ppn;
-  if (!flag.faults.empty()) {
-    std::cout << "fault plan: " << sim::FaultPlan::parse(flag.faults).to_string()
-              << "\n\n";
-  }
-  osu::StatsSession stats(flag.stats, figure);
+    auto table = [&](const char* label, std::size_t lo, std::size_t hi) {
+      osu::Table t;
+      t.title = figure + " (" + label + "): Allgather latency (us), " +
+                std::to_string(procs) + " processes (" +
+                std::to_string(nodes) + " nodes x " + std::to_string(ppn) +
+                " PPN)";
+      t.headers = {"size",      "hpcx",    "mvapich2x",
+                   ctx.subject, "vs_hpcx", "vs_mvapich"};
+      for (std::size_t sz : osu::size_sweep(lo, hi)) {
+        const double h = ctx.stats.measure_allgather(
+            spec, "hpcx", profiles::hpcx().allgather, sz);
+        const double v = ctx.stats.measure_allgather(
+            spec, "mvapich2x", profiles::mvapich().allgather, sz);
+        const double m =
+            ctx.stats.measure_allgather(spec, ctx.subject, subject_fn, sz);
+        t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
+                   osu::format_us(m), osu::format_ratio(h / m),
+                   osu::format_ratio(v / m)});
+      }
+      ctx.out.table(t);
+    };
 
-  auto table = [&](const char* label, std::size_t lo, std::size_t hi) {
-    osu::Table t;
-    t.title = figure + " (" + label + "): Allgather latency (us), " +
-              std::to_string(procs) + " processes (" + std::to_string(nodes) +
-              " nodes x " + std::to_string(ppn) + " PPN)";
-    t.headers = {"size",    "hpcx",           "mvapich2x",
-                 subject,   "vs_hpcx",        "vs_mvapich"};
-    for (std::size_t sz : osu::size_sweep(lo, hi)) {
-      const double h =
-          stats.measure_allgather(spec, "hpcx", profiles::hpcx().allgather, sz);
-      const double v = stats.measure_allgather(
-          spec, "mvapich2x", profiles::mvapich().allgather, sz);
-      const double m = stats.measure_allgather(spec, subject, subject_fn, sz);
-      t.add_row({osu::format_size(sz), osu::format_us(h), osu::format_us(v),
-                 osu::format_us(m), osu::format_ratio(h / m),
-                 osu::format_ratio(v / m)});
+    table("medium messages", 256, 8192);
+    table("large messages", 16384, 262144);
+    if (!ctx.pinned()) {
+      ctx.out.note(
+          "shape check: MHA wins clearly across the medium sizes (paper: "
+          "21-62%, growing with node count); at the largest sizes all "
+          "designs converge onto the node copy-throughput bound (see "
+          "EXPERIMENTS.md).");
     }
-    t.print(std::cout);
-    std::cout << '\n';
-  };
-
-  table("medium messages", 256, 8192);
-  table("large messages", 16384, 262144);
-  if (flag.name.empty()) {
-    std::cout << "shape check: MHA wins clearly across the medium sizes "
-                 "(paper: 21-62%, growing with node count); at the largest "
-                 "sizes all designs converge onto the node copy-throughput "
-                 "bound (see EXPERIMENTS.md).\n\n";
-  }
-  if (stats.enabled()) {
-    // One rendezvous-sized point past the table sweep, so the stats report
-    // (and the exported trace) always covers the 1 MiB critical path.
-    stats.measure_allgather(spec, subject, subject_fn, 1u << 20);
-    stats.finish(std::cout);
-  }
-  return 0;
+    if (ctx.stats.enabled()) {
+      // One rendezvous-sized point past the table sweep, so the stats
+      // report (and the exported trace) always covers the 1 MiB critical
+      // path.
+      ctx.stats.measure_allgather(spec, ctx.subject, subject_fn, 1u << 20);
+    }
+  });
 }
 
 }  // namespace hmca::benchfig

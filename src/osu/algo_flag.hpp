@@ -13,6 +13,7 @@
 //   bench_binary --stats         # per-invocation stats report (text)
 //   bench_binary --stats=json    # ... machine-readable (or csv)
 //   bench_binary --trace out.json  # Chrome-trace export of the last run
+//   bench_binary --json          # tables+notes as one JSON document
 //
 // When no --faults / --stats flag is given, the HMCA_FAULTS / HMCA_STATS
 // environment variables are consulted (via osu::Env), so both reach
@@ -41,6 +42,7 @@ struct AlgoFlag {
   bool list = false;   ///< --algo list
   std::string faults;  ///< fault plan spec (--faults or HMCA_FAULTS)
   StatsOptions stats;  ///< --stats / --trace / HMCA_STATS request
+  bool json = false;   ///< --json: machine-readable table output
 };
 
 /// Extract `--algo <name>` / `--algo=<name>` / `--algo list`,

@@ -33,7 +33,9 @@ double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
                                              : obs::null_sink());
 }
 
-double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
+namespace {
+
+CountedRun run_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
                          std::size_t msg, obs::Sink& sink) {
   spec.carry_data = false;
   sim::Engine eng;
@@ -52,7 +54,20 @@ double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
                       recvs[static_cast<std::size_t>(r)].view(), msg));
   }
   eng.run();
-  return eng.now();
+  return {eng.now(), eng.events_dispatched()};
+}
+
+}  // namespace
+
+double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
+                         std::size_t msg, obs::Sink& sink) {
+  return run_allgather(std::move(spec), fn, msg, sink).sim_seconds;
+}
+
+CountedRun measure_allgather_counted(hw::ClusterSpec spec,
+                                     const coll::AllgatherFn& fn,
+                                     std::size_t msg) {
+  return run_allgather(std::move(spec), fn, msg, obs::null_sink());
 }
 
 double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -35,6 +36,18 @@ double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
 
 double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
                          std::size_t bytes, trace::Tracer* tracer = nullptr);
+
+/// One uninstrumented Allgather run with the engine's dispatched-event
+/// count alongside the simulated latency — the perf subsystem's wall-clock
+/// probe divides `events` by host time to get sim events/sec.
+struct CountedRun {
+  double sim_seconds = 0;
+  std::uint64_t events = 0;
+};
+
+CountedRun measure_allgather_counted(hw::ClusterSpec spec,
+                                     const coll::AllgatherFn& fn,
+                                     std::size_t msg);
 
 /// Ping-pong latency (seconds, one direction) between ranks `a` and `b`.
 double measure_pt2pt_latency(hw::ClusterSpec spec, int a, int b,

@@ -1,0 +1,170 @@
+#include "perf/campaign.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace hmca::perf {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kAllgather: return "allgather";
+    case Kind::kAllreduce: return "allreduce";
+    case Kind::kPt2ptLatency: return "pt2pt_latency";
+    case Kind::kPt2ptBandwidth: return "pt2pt_bandwidth";
+    case Kind::kOffloadSweep: return "offload_sweep";
+  }
+  return "?";
+}
+
+hw::ClusterSpec Scenario::spec() const {
+  hw::ClusterSpec s = hcas > 0 ? hw::ClusterSpec::multi_rail(nodes, ppn, hcas)
+                               : hw::ClusterSpec::thor(nodes, ppn);
+  s.fault_plan = faults;
+  return s;
+}
+
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * 1024;
+
+Campaign build_default() {
+  Campaign c;
+  c.name = "default";
+  auto& s = c.scenarios;
+
+  // Fig. 1: pt2pt bandwidth — intra-node CMA vs inter-node 1/2 HCAs. The
+  // 2-HCA curve is the striping hot path every rail change shows up in.
+  const std::vector<std::size_t> bw_sizes = {8 * kKiB, 64 * kKiB, 512 * kKiB,
+                                             4 * kMiB};
+  s.push_back({"fig01/intra_cma", "fig01", Kind::kPt2ptBandwidth, "", 1, 2, 0,
+               "", bw_sizes, 0});
+  s.push_back({"fig01/inter_1hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1,
+               1, "", bw_sizes, 0});
+  s.push_back({"fig01/inter_2hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1,
+               2, "", bw_sizes, 0});
+
+  // Fig. 5: the offload V-curve — latency vs d for MHA-intra, 8 procs, 4M.
+  // Derived metrics record the tuner argmin and the Eq. 1 analytic d.
+  s.push_back({"fig05/offload_v", "fig05", Kind::kOffloadSweep, "mha_intra",
+               1, 8, 0, "", {0, 1, 2, 3, 4, 5, 6, 7}, 4 * kMiB});
+
+  // Fig. 8: RD vs Ring inter-leader exchange at 16 nodes x 32 PPN; the
+  // crossover between the two pinned hierarchical variants is the guarded
+  // quantity.
+  const std::vector<std::size_t> fig8_sizes = {64, 1 * kKiB, 16 * kKiB,
+                                               256 * kKiB};
+  s.push_back({"fig08/rd", "fig08", Kind::kAllgather, "algo:mha_inter_rd", 16,
+               32, 0, "", fig8_sizes, 0});
+  s.push_back({"fig08/ring", "fig08", Kind::kAllgather,
+               "algo:mha_inter_ring", 16, 32, 0, "", fig8_sizes, 0});
+
+  // Fig. 11: intra-node Allgather. Full three-subject comparison at 8 PPN;
+  // MHA-only guards at the PPN extremes.
+  const std::vector<std::size_t> intra_sizes = {256 * kKiB, 1 * kMiB,
+                                                4 * kMiB, 16 * kMiB};
+  for (const char* subject : {"mha", "hpcx", "mvapich"}) {
+    s.push_back({std::string("fig11/ppn8/") + subject, "fig11",
+                 Kind::kAllgather, subject, 1, 8, 0, "", intra_sizes, 0});
+  }
+  s.push_back({"fig11/ppn2/mha", "fig11", Kind::kAllgather, "mha", 1, 2, 0,
+               "", intra_sizes, 0});
+  s.push_back({"fig11/ppn16/mha", "fig11", Kind::kAllgather, "mha", 1, 16, 0,
+               "", intra_sizes, 0});
+
+  // Figs. 12-14: inter-node Allgather at 256/512/1024 processes. The
+  // comparison profile rides along at 256 procs; the larger worlds track
+  // MHA alone to keep the campaign tractable.
+  const std::vector<std::size_t> inter_sizes = {256, 4 * kKiB, 64 * kKiB};
+  s.push_back({"fig12/n8/mha", "fig12", Kind::kAllgather, "mha", 8, 32, 0,
+               "", inter_sizes, 0});
+  s.push_back({"fig12/n8/hpcx", "fig12", Kind::kAllgather, "hpcx", 8, 32, 0,
+               "", inter_sizes, 0});
+  s.push_back({"fig13/n16/mha", "fig13", Kind::kAllgather, "mha", 16, 32, 0,
+               "", inter_sizes, 0});
+  s.push_back({"fig14/n32/mha", "fig14", Kind::kAllgather, "mha", 32, 32, 0,
+               "", inter_sizes, 0});
+
+  // Fig. 15: MHA-accelerated Ring-Allreduce vs HPC-X at 256 procs, plus the
+  // 512-proc MHA point where the paper's advantage grows.
+  const std::vector<std::size_t> ar_sizes = {64 * kKiB, 1 * kMiB, 16 * kMiB};
+  s.push_back({"fig15/n8/mha", "fig15", Kind::kAllreduce, "mha", 8, 32, 0,
+               "", ar_sizes, 0});
+  s.push_back({"fig15/n8/hpcx", "fig15", Kind::kAllreduce, "hpcx", 8, 32, 0,
+               "", ar_sizes, 0});
+  s.push_back({"fig15/n16/mha", "fig15", Kind::kAllreduce, "mha", 16, 32, 0,
+               "", {1 * kMiB}, 0});
+
+  // Degraded mode: one dead rail at t=0 — guards the Eq. 1 recompute and
+  // the restriping path the fault subsystem added.
+  s.push_back({"degraded/kill_rail1/mha", "fig11", Kind::kAllgather, "mha", 1,
+               8, 0, "kill:node=0,hca=1,t=0", {1 * kMiB, 4 * kMiB}, 0});
+
+  validate_campaign(c);
+  return c;
+}
+
+Campaign build_smoke() {
+  Campaign c;
+  c.name = "smoke";
+  c.scenarios = {
+      {"smoke/ag/mha", "fig11", Kind::kAllgather, "mha", 2, 2, 0, "",
+       {4 * kKiB, 64 * kKiB}, 0},
+      {"smoke/ar/mha", "fig15", Kind::kAllreduce, "mha", 2, 2, 0, "",
+       {64 * kKiB}, 0},
+      {"smoke/bw/2hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1, 2, "",
+       {64 * kKiB}, 0},
+  };
+  validate_campaign(c);
+  return c;
+}
+
+}  // namespace
+
+const Campaign& default_campaign() {
+  static const Campaign c = build_default();
+  return c;
+}
+
+const Campaign& smoke_campaign() {
+  static const Campaign c = build_smoke();
+  return c;
+}
+
+const Campaign* find_campaign(const std::string& name) {
+  if (name == "default") return &default_campaign();
+  if (name == "smoke") return &smoke_campaign();
+  return nullptr;
+}
+
+std::vector<std::string> campaign_names() { return {"default", "smoke"}; }
+
+void validate_campaign(const Campaign& c) {
+  if (c.scenarios.empty()) {
+    throw std::invalid_argument("campaign '" + c.name +
+                                "' has no scenarios — an empty report would "
+                                "gate nothing");
+  }
+  std::set<std::string> ids;
+  for (const auto& sc : c.scenarios) {
+    if (sc.id.empty()) {
+      throw std::invalid_argument("campaign '" + c.name +
+                                  "': scenario with empty id");
+    }
+    if (!ids.insert(sc.id).second) {
+      throw std::invalid_argument("campaign '" + c.name +
+                                  "': duplicate scenario id '" + sc.id + "'");
+    }
+    if (sc.xs.empty()) {
+      throw std::invalid_argument("campaign '" + c.name + "': scenario '" +
+                                  sc.id + "' has no sweep points");
+    }
+    if (sc.kind == Kind::kOffloadSweep && sc.msg_bytes == 0) {
+      throw std::invalid_argument("campaign '" + c.name + "': scenario '" +
+                                  sc.id +
+                                  "' is an offload sweep without msg_bytes");
+    }
+  }
+}
+
+}  // namespace hmca::perf

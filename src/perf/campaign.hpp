@@ -1,0 +1,81 @@
+// Campaign spec: the declarative list of bench scenarios the perf runner
+// executes and the comparator diffs across commits.
+//
+// A Scenario names everything needed to reproduce one measured curve:
+// which paper figure it tracks, the cluster shape, the measured subject (a
+// comparator profile or a pinned registry algorithm), the sweep points and
+// an optional rail fault plan. Scenarios are pure data — the runner
+// (perf/runner.hpp) owns execution — so campaigns diff cleanly and adding
+// coverage is editing a table, not writing a bench.
+//
+// Two campaigns are built in:
+//   default  the curated regression net over Figs. 1, 5, 8, 11-15 plus one
+//            degraded-rail scenario; this is what CI gates against
+//            BENCH_seed.json with.
+//   smoke    three tiny scenarios for `ctest -L perf` and quick local runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/spec.hpp"
+
+namespace hmca::perf {
+
+/// What one scenario measures.
+enum class Kind {
+  kAllgather,      ///< osu::measure_allgather latency sweep over msg bytes
+  kAllreduce,      ///< osu::measure_allreduce latency sweep over msg bytes
+  kPt2ptLatency,   ///< rank 0 -> 1 ping-pong latency sweep
+  kPt2ptBandwidth, ///< rank 0 -> 1 windowed streaming bandwidth sweep
+  kOffloadSweep,   ///< Fig. 5: MHA-intra latency vs offload d at fixed msg
+};
+
+const char* kind_name(Kind k);
+
+struct Scenario {
+  std::string id;      ///< unique within the campaign, e.g. "fig11/ppn8/mha"
+  std::string figure;  ///< paper figure this curve tracks, e.g. "fig11"
+  Kind kind = Kind::kAllgather;
+  /// Measured subject for collective kinds: a profile name ("mha", "hpcx",
+  /// "mvapich") or "algo:<registry name>" for a pinned registry entry.
+  /// Ignored by the pt2pt kinds.
+  std::string subject = "mha";
+  int nodes = 1;
+  int ppn = 2;
+  /// 0 = the paper's Thor node (2 HCAs); >0 = multi_rail override.
+  int hcas = 0;
+  /// Rail fault plan (sim/fault.hpp grammar); "" = healthy run.
+  std::string faults;
+  /// Sweep points: message bytes, or offload d values for kOffloadSweep.
+  std::vector<std::size_t> xs;
+  /// Fixed message size for kOffloadSweep (the sweep axis is d, not bytes).
+  std::size_t msg_bytes = 0;
+
+  /// The cluster this scenario runs on (fault plan attached).
+  hw::ClusterSpec spec() const;
+};
+
+struct Campaign {
+  std::string name;
+  std::vector<Scenario> scenarios;
+};
+
+/// The curated Figs. 1/5/8/11-15 (+degraded) regression campaign.
+const Campaign& default_campaign();
+
+/// Three tiny scenarios for `ctest -L perf` smoke runs.
+const Campaign& smoke_campaign();
+
+/// Lookup by name ("default", "smoke"); nullptr when unknown.
+const Campaign* find_campaign(const std::string& name);
+
+/// All built-in campaign names, in listing order.
+std::vector<std::string> campaign_names();
+
+/// Throws std::invalid_argument naming duplicate scenario ids or empty
+/// sweeps; every built-in campaign passes (asserted by tests).
+void validate_campaign(const Campaign& c);
+
+}  // namespace hmca::perf

@@ -1,0 +1,283 @@
+#include "perf/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace hmca::perf {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string fmt_pct(double f) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%+.2f%%", f * 100);
+  return buf;
+}
+
+void check_format(const Json& doc, const char* which) {
+  const Json* f = doc.find("format");
+  if (f == nullptr || !f->is_string() || f->string() != "hmca-bench-1") {
+    throw JsonError(std::string(which) +
+                    ": not an hmca-bench report (format != \"hmca-bench-1\")");
+  }
+}
+
+/// Scenario array -> id-keyed index, preserving file order for iteration.
+std::map<std::string, const Json*> index_scenarios(const Json& doc,
+                                                   const char* which) {
+  std::map<std::string, const Json*> out;
+  const Json* scenarios = doc.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) {
+    throw JsonError(std::string(which) + ": missing \"scenarios\" array");
+  }
+  for (const Json& sc : scenarios->array()) {
+    out.emplace(sc.string_at("id"), &sc);
+  }
+  return out;
+}
+
+std::map<std::size_t, const Json*> index_points(const Json& scenario) {
+  std::map<std::size_t, const Json*> out;
+  for (const Json& pt : scenario.at("points").array()) {
+    out.emplace(static_cast<std::size_t>(pt.number_at("x")), &pt);
+  }
+  return out;
+}
+
+struct Differ {
+  const CompareOptions& opts;
+  CompareResult& result;
+
+  Finding::Level drift_level() const {
+    return opts.bless ? Finding::Level::kBlessed : Finding::Level::kFail;
+  }
+
+  void add(Finding::Level level, std::string scenario, std::string text) {
+    result.findings.push_back({level, std::move(scenario), std::move(text)});
+  }
+
+  bool within_epsilon(double a, double b) const {
+    const double diff = std::abs(a - b);
+    return diff <= opts.epsilon_abs ||
+           diff <= opts.epsilon_rel * std::max(std::abs(a), std::abs(b));
+  }
+
+  /// Compare two metric objects ({"name": number, ...}).
+  void diff_metrics(const std::string& id, const std::string& where,
+                    const Json& base, const Json& next) {
+    for (const auto& [name, bv] : base.object()) {
+      const Json* nv = next.find(name);
+      if (nv == nullptr) {
+        add(drift_level(), id, where + ": metric '" + name +
+                                   "' disappeared (base " + fmt(bv.number()) +
+                                   ")");
+        continue;
+      }
+      ++result.metrics_compared;
+      const double b = bv.number();
+      const double n = nv->number();
+      if (within_epsilon(b, n)) continue;
+      const double rel = b != 0 ? (n - b) / std::abs(b) : 0;
+      const bool latency_like = name.find("latency") != std::string::npos ||
+                                name.find("_us") != std::string::npos;
+      const char* direction =
+          latency_like ? (n > b ? "regression" : "improvement")
+                       : (name.rfind("bandwidth", 0) == 0
+                              ? (n < b ? "regression" : "improvement")
+                              : "change");
+      add(drift_level(), id,
+          where + ": " + name + " " + fmt(b) + " -> " + fmt(n) + " (" +
+              fmt_pct(rel) + ", " + direction +
+              ") — simulated metrics are deterministic; acknowledge model "
+              "changes with --bless");
+    }
+    for (const auto& [name, nv] : next.object()) {
+      if (base.find(name) == nullptr) {
+        add(drift_level(), id, where + ": new metric '" + name + "' (" +
+                                   fmt(nv.number()) + ") not in baseline");
+      }
+    }
+  }
+
+  void diff_scenario(const std::string& id, const Json& base,
+                     const Json& next) {
+    ++result.scenarios_compared;
+    // Shape fields must agree or the curves are not comparable at all.
+    for (const char* field : {"kind", "subject", "faults"}) {
+      const std::string b = base.string_at(field);
+      const std::string n = next.string_at(field);
+      if (b != n) {
+        add(drift_level(), id, std::string(field) + " changed: '" + b +
+                                   "' -> '" + n + "'");
+      }
+    }
+    for (const char* field : {"nodes", "ppn", "hcas", "msg_bytes"}) {
+      const double b = base.number_at(field);
+      const double n = next.number_at(field);
+      if (b != n) {
+        add(drift_level(), id,
+            std::string(field) + " changed: " + fmt(b) + " -> " + fmt(n));
+      }
+    }
+    const Json* bd = base.find("derived");
+    const Json* nd = next.find("derived");
+    if (bd != nullptr && nd != nullptr) {
+      diff_metrics(id, "derived", *bd, *nd);
+    } else if (bd != nullptr || nd != nullptr) {
+      add(drift_level(), id,
+          std::string("derived metrics ") +
+              (bd != nullptr ? "disappeared" : "appeared"));
+    }
+    const auto base_pts = index_points(base);
+    const auto next_pts = index_points(next);
+    for (const auto& [x, bpt] : base_pts) {
+      const auto it = next_pts.find(x);
+      if (it == next_pts.end()) {
+        add(drift_level(), id,
+            "sweep point x=" + std::to_string(x) + " disappeared");
+        continue;
+      }
+      diff_metrics(id, "x=" + std::to_string(x), bpt->at("metrics"),
+                   it->second->at("metrics"));
+    }
+    for (const auto& [x, npt] : next_pts) {
+      (void)npt;
+      if (base_pts.find(x) == base_pts.end()) {
+        add(drift_level(), id,
+            "new sweep point x=" + std::to_string(x) + " not in baseline");
+      }
+    }
+  }
+
+  void diff_wallclock(const Json& base, const Json& next) {
+    const Json* bw = base.find("wallclock");
+    const Json* nw = next.find("wallclock");
+    if (bw == nullptr || nw == nullptr) {
+      if (bw != nullptr || nw != nullptr) {
+        add(Finding::Level::kInfo, "",
+            std::string("wallclock section ") +
+                (bw != nullptr ? "missing from new report" : "new; no baseline")
+                + " — not gated");
+      }
+      return;
+    }
+    const std::string bfp = base.at("environment").string_at("fingerprint");
+    const std::string nfp = next.at("environment").string_at("fingerprint");
+    const double bm = bw->number_at("median_events_per_sec");
+    const double nm = nw->number_at("median_events_per_sec");
+    if (bm <= 0) return;
+    const double rel = (nm - bm) / bm;
+    if (bfp != nfp) {
+      add(Finding::Level::kInfo, "",
+          "wallclock: environment fingerprints differ (base '" + bfp +
+              "' vs new '" + nfp + "'); events/sec delta " + fmt_pct(rel) +
+              " is informational only");
+      return;
+    }
+    // Noise-aware gate: the threshold widens to 3*MAD/median when the
+    // measured spread says the machine is noisier than the default allows.
+    const double bmad = bw->number_at("mad_events_per_sec");
+    const double nmad = nw->number_at("mad_events_per_sec");
+    const double noise = 3 * std::max(bmad, nmad) / bm;
+    const double threshold = std::max(opts.wallclock_threshold, noise);
+    if (-rel > threshold) {
+      add(Finding::Level::kFail, "",
+          "wallclock: median events/sec dropped " + fmt_pct(rel) + " (" +
+              fmt(bm) + " -> " + fmt(nm) + "), beyond the " +
+              fmt_pct(-threshold) + " noise threshold");
+    } else if (std::abs(rel) > threshold) {
+      add(Finding::Level::kInfo, "",
+          "wallclock: median events/sec improved " + fmt_pct(rel) + " (" +
+              fmt(bm) + " -> " + fmt(nm) + ")");
+    }
+  }
+};
+
+}  // namespace
+
+int CompareResult::failures() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.level == Finding::Level::kFail;
+      }));
+}
+
+int CompareResult::blessed() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.level == Finding::Level::kBlessed;
+      }));
+}
+
+CompareResult compare_reports(const Json& base, const Json& next,
+                              const CompareOptions& opts) {
+  check_format(base, "base");
+  check_format(next, "new");
+  CompareResult result;
+  Differ d{opts, result};
+
+  const auto base_idx = index_scenarios(base, "base");
+  const auto next_idx = index_scenarios(next, "new");
+  for (const auto& [id, bsc] : base_idx) {
+    const auto it = next_idx.find(id);
+    if (it == next_idx.end()) {
+      d.add(d.drift_level(), id,
+            "scenario missing from new report (campaign lost coverage)");
+      continue;
+    }
+    d.diff_scenario(id, *bsc, *it->second);
+  }
+  for (const auto& [id, nsc] : next_idx) {
+    (void)nsc;
+    if (base_idx.find(id) == base_idx.end()) {
+      d.add(d.drift_level(), id,
+            "scenario not in baseline (new coverage; bless to adopt)");
+    }
+  }
+  d.diff_wallclock(base, next);
+  return result;
+}
+
+void write_compare_report(std::ostream& os, const CompareResult& result,
+                          const std::string& base_name,
+                          const std::string& next_name) {
+  os << "== hmca-bench compare: " << base_name << " vs " << next_name
+     << " ==\n";
+  os << result.scenarios_compared << " scenarios, "
+     << result.metrics_compared << " simulated metrics compared\n";
+  const auto section = [&](Finding::Level level, const char* title) {
+    bool any = false;
+    for (const auto& f : result.findings) {
+      if (f.level != level) continue;
+      if (!any) os << title << ":\n";
+      any = true;
+      os << "  ";
+      if (!f.scenario.empty()) os << "[" << f.scenario << "] ";
+      os << f.text << '\n';
+    }
+  };
+  section(Finding::Level::kFail, "FAILURES");
+  section(Finding::Level::kBlessed, "BLESSED (acknowledged drift)");
+  section(Finding::Level::kInfo, "info");
+  if (result.failures() > 0) {
+    os << "verdict: FAIL (" << result.failures() << " finding"
+       << (result.failures() == 1 ? "" : "s")
+       << "; re-run with --bless after confirming the change is intended, "
+          "then commit the new baseline)\n";
+  } else if (result.blessed() > 0) {
+    os << "verdict: OK (" << result.blessed()
+       << " blessed drift(s) — commit the new report as the baseline)\n";
+  } else {
+    os << "verdict: OK (no drift)\n";
+  }
+}
+
+}  // namespace hmca::perf

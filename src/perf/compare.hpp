@@ -1,0 +1,76 @@
+// Baseline comparator: diff two BENCH_*.json reports.
+//
+// The two sections of a report get opposite treatments:
+//
+//   simulated metrics   exact within epsilon. The simulator is
+//       deterministic, so *any* drift — faster or slower — means the model
+//       or an algorithm changed. An unacknowledged drift fails the gate;
+//       `bless` accepts it (the workflow: re-run, eyeball the report,
+//       commit the new file as the baseline). Scenario-set changes
+//       (missing/extra ids or sweep points) are drift too: a shrunken
+//       campaign must not pass as "no regressions".
+//
+//   wall-clock   noise-aware. Events/sec is gated on the relative drop of
+//       the median, widened by the measured MAD, and only when both
+//       reports carry the same environment fingerprint — comparing a
+//       laptop's throughput against a CI runner's is meaningless and is
+//       reported as info instead.
+//
+// compare_reports works on parsed JSON (not the runner's structs) so it
+// diffs exactly what the files say, stays robust to additive schema growth,
+// and is testable with handwritten documents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace hmca::perf {
+
+struct CompareOptions {
+  /// Relative epsilon for simulated metrics (absolute floor below).
+  double epsilon_rel = 1e-7;
+  double epsilon_abs = 1e-9;
+  /// Minimum relative drop of median events/sec treated as a wall-clock
+  /// regression (widened by 3*MAD/median when that is larger).
+  double wallclock_threshold = 0.25;
+  /// Accept simulated drift and scenario-set changes (exit clean, report
+  /// them as blessed).
+  bool bless = false;
+};
+
+struct Finding {
+  enum class Level {
+    kInfo,     ///< noted, never gates (e.g. improvement direction, foreign
+               ///< fingerprint wall-clock delta)
+    kBlessed,  ///< drift accepted by --bless
+    kFail,     ///< gates: unacknowledged drift / regression
+  };
+  Level level = Level::kInfo;
+  std::string scenario;  ///< "" for report-level findings
+  std::string text;
+};
+
+struct CompareResult {
+  std::vector<Finding> findings;
+  int scenarios_compared = 0;
+  int metrics_compared = 0;
+
+  int failures() const;
+  int blessed() const;
+  bool ok() const { return failures() == 0; }
+};
+
+/// Diff `base` against `next`. Throws JsonError on documents that are not
+/// hmca-bench reports (wrong/missing "format").
+CompareResult compare_reports(const Json& base, const Json& next,
+                              const CompareOptions& opts);
+
+/// Human report: verdict line, then findings grouped by severity.
+void write_compare_report(std::ostream& os, const CompareResult& result,
+                          const std::string& base_name,
+                          const std::string& next_name);
+
+}  // namespace hmca::perf

@@ -1,0 +1,104 @@
+// Campaign runner + BENCH_*.json writer.
+//
+// Executes every scenario of a campaign in-process through the OSU harness
+// under a collecting obs::Sink and records two strictly separated sections:
+//
+//   scenarios   deterministic *simulated* metrics (latency_us, per-rail
+//               byte counters, phase-overlap fraction, critical-path time).
+//               Two runs of the same build produce byte-identical text —
+//               the comparator treats any drift as a model/correctness
+//               change that must be blessed.
+//   wallclock   the *host's* throughput running the simulator (dispatched
+//               events per second of wall time), repeated N times and
+//               summarized as median + MAD. Inherently noisy; the
+//               comparator applies a relative threshold, and only when the
+//               environment fingerprints of both files match.
+//
+// The header carries the environment fingerprint (git sha, compiler, build
+// type, uname) so a comparison knows whether wall-clock numbers are even
+// commensurable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/campaign.hpp"
+
+namespace hmca::perf {
+
+/// One sweep point: x (message bytes or offload d) -> metric name -> value.
+/// Metric maps are ordered so every export is deterministic.
+struct PointResult {
+  std::size_t x = 0;
+  std::map<std::string, double> metrics;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  /// Scenario-level derived metrics (e.g. tuned_d / analytic_d of the
+  /// offload sweep); empty for plain sweeps.
+  std::map<std::string, double> derived;
+  std::vector<PointResult> points;
+};
+
+struct WallclockResult {
+  std::string probe;  ///< human description of the probe workload
+  int repeats = 0;
+  std::uint64_t events = 0;  ///< events dispatched by one probe run
+  std::vector<double> samples_events_per_sec;  ///< in run order
+  double median_events_per_sec = 0;
+  double mad_events_per_sec = 0;  ///< median absolute deviation
+};
+
+struct Environment {
+  std::string git_sha;     ///< HMCA_GIT_SHA, else `git rev-parse`, else "unknown"
+  std::string compiler;    ///< __VERSION__ of the compiler that built this
+  std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
+  std::string os;          ///< uname sysname + release
+  std::string arch;        ///< uname machine
+
+  /// What wall-clock comparability keys on (everything but the sha).
+  std::string fingerprint() const;
+};
+
+struct Report {
+  std::string label;
+  std::string campaign;
+  Environment env;
+  std::vector<ScenarioResult> scenarios;
+  std::optional<WallclockResult> wallclock;
+};
+
+struct RunOptions {
+  std::string label = "local";
+  bool wallclock = true;
+  int wallclock_repeats = 5;
+  /// Per-scenario progress lines ("[3/19] fig08/rd ..."), nullptr = quiet.
+  std::ostream* progress = nullptr;
+};
+
+/// Current process environment (reads HMCA_GIT_SHA / the git work tree).
+Environment detect_environment();
+
+/// Run every scenario (throws std::invalid_argument on unknown subjects —
+/// campaign bugs fail loudly, not as empty sections).
+Report run_campaign(const Campaign& c, const RunOptions& opts);
+
+/// Deterministic metric formatting: integral values as integers, everything
+/// else with 9 significant digits (sub-epsilon cross-compiler FP noise
+/// rounds away; real drift does not).
+std::string format_metric(double v);
+
+/// The complete BENCH_*.json document.
+void write_report_json(std::ostream& os, const Report& r);
+
+/// Exactly the "scenarios" section text embedded by write_report_json —
+/// the byte-identical-across-runs surface the determinism test asserts on.
+std::string scenarios_json(const Report& r);
+
+}  // namespace hmca::perf

@@ -114,7 +114,9 @@ TEST(Env, WarnUnknownFlagsTypoedVariables) {
 TEST(Env, WarnUnknownSilentWhenEnvironmentIsClean) {
   std::ostringstream os;
   const int n = Env::warn_unknown(os);
-  if (n == 0) EXPECT_TRUE(os.str().empty());
+  if (n == 0) {
+    EXPECT_TRUE(os.str().empty());
+  }
 }
 
 }  // namespace

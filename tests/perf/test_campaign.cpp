@@ -1,0 +1,156 @@
+// perf/campaign.hpp + perf/runner.hpp: the campaign tables themselves and
+// the determinism contract of the runner — two runs of the same build must
+// produce a byte-identical simulated-metrics section, the comparator must
+// accept a self-compare and reject a perturbed one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "perf/campaign.hpp"
+#include "perf/compare.hpp"
+#include "perf/json.hpp"
+#include "perf/runner.hpp"
+
+namespace hmca::perf {
+namespace {
+
+RunOptions quiet_opts() {
+  RunOptions opts;
+  opts.label = "test";
+  opts.wallclock = false;  // host throughput is irrelevant (and slow) here
+  return opts;
+}
+
+TEST(PerfCampaign, BuiltinCampaignsValidate) {
+  EXPECT_NO_THROW(validate_campaign(default_campaign()));
+  EXPECT_NO_THROW(validate_campaign(smoke_campaign()));
+  EXPECT_GE(default_campaign().scenarios.size(), 15u);
+}
+
+TEST(PerfCampaign, DefaultCoversTheHeadlineFigures) {
+  // The curated net tracks Figs. 1, 5, 8, 11-15 plus a degraded-rail run.
+  for (const char* fig : {"fig01", "fig05", "fig08", "fig11", "fig12",
+                          "fig13", "fig14", "fig15", "degraded"}) {
+    bool found = false;
+    for (const auto& sc : default_campaign().scenarios) {
+      found = found || sc.figure == fig || sc.id.rfind(fig, 0) == 0;
+    }
+    EXPECT_TRUE(found) << "no scenario for " << fig;
+  }
+}
+
+TEST(PerfCampaign, LookupByName) {
+  ASSERT_NE(find_campaign("default"), nullptr);
+  ASSERT_NE(find_campaign("smoke"), nullptr);
+  EXPECT_EQ(find_campaign("nope"), nullptr);
+  EXPECT_EQ(campaign_names().size(), 2u);
+}
+
+TEST(PerfCampaign, ValidateRejectsBrokenCampaigns) {
+  Campaign c;
+  c.name = "broken";
+  EXPECT_THROW(validate_campaign(c), std::invalid_argument);  // empty
+
+  Scenario s;
+  s.id = "a";
+  s.xs = {64};
+  c.scenarios = {s, s};  // duplicate id
+  EXPECT_THROW(validate_campaign(c), std::invalid_argument);
+
+  s.xs.clear();  // empty sweep
+  c.scenarios = {s};
+  EXPECT_THROW(validate_campaign(c), std::invalid_argument);
+}
+
+TEST(PerfCampaign, FormatMetricIsDeterministicText) {
+  EXPECT_EQ(format_metric(0), "0");
+  EXPECT_EQ(format_metric(184972), "184972");
+  EXPECT_EQ(format_metric(0.25), "0.25");
+  EXPECT_EQ(format_metric(6.930174551), "6.93017455");  // 9 sig digits
+}
+
+TEST(PerfRunner, SmokeCampaignIsByteDeterministic) {
+  const Report a = run_campaign(smoke_campaign(), quiet_opts());
+  const Report b = run_campaign(smoke_campaign(), quiet_opts());
+  ASSERT_EQ(a.scenarios.size(), smoke_campaign().scenarios.size());
+  EXPECT_EQ(scenarios_json(a), scenarios_json(b));
+}
+
+TEST(PerfRunner, ScenariosJsonIsEmbeddedVerbatimInTheReport) {
+  const Report r = run_campaign(smoke_campaign(), quiet_opts());
+  std::ostringstream os;
+  write_report_json(os, r);
+  EXPECT_NE(os.str().find(scenarios_json(r)), std::string::npos);
+  // And wallclock stays out of the deterministic section when disabled.
+  EXPECT_EQ(os.str().find("wallclock"), std::string::npos);
+}
+
+TEST(PerfRunner, SelfCompareIsCleanPerturbedCompareFails) {
+  const Report r = run_campaign(smoke_campaign(), quiet_opts());
+  std::ostringstream base;
+  write_report_json(base, r);
+
+  Report tweaked = r;
+  ASSERT_FALSE(tweaked.scenarios.empty());
+  ASSERT_FALSE(tweaked.scenarios[0].points.empty());
+  auto& metrics = tweaked.scenarios[0].points[0].metrics;
+  ASSERT_TRUE(metrics.count("latency_us"));
+  metrics["latency_us"] *= 1.10;  // injected 10% latency regression
+  std::ostringstream next;
+  write_report_json(next, tweaked);
+
+  const Json jb = Json::parse(base.str());
+  const Json jn = Json::parse(next.str());
+  EXPECT_TRUE(compare_reports(jb, jb, {}).ok());
+
+  const CompareResult bad = compare_reports(jb, jn, {});
+  EXPECT_FALSE(bad.ok());
+  ASSERT_GE(bad.failures(), 1);
+  EXPECT_NE(bad.findings[0].text.find("regression"), std::string::npos);
+
+  CompareOptions bless;
+  bless.bless = true;
+  EXPECT_TRUE(compare_reports(jb, jn, bless).ok());
+}
+
+TEST(PerfRunner, UnknownSubjectFailsLoudly) {
+  Campaign c;
+  c.name = "bad-subject";
+  Scenario s;
+  s.id = "x";
+  s.subject = "no-such-profile";
+  s.xs = {64};
+  c.scenarios = {s};
+  EXPECT_THROW(run_campaign(c, quiet_opts()), std::invalid_argument);
+}
+
+TEST(PerfRunner, DegradedScenarioAvoidsTheDeadRail) {
+  // The default campaign's degraded run must actually exercise the fault
+  // path: with hca=1 killed at t=0 all traffic lands on rail 0 and the run
+  // is slower than its healthy twin.
+  for (const auto& sc : default_campaign().scenarios) {
+    if (sc.faults.empty()) continue;
+    Campaign pair;
+    pair.name = "pair";
+    Scenario healthy = sc;
+    healthy.id = "healthy";
+    healthy.faults.clear();
+    pair.scenarios = {sc, healthy};
+    const Report r = run_campaign(pair, quiet_opts());
+    ASSERT_EQ(r.scenarios.size(), 2u);
+    for (std::size_t i = 0; i < r.scenarios[0].points.size(); ++i) {
+      const auto& faulted = r.scenarios[0].points[i].metrics;
+      const auto& intact = r.scenarios[1].points[i].metrics;
+      EXPECT_EQ(faulted.count("net_rail1_bytes"), 0u);  // rail 1 is dead
+      ASSERT_TRUE(intact.count("net_rail1_bytes"));
+      EXPECT_GT(intact.at("net_rail1_bytes"), 0.0);
+      EXPECT_GT(faulted.at("latency_us"), intact.at("latency_us"));
+    }
+    return;
+  }
+  FAIL() << "default campaign has no faulted scenario";
+}
+
+}  // namespace
+}  // namespace hmca::perf

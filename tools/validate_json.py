@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
-"""Validate a bench --stats=json report against schemas/stats.schema.json.
+"""Validate a JSON document against a schema from schemas/.
 
-Stdlib only (CI runners have no jsonschema package), so this implements the
-small JSON-Schema subset the stats schema actually uses: type, properties,
-required, items, enum, minItems. Unknown keywords are ignored, matching
-JSON-Schema semantics.
+Shared by the --stats=json smoke check (schemas/stats.schema.json) and the
+perf gate (schemas/bench.schema.json). Stdlib only (CI runners have no
+jsonschema package), so this implements the small JSON-Schema subset those
+schemas actually use: type, properties, required, items, enum, minItems.
+Unknown keywords are ignored, matching JSON-Schema semantics.
 
 Benches print their latency tables and the stats block to the same stdout,
 so this tool also accepts a full bench transcript: if the input is not pure
 JSON it extracts the trailing object starting at the last line that is
 exactly "{".
 
-Usage: validate_stats.py <schema.json> <report.json|bench-stdout>
+Usage: validate_json.py <schema.json> <document.json|bench-stdout>
 Exit status 0 on success; 1 with a path-qualified message on the first
 violation.
 """
@@ -70,7 +71,7 @@ def validate(schema, value, path="$"):
 
 
 def extract_json(text):
-    """The report, from a pure-JSON file or a full bench transcript."""
+    """The document, from a pure-JSON file or a full bench transcript."""
     try:
         return json.loads(text)
     except json.JSONDecodeError:
@@ -82,6 +83,17 @@ def extract_json(text):
     raise ValidationError("no JSON object found in input")
 
 
+def summarize(doc):
+    """One human line about the validated document, by known shape."""
+    if "invocations" in doc:
+        return f"{len(doc['invocations'])} invocations"
+    if "scenarios" in doc:
+        return f"{len(doc['scenarios'])} scenarios"
+    if "tables" in doc:
+        return f"{len(doc['tables'])} tables"
+    return f"{len(doc)} top-level keys"
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -91,13 +103,12 @@ def main(argv):
     with open(argv[2], encoding="utf-8") as f:
         text = f.read()
     try:
-        report = extract_json(text)
-        validate(schema, report)
+        doc = extract_json(text)
+        validate(schema, doc)
     except (ValidationError, json.JSONDecodeError) as e:
-        print(f"validate_stats: FAIL: {e}", file=sys.stderr)
+        print(f"validate_json: FAIL: {e}", file=sys.stderr)
         return 1
-    n = len(report.get("invocations", []))
-    print(f"validate_stats: OK ({argv[2]}: {n} invocations)")
+    print(f"validate_json: OK ({argv[2]}: {summarize(doc)})")
     return 0
 
 
