@@ -182,7 +182,35 @@ void World::init() {
         sink_->gauge("cluster.degraded_since_us", sim::to_us(now));
       }
     }
+    if (sink_->wants_timeline()) {
+      // Point samples of the affected rails' bandwidth factor (0 = dead),
+      // so a degraded-run timeline shows exactly when each rail went
+      // quiet. Wildcard events fan out to every matching rail.
+      const int n0 = e.node < 0 ? 0 : e.node;
+      const int n1 = e.node < 0 ? cluster_.nodes() : e.node + 1;
+      const int h0 = e.hca < 0 ? 0 : e.hca;
+      const int h1 = e.hca < 0 ? cluster_.hcas() : e.hca + 1;
+      for (int n = n0; n < n1; ++n) {
+        for (int h = h0; h < h1; ++h) {
+          sink_->sample({"net.rail.health",
+                         {{"node", std::to_string(n)},
+                          {"rail", std::to_string(h)}},
+                         now, now,
+                         cluster_.rail_alive(n, h)
+                             ? cluster_.rail_bw_factor(n, h)
+                             : 0.0});
+        }
+      }
+    }
   });
+  if (sink_->wants_timeline()) {
+    // Active-flow count of the fluid network as a step series ("sim.flows"
+    // point samples hold until the next one).
+    cluster_.net().set_flow_observer([this](sim::Time t, int flows) {
+      sink_->sample(
+          {"sim.flows", {}, t, t, static_cast<double>(flows)});
+    });
+  }
   std::vector<int> all(static_cast<std::size_t>(cluster_.world_size()));
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
   comms_.push_back(

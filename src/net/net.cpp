@@ -168,10 +168,18 @@ sim::Task<void> Net::rail_transfer(int src_node, int dst_node, int hca,
       obs::Labels rail{{"node", std::to_string(src_node)},
                        {"rail", std::to_string(hca)}};
       sink_->count("net.rail.posts", 1, rail);
+      sink_->observe("net.rail.post_bytes", bytes, rail);
       sink_->count("net.rail.bytes", bytes, std::move(rail));
     }
+    const sim::Time xfer_t0 = eng.now();
     co_await cl_->net().transfer(
         cl_->nic_flow(src_node, hca, dst_node, rx, bytes));
+    if (sink_->wants_timeline()) {
+      sink_->sample({"net.rail",
+                     {{"node", std::to_string(src_node)},
+                      {"rail", std::to_string(hca)}},
+                     xfer_t0, eng.now(), bytes});
+    }
     co_return;
   }
 }

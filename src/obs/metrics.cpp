@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 
 #include "trace/trace.hpp"
@@ -33,11 +34,7 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-namespace {
-
-// Numbers print via %.17g: round-trippable, no locale surprises, and
-// integral values stay integral-looking for the common byte/count metrics.
-std::string number(double v) {
+std::string json_number(double v) {
   char buf[40];
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::abs(v) < 1e15) {
@@ -47,6 +44,10 @@ std::string number(double v) {
   }
   return buf;
 }
+
+namespace {
+
+std::string number(double v) { return json_number(v); }
 
 void labels_json(std::ostream& os, const Labels& labels) {
   os << '{';
@@ -82,6 +83,38 @@ void Metrics::gauge(std::string_view name, double value, Labels labels) {
   gauges_[make_key(name, std::move(labels))] = value;
 }
 
+int Metrics::Histogram::bucket_of(double value) {
+  if (!(value > 0.0)) return 0;
+  // First bucket whose upper edge 2^(i - bias) is >= value.
+  const int i = static_cast<int>(std::ceil(std::log2(value))) + kBucketBias;
+  return std::clamp(i, 0, kBuckets - 1);
+}
+
+double Metrics::Histogram::bucket_edge(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - kBucketBias);
+}
+
+double Metrics::Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The q-th observation in rank space [1, count]; linear interpolation
+  // inside the bucket that holds it, clamped to the exact extremes.
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    const double lo = i == 0 ? 0.0 : bucket_edge(i - 1);
+    const double hi = i == kBuckets - 1 ? max : bucket_edge(i);
+    const double frac = (target - prev) / static_cast<double>(buckets[i]);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
 void Metrics::observe(std::string_view name, double value, Labels labels) {
   auto& h = hists_[make_key(name, std::move(labels))];
   if (h.count == 0) {
@@ -92,6 +125,7 @@ void Metrics::observe(std::string_view name, double value, Labels labels) {
   }
   ++h.count;
   h.sum += value;
+  ++h.buckets[Histogram::bucket_of(value)];
 }
 
 double Metrics::counter_value(std::string_view name,
@@ -151,25 +185,28 @@ void Metrics::write_json(std::ostream& os, int indent) const {
   os << ",\n";
   series("histograms", hists_, [&](const Histogram& h) {
     os << "\"count\": " << h.count << ", \"sum\": " << number(h.sum)
-       << ", \"min\": " << number(h.min) << ", \"max\": " << number(h.max);
+       << ", \"min\": " << number(h.min) << ", \"max\": " << number(h.max)
+       << ", \"p50\": " << number(h.p50()) << ", \"p95\": " << number(h.p95())
+       << ", \"p99\": " << number(h.p99());
   });
   os << '\n' << pad << '}';
 }
 
 void Metrics::write_csv(std::ostream& os) const {
-  os << "kind,name,labels,value,count,min,max\n";
+  os << "kind,name,labels,value,count,min,max,p50,p95,p99\n";
   for (const auto& [key, value] : counters_) {
     os << "counter," << key.name << ',' << labels_csv(key.labels) << ','
-       << number(value) << ",,,\n";
+       << number(value) << ",,,,,,\n";
   }
   for (const auto& [key, value] : gauges_) {
     os << "gauge," << key.name << ',' << labels_csv(key.labels) << ','
-       << number(value) << ",,,\n";
+       << number(value) << ",,,,,,\n";
   }
   for (const auto& [key, h] : hists_) {
     os << "histogram," << key.name << ',' << labels_csv(key.labels) << ','
        << number(h.sum) << ',' << h.count << ',' << number(h.min) << ','
-       << number(h.max) << '\n';
+       << number(h.max) << ',' << number(h.p50()) << ',' << number(h.p95())
+       << ',' << number(h.p99()) << '\n';
   }
 }
 
@@ -207,6 +244,10 @@ void CollectSink::metric_gauge(std::string_view name, double value,
 void CollectSink::metric_observe(std::string_view name, double value,
                                  Labels labels) {
   metrics_->observe(name, value, std::move(labels));
+}
+
+void CollectSink::timeline_sample(ResourceSample s) {
+  samples_->push_back(std::move(s));
 }
 
 }  // namespace hmca::obs

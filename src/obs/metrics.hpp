@@ -29,11 +29,38 @@ class Metrics {
     }
   };
 
+  /// Fixed log2-bucketed histogram. Observation v lands in the bucket
+  /// whose upper edge 2^(i - kBucketBias) is the first one >= v; v <= 0
+  /// lands in bucket 0, v past the last edge in the overflow bucket
+  /// (kBuckets - 1). Quantiles are estimated deterministically from the
+  /// bucket counts (see quantile()), so exports never depend on
+  /// observation order. min/max are exact: the first observe() seeds them
+  /// both (a default 0 never wins against a first observation > 0).
   struct Histogram {
+    /// Edge layout: 2^-kBucketBias .. 2^(kBuckets - 2 - kBucketBias),
+    /// i.e. 1/16 up to 2^42 — covers sub-microsecond durations through
+    /// multi-terabyte byte counts with one fixed grammar.
+    static constexpr int kBuckets = 48;
+    static constexpr int kBucketBias = 4;
+
     std::uint64_t count = 0;
     double sum = 0;
     double min = 0;
     double max = 0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    /// Bucket index an observation of `value` falls into.
+    static int bucket_of(double value);
+    /// Upper edge of bucket `i` (infinity for the overflow bucket).
+    static double bucket_edge(int i);
+
+    /// Deterministic quantile estimate (q in [0, 1]): locate the bucket
+    /// holding the q-th observation and interpolate linearly inside it,
+    /// clamped to the exact [min, max]. Returns 0 when empty.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
   };
 
   void count(std::string_view name, double delta, Labels labels = {});
@@ -79,5 +106,10 @@ class Metrics {
 
 /// JSON string escaping shared by the metrics and chrome-trace exporters.
 std::string json_escape(std::string_view s);
+
+/// Deterministic JSON number formatting shared by the obs exporters:
+/// integral values print as integers, everything else as %.17g
+/// (round-trippable, locale-independent).
+std::string json_number(double v);
 
 }  // namespace hmca::obs

@@ -1,0 +1,477 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string_view>
+
+namespace hmca::obs {
+
+namespace {
+
+// Render caps keep a large capture readable; every cut is announced in the
+// output rather than applied silently.
+constexpr std::size_t kMaxTimelineRows = 24;
+constexpr std::size_t kMaxBenchSeries = 4;  // palette has 4 categorical slots
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, const char* spec = "%.2f") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+std::string human_bytes(double b) {
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    return fmt(b / (1024.0 * 1024.0 * 1024.0), "%g") + " GiB";
+  }
+  if (b >= 1024.0 * 1024.0) return fmt(b / (1024.0 * 1024.0), "%g") + " MiB";
+  if (b >= 1024.0) return fmt(b / 1024.0, "%g") + " KiB";
+  return fmt(b, "%g") + " B";
+}
+
+std::string track_title(const Timeline::Track& t) {
+  std::string out = t.name;
+  if (!t.labels.empty()) {
+    out += " {";
+    for (std::size_t i = 0; i < t.labels.size(); ++i) {
+      if (i != 0) out += ",";
+      out += t.labels[i].first + "=" + t.labels[i].second;
+    }
+    out += "}";
+  }
+  return out;
+}
+
+/// Palette slot for one timeline unit: a row is a single-series plot, so
+/// the unit->hue mapping is fixed, never cycled.
+const char* unit_class(const std::string& unit) {
+  if (unit == "bytes") return "s2";
+  if (unit == "count") return "s3";
+  if (unit == "bytes_per_s") return "s4";
+  return "s1";  // fraction
+}
+
+/// Trace-event class: network blue, CPU copies orange, compute aqua,
+/// wait yellow, everything else muted.
+const char* event_class(const std::string& name) {
+  if (name.find("nic") != std::string::npos ||
+      name.find("isend") != std::string::npos ||
+      name.find("irecv") != std::string::npos) {
+    return "s1";
+  }
+  if (name.find("copy") != std::string::npos) return "s2";
+  if (name.find("compute") != std::string::npos) return "s3";
+  if (name.find("wait") != std::string::npos) return "s4";
+  return "muted";
+}
+
+void write_css(std::ostream& os) {
+  os << R"(<style>
+:root {
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --surface: #fcfcfb; --ink: #1a1a19; --ink-muted: #6f6f6c;
+  --grid: #e5e5e2; --idle: #d8d8d4;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --surface: #1a1a19; --ink: #ececea; --ink-muted: #9c9c98;
+    --grid: #2e2e2c; --idle: #3a3a37;
+  }
+}
+[data-theme="dark"] {
+  --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+  --surface: #1a1a19; --ink: #ececea; --ink-muted: #9c9c98;
+  --grid: #2e2e2c; --idle: #3a3a37;
+}
+html { background: var(--surface); }
+body {
+  font: 14px/1.45 system-ui, sans-serif; color: var(--ink);
+  background: var(--surface); max-width: 760px; margin: 24px auto;
+  padding: 0 16px;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+h3 { font-size: 13px; margin: 16px 0 6px; color: var(--ink-muted);
+     font-weight: 600; }
+.src { color: var(--ink-muted); font-size: 12px; margin: 0 0 2px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 8px 0; }
+.tile { border: 1px solid var(--grid); border-radius: 6px;
+        padding: 8px 14px; min-width: 110px; }
+.tile .v { font-size: 20px; font-weight: 650; }
+.tile .k { font-size: 11px; color: var(--ink-muted); }
+.legend { display: flex; gap: 14px; font-size: 12px;
+          color: var(--ink-muted); margin: 4px 0; flex-wrap: wrap; }
+.sw { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+      margin-right: 4px; vertical-align: -1px; }
+.row { margin: 6px 0; }
+.row .lbl { font-size: 11px; color: var(--ink-muted); margin-bottom: 1px; }
+svg { display: block; }
+svg text { fill: var(--ink-muted); font: 10px system-ui, sans-serif; }
+.s1 { fill: var(--s1); } .s2 { fill: var(--s2); }
+.s3 { fill: var(--s3); } .s4 { fill: var(--s4); }
+.muted { fill: var(--idle); } .idle { fill: var(--idle); }
+.l1 { stroke: var(--s1); } .l2 { stroke: var(--s2); }
+.l3 { stroke: var(--s3); } .l4 { stroke: var(--s4); }
+.line { fill: none; stroke-width: 2; }
+.axis { stroke: var(--grid); stroke-width: 1; }
+table { border-collapse: collapse; font-size: 12px; }
+td, th { border-bottom: 1px solid var(--grid); padding: 3px 10px 3px 0;
+         text-align: left; }
+footer { color: var(--ink-muted); font-size: 11px; margin-top: 28px; }
+</style>
+)";
+}
+
+void legend(std::ostream& os,
+            const std::vector<std::pair<const char*, std::string>>& items) {
+  os << "<div class=\"legend\">";
+  for (const auto& [cls, name] : items) {
+    os << "<span><span class=\"sw\" style=\"background:var(--" << cls
+       << ")\"></span>" << html_escape(name) << "</span>";
+  }
+  os << "</div>\n";
+}
+
+void utilization_chart(std::ostream& os, const Utilization& u) {
+  if (u.empty() || u.ranks.empty()) return;
+  os << "<h3>Per-rank wall-time attribution</h3>\n";
+  legend(os, {{"s3", "compute"},
+              {"s1", "network"},
+              {"s2", "shm copy"},
+              {"s4", "wait"},
+              {"idle", "idle"}});
+  const double w = 600;
+  const double rh = 16;
+  const double gap = 4;
+  const double left = 44;
+  const double h = (rh + gap) * static_cast<double>(u.ranks.size());
+  os << "<svg viewBox=\"0 0 " << fmt(left + w + 60, "%g") << ' '
+     << fmt(h, "%g") << "\" width=\"" << fmt(left + w + 60, "%g")
+     << "\" height=\"" << fmt(h, "%g") << "\" role=\"img\">\n";
+  for (std::size_t i = 0; i < u.ranks.size(); ++i) {
+    const auto& r = u.ranks[i];
+    const double y = static_cast<double>(i) * (rh + gap);
+    os << "<text x=\"0\" y=\"" << fmt(y + rh - 4, "%g") << "\">r"
+       << r.rank << "</text>\n";
+    double x = left;
+    const struct {
+      const char* cls;
+      const char* name;
+      double v;
+    } segs[] = {{"s3", "compute", r.compute},
+                {"s1", "network", r.nic},
+                {"s2", "shm copy", r.shm},
+                {"s4", "wait", r.wait},
+                {"idle", "idle", r.idle}};
+    for (const auto& s : segs) {
+      const double sw = s.v / u.wall * w;
+      if (sw <= 0) continue;
+      // 2px surface gap between adjacent segments.
+      const double draw = std::max(0.5, sw - 2.0);
+      os << "<rect class=\"" << s.cls << "\" x=\"" << fmt(x, "%.2f")
+         << "\" y=\"" << fmt(y, "%g") << "\" width=\"" << fmt(draw, "%.2f")
+         << "\" height=\"" << fmt(rh, "%g") << "\" rx=\"2\"><title>rank "
+         << r.rank << ' ' << s.name << ": " << fmt(s.v * 1e6, "%.3f")
+         << " us (" << fmt(s.v / u.wall * 100.0, "%.1f")
+         << "%)</title></rect>\n";
+      x += sw;
+    }
+    os << "<text x=\"" << fmt(left + w + 6, "%g") << "\" y=\""
+       << fmt(y + rh - 4, "%g") << "\">"
+       << fmt(r.busy() / u.wall * 100.0, "%.1f") << "% busy</text>\n";
+  }
+  os << "</svg>\n";
+  if (!u.rails.empty()) {
+    os << "<h3>Rails</h3>\n<table><tr><th>node</th><th>rail</th>"
+          "<th>busy</th><th>bytes</th></tr>\n";
+    for (const auto& r : u.rails) {
+      os << "<tr><td>" << r.node << "</td><td>" << r.rail << "</td><td>"
+         << fmt(r.busy_frac * 100.0, "%.1f") << "%</td><td>"
+         << human_bytes(r.bytes) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+}
+
+void timeline_rows(std::ostream& os, const Timeline& tl) {
+  if (tl.empty()) return;
+  os << "<h3>Resource timelines (" << tl.buckets << " buckets, "
+     << fmt(tl.bucket_seconds * 1e6, "%.3f") << " us each)</h3>\n";
+  // Phase-occupancy rows go last; they are the bulkiest group.
+  std::vector<const Timeline::Track*> order;
+  for (const auto& t : tl.tracks) {
+    if (t.name != "phase.occupancy") order.push_back(&t);
+  }
+  for (const auto& t : tl.tracks) {
+    if (t.name == "phase.occupancy") order.push_back(&t);
+  }
+  const std::size_t shown = std::min(order.size(), kMaxTimelineRows);
+  const double w = 640;
+  const double h = 26;
+  for (std::size_t k = 0; k < shown; ++k) {
+    const auto& t = *order[k];
+    double maxv = 0;
+    for (const double v : t.values) maxv = std::max(maxv, v);
+    os << "<div class=\"row\"><div class=\"lbl\">"
+       << html_escape(track_title(t)) << " &mdash; max "
+       << fmt(maxv, "%.4g") << ' ' << html_escape(t.unit) << "</div>\n";
+    os << "<svg viewBox=\"0 0 " << fmt(w, "%g") << ' ' << fmt(h, "%g")
+       << "\" width=\"" << fmt(w, "%g") << "\" height=\"" << fmt(h, "%g")
+       << "\" role=\"img\">\n";
+    os << "<line class=\"axis\" x1=\"0\" y1=\"" << fmt(h - 0.5, "%g")
+       << "\" x2=\"" << fmt(w, "%g") << "\" y2=\"" << fmt(h - 0.5, "%g")
+       << "\"/>\n";
+    const double bw = w / static_cast<double>(t.values.size());
+    for (std::size_t i = 0; i < t.values.size(); ++i) {
+      const double v = t.values[i];
+      if (v <= 0 || maxv <= 0) continue;
+      const double bh = std::max(1.0, v / maxv * (h - 2));
+      os << "<rect class=\"" << unit_class(t.unit) << "\" x=\""
+         << fmt(static_cast<double>(i) * bw + 1, "%.2f") << "\" y=\""
+         << fmt(h - 1 - bh, "%.2f") << "\" width=\""
+         << fmt(std::max(0.5, bw - 2), "%.2f") << "\" height=\""
+         << fmt(bh, "%.2f") << "\" rx=\"1\"><title>bucket " << i << ": "
+         << fmt(v, "%.6g") << ' ' << html_escape(t.unit)
+         << "</title></rect>\n";
+    }
+    os << "</svg></div>\n";
+  }
+  if (order.size() > shown) {
+    os << "<p class=\"src\">(+" << order.size() - shown
+       << " more tracks &mdash; see the stats JSON)</p>\n";
+  }
+}
+
+void trace_strip(std::ostream& os, const ReportData& d) {
+  if (d.trace.empty()) return;
+  os << "<h2>Span timeline</h2>\n";
+  legend(os, {{"s1", "network"},
+              {"s2", "copy"},
+              {"s3", "compute"},
+              {"s4", "wait"},
+              {"idle", "other"}});
+  int nranks = 0;
+  double wall = 0;
+  for (const auto& e : d.trace) {
+    nranks = std::max(nranks, e.rank + 1);
+    wall = std::max(wall, e.ts_us + e.dur_us);
+  }
+  if (nranks == 0 || wall <= 0) return;
+  const double left = 44;
+  const double w = 600;
+  const double rh = 12;
+  const double gap = 3;
+  const double h = (rh + gap) * nranks;
+  os << "<svg viewBox=\"0 0 " << fmt(left + w, "%g") << ' ' << fmt(h, "%g")
+     << "\" width=\"" << fmt(left + w, "%g") << "\" height=\""
+     << fmt(h, "%g") << "\" role=\"img\">\n";
+  for (int r = 0; r < nranks; ++r) {
+    const double y = r * (rh + gap);
+    os << "<text x=\"0\" y=\"" << fmt(y + rh - 2, "%g") << "\">r" << r
+       << "</text>\n<line class=\"axis\" x1=\"" << fmt(left, "%g")
+       << "\" y1=\"" << fmt(y + rh, "%g") << "\" x2=\""
+       << fmt(left + w, "%g") << "\" y2=\"" << fmt(y + rh, "%g")
+       << "\"/>\n";
+  }
+  for (const auto& e : d.trace) {
+    const double x = left + e.ts_us / wall * w;
+    const double ew = std::max(0.75, e.dur_us / wall * w);
+    const double y = e.rank * (rh + gap);
+    os << "<rect class=\"" << event_class(e.name) << "\" x=\""
+       << fmt(x, "%.2f") << "\" y=\"" << fmt(y + 1, "%g") << "\" width=\""
+       << fmt(ew, "%.2f") << "\" height=\"" << fmt(rh - 2, "%g")
+       << "\"><title>" << html_escape(e.name) << " @" << fmt(e.ts_us, "%.3f")
+       << " us, " << fmt(e.dur_us, "%.3f") << " us</title></rect>\n";
+  }
+  os << "</svg>\n";
+  if (d.trace_dropped > 0) {
+    os << "<p class=\"src\">(" << d.trace_dropped
+       << " events over the render cap omitted)</p>\n";
+  }
+}
+
+void bench_chart(std::ostream& os, const ReportData& d) {
+  if (d.bench.empty()) return;
+  os << "<h2>Bench: " << html_escape(d.bench_metric)
+     << " vs message size</h2>\n";
+  const std::size_t nseries = std::min(d.bench.size(), kMaxBenchSeries);
+  {
+    std::vector<std::pair<const char*, std::string>> items;
+    static const char* slots[] = {"s1", "s2", "s3", "s4"};
+    for (std::size_t i = 0; i < nseries; ++i) {
+      items.emplace_back(slots[i], d.bench[i].name);
+    }
+    legend(os, items);
+  }
+  double xmin = 0, xmax = 0, ymax = 0;
+  bool first_pt = true;
+  for (std::size_t i = 0; i < nseries; ++i) {
+    for (const auto& [x, y] : d.bench[i].points) {
+      const double lx = std::log2(std::max(1.0, x));
+      if (first_pt) {
+        xmin = xmax = lx;
+        first_pt = false;
+      }
+      xmin = std::min(xmin, lx);
+      xmax = std::max(xmax, lx);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (first_pt || ymax <= 0) return;
+  if (xmax <= xmin) xmax = xmin + 1;
+  const double left = 54, w = 580, h = 220, bottom = 18;
+  const auto X = [&](double bytes) {
+    return left +
+           (std::log2(std::max(1.0, bytes)) - xmin) / (xmax - xmin) * w;
+  };
+  const auto Y = [&](double v) { return (h - bottom) * (1.0 - v / ymax) + 4; };
+  os << "<svg viewBox=\"0 0 " << fmt(left + w + 10, "%g") << ' '
+     << fmt(h + 10, "%g") << "\" width=\"" << fmt(left + w + 10, "%g")
+     << "\" height=\"" << fmt(h + 10, "%g") << "\" role=\"img\">\n";
+  os << "<line class=\"axis\" x1=\"" << fmt(left, "%g") << "\" y1=\""
+     << fmt(h - bottom + 4, "%g") << "\" x2=\"" << fmt(left + w, "%g")
+     << "\" y2=\"" << fmt(h - bottom + 4, "%g") << "\"/>\n";
+  os << "<text x=\"0\" y=\"12\">" << fmt(ymax, "%.4g") << "</text>\n";
+  for (const double lx : {xmin, (xmin + xmax) / 2, xmax}) {
+    const double bytes = std::pow(2.0, lx);
+    os << "<text x=\"" << fmt(X(bytes) - 10, "%.1f") << "\" y=\""
+       << fmt(h - 2, "%g") << "\">" << human_bytes(bytes) << "</text>\n";
+  }
+  static const char* lcls[] = {"l1", "l2", "l3", "l4"};
+  static const char* pcls[] = {"s1", "s2", "s3", "s4"};
+  for (std::size_t i = 0; i < nseries; ++i) {
+    const auto& s = d.bench[i];
+    if (s.points.empty()) continue;
+    os << "<polyline class=\"line " << lcls[i] << "\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      os << fmt(X(x), "%.2f") << ',' << fmt(Y(y), "%.2f") << ' ';
+    }
+    os << "\"/>\n";
+    for (const auto& [x, y] : s.points) {
+      os << "<circle class=\"" << pcls[i] << "\" cx=\"" << fmt(X(x), "%.2f")
+         << "\" cy=\"" << fmt(Y(y), "%.2f") << "\" r=\"3\"><title>"
+         << html_escape(s.name) << ' ' << human_bytes(x) << ": "
+         << fmt(y, "%.4g") << "</title></circle>\n";
+    }
+  }
+  os << "</svg>\n";
+  if (d.bench.size() > nseries) {
+    os << "<p class=\"src\">(" << d.bench.size() - nseries
+       << " series beyond the 4-hue palette omitted &mdash; see the bench "
+          "JSON)</p>\n";
+  }
+}
+
+}  // namespace
+
+void write_html_report(std::ostream& os, const ReportData& d) {
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">\n<title>"
+     << html_escape(d.title) << "</title>\n";
+  write_css(os);
+  os << "</head>\n<body>\n<h1>" << html_escape(d.title) << "</h1>\n";
+  for (const auto& s : d.sources) {
+    os << "<p class=\"src\">" << html_escape(s) << "</p>\n";
+  }
+  for (const auto& inv : d.invocations) {
+    os << "<h2>" << html_escape(inv.subject) << " &middot; "
+       << html_escape(inv.op) << " &middot; " << human_bytes(inv.msg_bytes)
+       << "</h2>\n";
+    os << "<div class=\"tiles\">\n";
+    os << "<div class=\"tile\"><div class=\"v\">" << fmt(inv.latency_us, "%.3f")
+       << "</div><div class=\"k\">latency (us)</div></div>\n";
+    if (inv.overlap > 0) {
+      os << "<div class=\"tile\"><div class=\"v\">"
+         << fmt(inv.overlap * 100.0, "%.1f")
+         << "%</div><div class=\"k\">phase-2/3 overlap</div></div>\n";
+    }
+    if (!inv.util.empty() && !inv.util.rails.empty()) {
+      os << "<div class=\"tile\"><div class=\"v\">"
+         << fmt(inv.util.rail_imbalance, "%.2f")
+         << "</div><div class=\"k\">rail imbalance (max/mean)</div></div>\n";
+    }
+    if (!inv.util.empty() && inv.util.nic_finish > 0) {
+      os << "<div class=\"tile\"><div class=\"v\">"
+         << fmt(inv.util.cpu_finish * 1e6, "%.2f") << " / "
+         << fmt(inv.util.nic_finish * 1e6, "%.2f")
+         << "</div><div class=\"k\">cpu / nic finish (us)</div></div>\n";
+    }
+    os << "</div>\n";
+    utilization_chart(os, inv.util);
+    timeline_rows(os, inv.timeline);
+  }
+  trace_strip(os, d);
+  bench_chart(os, d);
+  os << "<footer>hmca telemetry report &mdash; virtual-time data, "
+        "deterministic render, no external assets.</footer>\n"
+        "</body>\n</html>\n";
+}
+
+void write_text_report(std::ostream& os, const ReportData& d) {
+  os << "== " << d.title << " ==\n";
+  for (const auto& s : d.sources) os << "source: " << s << '\n';
+  for (const auto& inv : d.invocations) {
+    os << "\n-- " << inv.subject << ' ' << inv.op << ' '
+       << human_bytes(inv.msg_bytes) << " --\n";
+    os << "latency: " << fmt(inv.latency_us, "%.3f") << " us";
+    if (inv.overlap > 0) {
+      os << ", phase-2/3 overlap " << fmt(inv.overlap, "%.4f");
+    }
+    os << '\n';
+    if (!inv.util.empty()) {
+      os << inv.util.summary() << '\n';
+      if (inv.util.nic_finish > 0) {
+        os << "cpu finish " << fmt(inv.util.cpu_finish * 1e6, "%.3f")
+           << " us, nic finish " << fmt(inv.util.nic_finish * 1e6, "%.3f")
+           << " us\n";
+      }
+      for (const auto& p : inv.util.phases) {
+        os << "phase " << p.phase << ": mean occupancy "
+           << fmt(p.mean_occupancy, "%.4f") << '\n';
+      }
+      for (const auto& r : inv.util.rails) {
+        os << "rail node" << r.node << "/hca" << r.rail << ": busy "
+           << fmt(r.busy_frac * 100.0, "%.1f") << "%, "
+           << human_bytes(r.bytes) << '\n';
+      }
+    }
+    if (!inv.timeline.empty()) {
+      os << "timeline: " << inv.timeline.tracks.size() << " tracks x "
+         << inv.timeline.buckets << " buckets ("
+         << fmt(inv.timeline.bucket_seconds * 1e6, "%.3f") << " us each)\n";
+    }
+  }
+  if (!d.trace.empty()) {
+    os << "\ntrace: " << d.trace.size() << " spans";
+    if (d.trace_dropped > 0) os << " (+" << d.trace_dropped << " dropped)";
+    os << '\n';
+  }
+  for (const auto& s : d.bench) {
+    os << "\nbench series " << s.name << " (" << d.bench_metric << "):\n";
+    for (const auto& [x, y] : s.points) {
+      os << "  " << human_bytes(x) << ": " << fmt(y, "%.4g") << '\n';
+    }
+  }
+}
+
+}  // namespace hmca::obs

@@ -1,0 +1,71 @@
+// Self-contained run reports: one HTML dashboard (inline CSS + SVG, zero
+// external assets, no scripts) or a plain-text rendering of the same data.
+//
+// ReportData is the render-ready model. It is filled two ways:
+//   * in-process by osu::StatsSession when a bench runs with
+//     `--report <file>` (timelines/utilizations come straight from the
+//     capture), and
+//   * by the `hmca-report` tool, which parses previously written stats
+//     JSON, Chrome-trace JSON and hmca-bench report JSON back into it.
+//
+// Rendering is deterministic: same data -> byte-identical bytes (no
+// timestamps, no randomness, fixed iteration order), which is what the
+// report golden tests assert.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "obs/utilization.hpp"
+
+namespace hmca::obs {
+
+/// Builders stop collecting span-strip events past this cap and count the
+/// rest in ReportData::trace_dropped (announced in the rendered output).
+inline constexpr std::size_t kReportTraceEventCap = 4000;
+
+struct ReportData {
+  std::string title;                  ///< heading, e.g. "osu_allgather"
+  std::vector<std::string> sources;   ///< provenance lines ("stats: f.json")
+
+  /// One measured collective invocation (a stats-JSON "invocations" entry).
+  struct Invocation {
+    std::string subject;
+    std::string op;
+    double msg_bytes = 0;
+    double latency_us = 0;
+    double overlap = 0;        ///< phase_overlap_fraction
+    Timeline timeline;         ///< may be empty
+    Utilization util;          ///< may be empty
+  };
+  std::vector<Invocation> invocations;
+
+  /// Optional latency-vs-size curves (from an hmca-bench report).
+  struct BenchSeries {
+    std::string name;
+    std::vector<std::pair<double, double>> points;  ///< (msg_bytes, value)
+  };
+  std::string bench_metric;  ///< y meaning, e.g. "latency_us"
+  std::vector<BenchSeries> bench;
+
+  /// Optional per-rank span strip (from a Chrome trace).
+  struct TraceEvent {
+    int rank = 0;
+    double ts_us = 0;
+    double dur_us = 0;
+    std::string name;
+  };
+  std::vector<TraceEvent> trace;
+  std::size_t trace_dropped = 0;  ///< events over the render cap
+};
+
+/// Render the full dashboard as a single HTML document.
+void write_html_report(std::ostream& os, const ReportData& d);
+
+/// Same content as readable plain text (for terminals and logs).
+void write_text_report(std::ostream& os, const ReportData& d);
+
+}  // namespace hmca::obs

@@ -8,8 +8,9 @@
 // never branch on "is tracing on". Recording never advances virtual time;
 // a null-sink run is event-for-event identical to an instrumented one.
 //
-// `wants_spans()` / `wants_metrics()` let hot paths skip building labels
-// or label strings when nobody is listening (the null sink wants nothing).
+// `wants_spans()` / `wants_metrics()` / `wants_timeline()` let hot paths
+// skip building labels or label strings when nobody is listening (the null
+// sink wants nothing).
 #pragma once
 
 #include <cstddef>
@@ -26,6 +27,19 @@ namespace hmca::obs {
 /// Metric identity labels, e.g. {{"node","0"},{"rail","1"}}. Order is
 /// normalized (sorted by key) by the metrics registry.
 using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One timeline observation: a resource `track` (e.g. "net.rail") carried
+/// a `value` over the virtual interval [t0, t1]. Point samples (t0 == t1)
+/// describe a level that holds until the track's next sample (e.g. the
+/// active-flow count). Consumed by obs::build_timeline; recording never
+/// advances virtual time.
+struct ResourceSample {
+  std::string track;
+  Labels labels;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  double value = 0;
+};
 
 class Sink {
  public:
@@ -81,9 +95,19 @@ class Sink {
     if (wants_metrics()) metric_observe(name, value, std::move(labels));
   }
 
+  // ---- Timeline channel ----
+
+  /// Record one resource sample (see ResourceSample). Virtual-time series
+  /// (per-rail activity, active flow counts, rail health) flow through
+  /// here; obs::build_timeline turns the stream into fixed buckets.
+  void sample(ResourceSample s) {
+    if (wants_timeline()) timeline_sample(std::move(s));
+  }
+
   /// Guards for hot paths: skip label construction when nobody listens.
   virtual bool wants_spans() const noexcept { return false; }
   virtual bool wants_metrics() const noexcept { return false; }
+  virtual bool wants_timeline() const noexcept { return false; }
 
  protected:
   /// Backend hooks; only invoked when the matching wants_*() is true.
@@ -114,6 +138,7 @@ class Sink {
     (void)value;
     (void)labels;
   }
+  virtual void timeline_sample(ResourceSample s) { (void)s; }
 };
 
 /// The process-wide discard sink: wants nothing, records nothing. Layers
@@ -122,20 +147,24 @@ Sink& null_sink() noexcept;
 
 class Metrics;
 
-/// A sink that forwards spans to a `trace::Tracer` and metrics to an
-/// `obs::Metrics` registry; either backend may be absent. This is the
-/// bridge that keeps the existing tracer-based tools (ASCII timeline, CSV
-/// dump, busy_time assertions) working on top of the new channel.
+/// A sink that forwards spans to a `trace::Tracer`, metrics to an
+/// `obs::Metrics` registry, and resource samples to a caller-owned vector;
+/// any backend may be absent. This is the bridge that keeps the existing
+/// tracer-based tools (ASCII timeline, CSV dump, busy_time assertions)
+/// working on top of the new channel.
 class CollectSink final : public Sink {
  public:
-  explicit CollectSink(trace::Tracer* tracer, Metrics* metrics = nullptr)
-      : tracer_(tracer), metrics_(metrics) {}
+  explicit CollectSink(trace::Tracer* tracer, Metrics* metrics = nullptr,
+                       std::vector<ResourceSample>* samples = nullptr)
+      : tracer_(tracer), metrics_(metrics), samples_(samples) {}
 
   bool wants_spans() const noexcept override { return tracer_ != nullptr; }
   bool wants_metrics() const noexcept override { return metrics_ != nullptr; }
+  bool wants_timeline() const noexcept override { return samples_ != nullptr; }
 
   trace::Tracer* tracer() const noexcept { return tracer_; }
   Metrics* metrics() const noexcept { return metrics_; }
+  std::vector<ResourceSample>* samples() const noexcept { return samples_; }
 
  protected:
   std::size_t span_open(trace::Span s) override;
@@ -147,10 +176,12 @@ class CollectSink final : public Sink {
                     Labels labels) override;
   void metric_observe(std::string_view name, double value,
                       Labels labels) override;
+  void timeline_sample(ResourceSample s) override;
 
  private:
   trace::Tracer* tracer_;
   Metrics* metrics_;
+  std::vector<ResourceSample>* samples_;
 };
 
 }  // namespace hmca::obs

@@ -1,0 +1,281 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hmca::obs {
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+/// Merge overlapping/touching intervals (sorts in place).
+std::vector<Interval> merged(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end());
+  std::vector<Interval> out;
+  for (const auto& [a, b] : v) {
+    if (!out.empty() && a <= out.back().second) {
+      out.back().second = std::max(out.back().second, b);
+    } else {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+double overlap(double a0, double a1, double b0, double b1) {
+  const double lo = std::max(a0, b0);
+  const double hi = std::min(a1, b1);
+  return hi > lo ? hi - lo : 0.0;
+}
+
+struct Builder {
+  int n;
+  double wall;
+  double dt;
+
+  int clamp_bucket(double t) const {
+    return timeline_bucket_of(t, wall, n);
+  }
+
+  /// Spread `value` over [t0, t1] proportionally to per-bucket overlap;
+  /// zero-length intervals deposit everything into their bucket.
+  void attribute(std::vector<double>& acc, double t0, double t1,
+                 double value) const {
+    if (!(t1 > t0)) {
+      acc[static_cast<std::size_t>(clamp_bucket(t0))] += value;
+      return;
+    }
+    const int b0 = clamp_bucket(t0);
+    const int b1 = clamp_bucket(t1);
+    for (int b = b0; b <= b1; ++b) {
+      const double lo = dt * b;
+      const double hi = b == n - 1 ? wall : dt * (b + 1);
+      acc[static_cast<std::size_t>(b)] +=
+          value * overlap(t0, t1, lo, hi) / (t1 - t0);
+    }
+  }
+
+  /// Per-bucket covered time of a merged interval union.
+  std::vector<double> coverage(const std::vector<Interval>& u) const {
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    for (const auto& [a, b] : u) {
+      if (!(b > a)) continue;
+      const int b0 = clamp_bucket(a);
+      const int b1 = clamp_bucket(b);
+      for (int k = b0; k <= b1; ++k) {
+        const double lo = dt * k;
+        const double hi = k == n - 1 ? wall : dt * (k + 1);
+        out[static_cast<std::size_t>(k)] += overlap(a, b, lo, hi);
+      }
+    }
+    return out;
+  }
+
+  /// Time-weighted mean of a step series: `steps` are (time, new value)
+  /// in time order; the series holds `init` before the first step and the
+  /// last value through `wall`.
+  std::vector<double> step_mean(const std::vector<Interval>& steps,
+                                double init) const {
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    double level = init;
+    double t = 0.0;
+    auto flush = [&](double upto) {
+      if (upto > t && level != 0.0) attribute(out, t, upto, level * (upto - t));
+      t = std::max(t, upto);
+    };
+    for (const auto& [when, value] : steps) {
+      flush(std::min(when, wall));
+      level = value;
+    }
+    flush(wall);
+    for (int b = 0; b < n; ++b) {
+      const double lo = dt * b;
+      const double hi = b == n - 1 ? wall : dt * (b + 1);
+      const double width = hi - lo;
+      out[static_cast<std::size_t>(b)] =
+          width > 0 ? out[static_cast<std::size_t>(b)] / width : 0.0;
+    }
+    return out;
+  }
+};
+
+void labels_json(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(labels[i].first) << "\":\""
+       << json_escape(labels[i].second) << '"';
+  }
+  os << '}';
+}
+
+bool is_phase_annotation(const trace::Span& s) {
+  return s.kind == trace::Kind::kPhase && s.t1 > s.t0 &&
+         s.label.rfind("select:", 0) != 0 && s.label.rfind("fault:", 0) != 0;
+}
+
+bool is_cpu_copy(trace::Kind k) {
+  return k == trace::Kind::kCopyIn || k == trace::Kind::kCopyOut ||
+         k == trace::Kind::kCmaCopy;
+}
+
+}  // namespace
+
+int timeline_bucket_of(double t, double wall, int buckets) {
+  if (!(wall > 0) || buckets <= 0) return 0;
+  const int b = static_cast<int>(t / wall * buckets);
+  return std::clamp(b, 0, buckets - 1);
+}
+
+const Timeline::Track* Timeline::find(std::string_view name,
+                                      const Labels& labels) const {
+  for (const auto& t : tracks) {
+    if (t.name == name && t.labels == labels) return &t;
+  }
+  return nullptr;
+}
+
+Timeline build_timeline(const std::vector<trace::Span>& spans,
+                        const std::vector<ResourceSample>& samples,
+                        double wall_seconds, int buckets) {
+  Timeline tl;
+  if (!(wall_seconds > 0) || buckets <= 0) return tl;
+  tl.buckets = buckets;
+  tl.wall = wall_seconds;
+  tl.bucket_seconds = wall_seconds / buckets;
+  const Builder bld{buckets, wall_seconds, tl.bucket_seconds};
+
+  // Keyed assembly keeps track order deterministic: (name, labels).
+  std::map<std::pair<std::string, Labels>, Timeline::Track> tracks;
+  auto track = [&](const std::string& name, const Labels& labels,
+                   const char* unit) -> std::vector<double>& {
+    auto& t = tracks[{name, labels}];
+    if (t.values.empty()) {
+      t.name = name;
+      t.labels = labels;
+      t.unit = unit;
+      t.values.assign(static_cast<std::size_t>(buckets), 0.0);
+    }
+    return t.values;
+  };
+
+  // ---- Rail transfers: bytes per bucket + busy (union) fraction ----
+  std::map<Labels, std::vector<Interval>> rail_intervals;
+  std::map<Labels, std::vector<Interval>> health_steps;
+  std::vector<Interval> flow_steps;
+  for (const auto& s : samples) {
+    if (s.track == "net.rail") {
+      bld.attribute(track("net.rail.bytes", s.labels, "bytes"), s.t0, s.t1,
+                    s.value);
+      rail_intervals[s.labels].emplace_back(s.t0, s.t1);
+    } else if (s.track == "net.rail.health") {
+      health_steps[s.labels].emplace_back(s.t0, s.value);
+    } else if (s.track == "sim.flows") {
+      flow_steps.emplace_back(s.t0, s.value);
+    }
+  }
+  for (auto& [labels, ivals] : rail_intervals) {
+    auto& busy = track("net.rail.busy", labels, "fraction");
+    const auto cov = bld.coverage(merged(std::move(ivals)));
+    for (int b = 0; b < buckets; ++b) {
+      const double lo = bld.dt * b;
+      const double hi = b == buckets - 1 ? wall_seconds : bld.dt * (b + 1);
+      busy[static_cast<std::size_t>(b)] =
+          hi > lo ? cov[static_cast<std::size_t>(b)] / (hi - lo) : 0.0;
+    }
+  }
+  for (auto& [labels, steps] : health_steps) {
+    track("net.rail.health", labels, "fraction") = bld.step_mean(steps, 1.0);
+  }
+  if (!flow_steps.empty()) {
+    track("sim.flows", {}, "count") = bld.step_mean(flow_steps, 0.0);
+  }
+
+  // ---- Span-derived tracks ----
+  int nranks = 0;
+  for (const auto& s : spans) nranks = std::max(nranks, s.rank + 1);
+  std::map<int, std::vector<Interval>> copy_by_rank;
+  std::map<std::pair<std::string, int>, std::vector<Interval>> phase_by_key;
+  bool any_copy = false;
+  for (const auto& s : spans) {
+    if (is_cpu_copy(s.kind)) {
+      any_copy = true;
+      copy_by_rank[s.rank].emplace_back(s.t0, s.t1);
+      if (s.bytes > 0) {
+        bld.attribute(track("shm.copy_bytes_per_s", {}, "bytes_per_s"), s.t0,
+                      s.t1, static_cast<double>(s.bytes));
+      }
+    } else if (is_phase_annotation(s)) {
+      phase_by_key[{s.label, s.rank}].emplace_back(s.t0, s.t1);
+    }
+  }
+  if (any_copy && nranks > 0) {
+    auto& busy = track("cpu.copy_busy", {}, "fraction");
+    for (auto& [rank, ivals] : copy_by_rank) {
+      const auto cov = bld.coverage(merged(std::move(ivals)));
+      for (int b = 0; b < buckets; ++b) {
+        busy[static_cast<std::size_t>(b)] += cov[static_cast<std::size_t>(b)];
+      }
+    }
+    auto& shm_rate = tracks[{std::string("shm.copy_bytes_per_s"), {}}];
+    for (int b = 0; b < buckets; ++b) {
+      const double lo = bld.dt * b;
+      const double hi = b == buckets - 1 ? wall_seconds : bld.dt * (b + 1);
+      const double width = hi - lo;
+      busy[static_cast<std::size_t>(b)] =
+          width > 0 ? busy[static_cast<std::size_t>(b)] / (width * nranks)
+                    : 0.0;
+      if (!shm_rate.values.empty() && width > 0) {
+        shm_rate.values[static_cast<std::size_t>(b)] /= width;
+      }
+    }
+  }
+  for (auto& [key, ivals] : phase_by_key) {
+    auto& occ = track("phase.occupancy",
+                      {{"phase", key.first}, {"rank", std::to_string(key.second)}},
+                      "fraction");
+    const auto cov = bld.coverage(merged(std::move(ivals)));
+    for (int b = 0; b < buckets; ++b) {
+      const double lo = bld.dt * b;
+      const double hi = b == buckets - 1 ? wall_seconds : bld.dt * (b + 1);
+      occ[static_cast<std::size_t>(b)] =
+          hi > lo ? cov[static_cast<std::size_t>(b)] / (hi - lo) : 0.0;
+    }
+  }
+
+  tl.tracks.reserve(tracks.size());
+  for (auto& [key, t] : tracks) tl.tracks.push_back(std::move(t));
+  return tl;
+}
+
+void Timeline::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\n";
+  os << pad << "  \"buckets\": " << buckets << ",\n";
+  os << pad << "  \"bucket_us\": " << json_number(bucket_seconds * 1e6)
+     << ",\n";
+  os << pad << "  \"wall_us\": " << json_number(wall * 1e6) << ",\n";
+  os << pad << "  \"tracks\": [";
+  bool first = true;
+  for (const auto& t : tracks) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << pad << "    {\"name\": \"" << json_escape(t.name)
+       << "\", \"labels\": ";
+    labels_json(os, t.labels);
+    os << ", \"unit\": \"" << t.unit << "\", \"values\": [";
+    for (std::size_t i = 0; i < t.values.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << json_number(t.values[i]);
+    }
+    os << "]}";
+  }
+  if (!first) os << '\n' << pad << "  ";
+  os << "]\n" << pad << "}";
+}
+
+}  // namespace hmca::obs

@@ -1,0 +1,74 @@
+// Deterministic virtual-time resource timelines.
+//
+// The span stream says *what* each rank did; the timeline says *when each
+// resource was busy*. build_timeline folds one invocation's spans and
+// ResourceSamples (obs/sink.hpp) into a fixed number of equal-width
+// buckets over [0, wall], producing one value series per (track, labels)
+// pair:
+//
+//   net.rail.bytes        {node,rail}  bytes moved per bucket (proportional
+//                                      attribution of each transfer)
+//   net.rail.busy         {node,rail}  fraction of the bucket the rail had
+//                                      at least one transfer in flight
+//                                      (interval union, not a sum)
+//   net.rail.health       {node,rail}  bandwidth factor step series (only
+//                                      present in degraded runs; starts 1)
+//   sim.flows             {}           time-weighted mean active flow count
+//   cpu.copy_busy         {}           mean fraction of ranks inside a CPU
+//                                      copy (kCopyIn/kCopyOut/kCmaCopy)
+//   shm.copy_bytes_per_s  {}           CPU-copy payload throughput
+//   phase.occupancy       {phase,rank} fraction of the bucket the rank
+//                                      spent inside that kPhase span
+//
+// Everything is derived from virtual time, so two runs of the same build
+// produce byte-identical write_json output (the golden-surface the
+// telemetry tests assert on).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+
+/// Default bucket count: fine enough to see phase structure, coarse
+/// enough that a dashboard row stays readable.
+inline constexpr int kDefaultTimelineBuckets = 48;
+
+struct Timeline {
+  struct Track {
+    std::string name;
+    Labels labels;      ///< sorted, may be empty
+    std::string unit;   ///< "bytes" | "fraction" | "count" | "bytes_per_s"
+    std::vector<double> values;  ///< one per bucket
+  };
+
+  int buckets = 0;
+  double bucket_seconds = 0;  ///< width of one bucket
+  double wall = 0;            ///< [0, wall] is the bucketed window
+  std::vector<Track> tracks;  ///< sorted by (name, labels)
+
+  bool empty() const noexcept { return tracks.empty(); }
+  const Track* find(std::string_view name, const Labels& labels = {}) const;
+
+  /// {"buckets":N,"bucket_us":..,"wall_us":..,"tracks":[{"name":..,
+  ///  "labels":{..},"unit":..,"values":[..]},..]} — deterministic order
+  /// and number formatting (obs::json_number).
+  void write_json(std::ostream& os, int indent = 0) const;
+};
+
+/// Bucket index of time `t` in a timeline of `buckets` buckets over
+/// [0, wall]: t == wall lands in the last bucket, not one past it.
+int timeline_bucket_of(double t, double wall, int buckets);
+
+/// Fold one invocation's capture into a timeline. `wall_seconds` <= 0
+/// yields an empty timeline (no tracks).
+Timeline build_timeline(const std::vector<trace::Span>& spans,
+                        const std::vector<ResourceSample>& samples,
+                        double wall_seconds,
+                        int buckets = kDefaultTimelineBuckets);
+
+}  // namespace hmca::obs

@@ -1,0 +1,363 @@
+#include "obs/utilization.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hmca::obs {
+
+namespace {
+
+/// Attribution buckets in priority order: when spans overlap, the lowest
+/// index wins the segment.
+enum Cat : int { kCompute = 0, kNic = 1, kShm = 2, kWait = 3, kNone = 4 };
+
+Cat cat_of(trace::Kind k) {
+  switch (k) {
+    case trace::Kind::kCompute:
+      return kCompute;
+    case trace::Kind::kNicXfer:
+    case trace::Kind::kIsend:
+    case trace::Kind::kIrecv:
+      return kNic;
+    case trace::Kind::kCopyIn:
+    case trace::Kind::kCopyOut:
+    case trace::Kind::kCmaCopy:
+      return kShm;
+    case trace::Kind::kWait:
+      return kWait;
+    case trace::Kind::kPhase:
+      return kNone;
+  }
+  return kNone;
+}
+
+struct Edge {
+  double t;
+  int cat;
+  int delta;
+  bool operator<(const Edge& o) const { return t < o.t; }
+};
+
+/// Priority sweep: split the rank's wall time into elementary segments and
+/// hand each to the highest-priority active bucket. Every instant goes to
+/// exactly one bucket, which is what makes the totals reconcile.
+void attribute_rank(std::vector<Edge>& edges, double wall,
+                    Utilization::RankBreakdown& out) {
+  std::stable_sort(edges.begin(), edges.end());
+  int active[4] = {0, 0, 0, 0};
+  double t = 0.0;
+  double acc[4] = {0, 0, 0, 0};
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const double next = std::min(edges[i].t, wall);
+    if (next > t) {
+      int cat = kNone;
+      for (int c = 0; c < 4; ++c) {
+        if (active[c] > 0) {
+          cat = c;
+          break;
+        }
+      }
+      if (cat != kNone) acc[cat] += next - t;
+      t = next;
+    }
+    // Apply every edge at this timestamp before measuring the next segment.
+    const double at = edges[i].t;
+    while (i < edges.size() && edges[i].t == at) {
+      active[edges[i].cat] += edges[i].delta;
+      ++i;
+    }
+    if (at >= wall) break;
+  }
+  // Tail after the last edge (or edge past wall): covered by active cats.
+  if (t < wall) {
+    int cat = kNone;
+    for (int c = 0; c < 4; ++c) {
+      if (active[c] > 0) {
+        cat = c;
+        break;
+      }
+    }
+    if (cat != kNone) acc[cat] += wall - t;
+  }
+  out.compute = acc[kCompute];
+  out.nic = acc[kNic];
+  out.shm = acc[kShm];
+  out.wait = acc[kWait];
+  out.idle = std::max(0.0, wall - out.busy());
+}
+
+std::vector<std::pair<double, double>> merged(
+    std::vector<std::pair<double, double>> v) {
+  std::sort(v.begin(), v.end());
+  std::vector<std::pair<double, double>> out;
+  for (const auto& [a, b] : v) {
+    if (!out.empty() && a <= out.back().second) {
+      out.back().second = std::max(out.back().second, b);
+    } else {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+double union_len(const std::vector<std::pair<double, double>>& u) {
+  double len = 0;
+  for (const auto& [a, b] : u) {
+    if (b > a) len += b - a;
+  }
+  return len;
+}
+
+/// Independent re-derivation of critical_path's phase_overlap_fraction:
+/// one boundary sweep with live phase-2/3 counters instead of pairwise
+/// union intersection, so the two implementations cross-check each other.
+double sweep_phase_overlap(const std::vector<trace::Span>& spans) {
+  std::vector<Edge> edges;
+  for (const auto& s : spans) {
+    if (s.kind != trace::Kind::kPhase || !(s.t1 > s.t0)) continue;
+    int which = -1;
+    if (s.label == "phase2") which = 0;
+    if (s.label == "phase3") which = 1;
+    if (which < 0) continue;
+    edges.push_back({s.t0, which, +1});
+    edges.push_back({s.t1, which, -1});
+  }
+  if (edges.empty()) return 0.0;
+  std::stable_sort(edges.begin(), edges.end());
+  int live[2] = {0, 0};
+  double t = edges.front().t;
+  double len3 = 0;
+  double inter = 0;
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const double at = edges[i].t;
+    if (at > t) {
+      if (live[1] > 0) {
+        len3 += at - t;
+        if (live[0] > 0) inter += at - t;
+      }
+      t = at;
+    }
+    while (i < edges.size() && edges[i].t == at) {
+      live[edges[i].cat] += edges[i].delta;
+      ++i;
+    }
+  }
+  return len3 > 0 ? inter / len3 : 0.0;
+}
+
+int label_int(const Labels& labels, const char* key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return std::atoi(v.c_str());
+  }
+  return -1;
+}
+
+std::string pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+double Utilization::mean_frac_compute() const {
+  if (ranks.empty() || !(wall > 0)) return 0;
+  double s = 0;
+  for (const auto& r : ranks) s += r.compute;
+  return s / (static_cast<double>(ranks.size()) * wall);
+}
+double Utilization::mean_frac_nic() const {
+  if (ranks.empty() || !(wall > 0)) return 0;
+  double s = 0;
+  for (const auto& r : ranks) s += r.nic;
+  return s / (static_cast<double>(ranks.size()) * wall);
+}
+double Utilization::mean_frac_shm() const {
+  if (ranks.empty() || !(wall > 0)) return 0;
+  double s = 0;
+  for (const auto& r : ranks) s += r.shm;
+  return s / (static_cast<double>(ranks.size()) * wall);
+}
+double Utilization::mean_frac_wait() const {
+  if (ranks.empty() || !(wall > 0)) return 0;
+  double s = 0;
+  for (const auto& r : ranks) s += r.wait;
+  return s / (static_cast<double>(ranks.size()) * wall);
+}
+double Utilization::mean_frac_idle() const {
+  if (ranks.empty() || !(wall > 0)) return 0;
+  double s = 0;
+  for (const auto& r : ranks) s += r.idle;
+  return s / (static_cast<double>(ranks.size()) * wall);
+}
+
+std::string Utilization::summary() const {
+  if (empty()) return "util: (no data)";
+  std::string out = "util: compute " + pct(mean_frac_compute()) + " nic " +
+                    pct(mean_frac_nic()) + " shm " + pct(mean_frac_shm()) +
+                    " wait " + pct(mean_frac_wait()) + " idle " +
+                    pct(mean_frac_idle());
+  if (!rails.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.2f", rail_imbalance);
+    out += " | rail imbalance ";
+    out += buf;
+    double mean = 0;
+    for (const auto& r : rails) mean += r.busy_frac;
+    mean /= static_cast<double>(rails.size());
+    std::string quiet;
+    for (const auto& r : rails) {
+      if (r.busy_frac < 0.1 * mean) {
+        if (!quiet.empty()) quiet += ", ";
+        quiet += "node" + std::to_string(r.node) + "/rail" +
+                 std::to_string(r.rail) + " " + pct(r.busy_frac);
+      }
+    }
+    if (!quiet.empty()) out += " (quiet: " + quiet + ")";
+  }
+  return out;
+}
+
+Utilization analyze_utilization(const std::vector<trace::Span>& spans,
+                                const std::vector<ResourceSample>& samples,
+                                double wall_seconds) {
+  Utilization u;
+  if (!(wall_seconds > 0)) return u;
+  u.wall = wall_seconds;
+
+  // ---- Per-rank attribution ----
+  int nranks = 0;
+  for (const auto& s : spans) nranks = std::max(nranks, s.rank + 1);
+  std::map<int, std::vector<Edge>> edges_by_rank;
+  std::map<std::pair<std::string, int>, std::vector<std::pair<double, double>>>
+      phase_ivals;
+  for (const auto& s : spans) {
+    const Cat c = cat_of(s.kind);
+    if (c != kNone && s.t1 > s.t0) {
+      const double a = std::clamp(static_cast<double>(s.t0), 0.0, wall_seconds);
+      const double b = std::clamp(static_cast<double>(s.t1), 0.0, wall_seconds);
+      if (b > a) {
+        auto& e = edges_by_rank[s.rank];
+        e.push_back({a, c, +1});
+        e.push_back({b, c, -1});
+      }
+    }
+    if (s.kind == trace::Kind::kPhase && s.t1 > s.t0 &&
+        s.label.rfind("select:", 0) != 0 && s.label.rfind("fault:", 0) != 0) {
+      phase_ivals[{s.label, s.rank}].emplace_back(s.t0, s.t1);
+    }
+    if (c == kCompute || c == kShm) {
+      u.cpu_finish = std::max(u.cpu_finish, static_cast<double>(s.t1));
+    }
+    if (s.kind == trace::Kind::kNicXfer) {
+      u.nic_finish = std::max(u.nic_finish, static_cast<double>(s.t1));
+    }
+  }
+  u.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto& rb = u.ranks[static_cast<std::size_t>(r)];
+    rb.rank = r;
+    const auto it = edges_by_rank.find(r);
+    if (it == edges_by_rank.end()) {
+      rb.idle = wall_seconds;
+    } else {
+      attribute_rank(it->second, wall_seconds, rb);
+    }
+  }
+
+  // ---- Rails ----
+  std::map<std::pair<int, int>,
+           std::pair<std::vector<std::pair<double, double>>, double>>
+      rail_data;
+  for (const auto& s : samples) {
+    if (s.track != "net.rail") continue;
+    auto& [ivals, bytes] =
+        rail_data[{label_int(s.labels, "node"), label_int(s.labels, "rail")}];
+    ivals.emplace_back(static_cast<double>(s.t0), static_cast<double>(s.t1));
+    bytes += s.value;
+  }
+  double busy_sum = 0;
+  double busy_max = 0;
+  for (auto& [key, data] : rail_data) {
+    Utilization::RailUse r;
+    r.node = key.first;
+    r.rail = key.second;
+    r.busy_frac = union_len(merged(std::move(data.first))) / wall_seconds;
+    r.bytes = data.second;
+    busy_sum += r.busy_frac;
+    busy_max = std::max(busy_max, r.busy_frac);
+    u.rails.push_back(r);
+  }
+  if (!u.rails.empty() && busy_sum > 0) {
+    u.rail_imbalance =
+        busy_max / (busy_sum / static_cast<double>(u.rails.size()));
+  }
+
+  // ---- Phases ----
+  std::map<std::string, double> phase_time;
+  for (auto& [key, ivals] : phase_ivals) {
+    phase_time[key.first] += union_len(merged(std::move(ivals)));
+  }
+  for (const auto& [name, total] : phase_time) {
+    u.phases.push_back(
+        {name, nranks > 0
+                   ? total / (static_cast<double>(nranks) * wall_seconds)
+                   : 0.0});
+  }
+
+  u.phase_overlap = sweep_phase_overlap(spans);
+  return u;
+}
+
+void Utilization::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\n";
+  os << pad << "  \"wall_us\": " << json_number(wall * 1e6) << ",\n";
+  os << pad << "  \"rail_imbalance\": " << json_number(rail_imbalance)
+     << ",\n";
+  os << pad << "  \"phase_overlap\": " << json_number(phase_overlap) << ",\n";
+  os << pad << "  \"cpu_finish_us\": " << json_number(cpu_finish * 1e6)
+     << ",\n";
+  os << pad << "  \"nic_finish_us\": " << json_number(nic_finish * 1e6)
+     << ",\n";
+  os << pad << "  \"ranks\": [";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto& r = ranks[i];
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"rank\": " << r.rank
+       << ", \"compute_us\": " << json_number(r.compute * 1e6)
+       << ", \"nic_us\": " << json_number(r.nic * 1e6)
+       << ", \"shm_us\": " << json_number(r.shm * 1e6)
+       << ", \"wait_us\": " << json_number(r.wait * 1e6)
+       << ", \"idle_us\": " << json_number(r.idle * 1e6) << '}';
+  }
+  if (!ranks.empty()) os << '\n' << pad << "  ";
+  os << "],\n";
+  os << pad << "  \"rails\": [";
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    const auto& r = rails[i];
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"node\": " << r.node
+       << ", \"rail\": " << r.rail
+       << ", \"busy_frac\": " << json_number(r.busy_frac)
+       << ", \"bytes\": " << json_number(r.bytes) << '}';
+  }
+  if (!rails.empty()) os << '\n' << pad << "  ";
+  os << "],\n";
+  os << pad << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"phase\": \""
+       << json_escape(phases[i].phase) << "\", \"mean_occupancy\": "
+       << json_number(phases[i].mean_occupancy) << '}';
+  }
+  if (!phases.empty()) os << '\n' << pad << "  ";
+  os << "]\n" << pad << "}";
+}
+
+}  // namespace hmca::obs

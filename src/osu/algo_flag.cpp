@@ -70,6 +70,8 @@ AlgoFlag parse_algo_flag(int argc, char** argv) {
       stats_flag_seen = true;
     } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
       flag.stats.trace_path = value_of("--trace", 8);
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      flag.stats.report_path = value_of("--report", 9);
     } else if (arg == "--json") {
       flag.json = true;
     }

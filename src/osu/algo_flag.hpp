@@ -13,6 +13,7 @@
 //   bench_binary --stats         # per-invocation stats report (text)
 //   bench_binary --stats=json    # ... machine-readable (or csv)
 //   bench_binary --trace out.json  # Chrome-trace export of the last run
+//   bench_binary --report out.html # self-contained HTML telemetry dashboard
 //   bench_binary --json          # tables+notes as one JSON document
 //
 // When no --faults / --stats flag is given, the HMCA_FAULTS / HMCA_STATS
@@ -46,8 +47,9 @@ struct AlgoFlag {
 };
 
 /// Extract `--algo <name>` / `--algo=<name>` / `--algo list`,
-/// `--faults <spec|@file>`, `--stats[=text|json|csv]` and `--trace <file>`
-/// from argv; absent --faults / --stats fall back to HMCA_FAULTS /
+/// `--faults <spec|@file>`, `--stats[=text|json|csv]`, `--trace <file>`
+/// and `--report <file>` from argv; absent --faults / --stats fall back to
+/// HMCA_FAULTS /
 /// HMCA_STATS. The plan is parse-checked eagerly so typos fail before any
 /// measurement. Throws std::invalid_argument on a dangling flag, a
 /// malformed plan or a bad stats format; other arguments are ignored.

@@ -34,7 +34,8 @@ StatsFormat parse_stats_format(std::string_view value, const char* what);
 struct StatsOptions {
   bool enabled = false;  ///< print the per-invocation stats report
   StatsFormat format = StatsFormat::kText;
-  std::string trace_path;  ///< write a Chrome-trace JSON here ("" = none)
+  std::string trace_path;   ///< write a Chrome-trace JSON here ("" = none)
+  std::string report_path;  ///< write an HTML dashboard here ("" = none)
 };
 
 /// The typed environment surface. Accessors return std::nullopt when the

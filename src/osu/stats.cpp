@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "osu/harness.hpp"
 
@@ -55,9 +56,11 @@ double StatsSession::measure_allgather(const hw::ClusterSpec& spec,
   if (!enabled()) return osu::measure_allgather(spec, fn, msg);
   trace::Tracer tracer;
   obs::Metrics metrics;
-  obs::CollectSink sink(&tracer, &metrics);
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_allgather(spec, fn, msg, sink);
-  capture(subject, "allgather", msg, t, std::move(tracer), std::move(metrics));
+  capture(subject, "allgather", msg, t, std::move(tracer), std::move(metrics),
+          std::move(samples));
   return t;
 }
 
@@ -68,16 +71,18 @@ double StatsSession::measure_allreduce(const hw::ClusterSpec& spec,
   if (!enabled()) return osu::measure_allreduce(spec, fn, bytes);
   trace::Tracer tracer;
   obs::Metrics metrics;
-  obs::CollectSink sink(&tracer, &metrics);
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_allreduce(spec, fn, bytes, sink);
   capture(subject, "allreduce", bytes, t, std::move(tracer),
-          std::move(metrics));
+          std::move(metrics), std::move(samples));
   return t;
 }
 
 void StatsSession::capture(std::string subject, const char* op,
                            std::size_t msg_bytes, double seconds,
-                           trace::Tracer tracer, obs::Metrics metrics) {
+                           trace::Tracer tracer, obs::Metrics metrics,
+                           std::vector<obs::ResourceSample> samples) {
   InvocationStats rec;
   rec.subject = std::move(subject);
   rec.op = op;
@@ -86,6 +91,8 @@ void StatsSession::capture(std::string subject, const char* op,
   rec.decisions = decision_labels(tracer.spans());
   rec.overlap_fraction = obs::phase_overlap_fraction(tracer.spans());
   rec.critical_path = obs::analyze_critical_path(tracer.spans());
+  rec.timeline = obs::build_timeline(tracer.spans(), samples, seconds);
+  rec.util = obs::analyze_utilization(tracer.spans(), samples, seconds);
   rec.metrics = std::move(metrics);
   recs_.push_back(std::move(rec));
   last_spans_ = tracer.take_spans();
@@ -101,6 +108,7 @@ void StatsSession::write(std::ostream& os) const {
         if (!r.decisions.empty()) os << "  [" << r.decisions.front() << ']';
         os << '\n';
         os << "  " << r.critical_path.summary() << '\n';
+        if (!r.util.empty()) os << "  " << r.util.summary() << '\n';
         if (r.overlap_fraction > 0) {
           os << "  phase-2/3 overlap: " << fraction(r.overlap_fraction)
              << '\n';
@@ -143,6 +151,10 @@ void StatsSession::write(std::ostream& os) const {
         r.critical_path.write_json(os, 6);
         os << ",\n      \"metrics\":\n";
         r.metrics.write_json(os, 6);
+        os << ",\n      \"timeline\":\n";
+        r.timeline.write_json(os, 6);
+        os << ",\n      \"utilization\":\n";
+        r.util.write_json(os, 6);
         os << "\n    }";
       }
       if (!first) os << '\n' << "  ";
@@ -182,18 +194,59 @@ void StatsSession::write_trace(std::ostream& os) const {
   obs::write_chrome_trace(os, last_spans_);
 }
 
+void StatsSession::write_report(std::ostream& os) const {
+  obs::ReportData data;
+  data.title = bench_;
+  data.sources.push_back("captured in-process (" +
+                         std::to_string(recs_.size()) + " invocations)");
+  for (const auto& r : recs_) {
+    obs::ReportData::Invocation inv;
+    inv.subject = r.subject;
+    inv.op = r.op;
+    inv.msg_bytes = static_cast<double>(r.msg_bytes);
+    inv.latency_us = r.seconds * 1e6;
+    inv.overlap = r.overlap_fraction;
+    inv.timeline = r.timeline;
+    inv.util = r.util;
+    data.invocations.push_back(std::move(inv));
+  }
+  // Span strip: the last measured invocation (same choice as --trace).
+  for (const auto& s : last_spans_) {
+    if (s.kind == trace::Kind::kPhase) continue;
+    if (data.trace.size() >= obs::kReportTraceEventCap) {
+      ++data.trace_dropped;
+      continue;
+    }
+    data.trace.push_back({s.rank, sim::to_us(s.t0), sim::to_us(s.t1 - s.t0),
+                          trace::kind_name(s.kind)});
+  }
+  obs::write_html_report(os, data);
+}
+
 void StatsSession::finish(std::ostream& os) const {
   if (opts_.enabled) write(os);
-  if (opts_.trace_path.empty()) return;
-  std::ofstream out(opts_.trace_path);
-  if (!out) {
-    std::cerr << "hmca: cannot write trace file '" << opts_.trace_path
-              << "'\n";
-    return;
+  if (!opts_.trace_path.empty()) {
+    std::ofstream out(opts_.trace_path);
+    if (!out) {
+      std::cerr << "hmca: cannot write trace file '" << opts_.trace_path
+                << "'\n";
+    } else {
+      write_trace(out);
+      std::cerr << "trace written to " << opts_.trace_path
+                << " (load in Perfetto or chrome://tracing)\n";
+    }
   }
-  write_trace(out);
-  std::cerr << "trace written to " << opts_.trace_path
-            << " (load in Perfetto or chrome://tracing)\n";
+  if (!opts_.report_path.empty()) {
+    std::ofstream out(opts_.report_path);
+    if (!out) {
+      std::cerr << "hmca: cannot write report file '" << opts_.report_path
+                << "'\n";
+    } else {
+      write_report(out);
+      std::cerr << "report written to " << opts_.report_path
+                << " (self-contained HTML)\n";
+    }
+  }
 }
 
 }  // namespace hmca::osu

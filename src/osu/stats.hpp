@@ -8,7 +8,9 @@
 // `--stats=csv`, or HMCA_STATS), so `bench --stats=json | tail -n +K` style
 // extraction and the checked-in schema (schemas/stats.schema.json) both
 // work. `--trace <file>` additionally exports the *last* measured
-// invocation as Chrome-trace JSON loadable in Perfetto / chrome://tracing.
+// invocation as Chrome-trace JSON loadable in Perfetto / chrome://tracing,
+// and `--report <file>` renders every captured invocation into one
+// self-contained HTML dashboard (obs/report.hpp).
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,8 @@
 #include "hw/spec.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/utilization.hpp"
 #include "osu/env.hpp"
 #include "trace/trace.hpp"
 
@@ -38,6 +42,8 @@ struct InvocationStats {
   double overlap_fraction = 0;  ///< phase-2/3 overlap (0 for flat runs)
   obs::CriticalPathReport critical_path;
   obs::Metrics metrics;
+  obs::Timeline timeline;    ///< bucketed resource series (virtual time)
+  obs::Utilization util;     ///< per-rank/per-rail attribution
 };
 
 /// Owns the stats/trace request of one bench process. When disabled, the
@@ -47,10 +53,11 @@ class StatsSession {
  public:
   StatsSession(StatsOptions opts, std::string bench);
 
-  /// True when measurements must run under a collecting sink (a report or
-  /// a trace file was requested).
+  /// True when measurements must run under a collecting sink (a stats
+  /// report, a trace file or an HTML report was requested).
   bool enabled() const noexcept {
-    return opts_.enabled || !opts_.trace_path.empty();
+    return opts_.enabled || !opts_.trace_path.empty() ||
+           !opts_.report_path.empty();
   }
 
   double measure_allgather(const hw::ClusterSpec& spec,
@@ -68,15 +75,20 @@ class StatsSession {
   void write(std::ostream& os) const;
   /// Chrome-trace JSON of the last measured invocation.
   void write_trace(std::ostream& os) const;
+  /// The self-contained HTML dashboard of every captured invocation (the
+  /// last invocation additionally contributes its span strip).
+  void write_report(std::ostream& os) const;
 
   /// Print the report to `os` (when `--stats` asked for one) and write the
-  /// trace file (when `--trace` did). Call once, after the last
-  /// measurement; no-op when both are off.
+  /// trace file (when `--trace` did) and the HTML dashboard (when
+  /// `--report` did). Call once, after the last measurement; no-op when
+  /// all are off.
   void finish(std::ostream& os) const;
 
  private:
   void capture(std::string subject, const char* op, std::size_t msg_bytes,
-               double seconds, trace::Tracer tracer, obs::Metrics metrics);
+               double seconds, trace::Tracer tracer, obs::Metrics metrics,
+               std::vector<obs::ResourceSample> samples);
 
   StatsOptions opts_;
   std::string bench_;

@@ -17,6 +17,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/utilization.hpp"
 #include "osu/algo_flag.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
@@ -58,9 +59,9 @@ coll::AllreduceFn subject_allreduce(const std::string& subject) {
 }
 
 /// Simulated metrics of one collective invocation, from its capture.
-std::map<std::string, double> collective_metrics(double seconds,
-                                                 const trace::Tracer& tracer,
-                                                 const obs::Metrics& metrics) {
+std::map<std::string, double> collective_metrics(
+    double seconds, const trace::Tracer& tracer, const obs::Metrics& metrics,
+    const std::vector<obs::ResourceSample>& samples) {
   std::map<std::string, double> out;
   out["latency_us"] = seconds * 1e6;
   const auto cp = obs::analyze_critical_path(tracer.spans());
@@ -79,13 +80,27 @@ std::map<std::string, double> collective_metrics(double seconds,
       if (lk == "rail") out["net_rail" + lv + "_bytes"] += value;
     }
   }
+  // Utilization attribution (timeline channel): per-rail busy fractions
+  // summed over nodes, plus the load-imbalance index — a rail can carry
+  // the same bytes while staying busy longer, and that shift must gate.
+  const obs::Utilization util =
+      obs::analyze_utilization(tracer.spans(), samples, seconds);
+  if (!util.rails.empty()) {
+    out["rail_imbalance"] = util.rail_imbalance;
+    std::map<int, double> busy_by_rail;
+    for (const auto& r : util.rails) busy_by_rail[r.rail] += r.busy_frac;
+    for (const auto& [rail, busy] : busy_by_rail) {
+      out["rail" + std::to_string(rail) + "_busy_frac"] = busy;
+    }
+  }
   return out;
 }
 
 PointResult measure_collective(const Scenario& sc, std::size_t bytes) {
   trace::Tracer tracer;
   obs::Metrics metrics;
-  obs::CollectSink sink(&tracer, &metrics);
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
   double seconds = 0;
   if (sc.kind == Kind::kAllgather) {
     seconds = osu::measure_allgather(sc.spec(), subject_allgather(sc.subject),
@@ -94,7 +109,7 @@ PointResult measure_collective(const Scenario& sc, std::size_t bytes) {
     seconds = osu::measure_allreduce(sc.spec(), subject_allreduce(sc.subject),
                                      bytes, sink);
   }
-  return {bytes, collective_metrics(seconds, tracer, metrics)};
+  return {bytes, collective_metrics(seconds, tracer, metrics, samples)};
 }
 
 ScenarioResult run_scenario(const Scenario& sc) {

@@ -50,6 +50,7 @@ void FluidNetwork::add_flow(FlowSpec spec, std::coroutine_handle<> h) {
   f.waiter = h;
   flows_.push_back(std::move(f));
   peak_flows_ = std::max(peak_flows_, static_cast<int>(flows_.size()));
+  if (flow_observer_) flow_observer_(eng_->now(), active_flows());
   touch();
 }
 
@@ -85,14 +86,17 @@ void FluidNetwork::do_update() {
   // Complete drained flows; waiters resume at the current timestamp, ahead
   // of the next update callback, so transfers they start are batched into
   // one further water-filling pass.
+  bool completed = false;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->remaining <= kRemainderEps) {
       eng_->schedule_now(it->waiter);
       it = flows_.erase(it);
+      completed = true;
     } else {
       ++it;
     }
   }
+  if (completed && flow_observer_) flow_observer_(eng_->now(), active_flows());
 
   reallocate();
 

@@ -22,9 +22,11 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -70,6 +72,13 @@ class FluidNetwork {
   int active_flows() const { return static_cast<int>(flows_.size()); }
   /// Highest number of simultaneously active flows observed.
   int peak_flows() const { return peak_flows_; }
+
+  /// Observer invoked with (now, active_flows) whenever the active-flow
+  /// count changes (flow added, flows completed). Pure telemetry: the
+  /// observer must not start flows or advance time. One observer at a
+  /// time; pass nullptr to detach.
+  using FlowObserver = std::function<void(Time, int)>;
+  void set_flow_observer(FlowObserver fn) { flow_observer_ = std::move(fn); }
 
   /// Awaitable: start a flow and suspend until its bytes have drained.
   /// A flow with no resources completes at rate `rate_cap` (which must then
@@ -121,6 +130,7 @@ class FluidNetwork {
   bool update_pending_ = false;
   std::uint64_t completion_gen_ = 0;
   int peak_flows_ = 0;
+  FlowObserver flow_observer_;
 };
 
 }  // namespace hmca::sim

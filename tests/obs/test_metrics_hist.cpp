@@ -1,0 +1,126 @@
+// Histogram fixed log2 bucket grammar: edge math, exact first-observe
+// min/max seeding, and deterministic (order-independent) quantiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hmca::obs {
+namespace {
+
+using Histogram = Metrics::Histogram;
+
+TEST(ObsHistogram, BucketOfEdges) {
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-5.0), 0);
+  // First edge is 2^-4 = 1/16.
+  EXPECT_EQ(Histogram::bucket_of(1.0 / 16.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1.0 / 16.0 + 1e-9), 1);
+  // 1.0 sits exactly on the edge of bucket kBucketBias.
+  EXPECT_EQ(Histogram::bucket_of(1.0), Histogram::kBucketBias);
+  EXPECT_EQ(Histogram::bucket_of(2.0), Histogram::kBucketBias + 1);
+  // Past the last finite edge 2^42 everything lands in the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_of(std::ldexp(1.0, 42)), Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_of(std::ldexp(1.0, 43)), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, BucketEdgeValues) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_edge(0), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_edge(Histogram::kBucketBias), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_edge(Histogram::kBuckets - 2),
+                   std::ldexp(1.0, 42));
+  EXPECT_TRUE(std::isinf(Histogram::bucket_edge(Histogram::kBuckets - 1)));
+}
+
+TEST(ObsHistogram, FirstObserveSeedsMinMax) {
+  Metrics m;
+  m.observe("lat", 5.0);
+  const Histogram* h = m.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  // The default-constructed 0 must not win against a first observation > 0.
+  EXPECT_DOUBLE_EQ(h->min, 5.0);
+  EXPECT_DOUBLE_EQ(h->max, 5.0);
+  m.observe("lat", 2.0);
+  m.observe("lat", 9.0);
+  EXPECT_DOUBLE_EQ(h->min, 2.0);
+  EXPECT_DOUBLE_EQ(h->max, 9.0);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_DOUBLE_EQ(h->sum, 16.0);
+}
+
+TEST(ObsHistogram, SingleValueQuantilesAreExact) {
+  Metrics m;
+  m.observe("lat", 7.5);
+  const Histogram* h = m.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  // Clamping to [min, max] collapses every quantile onto the lone value.
+  EXPECT_DOUBLE_EQ(h->p50(), 7.5);
+  EXPECT_DOUBLE_EQ(h->p95(), 7.5);
+  EXPECT_DOUBLE_EQ(h->p99(), 7.5);
+}
+
+TEST(ObsHistogram, QuantilesAreOrderIndependent) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+
+  Metrics fwd, rev;
+  for (const double v : values) fwd.observe("lat", v);
+  std::reverse(values.begin(), values.end());
+  for (const double v : values) rev.observe("lat", v);
+
+  const Histogram* a = fwd.histogram("lat");
+  const Histogram* b = rev.histogram("lat");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(a->p50(), b->p50());
+  EXPECT_DOUBLE_EQ(a->p95(), b->p95());
+  EXPECT_DOUBLE_EQ(a->p99(), b->p99());
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneAndClamped) {
+  Metrics m;
+  for (int i = 1; i <= 100; ++i) m.observe("lat", static_cast<double>(i));
+  const Histogram* h = m.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->p50(), h->min);
+  EXPECT_LE(h->p50(), h->p95());
+  EXPECT_LE(h->p95(), h->p99());
+  EXPECT_LE(h->p99(), h->max);
+  // A p50 of uniform 1..100 must land near the middle despite log buckets.
+  EXPECT_GT(h->p50(), 30.0);
+  EXPECT_LT(h->p50(), 70.0);
+}
+
+TEST(ObsHistogram, OverflowBucketQuantileUsesMax) {
+  Metrics m;
+  m.observe("big", std::ldexp(1.0, 50));
+  m.observe("big", std::ldexp(1.0, 51));
+  const Histogram* h = m.histogram("big");
+  ASSERT_NE(h, nullptr);
+  EXPECT_LE(h->p99(), h->max);
+  EXPECT_GE(h->p99(), h->min);
+}
+
+TEST(ObsHistogram, JsonAndCsvCarryQuantiles) {
+  Metrics m;
+  m.observe("lat", 4.0, {{"op", "allgather"}});
+  std::ostringstream json;
+  m.write_json(json);
+  EXPECT_NE(json.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+
+  std::ostringstream csv;
+  m.write_csv(csv);
+  EXPECT_NE(csv.str().find("kind,name,labels,value,count,min,max,p50,p95,p99"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmca::obs

@@ -1,0 +1,122 @@
+// obs report rendering: the HTML dashboard is self-contained (no scripts,
+// no external references), deterministic (byte-identical across renders of
+// the same data), and the text mode carries the utilization summary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "hw/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/timeline.hpp"
+#include "obs/utilization.hpp"
+#include "osu/harness.hpp"
+#include "profiles/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+namespace {
+
+ReportData real_report() {
+  core::register_core_algorithms();
+  trace::Tracer tracer;
+  Metrics metrics;
+  std::vector<ResourceSample> samples;
+  CollectSink sink(&tracer, &metrics, &samples);
+  const double seconds = osu::measure_allgather(
+      hw::ClusterSpec::thor(1, 8), profiles::mha().allgather, 1u << 20, sink);
+
+  ReportData d;
+  d.title = "osu_allgather";
+  d.sources.push_back("captured in-process (1 invocation)");
+  ReportData::Invocation inv;
+  inv.subject = "mha";
+  inv.op = "allgather";
+  inv.msg_bytes = 1u << 20;
+  inv.latency_us = seconds * 1e6;
+  inv.timeline = build_timeline(tracer.spans(), samples, seconds);
+  inv.util = analyze_utilization(tracer.spans(), samples, seconds);
+  d.invocations.push_back(std::move(inv));
+  for (const auto& s : tracer.spans()) {
+    if (s.kind == trace::Kind::kPhase) continue;
+    if (d.trace.size() >= kReportTraceEventCap) {
+      ++d.trace_dropped;
+      continue;
+    }
+    d.trace.push_back({s.rank, s.t0 * 1e6, (s.t1 - s.t0) * 1e6,
+                       trace::kind_name(s.kind)});
+  }
+  d.bench_metric = "latency_us";
+  d.bench.push_back({"fig11/mha", {{1024, 10.5}, {4096, 20.25}}});
+  return d;
+}
+
+std::string render_html(const ReportData& d) {
+  std::ostringstream os;
+  write_html_report(os, d);
+  return os.str();
+}
+
+TEST(ObsReport, HtmlIsByteIdenticalAcrossRenders) {
+  const ReportData d = real_report();
+  const std::string a = render_html(d);
+  const std::string b = render_html(d);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsReport, HtmlIsSelfContained) {
+  const std::string html = render_html(real_report());
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  // Zero external assets and zero scripts: nothing to fetch, nothing to run.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+}
+
+TEST(ObsReport, HtmlShowsTheMainSections) {
+  const std::string html = render_html(real_report());
+  EXPECT_NE(html.find("osu_allgather"), std::string::npos);
+  EXPECT_NE(html.find("Per-rank wall-time attribution"), std::string::npos);
+  EXPECT_NE(html.find("Resource timelines"), std::string::npos);
+  EXPECT_NE(html.find("Span timeline"), std::string::npos);
+  EXPECT_NE(html.find("fig11/mha"), std::string::npos);
+}
+
+TEST(ObsReport, HtmlEscapesUserStrings) {
+  ReportData d;
+  d.title = "a<b>&\"c\"";
+  const std::string html = render_html(d);
+  EXPECT_EQ(html.find("a<b>"), std::string::npos);
+  EXPECT_NE(html.find("a&lt;b&gt;&amp;"), std::string::npos);
+}
+
+TEST(ObsReport, TextModeCarriesUtilizationSummary) {
+  const ReportData d = real_report();
+  std::ostringstream os;
+  write_text_report(os, d);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("osu_allgather"), std::string::npos);
+  EXPECT_NE(text.find("util:"), std::string::npos);
+  EXPECT_NE(text.find("fig11/mha"), std::string::npos);
+}
+
+TEST(ObsReport, EmptyDataStillRenders) {
+  ReportData d;
+  d.title = "empty";
+  const std::string html = render_html(d);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  std::ostringstream os;
+  write_text_report(os, d);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace hmca::obs

@@ -1,0 +1,171 @@
+// obs::Timeline: bucket-edge math, attribution rules (proportional bytes,
+// interval-union busy, step-series means) and the determinism guarantee —
+// two identical runs must export byte-identical timeline JSON.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "hw/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/timeline.hpp"
+#include "osu/harness.hpp"
+#include "profiles/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+namespace {
+
+TEST(ObsTimeline, BucketEdges) {
+  EXPECT_EQ(timeline_bucket_of(0.0, 1.0, 48), 0);
+  EXPECT_EQ(timeline_bucket_of(1.0, 1.0, 48), 47);  // t == wall: last bucket
+  EXPECT_EQ(timeline_bucket_of(0.5, 1.0, 2), 1);
+  EXPECT_EQ(timeline_bucket_of(0.4999, 1.0, 2), 0);
+  EXPECT_EQ(timeline_bucket_of(-0.1, 1.0, 48), 0);   // clamped
+  EXPECT_EQ(timeline_bucket_of(2.0, 1.0, 48), 47);   // clamped
+  EXPECT_EQ(timeline_bucket_of(0.5, 0.0, 48), 0);    // degenerate wall
+  EXPECT_EQ(timeline_bucket_of(0.5, 1.0, 0), 0);     // degenerate buckets
+}
+
+TEST(ObsTimeline, EmptyWhenNoWall) {
+  const Timeline tl = build_timeline({}, {}, 0.0);
+  EXPECT_TRUE(tl.empty());
+  EXPECT_EQ(tl.buckets, 0);
+}
+
+TEST(ObsTimeline, BytesAttributeProportionally) {
+  // One 100-byte transfer covering exactly the first half of the wall.
+  std::vector<ResourceSample> samples{
+      {"net.rail", {{"node", "0"}, {"rail", "0"}}, 0.0, 0.5, 100.0}};
+  const Timeline tl = build_timeline({}, samples, 1.0, 2);
+  const auto* bytes =
+      tl.find("net.rail.bytes", {{"node", "0"}, {"rail", "0"}});
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_EQ(bytes->values.size(), 2u);
+  EXPECT_DOUBLE_EQ(bytes->values[0], 100.0);
+  EXPECT_DOUBLE_EQ(bytes->values[1], 0.0);
+  EXPECT_EQ(bytes->unit, "bytes");
+}
+
+TEST(ObsTimeline, BusyIsIntervalUnionNotSum) {
+  // Two overlapping transfers on the same rail: [0, 0.5] and [0.25, 0.75].
+  // Union is [0, 0.75], so bucket 0 is fully busy (not 150%) and bucket 1
+  // is half busy.
+  const Labels rail{{"node", "0"}, {"rail", "0"}};
+  std::vector<ResourceSample> samples{{"net.rail", rail, 0.0, 0.5, 10.0},
+                                      {"net.rail", rail, 0.25, 0.75, 10.0}};
+  const Timeline tl = build_timeline({}, samples, 1.0, 2);
+  const auto* busy = tl.find("net.rail.busy", rail);
+  ASSERT_NE(busy, nullptr);
+  EXPECT_DOUBLE_EQ(busy->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(busy->values[1], 0.5);
+}
+
+TEST(ObsTimeline, StepSeriesTimeWeightedMean) {
+  // Active flows: 0 until t=0.25, then 2 until t=0.5, then 0. Bucket 0
+  // mean = (0 * 0.25 + 2 * 0.25) / 0.5 = 1; bucket 1 mean = 0.
+  std::vector<ResourceSample> samples{{"sim.flows", {}, 0.25, 0.25, 2.0},
+                                      {"sim.flows", {}, 0.5, 0.5, 0.0}};
+  const Timeline tl = build_timeline({}, samples, 1.0, 2);
+  const auto* flows = tl.find("sim.flows");
+  ASSERT_NE(flows, nullptr);
+  EXPECT_DOUBLE_EQ(flows->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(flows->values[1], 0.0);
+  EXPECT_EQ(flows->unit, "count");
+}
+
+TEST(ObsTimeline, RailHealthStartsHealthy) {
+  // A degrade to 0.5 at t=0.5: bucket 0 holds the initial 1.0, bucket 1
+  // the degraded level.
+  const Labels rail{{"node", "0"}, {"rail", "1"}};
+  std::vector<ResourceSample> samples{
+      {"net.rail.health", rail, 0.5, 0.5, 0.5}};
+  const Timeline tl = build_timeline({}, samples, 1.0, 2);
+  const auto* health = tl.find("net.rail.health", rail);
+  ASSERT_NE(health, nullptr);
+  EXPECT_DOUBLE_EQ(health->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(health->values[1], 0.5);
+}
+
+TEST(ObsTimeline, CpuCopyTracksFromSpans) {
+  // One rank, one copy span covering the first half: cpu.copy_busy is the
+  // mean fraction of ranks inside a copy; shm.copy_bytes_per_s carries the
+  // payload rate.
+  std::vector<trace::Span> spans{
+      {0, trace::Kind::kCopyIn, 0.0, 0.5, -1, 64, ""}};
+  const Timeline tl = build_timeline(spans, {}, 1.0, 2);
+  const auto* busy = tl.find("cpu.copy_busy");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_DOUBLE_EQ(busy->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(busy->values[1], 0.0);
+  const auto* rate = tl.find("shm.copy_bytes_per_s");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->values[0], 128.0);  // 64 bytes over 0.5 s
+}
+
+TEST(ObsTimeline, PhaseOccupancySkipsAnnotations) {
+  std::vector<trace::Span> spans{
+      {0, trace::Kind::kPhase, 0.0, 0.5, -1, 0, "phase2"},
+      {0, trace::Kind::kPhase, 0.0, 0.5, -1, 0, "select:mha"},
+      {0, trace::Kind::kPhase, 0.2, 0.2, -1, 0, "fault:kill"}};
+  const Timeline tl = build_timeline(spans, {}, 1.0, 2);
+  EXPECT_NE(tl.find("phase.occupancy", {{"phase", "phase2"}, {"rank", "0"}}),
+            nullptr);
+  EXPECT_EQ(tl.find("phase.occupancy", {{"phase", "select:mha"}, {"rank", "0"}}),
+            nullptr);
+  EXPECT_EQ(tl.tracks.size(), 1u);
+}
+
+struct Capture {
+  trace::Tracer tracer;
+  Metrics metrics;
+  std::vector<ResourceSample> samples;
+  double seconds = 0;
+};
+
+Capture run_fig11_point() {
+  core::register_core_algorithms();
+  Capture c;
+  CollectSink sink(&c.tracer, &c.metrics, &c.samples);
+  c.seconds = osu::measure_allgather(hw::ClusterSpec::thor(1, 8),
+                                     profiles::mha().allgather, 1u << 20, sink);
+  return c;
+}
+
+TEST(ObsTimeline, RealRunProducesRailTracks) {
+  const Capture c = run_fig11_point();
+  ASSERT_FALSE(c.samples.empty());
+  const Timeline tl =
+      build_timeline(c.tracer.spans(), c.samples, c.seconds);
+  EXPECT_EQ(tl.buckets, kDefaultTimelineBuckets);
+  EXPECT_NE(tl.find("net.rail.busy", {{"node", "0"}, {"rail", "0"}}),
+            nullptr);
+  EXPECT_NE(tl.find("net.rail.bytes", {{"node", "0"}, {"rail", "1"}}),
+            nullptr);
+  EXPECT_NE(tl.find("sim.flows"), nullptr);
+  // Byte attribution conserves the total.
+  const auto* bytes =
+      tl.find("net.rail.bytes", {{"node", "0"}, {"rail", "0"}});
+  double total = 0;
+  for (const double v : bytes->values) total += v;
+  EXPECT_NEAR(total,
+              c.metrics.counter_value("net.rail.bytes",
+                                      {{"node", "0"}, {"rail", "0"}}),
+              total * 1e-9);
+}
+
+TEST(ObsTimeline, JsonIsByteIdenticalAcrossRuns) {
+  const Capture a = run_fig11_point();
+  const Capture b = run_fig11_point();
+  std::ostringstream ja, jb;
+  build_timeline(a.tracer.spans(), a.samples, a.seconds).write_json(ja);
+  build_timeline(b.tracer.spans(), b.samples, b.seconds).write_json(jb);
+  ASSERT_FALSE(ja.str().empty());
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+}  // namespace
+}  // namespace hmca::obs

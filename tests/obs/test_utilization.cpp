@@ -1,0 +1,145 @@
+// obs::Utilization: priority attribution, the reconciliation invariant
+// (per-rank buckets sum to wall time), rail imbalance math, and the
+// independent phase-overlap sweep cross-checked against critical_path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "hw/spec.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/utilization.hpp"
+#include "osu/harness.hpp"
+#include "profiles/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca::obs {
+namespace {
+
+TEST(ObsUtilization, EmptyWithoutWall) {
+  const Utilization u = analyze_utilization({}, {}, 0.0);
+  EXPECT_TRUE(u.empty());
+  EXPECT_EQ(u.summary(), "util: (no data)");
+}
+
+TEST(ObsUtilization, PriorityResolvesOverlaps) {
+  // rank 0 over wall=1: waits the whole second, a NIC transfer [0.2, 0.5]
+  // and compute [0.4, 0.6] overlap it. compute > nic > wait, so:
+  // compute = [0.4,0.6] = 0.2, nic = [0.2,0.4] = 0.2,
+  // wait = [0,0.2] + [0.6,1.0] = 0.6, idle = 0.
+  std::vector<trace::Span> spans{
+      {0, trace::Kind::kWait, 0.0, 1.0, -1, 0, ""},
+      {0, trace::Kind::kNicXfer, 0.2, 0.5, -1, 0, ""},
+      {0, trace::Kind::kCompute, 0.4, 0.6, -1, 0, ""}};
+  const Utilization u = analyze_utilization(spans, {}, 1.0);
+  ASSERT_EQ(u.ranks.size(), 1u);
+  const auto& r = u.ranks[0];
+  EXPECT_DOUBLE_EQ(r.compute, 0.2);
+  EXPECT_DOUBLE_EQ(r.nic, 0.2);
+  EXPECT_DOUBLE_EQ(r.wait, 0.6);
+  EXPECT_DOUBLE_EQ(r.shm, 0.0);
+  EXPECT_DOUBLE_EQ(r.idle, 0.0);
+}
+
+TEST(ObsUtilization, RanksWithoutSpansAreIdle) {
+  std::vector<trace::Span> spans{
+      {2, trace::Kind::kCompute, 0.0, 0.5, -1, 0, ""}};
+  const Utilization u = analyze_utilization(spans, {}, 1.0);
+  ASSERT_EQ(u.ranks.size(), 3u);  // ranks 0..2
+  EXPECT_DOUBLE_EQ(u.ranks[0].idle, 1.0);
+  EXPECT_DOUBLE_EQ(u.ranks[1].idle, 1.0);
+  EXPECT_DOUBLE_EQ(u.ranks[2].compute, 0.5);
+}
+
+TEST(ObsUtilization, RailImbalanceIsMaxOverMean) {
+  std::vector<ResourceSample> samples{
+      {"net.rail", {{"node", "0"}, {"rail", "0"}}, 0.0, 0.2, 100.0},
+      {"net.rail", {{"node", "0"}, {"rail", "1"}}, 0.0, 0.6, 300.0}};
+  const Utilization u = analyze_utilization({}, samples, 1.0);
+  ASSERT_EQ(u.rails.size(), 2u);
+  EXPECT_DOUBLE_EQ(u.rails[0].busy_frac, 0.2);
+  EXPECT_DOUBLE_EQ(u.rails[1].busy_frac, 0.6);
+  EXPECT_DOUBLE_EQ(u.rails[0].bytes, 100.0);
+  // mean = 0.4, max = 0.6 -> 1.5
+  EXPECT_DOUBLE_EQ(u.rail_imbalance, 1.5);
+}
+
+TEST(ObsUtilization, QuietRailCalledOutInSummary) {
+  std::vector<ResourceSample> samples{
+      {"net.rail", {{"node", "0"}, {"rail", "0"}}, 0.0, 0.8, 100.0},
+      {"net.rail", {{"node", "0"}, {"rail", "1"}}, 0.0, 0.001, 1.0}};
+  const Utilization u = analyze_utilization({}, samples, 1.0);
+  const std::string s = u.summary();
+  EXPECT_NE(s.find("quiet"), std::string::npos) << s;
+  EXPECT_NE(s.find("node0/rail1"), std::string::npos) << s;
+}
+
+struct Capture {
+  trace::Tracer tracer;
+  Metrics metrics;
+  std::vector<ResourceSample> samples;
+  double seconds = 0;
+};
+
+Capture run_point(const hw::ClusterSpec& spec, std::size_t msg) {
+  core::register_core_algorithms();
+  Capture c;
+  CollectSink sink(&c.tracer, &c.metrics, &c.samples);
+  c.seconds = osu::measure_allgather(spec, profiles::mha().allgather, msg,
+                                     sink);
+  return c;
+}
+
+TEST(ObsUtilization, PerRankBucketsReconcileWithWallTime) {
+  const Capture c = run_point(hw::ClusterSpec::thor(1, 8), 1u << 20);
+  const Utilization u =
+      analyze_utilization(c.tracer.spans(), c.samples, c.seconds);
+  ASSERT_EQ(u.ranks.size(), 8u);
+  const double eps = c.seconds * 1e-9;
+  for (const auto& r : u.ranks) {
+    EXPECT_NEAR(r.compute + r.nic + r.shm + r.wait + r.idle, c.seconds, eps)
+        << "rank " << r.rank;
+    EXPECT_GE(r.idle, 0.0);
+  }
+}
+
+TEST(ObsUtilization, PhaseOverlapMatchesCriticalPathMeasure) {
+  // Two nodes so the hierarchical design runs phases 2 and 3; the
+  // independent sweep must agree with critical_path's union/intersection
+  // implementation to floating-point accuracy.
+  const Capture c = run_point(hw::ClusterSpec::thor(2, 8), 1u << 20);
+  const Utilization u =
+      analyze_utilization(c.tracer.spans(), c.samples, c.seconds);
+  const double reference = phase_overlap_fraction(c.tracer.spans());
+  EXPECT_GT(reference, 0.0);
+  EXPECT_NEAR(u.phase_overlap, reference, 1e-12);
+}
+
+TEST(ObsUtilization, FinishTimesTrackCpuAndNic) {
+  const Capture c = run_point(hw::ClusterSpec::thor(2, 8), 1u << 20);
+  const Utilization u =
+      analyze_utilization(c.tracer.spans(), c.samples, c.seconds);
+  EXPECT_GT(u.cpu_finish, 0.0);
+  EXPECT_GT(u.nic_finish, 0.0);
+  EXPECT_LE(u.cpu_finish, c.seconds * (1 + 1e-12));
+  EXPECT_LE(u.nic_finish, c.seconds * (1 + 1e-12));
+  // The slowest-rank completion is one of the two.
+  EXPECT_NEAR(std::max(u.cpu_finish, u.nic_finish), c.seconds,
+              c.seconds * 1e-9);
+}
+
+TEST(ObsUtilization, RailsBalancedOnHealthyMultiRailRun) {
+  const Capture c = run_point(hw::ClusterSpec::thor(1, 8), 1u << 20);
+  const Utilization u =
+      analyze_utilization(c.tracer.spans(), c.samples, c.seconds);
+  ASSERT_FALSE(u.rails.empty());
+  // The MHA design stripes evenly across rails: imbalance stays near 1.
+  EXPECT_GE(u.rail_imbalance, 1.0 - 1e-9);
+  EXPECT_LT(u.rail_imbalance, 1.25);
+}
+
+}  // namespace
+}  // namespace hmca::obs

@@ -9,6 +9,7 @@
 //   HMCA_CONFORMANCE_SEED=<seed> ctest -L conformance
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -25,6 +26,7 @@
 #include "mpi/datatype.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/utilization.hpp"
 #include "osu/env.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
@@ -198,7 +200,8 @@ inline RankBytes run_allgather(const coll::AllgatherFn& fn, const Trial& t,
 inline std::string failure_stats(const coll::AllgatherFn& fn, const Trial& t) {
   trace::Tracer tracer;
   obs::Metrics metrics;
-  obs::CollectSink sink(&tracer, &metrics);
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
   std::ostringstream os;
   os << "stats: {\"trial\": " << t.index << ", \"spans\": ";
   try {
@@ -206,6 +209,14 @@ inline std::string failure_stats(const coll::AllgatherFn& fn, const Trial& t) {
     os << tracer.spans().size() << ", \"metrics\":\n";
     metrics.write_json(os);
     os << '}';
+    // Utilization next to the raw counters: a degraded-rail failure should
+    // show at a glance which rail went quiet (summary() calls them out).
+    double wall = 0;
+    for (const auto& s : tracer.spans()) {
+      wall = std::max(wall, static_cast<double>(s.t1));
+    }
+    os << '\n'
+       << obs::analyze_utilization(tracer.spans(), samples, wall).summary();
   } catch (const std::exception& e) {
     os << tracer.spans().size() << ", \"error\": \""
        << obs::json_escape(e.what()) << "\"}";
