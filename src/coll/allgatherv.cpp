@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "coll/allgather.hpp"
+#include "coll/graph.hpp"
 #include "mpi/comm.hpp"
 
 namespace hmca::coll {
@@ -49,12 +50,11 @@ sim::Task<void> seed_own(mpi::Comm& comm, int my, hw::BufView send,
   hw::copy_payload(recv.sub(layout.offset(my), layout.count(my)), send);
 }
 
-}  // namespace
-
-sim::Task<void> allgatherv_ring(mpi::Comm& comm, int my, hw::BufView send,
-                                hw::BufView recv, const VarLayout& layout,
-                                bool in_place) {
-  check_args(comm, my, send, recv, layout, in_place);
+// Variable-size ring forwarding: block lengths differ per step, so the
+// pipeline structure is the per-step sendrecv chain; run wrapped.
+sim::Task<void> ring_body(mpi::Comm& comm, int my, hw::BufView send,
+                          hw::BufView recv, const VarLayout& layout,
+                          bool in_place) {
   const int n = comm.size();
   co_await seed_own(comm, my, send, recv, layout, in_place);
   if (n == 1) co_return;
@@ -75,27 +75,63 @@ sim::Task<void> allgatherv_ring(mpi::Comm& comm, int my, hw::BufView send,
   }
 }
 
+}  // namespace
+
+sim::Task<void> allgatherv_ring(mpi::Comm& comm, int my, hw::BufView send,
+                                hw::BufView recv, const VarLayout& layout,
+                                bool in_place) {
+  check_args(comm, my, send, recv, layout, in_place);
+  co_await run_as_graph(comm.engine(), comm.sink(), comm.to_global(my),
+                        "allgatherv-ring",
+                        [&comm, my, send, recv, &layout, in_place] {
+                          return ring_body(comm, my, send, recv, layout,
+                                           in_place);
+                        });
+}
+
 sim::Task<void> allgatherv_direct(mpi::Comm& comm, int my, hw::BufView send,
                                   hw::BufView recv, const VarLayout& layout,
                                   bool in_place) {
   check_args(comm, my, send, recv, layout, in_place);
   const int n = comm.size();
-  co_await seed_own(comm, my, send, recv, layout, in_place);
-  if (n == 1) co_return;
+  if (n == 1) {
+    co_await seed_own(comm, my, send, recv, layout, in_place);
+    co_return;
+  }
 
+  // Graph-native: the seed gates the sends; every posted receive releases
+  // a stub on completion, so the drain is completion-ordered exactly like
+  // the MPI_Waitall original.
+  GraphExecutor exec(comm.engine(), comm.sink(), comm.to_global(my));
+  TaskGraph g;
+  int seed = -1;
+  if (!in_place && layout.count(my) > 0) {
+    seed = g.add(
+        TaskKind::kCopy, Lane::kCpu,
+        [&comm, my, send, recv, &layout, in_place] {
+          return seed_own(comm, my, send, recv, layout, in_place);
+        },
+        TaskOpts{"seed", "", -1, layout.count(my), -1, -1});
+  }
   const hw::BufView own = recv.sub(layout.offset(my), layout.count(my));
-  std::vector<mpi::Request> reqs;
-  reqs.reserve(2 * static_cast<std::size_t>(n - 1));
   for (int i = 1; i < n; ++i) {
     const int src = (my - i + n) % n;
-    reqs.push_back(comm.irecv(my, src, i,
-                              recv.sub(layout.offset(src), layout.count(src))));
+    const int t_recv = g.add(
+        TaskKind::kRecv, Lane::kNone, [] { return noop_task(); },
+        TaskOpts{"recv", "", -1, layout.count(src), -1, comm.to_global(src)});
+    g.depend_external(t_recv);
+    comm.irecv(my, src, i, recv.sub(layout.offset(src), layout.count(src)))
+        .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
   }
   for (int i = 1; i < n; ++i) {
     const int dst = (my + i) % n;
-    reqs.push_back(comm.isend(my, dst, i, own));
+    const int t_send = g.add(
+        TaskKind::kSend, Lane::kNic,
+        [&comm, my, dst, i, own] { return comm.send(my, dst, i, own); },
+        TaskOpts{"send", "", -1, own.len, -1, comm.to_global(dst)});
+    if (seed >= 0) g.depend(t_send, seed);
   }
-  co_await comm.wait_all(std::move(reqs));
+  co_await exec.run(g);
 }
 
 }  // namespace hmca::coll

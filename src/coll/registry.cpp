@@ -8,6 +8,15 @@
 
 namespace hmca::coll {
 
+const char* graph_mode_name(GraphMode m) {
+  switch (m) {
+    case GraphMode::kNone: return "legacy";
+    case GraphMode::kWrapped: return "graph:wrapped";
+    case GraphMode::kNative: return "graph:native";
+  }
+  return "?";
+}
+
 CommShape CommShape::of(const mpi::Comm& comm) {
   auto& cl = comm.cluster();
   CommShape s;
@@ -121,22 +130,22 @@ void register_flat(Registry& r) {
       {"ring", "flat Ring: N-1 neighbour steps, bandwidth-optimal",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_ring(c, my, s, rv, m, ip); },
-       {}, cost_ring});
+       {}, cost_ring, GraphMode::kNative});
   r.add_allgather(
       {"rd", "Recursive Doubling: log2(N) exchanges, power-of-two sizes",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_rd(c, my, s, rv, m, ip); },
-       power_of_two_comm, cost_rd});
+       power_of_two_comm, cost_rd, GraphMode::kNative});
   r.add_allgather(
       {"bruck", "Bruck: ceil(log2 N) store-and-forward steps, any N",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_bruck(c, my, s, rv, m, ip); },
-       {}, cost_bruck});
+       {}, cost_bruck, GraphMode::kWrapped});
   r.add_allgather(
       {"direct", "Direct Spread: all transfers posted nonblocking up front",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_direct(c, my, s, rv, m, ip); },
-       {}, cost_direct});
+       {}, cost_direct, GraphMode::kNative});
   r.add_allgather(
       {"rd_or_bruck", "RD when N is a power of two, Bruck otherwise",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
@@ -145,7 +154,8 @@ void register_flat(Registry& r) {
        [](const model::ModelParams& p, const CommShape& s, std::size_t m) {
          return is_power_of_two(s.comm_size) ? cost_rd(p, s, m)
                                              : cost_bruck(p, s, m);
-       }});
+       },
+       GraphMode::kNative});
   r.add_allgather(
       {"multi_leader2",
        "Kandalla two-level, 2 leader groups/node, strict phases",
@@ -154,21 +164,21 @@ void register_flat(Registry& r) {
        [](const CommShape& s, std::size_t) {
          return s.world && s.ppn >= 2 && s.ppn % 2 == 0;
        },
-       {}});
+       {}, GraphMode::kWrapped});
   r.add_allgather(
       {"multi_leader1",
        "Kandalla two-level, single leader/node, strict phases",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_multi_leader(c, my, s, rv, m, ip, 1); },
        [](const CommShape& s, std::size_t) { return s.world && s.ppn > 1; },
-       {}});
+       {}, GraphMode::kWrapped});
   r.add_allgather(
       {"node_aware_bruck",
        "locality-aware: intra-node exchange, inter-node Bruck over leaders",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_node_aware_bruck(c, my, s, rv, m, ip); },
        [](const CommShape& s, std::size_t) { return s.world; },
-       cost_node_aware_bruck});
+       cost_node_aware_bruck, GraphMode::kNative});
 
   r.add_allreduce(
       {"rd",
@@ -213,14 +223,16 @@ void register_flat(Registry& r) {
                       return allgatherv_ring(c, my, s, rv, l, ip);
                     },
                     {},
-                    {}});
+                    {},
+                    GraphMode::kWrapped});
   r.add_allgatherv({"direct", "all variable-size transfers posted up front",
                     [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
                        const VarLayout& l, bool ip) {
                       return allgatherv_direct(c, my, s, rv, l, ip);
                     },
                     {},
-                    {}});
+                    {},
+                    GraphMode::kNative});
 }
 
 }  // namespace

@@ -80,6 +80,14 @@ using AllreduceApplicability =
     std::function<bool(const CommShape&, std::size_t count,
                        std::size_t elem_size)>;
 
+/// How an algorithm executes on the dataflow engine (coll/graph.hpp).
+enum class GraphMode {
+  kNone,     ///< legacy coroutine, not routed through a GraphExecutor
+  kWrapped,  ///< legacy body wrapped as a single graph task (spans, metrics)
+  kNative,   ///< emits a chunk-granular TaskGraph itself (streams, retries)
+};
+const char* graph_mode_name(GraphMode m);
+
 /// One registered algorithm. Every collective family is an instantiation of
 /// this record with its call signature (`Fn`) and applicability predicate
 /// type (`Applies`); the per-family names below are thin aliases. The
@@ -93,6 +101,10 @@ struct Algo {
   Fn fn;
   Applies applies;  ///< null = always applicable
   CostFn cost;      ///< null = no estimate
+  /// Dataflow execution mode. Every allgather/allgatherv entry must be
+  /// kNative or kWrapped (all of them run via GraphExecutor); allreduce
+  /// and bcast families are not yet routed through the executor.
+  GraphMode graph = GraphMode::kNone;
 };
 
 using AllgatherAlgo = Algo<AllgatherFn, Applicability>;

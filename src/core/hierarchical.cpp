@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "coll/allgather.hpp"
+#include "coll/graph.hpp"
 #include "core/mha_intra.hpp"
 #include "model/cost.hpp"
 #include "shm/shm.hpp"
@@ -19,10 +23,22 @@ std::uint64_t op_key(int ctx, std::uint64_t seq, int salt = 0) {
          static_cast<std::uint64_t>(salt);
 }
 
-// Number of chunks the leader publishes in phase 3.
+// Number of chunks the leader publishes in phase 3 (legacy path: one per
+// ring step / RD step).
 int publish_count(Phase2Algo algo, int nodes) {
   if (nodes <= 1) return 0;
   return algo == Phase2Algo::kRing ? nodes - 1 : coll::log2_floor(nodes);
+}
+
+// Member-side drain of publication slot `i`: chunk identity (offset/len)
+// is only known at publish time, so the body reads it when released.
+sim::Task<void> copy_out_published(std::shared_ptr<shm::ShmRegion> region,
+                                   int grank, std::size_t i,
+                                   hw::BufView recv) {
+  const auto c = region->chunk(i);
+  if (c.len > 0) {
+    co_await region->copy_out(grank, i, recv.sub(c.offset, c.len));
+  }
 }
 
 // Phase 1 via a double-copy shared-memory gather (Mamidala-style): every
@@ -122,7 +138,7 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
   }
 }
 
-// Leader-side phase 2+3: Ring variant.
+// Leader-side phase 2+3: Ring variant (legacy phase-sequential path).
 sim::Task<void> leader_ring(mpi::Comm& lcomm, int node, hw::BufView recv,
                             std::size_t chunk, shm::ShmRegion* region,
                             bool overlap, int grank, sim::Engine& eng) {
@@ -160,7 +176,8 @@ sim::Task<void> leader_ring(mpi::Comm& lcomm, int node, hw::BufView recv,
   co_await publishes.wait();
 }
 
-// Leader-side phase 2+3: Recursive Doubling variant (power-of-two nodes).
+// Leader-side phase 2+3: Recursive Doubling variant (power-of-two nodes,
+// legacy phase-sequential path).
 sim::Task<void> leader_rd(mpi::Comm& lcomm, int node, hw::BufView recv,
                           std::size_t chunk, shm::ShmRegion* region,
                           bool overlap, int grank, sim::Engine& eng) {
@@ -190,37 +207,16 @@ sim::Task<void> leader_rd(mpi::Comm& lcomm, int node, hw::BufView recv,
   co_await publishes.wait();
 }
 
-}  // namespace
-
-Phase2Algo resolve_phase2(const hw::ClusterSpec& spec, int nodes, int ppn,
-                          std::size_t msg, Phase2Algo requested) {
-  if (requested != Phase2Algo::kAuto) return requested;
-  if (!coll::is_power_of_two(nodes)) return Phase2Algo::kRing;
-  // Fig. 8 tuning: RD wins while the per-step node chunk (M * L) is small
-  // enough that startup costs dominate; Ring wins once the exchange is
-  // bandwidth-bound and its finer-grained distribution overlaps better.
-  (void)spec;
-  const std::size_t chunk =
-      msg * static_cast<std::size_t>(std::max(1, ppn));
-  return chunk <= kRdRingCrossoverChunk ? Phase2Algo::kRD : Phase2Algo::kRing;
-}
-
-sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
-                                       hw::BufView send, hw::BufView recv,
-                                       std::size_t msg, bool in_place,
-                                       HierOptions opts) {
+// The original phase-sequential execution: phase 1 completes behind a hard
+// boundary before any inter-node traffic, with the hand-built phase-2/3
+// overlap inside leader_ring/leader_rd. Kept as the pipeline-pair baseline
+// and the overlap-ablation vehicle.
+sim::Task<void> hier_barrier(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, std::size_t msg, bool in_place,
+                             HierOptions opts, Phase2Algo algo) {
   auto& cl = comm.cluster();
   const int l = cl.ppn();
   const int n = cl.nodes();
-  if (comm.size() != cl.world_size()) {
-    throw std::invalid_argument("allgather_hierarchical: world comm required");
-  }
-  if (recv.len != msg * static_cast<std::size_t>(comm.size())) {
-    throw std::invalid_argument("allgather_hierarchical: bad recv size");
-  }
-  if (!in_place && send.len != msg) {
-    throw std::invalid_argument("allgather_hierarchical: bad send size");
-  }
   const int node = comm.node_of(my);
   const int local = comm.node_local_rank(my);
   const bool leader = (local == 0);
@@ -229,7 +225,6 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
   const hw::BufView node_slice =
       recv.sub(static_cast<std::size_t>(node) * chunk, chunk);
 
-  const Phase2Algo algo = resolve_phase2(cl.spec(), n, l, msg, opts.phase2);
   auto& eng = comm.engine();
   obs::Sink& sink = comm.sink();
 
@@ -302,11 +297,305 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
   }
 }
 
+// The dataflow execution: one task graph per rank, phase boundaries
+// replaced by byte-range dependencies. Leaders pre-post every phase-2
+// recv; recv completions release chunk sends of the next step and the
+// publish task of the landed chunk through external-dependency callbacks;
+// members drain publication slots as the leader's publish callbacks
+// release them — all three phases stream chunk by chunk.
+sim::Task<void> hier_graph(mpi::Comm& comm, int my, hw::BufView send,
+                           hw::BufView recv, std::size_t msg, bool in_place,
+                           HierOptions opts, Phase2Algo algo) {
+  auto& cl = comm.cluster();
+  const int l = cl.ppn();
+  const int n = cl.nodes();
+  const int node = comm.node_of(my);
+  const int local = comm.node_local_rank(my);
+  const bool leader = (local == 0);
+  const std::uint64_t seq = comm.next_op_seq(my);
+  const std::size_t chunk = static_cast<std::size_t>(l) * msg;
+  const std::size_t nbase = static_cast<std::size_t>(node) * chunk;
+  const hw::BufView node_slice = recv.sub(nbase, chunk);
+  auto& eng = comm.engine();
+  obs::Sink& sink = comm.sink();
+  const int grank = comm.to_global(my);
+
+  coll::GraphExecutor exec(eng, sink, grank);
+  coll::TaskGraph g;
+  coll::RangeProducers prod;
+
+  // ---- Phase 1 tasks ----
+  if (l > 1) {
+    auto& ncomm = comm.world().node_comm(node);
+    switch (opts.phase1) {
+      case Phase1Mode::kMhaIntra:
+        build_mha_intra_tasks(g, prod, nbase, ncomm, local, send, node_slice,
+                              msg, in_place, opts.offload, "phase1");
+        break;
+      case Phase1Mode::kCmaDirect:
+        build_mha_intra_tasks(g, prod, nbase, ncomm, local, send, node_slice,
+                              msg, in_place, /*offload=*/0.0, "phase1");
+        break;
+      case Phase1Mode::kShmGather: {
+        // Publication order of the gather is data-driven, so it stays one
+        // macro task (faithful to the double-copy baseline it models);
+        // phase 2 streams against *other* leaders' finer-grained work.
+        const int t = g.add(
+            coll::TaskKind::kWrapped, coll::Lane::kNone,
+            [&comm, my, send, node_slice, msg, in_place, node, local, l,
+             seq] {
+              return shm_gather_phase1(comm, my, send, node_slice, msg,
+                                       in_place, node, local, l, seq);
+            },
+            coll::TaskOpts{"shm-gather", "phase1", -1, chunk, -1, -1});
+        prod.add(nbase, chunk, t);
+        break;
+      }
+      case Phase1Mode::kNumaTwoLevel: {
+        const double off = opts.offload;
+        const int t = g.add(
+            coll::TaskKind::kWrapped, coll::Lane::kNone,
+            [&comm, my, send, node_slice, msg, in_place, node, local, l, seq,
+             off] {
+              return numa_phase1(comm, my, send, node_slice, msg, in_place,
+                                 node, local, l, seq, off);
+            },
+            coll::TaskOpts{"numa2", "phase1", -1, chunk, -1, -1});
+        prod.add(nbase, chunk, t);
+        break;
+      }
+    }
+  } else if (!in_place && msg > 0) {
+    const int t = g.add(
+        coll::TaskKind::kCopy, coll::Lane::kCpu,
+        [&comm, my, send, recv, msg, in_place] {
+          return coll::seed_own_block(comm, my, send, recv, msg, in_place);
+        },
+        coll::TaskOpts{"seed", "phase1", -1, msg, -1, -1});
+    prod.add(nbase, msg, t);
+  }
+
+  if (n == 1) {
+    if (!g.empty()) co_await exec.run(g);
+    co_return;
+  }
+
+  std::shared_ptr<shm::ShmRegion> region;
+  if (l > 1) {
+    region = comm.share().acquire<shm::ShmRegion>(
+        node, op_key(comm.ctx(), seq, 2), l, [&] {
+          return std::make_shared<shm::ShmRegion>(cl, node, recv.len,
+                                                  comm.sink());
+        });
+  }
+
+  if (leader) {
+    auto& lcomm = comm.world().leader_comm();
+    if (algo == Phase2Algo::kRing) {
+      const int right = (node + 1) % n;
+      const int left = (node - 1 + n) % n;
+      const int right_g = lcomm.to_global(right);
+      const int left_g = lcomm.to_global(left);
+      const int chunks = coll::chunks_for(chunk);
+      if ((n - 2) * coll::kChunkTagStride + chunks > mpi::kMaxUserTag) {
+        throw std::invalid_argument(
+            "allgather_hierarchical: ring steps exceed the tag space");
+      }
+      std::vector<int> prev_recv(static_cast<std::size_t>(chunks), -1);
+      for (int s = 0; s < n - 1; ++s) {
+        const int out_b = (node - s + n) % n;
+        const int in_b = (node - s - 1 + 2 * n) % n;
+        for (int c = 0; c < chunks; ++c) {
+          const auto [coff, clen] = coll::chunk_range(chunk, chunks, c);
+          const int tag = s * coll::kChunkTagStride + c;
+          const std::size_t out_off =
+              static_cast<std::size_t>(out_b) * chunk + coff;
+          const std::size_t in_off =
+              static_cast<std::size_t>(in_b) * chunk + coff;
+
+          const int t_send = g.add(
+              coll::TaskKind::kSend, coll::Lane::kNic,
+              [&lcomm, node, right, tag, recv, out_off, clen] {
+                return lcomm.send(node, right, tag, recv.sub(out_off, clen));
+              },
+              coll::TaskOpts{"p2 send s" + std::to_string(s), "phase2", c,
+                             clen, -1, right_g});
+          if (s == 0) {
+            for (const int p : prod.covering(out_off, clen)) {
+              g.depend(t_send, p);
+            }
+          } else {
+            g.depend(t_send, prev_recv[static_cast<std::size_t>(c)]);
+          }
+
+          const int t_recv = g.add(
+              coll::TaskKind::kRecv, coll::Lane::kNone,
+              [] { return coll::noop_task(); },
+              coll::TaskOpts{"p2 recv s" + std::to_string(s), "phase2", c,
+                             clen, -1, left_g});
+          g.depend_external(t_recv);
+          lcomm.irecv(node, left, tag, recv.sub(in_off, clen))
+              .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
+          prev_recv[static_cast<std::size_t>(c)] = t_recv;
+
+          if (region != nullptr) {
+            const int t_pub = g.add(
+                coll::TaskKind::kShmIn, coll::Lane::kShm,
+                [region, grank, recv, in_off, clen] {
+                  return region->copy_in_publish(grank,
+                                                 recv.sub(in_off, clen),
+                                                 in_off);
+                },
+                coll::TaskOpts{"p3 pub s" + std::to_string(s), "phase2", c,
+                               clen, -1, -1});
+            g.depend(t_pub, t_recv);
+          }
+        }
+      }
+    } else {  // Recursive Doubling
+      for (int k = 0; (1 << k) < n; ++k) {
+        const int dist = 1 << k;
+        const int partner = node ^ dist;
+        const int partner_g = lcomm.to_global(partner);
+        const std::size_t own_base =
+            static_cast<std::size_t>(node & ~(dist - 1)) * chunk;
+        const std::size_t partner_base =
+            static_cast<std::size_t>(partner & ~(dist - 1)) * chunk;
+        const std::size_t len = static_cast<std::size_t>(dist) * chunk;
+        const int chunks = coll::chunks_for(len);
+        for (int c = 0; c < chunks; ++c) {
+          const auto [coff, clen] = coll::chunk_range(len, chunks, c);
+          const int tag = k * coll::kChunkTagStride + c;
+
+          const int t_send = g.add(
+              coll::TaskKind::kSend, coll::Lane::kNic,
+              [&lcomm, node, partner, tag, recv, own_base, coff, clen] {
+                return lcomm.send(node, partner, tag,
+                                  recv.sub(own_base + coff, clen));
+              },
+              coll::TaskOpts{"p2 send k" + std::to_string(k), "phase2", c,
+                             clen, -1, partner_g});
+          for (const int p : prod.covering(own_base + coff, clen)) {
+            g.depend(t_send, p);
+          }
+
+          const int t_recv = g.add(
+              coll::TaskKind::kRecv, coll::Lane::kNone,
+              [] { return coll::noop_task(); },
+              coll::TaskOpts{"p2 recv k" + std::to_string(k), "phase2", c,
+                             clen, -1, partner_g});
+          g.depend_external(t_recv);
+          lcomm.irecv(node, partner, tag, recv.sub(partner_base + coff, clen))
+              .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
+          prod.add(partner_base + coff, clen, t_recv);
+
+          if (region != nullptr) {
+            const std::size_t in_off = partner_base + coff;
+            const int t_pub = g.add(
+                coll::TaskKind::kShmIn, coll::Lane::kShm,
+                [region, grank, recv, in_off, clen] {
+                  return region->copy_in_publish(grank,
+                                                 recv.sub(in_off, clen),
+                                                 in_off);
+                },
+                coll::TaskOpts{"p3 pub k" + std::to_string(k), "phase2", c,
+                               clen, -1, -1});
+            g.depend(t_pub, t_recv);
+          }
+        }
+      }
+    }
+  } else {
+    // Members allocate one drain task per publication slot; the region's
+    // publish callback releases slot i the moment the leader's copy lands.
+    int publishes = 0;
+    if (algo == Phase2Algo::kRing) {
+      publishes = (n - 1) * coll::chunks_for(chunk);
+    } else {
+      for (int k = 0; (1 << k) < n; ++k) {
+        publishes +=
+            coll::chunks_for(static_cast<std::size_t>(1 << k) * chunk);
+      }
+    }
+    std::vector<int> outs;
+    outs.reserve(static_cast<std::size_t>(publishes));
+    for (int i = 0; i < publishes; ++i) {
+      const int t = g.add(
+          coll::TaskKind::kShmOut, coll::Lane::kShm,
+          [region, grank, i, recv] {
+            return copy_out_published(region, grank,
+                                      static_cast<std::size_t>(i), recv);
+          },
+          coll::TaskOpts{"p3 out", "phase3", i, 0, -1, -1});
+      g.depend_external(t);
+      outs.push_back(t);
+    }
+    region->add_publish_listener([&exec, outs](std::size_t idx) {
+      if (idx < outs.size()) exec.satisfy(outs[idx]);
+    });
+  }
+
+  co_await exec.run(g);
+}
+
+}  // namespace
+
+Phase2Algo resolve_phase2(const hw::ClusterSpec& spec, int nodes, int ppn,
+                          std::size_t msg, Phase2Algo requested) {
+  if (requested != Phase2Algo::kAuto) return requested;
+  if (!coll::is_power_of_two(nodes)) return Phase2Algo::kRing;
+  // Fig. 8 tuning: RD wins while the per-step node chunk (M * L) is small
+  // enough that startup costs dominate; Ring wins once the exchange is
+  // bandwidth-bound and its finer-grained distribution overlaps better.
+  (void)spec;
+  const std::size_t chunk =
+      msg * static_cast<std::size_t>(std::max(1, ppn));
+  return chunk <= kRdRingCrossoverChunk ? Phase2Algo::kRD : Phase2Algo::kRing;
+}
+
+sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
+                                       hw::BufView send, hw::BufView recv,
+                                       std::size_t msg, bool in_place,
+                                       HierOptions opts) {
+  auto& cl = comm.cluster();
+  if (comm.size() != cl.world_size()) {
+    throw std::invalid_argument("allgather_hierarchical: world comm required");
+  }
+  if (recv.len != msg * static_cast<std::size_t>(comm.size())) {
+    throw std::invalid_argument("allgather_hierarchical: bad recv size");
+  }
+  if (!in_place && send.len != msg) {
+    throw std::invalid_argument("allgather_hierarchical: bad send size");
+  }
+  const Phase2Algo algo =
+      resolve_phase2(cl.spec(), cl.nodes(), cl.ppn(), msg, opts.phase2);
+  if (opts.streaming && opts.overlap) {
+    co_await hier_graph(comm, my, send, recv, msg, in_place, opts, algo);
+  } else {
+    // The barriered baseline still flows through a GraphExecutor (as one
+    // wrapped task) so every dispatch path shares spans and retry counters.
+    co_await coll::run_as_graph(
+        comm.engine(), comm.sink(), comm.to_global(my), "hier-barrier",
+        [&comm, my, send, recv, msg, in_place, opts, algo] {
+          return hier_barrier(comm, my, send, recv, msg, in_place, opts, algo);
+        });
+  }
+}
+
 sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
                                     hw::BufView recv, std::size_t msg,
                                     bool in_place) {
   co_await allgather_hierarchical(comm, my, send, recv, msg, in_place,
                                   HierOptions{});
+}
+
+sim::Task<void> allgather_mha_inter_barrier(mpi::Comm& comm, int my,
+                                            hw::BufView send, hw::BufView recv,
+                                            std::size_t msg, bool in_place) {
+  HierOptions opts;
+  opts.overlap = false;
+  opts.streaming = false;
+  co_await allgather_hierarchical(comm, my, send, recv, msg, in_place, opts);
 }
 
 sim::Task<void> allgather_single_leader(mpi::Comm& comm, int my,

@@ -48,6 +48,15 @@ struct HierOptions {
   bool overlap = true;
   /// MHA-intra offload count for phase 1; -1 = Eq. 1 analytic.
   double offload = -1.0;
+  /// Execute as a chunk-granular task graph (coll::GraphExecutor): phase-2
+  /// sends start as soon as the phase-1 tasks producing their bytes land,
+  /// and members drain phase-3 chunks while later inter-node steps are in
+  /// flight. false falls back to the phase-sequential coroutine path
+  /// (with `overlap` controlling the hand-built phase-2/3 overlap) — the
+  /// "barrier" baseline of the perf campaign's pipeline pair. Ignored
+  /// (treated as false) when overlap is off: a strict-phase graph is just
+  /// the legacy path with extra bookkeeping.
+  bool streaming = true;
 };
 
 /// Node-chunk size (msg * PPN) at which the kAuto selector switches from
@@ -74,6 +83,15 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
 sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
                                     hw::BufView recv, std::size_t msg,
                                     bool in_place = false);
+
+/// MHA-inter with the dataflow pipeline disabled *and* strict phase
+/// barriers (overlap off): phases 1, 2 and 3 run back to back. The
+/// barriered baseline the perf campaign's `pipeline` scenario pair and the
+/// phase-overlap acceptance test compare the graph executor against.
+sim::Task<void> allgather_mha_inter_barrier(mpi::Comm& comm, int my,
+                                            hw::BufView send, hw::BufView recv,
+                                            std::size_t msg,
+                                            bool in_place = false);
 
 /// Mamidala et al. [19] single-leader baseline: shm gather, RD inter-leader
 /// exchange, overlapped distribution.

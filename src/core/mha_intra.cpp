@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "coll/allgather.hpp"
 #include "model/cost.hpp"
@@ -27,10 +28,11 @@ double analytic_offload_degraded(const hw::ClusterSpec& spec, int l,
   return analytic_offload(surviving, l, msg);
 }
 
-sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
-                                    hw::BufView send, hw::BufView recv,
-                                    std::size_t msg, bool in_place,
-                                    double offload) {
+void build_mha_intra_tasks(coll::TaskGraph& g, coll::RangeProducers& producers,
+                           std::size_t producer_base, mpi::Comm& node_comm,
+                           int my, hw::BufView send, hw::BufView recv,
+                           std::size_t msg, bool in_place, double offload,
+                           const std::string& phase) {
   const int l = node_comm.size();
   if (my < 0 || my >= l) throw std::invalid_argument("mha_intra: bad rank");
   if (recv.len != msg * static_cast<std::size_t>(l)) {
@@ -64,23 +66,44 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
   offload = std::clamp(offload, 0.0, static_cast<double>(l - 1));
   sink.gauge("core.offload_d", offload, {{"node", std::to_string(node)}});
 
-  if (l == 1) {
-    co_await coll::seed_own_block(node_comm, my, send, recv, msg, in_place);
-    co_return;
+  // The own block: a local seed copy unless the caller gathers in place
+  // (then the bytes are already in position and need no producer).
+  const std::size_t own_off = static_cast<std::size_t>(my) * msg;
+  if (!in_place && msg > 0) {
+    const int t_seed = g.add(
+        coll::TaskKind::kCopy, coll::Lane::kCpu,
+        [&node_comm, my, send, recv, msg, in_place] {
+          return coll::seed_own_block(node_comm, my, send, recv, msg,
+                                      in_place);
+        },
+        coll::TaskOpts{"seed", phase, -1, msg, -1, -1});
+    producers.add(producer_base + own_off, msg, t_seed);
   }
+  if (l == 1) return;
 
-  // Publish the contribution address; peers read it one-sidedly.
+  // Publish the contribution address; peers read it one-sidedly. Every
+  // read task depends on the board exchange.
   const hw::BufView contribution =
-      in_place ? recv.sub(static_cast<std::size_t>(my) * msg, msg) : send;
+      in_place ? recv.sub(own_off, msg) : send;
   const std::uint64_t seq = node_comm.next_op_seq(my);
+  // Key layout must match the op_key convention everywhere else
+  // ((seq << 20) | (ctx << 4) | salt): an unshifted ctx aliases another
+  // comm's (ctx << 4) | salt slot in the node-wide registry and hands one
+  // rank a type-confused shared object.
+  const std::uint64_t board_key =
+      (seq << 20) | (static_cast<std::uint64_t>(node_comm.ctx()) << 4) | 3;
   auto board = node_comm.share().acquire<AddressBoard>(
-      node, (seq << 20) | static_cast<std::uint64_t>(node_comm.ctx()), l,
+      node, board_key, l,
       [&] { return std::make_shared<AddressBoard>(eng, l); });
-  co_await board->put_and_wait(my, contribution);
+  const int t_board = g.add(
+      coll::TaskKind::kWrapped, coll::Lane::kNone,
+      [board, my, contribution] { return board->put_and_wait(my, contribution); },
+      coll::TaskOpts{"board", phase, -1, 0, -1, -1});
 
   // Workload split (Fig. 4b / Fig. 5): the d *farthest* distances go to the
   // adapters, byte-granular — `full` whole blocks plus a `frac_bytes` slice
-  // of the boundary block.
+  // of the boundary block. Task boundaries ARE the partition, so the graph
+  // executor streams each block to its consumers as it lands.
   const int full = static_cast<int>(std::floor(offload + 1e-9));
   std::size_t frac_bytes = static_cast<std::size_t>(
       std::llround((offload - full) * static_cast<double>(msg)));
@@ -92,40 +115,91 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
     return std::pair<int, hw::BufView>(
         src, recv.sub(static_cast<std::size_t>(src) * msg, msg));
   };
+  net::Net& net = node_comm.net();
 
-  // Post all HCA reads first so adapters work concurrently with the CPU.
-  sim::WaitGroup hca_reads(eng);
-  for (int i = l - full; i <= l - 1; ++i) {
-    const auto [src, dst] = block(i);
-    hca_reads.spawn(node_comm.net().rdma_get(grank, node_comm.to_global(src),
-                                             board->view(src), dst,
-                                             net::Net::kStripe));
-  }
-  if (split_dist >= 1 && frac_bytes > 0) {
-    const auto [src, dst] = block(split_dist);
-    const std::size_t cpu_part = msg - frac_bytes;
-    hca_reads.spawn(node_comm.net().rdma_get(
-        grank, node_comm.to_global(src),
-        board->view(src).sub(cpu_part, frac_bytes),
-        dst.sub(cpu_part, frac_bytes), net::Net::kStripe));
-  }
-
-  // CPU work: seed the own block, then walk the near distances.
-  co_await coll::seed_own_block(node_comm, my, send, recv, msg, in_place);
+  // CPU tasks are created in the walk order (near distances first); the
+  // single-slot CPU lane serializes them exactly like the sequential walk
+  // they replace.
   for (int i = 1; i <= split_dist - 1; ++i) {
     const auto [src, dst] = block(i);
-    co_await node_comm.net().cma_get(grank, board->view(src), dst,
-                                     node_comm.to_global(src));
+    const int src_g = node_comm.to_global(src);
+    const int t = g.add(
+        coll::TaskKind::kCma, coll::Lane::kCpu,
+        [&net, grank, board, src, dst, src_g] {
+          return net.cma_get(grank, board->view(src), dst, src_g);
+        },
+        coll::TaskOpts{"get b" + std::to_string(src), phase, -1, msg, -1,
+                       src_g});
+    g.depend(t, t_board);
+    producers.add(producer_base + static_cast<std::size_t>(src) * msg, msg, t);
   }
   if (split_dist >= 1 && frac_bytes < msg) {
+    // CPU share of the boundary block: the leading msg - frac bytes.
     const auto [src, dst] = block(split_dist);
-    co_await node_comm.net().cma_get(grank,
-                                     board->view(src).sub(0, msg - frac_bytes),
-                                     dst.sub(0, msg - frac_bytes),
-                                     node_comm.to_global(src));
+    const int src_g = node_comm.to_global(src);
+    const std::size_t cpu_part = msg - frac_bytes;
+    const int t = g.add(
+        coll::TaskKind::kCma, coll::Lane::kCpu,
+        [&net, grank, board, src, dst, src_g, cpu_part] {
+          return net.cma_get(grank, board->view(src).sub(0, cpu_part),
+                             dst.sub(0, cpu_part), src_g);
+        },
+        coll::TaskOpts{"get b" + std::to_string(src) + " cpu-part", phase, -1,
+                       cpu_part, -1, src_g});
+    g.depend(t, t_board);
+    producers.add(producer_base + static_cast<std::size_t>(src) * msg,
+                  cpu_part, t);
   }
+  // HCA loopback reads: all become ready the moment the board completes,
+  // so the adapters work concurrently with the CPU walk, as before.
+  for (int i = l - full; i <= l - 1; ++i) {
+    const auto [src, dst] = block(i);
+    const int src_g = node_comm.to_global(src);
+    const int t = g.add(
+        coll::TaskKind::kRdma, coll::Lane::kNic,
+        [&net, grank, board, src, dst, src_g] {
+          return net.rdma_get(grank, src_g, board->view(src), dst,
+                              net::Net::kStripe);
+        },
+        coll::TaskOpts{"hca b" + std::to_string(src), phase, -1, msg, -1,
+                       src_g});
+    g.depend(t, t_board);
+    producers.add(producer_base + static_cast<std::size_t>(src) * msg, msg, t);
+  }
+  if (split_dist >= 1 && frac_bytes > 0) {
+    // HCA share of the boundary block: the trailing frac bytes.
+    const auto [src, dst] = block(split_dist);
+    const int src_g = node_comm.to_global(src);
+    const std::size_t cpu_part = msg - frac_bytes;
+    const std::size_t frac = frac_bytes;
+    const int t = g.add(
+        coll::TaskKind::kRdma, coll::Lane::kNic,
+        [&net, grank, board, src, dst, src_g, cpu_part, frac] {
+          return net.rdma_get(grank, src_g,
+                              board->view(src).sub(cpu_part, frac),
+                              dst.sub(cpu_part, frac), net::Net::kStripe);
+        },
+        coll::TaskOpts{"hca b" + std::to_string(src) + " frac", phase, -1,
+                       frac, -1, src_g});
+    g.depend(t, t_board);
+    producers.add(
+        producer_base + static_cast<std::size_t>(src) * msg + cpu_part, frac,
+        t);
+  }
+}
 
-  co_await hca_reads.wait();
+sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
+                                    hw::BufView send, hw::BufView recv,
+                                    std::size_t msg, bool in_place,
+                                    double offload) {
+  coll::TaskGraph g;
+  coll::RangeProducers producers;
+  build_mha_intra_tasks(g, producers, 0, node_comm, my, send, recv, msg,
+                        in_place, offload, /*phase=*/"");
+  if (g.empty()) co_return;
+  coll::GraphExecutor exec(node_comm.engine(), node_comm.sink(),
+                           node_comm.to_global(my));
+  co_await exec.run(g);
 }
 
 }  // namespace hmca::core

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "coll/graph.hpp"
 #include "hw/buffer.hpp"
 #include "mpi/comm.hpp"
 #include "sim/sync.hpp"
@@ -56,6 +58,24 @@ sim::Task<void> allgather_mha_intra(mpi::Comm& node_comm, int my,
                                     hw::BufView send, hw::BufView recv,
                                     std::size_t msg, bool in_place = false,
                                     double offload = -1.0);
+
+/// Graph-builder form of MHA-intra: appends one task per block transfer —
+/// the address-board exchange, the CPU seed, one CMA task per near block,
+/// one HCA loopback task per offloaded block, and the Eq. 1 fractional
+/// boundary block split byte-exact into a CMA + an RDMA task (the offload
+/// d *is* the chunk partition). Registers each produced byte range in
+/// `producers` at `producer_base` + block offset so downstream consumers
+/// (e.g. phase-2 sends) can depend on exactly the tasks covering their
+/// bytes. Tasks carry `phase` for span attribution.
+///
+/// `allgather_mha_intra` is this builder plus a GraphExecutor run; the
+/// hierarchical designs splice the tasks into their own graphs so phase 2
+/// streams against the phase-1 tail.
+void build_mha_intra_tasks(coll::TaskGraph& g, coll::RangeProducers& producers,
+                           std::size_t producer_base, mpi::Comm& node_comm,
+                           int my, hw::BufView send, hw::BufView recv,
+                           std::size_t msg, bool in_place, double offload,
+                           const std::string& phase);
 
 /// The Eq. 1 analytic offload amount for a node-local communicator of
 /// size l (real-valued).

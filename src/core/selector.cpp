@@ -47,7 +47,8 @@ void register_core_impl(coll::Registry& reg) {
           std::size_t m) {
          return model::mha_intra_time(p, s.comm_size,
                                       static_cast<double>(m));
-       }});
+       },
+       coll::GraphMode::kNative});
   reg.add_allgather(
       {"mha_inter_rd",
        "Sec. 3.2 hierarchical, RD inter-leader phase, overlapped",
@@ -64,7 +65,8 @@ void register_core_impl(coll::Registry& reg) {
           std::size_t m) {
          return model::mha_inter_time_rd(p, s.nodes, s.ppn,
                                          static_cast<double>(m));
-       }});
+       },
+       coll::GraphMode::kNative});
   reg.add_allgather(
       {"mha_inter_ring",
        "Sec. 3.2 hierarchical, Ring inter-leader phase, overlapped",
@@ -79,7 +81,8 @@ void register_core_impl(coll::Registry& reg) {
           std::size_t m) {
          return model::mha_inter_time_ring(p, s.nodes, s.ppn,
                                            static_cast<double>(m));
-       }});
+       },
+       coll::GraphMode::kNative});
   reg.add_allgather(
       {"mha_inter",
        "Sec. 3.2 hierarchical, model-resolved RD/Ring phase 2 (Fig. 8)",
@@ -91,21 +94,30 @@ void register_core_impl(coll::Registry& reg) {
          const double mm = static_cast<double>(m);
          return std::min(model::mha_inter_time_rd(p, s.nodes, s.ppn, mm),
                          model::mha_inter_time_ring(p, s.nodes, s.ppn, mm));
-       }});
+       },
+       coll::GraphMode::kNative});
+  reg.add_allgather(
+      {"mha_inter_barrier",
+       "Sec. 3.2 with strict phase barriers (dataflow-off baseline)",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) { return allgather_mha_inter_barrier(c, my, s, rv, m, ip); },
+       world_multi_node,
+       {},
+       coll::GraphMode::kWrapped});
   reg.add_allgather(
       {"single_leader",
        "Mamidala prior design: shm gather, RD exchange, overlapped",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_single_leader(c, my, s, rv, m, ip); },
        [](const coll::CommShape& s, std::size_t) { return s.world; },
-       {}});
+       {}, coll::GraphMode::kNative});
   reg.add_allgather(
       {"numa3",
        "Sec. 7: 3-level NUMA-aware hierarchical (socket, node, cluster)",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
           bool ip) { return allgather_numa3(c, my, s, rv, m, ip); },
        [](const coll::CommShape& s, std::size_t) { return s.world; },
-       {}});
+       {}, coll::GraphMode::kNative});
 
   reg.add_allreduce(
       {"ring_mha",
@@ -135,7 +147,7 @@ void register_core_impl(coll::Registry& reg) {
          return allgatherv_mha(c, my, s, rv, l, ip);
        },
        [](const coll::CommShape& s, std::size_t) { return s.world; },
-       {}});
+       {}, coll::GraphMode::kNative});
 }
 
 /// Record the decision as a zero-length kPhase span on the deciding rank,

@@ -62,6 +62,9 @@ sim::Task<void> Comm::run_and_signal(sim::Task<void> op,
   co_await std::move(op);
   st->done = true;
   st->cv.notify_all();
+  auto callbacks = std::move(st->callbacks);
+  st->callbacks.clear();
+  for (auto& fn : callbacks) fn();
 }
 
 Request Comm::isend(int my, int dst, int tag, hw::BufView data) {

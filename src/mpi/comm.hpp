@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "hw/buffer.hpp"
@@ -45,12 +47,29 @@ class Request {
     return st_->done;
   }
 
+  /// Run `fn` when the operation completes (immediately if it already
+  /// did). This is the dataflow hook: a graph task depending on this
+  /// recv/send registers an external-dependency release here instead of
+  /// blocking a coroutine in wait(). Callbacks run in registration order
+  /// at the completion's virtual time.
+  void on_done(std::function<void()> fn) {
+    if (!valid()) {
+      throw std::invalid_argument("Request::on_done: invalid request");
+    }
+    if (st_->done) {
+      fn();
+      return;
+    }
+    st_->callbacks.push_back(std::move(fn));
+  }
+
  private:
   friend class Comm;
   struct State {
     explicit State(sim::Engine& eng) : cv(eng) {}
     sim::Condition cv;
     bool done = false;
+    std::vector<std::function<void()>> callbacks;
   };
   std::shared_ptr<State> st_;
 };

@@ -32,6 +32,9 @@ Cat cat_of(trace::Kind k) {
     case trace::Kind::kWait:
       return kWait;
     case trace::Kind::kPhase:
+    case trace::Kind::kTask:
+      // Task spans wrap primitives that carry their own spans (and include
+      // lane-queue time); attributing them would double-count.
       return kNone;
   }
   return kNone;

@@ -102,7 +102,11 @@ void print_algo_list(std::ostream& os) {
     for (const auto& a : entries) {
       os << "  " << a.name;
       for (std::size_t i = a.name.size(); i < 18; ++i) os << ' ';
-      os << a.summary << '\n';
+      os << a.summary;
+      if (a.graph != coll::GraphMode::kNone) {
+        os << "  [" << coll::graph_mode_name(a.graph) << ']';
+      }
+      os << '\n';
     }
   };
   section("allgather", reg.allgathers());

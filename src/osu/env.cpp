@@ -1,5 +1,7 @@
 #include "osu/env.hpp"
 
+#include "coll/graph.hpp"
+
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
@@ -12,7 +14,7 @@ namespace {
 
 constexpr const char* kKnown[] = {
     Env::kAllgatherAlgo, Env::kAllreduceAlgo, Env::kFaults,
-    Env::kConformanceSeed, Env::kStats,
+    Env::kConformanceSeed, Env::kStats, Env::kChunkBytes,
 };
 
 bool known_name(std::string_view name) {
@@ -68,6 +70,11 @@ std::optional<StatsFormat> Env::stats() {
   return parse_stats_format(*v, kStats);
 }
 
+std::optional<std::size_t> Env::chunk_bytes() {
+  if (!raw(kChunkBytes)) return std::nullopt;
+  return coll::configured_chunk_bytes();
+}
+
 int Env::warn_unknown(std::ostream& os) {
   int found = 0;
   for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
@@ -77,7 +84,7 @@ int Env::warn_unknown(std::ostream& os) {
     if (known_name(name)) continue;
     os << "hmca: warning: unknown environment variable " << name
        << " (known: HMCA_ALLGATHER_ALGO, HMCA_ALLREDUCE_ALGO, HMCA_FAULTS, "
-          "HMCA_CONFORMANCE_SEED, HMCA_STATS)\n";
+          "HMCA_CONFORMANCE_SEED, HMCA_STATS, HMCA_CHUNK_BYTES)\n";
     ++found;
   }
   return found;

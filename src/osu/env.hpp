@@ -7,12 +7,14 @@
 //   HMCA_FAULTS            rail fault plan (sim/fault.hpp spec string)
 //   HMCA_CONFORMANCE_SEED  conformance-suite sampling seed (strtoull base 0)
 //   HMCA_STATS             stats report format: text|json|csv (off|0 = none)
+//   HMCA_CHUNK_BYTES       dataflow chunk granularity in bytes (0 = auto)
 //
 // Unknown HMCA_*-prefixed variables are reported once per process (typo
 // guard: a misspelled override silently reverting to defaults is the worst
 // failure mode an env knob can have).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -48,6 +50,7 @@ class Env {
   static constexpr const char* kFaults = "HMCA_FAULTS";
   static constexpr const char* kConformanceSeed = "HMCA_CONFORMANCE_SEED";
   static constexpr const char* kStats = "HMCA_STATS";
+  static constexpr const char* kChunkBytes = "HMCA_CHUNK_BYTES";
 
   static std::optional<std::string> allgather_algo();
   static std::optional<std::string> allreduce_algo();
@@ -60,6 +63,12 @@ class Env {
   /// Parsed HMCA_STATS; "0"/"off"/"no"/"false" read as unset (disabled).
   /// Malformed values throw std::invalid_argument.
   static std::optional<StatsFormat> stats();
+
+  /// Parsed HMCA_CHUNK_BYTES — the dataflow executor's chunk granularity
+  /// (coll::configured_chunk_bytes does the actual parse so the coll layer
+  /// needs no osu dependency). 0 means the size-dependent auto policy;
+  /// malformed values throw std::invalid_argument.
+  static std::optional<std::size_t> chunk_bytes();
 
   /// Raw lookup: nullopt when `var` is unset or empty.
   static std::optional<std::string> raw(const char* var);

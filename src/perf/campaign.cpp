@@ -85,6 +85,19 @@ Campaign build_default() {
   s.push_back({"fig14/n32/mha", "fig14", Kind::kAllgather, "mha", 32, 32, 0,
                "", inter_sizes, 0});
 
+  // Pipeline: the strict-barrier baseline vs the chunk-streamed dataflow
+  // executor on the Fig. 12/13 shapes — guards the overlap win (and its
+  // cost model) against regressions in either path.
+  const std::vector<std::size_t> pipe_sizes = {64 * kKiB, 1 * kMiB};
+  s.push_back({"pipeline/n8/barrier", "fig12", Kind::kAllgather,
+               "algo:mha_inter_barrier", 8, 32, 0, "", pipe_sizes, 0});
+  s.push_back({"pipeline/n8/graph", "fig12", Kind::kAllgather,
+               "algo:mha_inter", 8, 32, 0, "", pipe_sizes, 0});
+  s.push_back({"pipeline/n16/barrier", "fig13", Kind::kAllgather,
+               "algo:mha_inter_barrier", 16, 32, 0, "", pipe_sizes, 0});
+  s.push_back({"pipeline/n16/graph", "fig13", Kind::kAllgather,
+               "algo:mha_inter", 16, 32, 0, "", pipe_sizes, 0});
+
   // Fig. 15: MHA-accelerated Ring-Allreduce vs HPC-X at 256 procs, plus the
   // 512-proc MHA point where the paper's advantage grows.
   const std::vector<std::size_t> ar_sizes = {64 * kKiB, 1 * kMiB, 16 * kMiB};

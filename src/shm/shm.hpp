@@ -17,6 +17,8 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "hw/buffer.hpp"
@@ -65,11 +67,26 @@ class ShmRegion {
   void publish(std::size_t offset, std::size_t len) {
     chunks_.push_back(Chunk{offset, len});
     cv_.notify_all();
+    // Snapshot: a listener may add listeners (not typical, but cheap to
+    // make safe) and publication index is fixed before callbacks run.
+    const std::size_t idx = chunks_.size() - 1;
+    for (std::size_t i = 0; i < listeners_.size(); ++i) listeners_[i](idx);
   }
 
   /// Member: wait until at least `count` chunks are published.
   sim::Task<void> wait_published(std::size_t count) {
     co_await cv_.wait_until([this, count] { return chunks_.size() >= count; });
+  }
+
+  /// Publication callback: `fn(idx)` runs at every publish with the new
+  /// chunk's publication index (already-published chunks are replayed at
+  /// registration). Consumers use this to release dataflow tasks instead
+  /// of parking a coroutine in wait_published — phase 3 becomes
+  /// data-driven. Each member registers its own listener; listeners must
+  /// not throw.
+  void add_publish_listener(std::function<void(std::size_t)> fn) {
+    for (std::size_t i = 0; i < chunks_.size(); ++i) fn(i);
+    listeners_.push_back(std::move(fn));
   }
 
   std::size_t published() const noexcept { return chunks_.size(); }
@@ -86,6 +103,7 @@ class ShmRegion {
   hw::Buffer store_;
   sim::Condition cv_;
   std::vector<Chunk> chunks_;
+  std::vector<std::function<void(std::size_t)>> listeners_;
 };
 
 /// Rendezvous registry for per-operation node-shared objects.
@@ -103,8 +121,19 @@ class NodeShare {
     if (it == entries_.end()) {
       it = entries_
                .emplace(full_key, Entry{std::static_pointer_cast<void>(factory()),
-                                        parties})
+                                        parties, &typeid(T)})
                .first;
+    }
+    // A key collision between two operations hands one side an object of
+    // the wrong type; the static cast below would silently reinterpret it.
+    // Fail loudly instead — every caller derives keys from the shared
+    // (seq << 20) | (ctx << 4) | salt convention precisely to keep this
+    // branch dead.
+    if (*it->second.type != typeid(T)) {
+      throw sim::SimError(
+          "NodeShare::acquire: key collision — object registered as " +
+          std::string(it->second.type->name()) + " re-acquired as " +
+          std::string(typeid(T).name()));
     }
     auto obj = std::static_pointer_cast<T>(it->second.obj);
     if (--it->second.remaining == 0) entries_.erase(it);
@@ -117,6 +146,7 @@ class NodeShare {
   struct Entry {
     std::shared_ptr<void> obj;
     int remaining;
+    const std::type_info* type;
   };
   std::map<std::pair<int, std::uint64_t>, Entry> entries_;
 };

@@ -18,6 +18,7 @@ const char* kind_name(Kind k) {
     case Kind::kNicXfer: return "nic_xfer";
     case Kind::kCompute: return "compute";
     case Kind::kPhase: return "phase";
+    case Kind::kTask: return "task";
   }
   return "?";
 }
@@ -33,6 +34,7 @@ char kind_glyph(Kind k) {
     case Kind::kNicXfer: return '=';
     case Kind::kCompute: return '#';
     case Kind::kPhase: return '|';
+    case Kind::kTask: return 't';
   }
   return '?';
 }

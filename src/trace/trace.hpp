@@ -23,6 +23,7 @@ enum class Kind {
   kNicXfer,   ///< data on the wire / adapter DMA
   kCompute,   ///< application compute
   kPhase,     ///< algorithm phase annotation
+  kTask,      ///< dataflow graph task (chunk-tagged; wraps a primitive)
 };
 
 const char* kind_name(Kind k);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/graph.hpp"
 #include "core/selector.hpp"
 #include "profiles/profiles.hpp"
 #include "sim/fault.hpp"
@@ -264,6 +265,55 @@ TEST_F(Conformance, KillOneOfTwoHcasMidRun) {
   t.msg = 65536;  // big enough that the kill lands mid-collective
   t.fault_plan = "kill:node=*,hca=1,t=2e-5";
   check_allgather_trial(t);
+}
+
+// ---- Dataflow acceptance: kill / flake a rail mid-pipeline while the
+// transfers are split into many chunk tasks, so the executor's per-task
+// retry and the net layer's restriping both get exercised ----
+
+class ChunkOverrideGuard {
+ public:
+  explicit ChunkOverrideGuard(long long bytes) {
+    coll::set_chunk_bytes_override(bytes);
+  }
+  ~ChunkOverrideGuard() { coll::set_chunk_bytes_override(-1); }
+};
+
+TEST_F(Conformance, KillMidPipelineWithChunkedTasks) {
+  ChunkOverrideGuard chunks(8192);  // 65536 bytes -> 8 chunk tasks per hop
+  Trial t;
+  t.seed = testing::conf::suite_seed();
+  t.nodes = 2;
+  t.ppn = 4;
+  t.hcas = 2;
+  t.msg = 65536;
+  t.fault_plan = "kill:node=*,hca=1,t=2e-5";  // lands mid-pipeline
+  check_allgather_trial(t);
+}
+
+TEST_F(Conformance, FlakyRailRetriesChunkTasks) {
+  ChunkOverrideGuard chunks(4096);
+  Trial t;
+  t.seed = testing::conf::suite_seed();
+  t.nodes = 2;
+  t.ppn = 2;
+  t.hcas = 2;
+  t.msg = 40000;
+  t.fault_plan = "flaky:rate=0.25,burst=2,seed=7";
+  check_allgather_trial(t);
+}
+
+TEST_F(Conformance, ChunkOverrideSweepStaysCorrect) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("chunks", seed));
+  int index = 0;
+  for (const long long chunk_bytes : {1LL, 1000LL, 4096LL}) {
+    ChunkOverrideGuard chunks(chunk_bytes);
+    Trial t = sample_trial(rng, seed, index++, Category::kNone);
+    t.msg = 20000;  // odd size: chunk ranges must tile exactly
+    SCOPED_TRACE("chunk_bytes=" + std::to_string(chunk_bytes));
+    check_allgather_trial(t);
+  }
 }
 
 // ---- Determinism: same plan + same seed => byte-identical traces ----
