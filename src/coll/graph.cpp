@@ -61,21 +61,34 @@ GraphExecutor::GraphExecutor(sim::Engine& eng, obs::Sink& sink, int grank,
       cv_(eng) {}
 
 sim::Semaphore* GraphExecutor::lane_sem(const TaskGraph::Node& n) {
-  int slots = 0;
-  int idx = 0;
   switch (n.lane) {
-    case Lane::kNone: return nullptr;
-    case Lane::kCpu: slots = opts_.cpu_slots; break;
-    case Lane::kShm: slots = opts_.shm_slots; break;
-    case Lane::kNic:
-      slots = opts_.nic_slots;
-      idx = n.opts.rail + 1;  // -1 (striped) shares slot 0
-      break;
+    case Lane::kNone:
+      return nullptr;
+    case Lane::kCpu:
+      if (opts_.cpu_slots <= 0) return nullptr;
+      if (!cpu_sem_) {
+        cpu_sem_ = std::make_unique<sim::Semaphore>(*eng_, opts_.cpu_slots);
+      }
+      return cpu_sem_.get();
+    case Lane::kShm:
+      if (opts_.shm_slots <= 0) return nullptr;
+      if (!shm_sem_) {
+        shm_sem_ = std::make_unique<sim::Semaphore>(*eng_, opts_.shm_slots);
+      }
+      return shm_sem_.get();
+    case Lane::kNic: {
+      if (opts_.nic_slots <= 0) return nullptr;
+      const auto idx =
+          static_cast<std::size_t>(n.opts.rail + 1);  // -1 shares slot 0
+      if (idx >= nic_sems_.size()) nic_sems_.resize(idx + 1);
+      if (!nic_sems_[idx]) {
+        nic_sems_[idx] =
+            std::make_unique<sim::Semaphore>(*eng_, opts_.nic_slots);
+      }
+      return nic_sems_[idx].get();
+    }
   }
-  if (slots <= 0) return nullptr;
-  auto& sem = lanes_[{n.lane, idx}];
-  if (!sem) sem = std::make_unique<sim::Semaphore>(*eng_, slots);
-  return sem.get();
+  return nullptr;
 }
 
 void GraphExecutor::satisfy(int task) {
@@ -96,8 +109,9 @@ void GraphExecutor::satisfy(int task) {
 
 void GraphExecutor::on_complete(int id) {
   auto& n = g_->nodes_[static_cast<std::size_t>(id)];
-  if (!n.opts.phase.empty()) {
-    auto& ps = phases_[n.opts.phase];
+  const int pidx = phase_idx_[static_cast<std::size_t>(id)];
+  if (pidx >= 0) {
+    auto& ps = phases_[static_cast<std::size_t>(pidx)];
     if (--ps.remaining == 0 && ps.open) ps.span.close(eng_->now());
   }
   for (const int s : n.out) {
@@ -118,11 +132,12 @@ sim::Task<void> GraphExecutor::run_one(int id) {
   ++in_flight_;
   max_in_flight_ = std::max(max_in_flight_, in_flight_);
 
-  if (!n.opts.phase.empty()) {
-    auto& ps = phases_[n.opts.phase];
+  const int pidx = phase_idx_[static_cast<std::size_t>(id)];
+  if (pidx >= 0) {
+    auto& ps = phases_[static_cast<std::size_t>(pidx)];
     if (!ps.open) {
       ps.span = sink_->open(grank_, trace::Kind::kPhase, eng_->now(), -1, 0,
-                            n.opts.phase);
+                            ps.name);
       ps.open = true;
     }
   }
@@ -195,11 +210,25 @@ sim::Task<void> GraphExecutor::run(TaskGraph& g) {
 
   const std::size_t total = g.nodes_.size();
   ext_pending_ = g.externals_;
+  phase_idx_.assign(total, -1);
   for (std::size_t i = 0; i < total; ++i) {
     if (g.nodes_[i].deps == 0) ready_.push_back(static_cast<int>(i));
-    if (!g.nodes_[i].opts.phase.empty()) {
-      ++phases_[g.nodes_[i].opts.phase].remaining;
+    const std::string& phase = g.nodes_[i].opts.phase;
+    if (phase.empty()) continue;
+    int pidx = -1;
+    for (std::size_t p = 0; p < phases_.size(); ++p) {
+      if (phases_[p].name == phase) {
+        pidx = static_cast<int>(p);
+        break;
+      }
     }
+    if (pidx < 0) {
+      pidx = static_cast<int>(phases_.size());
+      phases_.emplace_back();
+      phases_.back().name = phase;
+    }
+    phase_idx_[i] = pidx;
+    ++phases_[static_cast<std::size_t>(pidx)].remaining;
   }
   for (const int t : early_satisfies_) satisfy(t);
   early_satisfies_.clear();
@@ -228,8 +257,26 @@ sim::Task<void> GraphExecutor::run(TaskGraph& g) {
   // the graph it references.
   while (in_flight_ > 0 || launched > completed_) co_await cv_.wait();
 
-  for (auto& [name, ps] : phases_) {
-    if (ps.open && ps.remaining > 0) ps.span.close(eng_->now());
+  // Close leftover open phase spans (error path) in name order, matching
+  // the ordering the previous string-keyed map produced. On the normal
+  // path nothing is left open and the sort is skipped.
+  bool leftover = false;
+  for (const auto& ps : phases_) {
+    if (ps.open && ps.remaining > 0) {
+      leftover = true;
+      break;
+    }
+  }
+  if (leftover) {
+    std::vector<std::size_t> order(phases_.size());
+    for (std::size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return phases_[a].name < phases_[b].name;
+    });
+    for (const std::size_t p : order) {
+      auto& ps = phases_[p];
+      if (ps.open && ps.remaining > 0) ps.span.close(eng_->now());
+    }
   }
   sink_->observe("coll.pipeline_depth", static_cast<double>(max_in_flight_));
   running_ = false;

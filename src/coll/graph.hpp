@@ -184,18 +184,24 @@ class GraphExecutor {
   int ext_pending_ = 0;
   std::vector<int> early_satisfies_;
 
-  // Lane guards, created on demand: kCpu/kShm use slot 0; kNic uses one
+  // Lane guards, created on demand: kCpu/kShm each have one; kNic has one
   // per rail id (+1 so the striped lane -1 maps to slot 0).
-  std::map<std::pair<Lane, int>, std::unique_ptr<sim::Semaphore>> lanes_;
+  std::unique_ptr<sim::Semaphore> cpu_sem_;
+  std::unique_ptr<sim::Semaphore> shm_sem_;
+  std::vector<std::unique_ptr<sim::Semaphore>> nic_sems_;
 
   // Per-phase span bookkeeping: opened at the first task start of the
-  // phase, closed when its last task completes.
+  // phase, closed when its last task completes. Phase names are interned
+  // once at run() setup (first-appearance order); the hot per-task paths
+  // then index instead of doing string-keyed lookups.
   struct PhaseState {
+    std::string name;
     obs::Sink::Span span;
     int remaining = 0;
     bool open = false;
   };
-  std::map<std::string, PhaseState> phases_;
+  std::vector<PhaseState> phases_;
+  std::vector<int> phase_idx_;  // per task id; -1 = no phase attribution
 };
 
 // ---- Chunk policy ----

@@ -18,7 +18,7 @@ Cluster::Cluster(sim::Engine& eng, ClusterSpec spec)
   tx_lock_.reserve(spec_.nodes * per_node);
   rank_lock_.reserve(static_cast<std::size_t>(spec_.total_ranks()));
   for (int r = 0; r < spec_.total_ranks(); ++r) {
-    rank_lock_.push_back(std::make_unique<sim::Semaphore>(eng, 1));
+    rank_lock_.emplace_back(eng, 1);
   }
   rail_rr_.assign(spec_.nodes, 0);
   for (int n = 0; n < spec_.nodes; ++n) {
@@ -38,7 +38,7 @@ Cluster::Cluster(sim::Engine& eng, ClusterSpec spec)
       hca_tx_.push_back(net_.add_resource(base + ".tx", spec_.hca_bw));
       hca_rx_.push_back(net_.add_resource(base + ".rx", spec_.hca_bw));
       pcie_.push_back(net_.add_resource(base + ".pcie", spec_.pcie_bw));
-      tx_lock_.push_back(std::make_unique<sim::Semaphore>(eng, 1));
+      tx_lock_.emplace_back(eng, 1);
     }
   }
   rails_.assign(static_cast<std::size_t>(spec_.nodes) * per_node, RailState{});

@@ -74,13 +74,13 @@ class Cluster {
   }
   /// Per-rail guard serializing per-message post cost (DMA doorbell etc.).
   sim::Semaphore& tx_post_lock(int node, int hca) {
-    return *tx_lock_.at(index(node, hca));
+    return tx_lock_.at(index(node, hca));
   }
 
   /// One core per rank: concurrent CPU-driven operations issued by the same
   /// rank serialize on this lock (NIC DMA does not take it).
   sim::Semaphore& cpu_lock(int grank) {
-    return *rank_lock_.at(static_cast<std::size_t>(grank));
+    return rank_lock_.at(static_cast<std::size_t>(grank));
   }
 
   // ---- Primitive timed operations ----
@@ -189,8 +189,10 @@ class Cluster {
   std::vector<sim::ResourceId> hca_tx_;
   std::vector<sim::ResourceId> hca_rx_;
   std::vector<sim::ResourceId> pcie_;
-  std::vector<std::unique_ptr<sim::Semaphore>> tx_lock_;
-  std::vector<std::unique_ptr<sim::Semaphore>> rank_lock_;
+  // Stored flat (exact-reserved in the constructor, never resized after,
+  // so the semaphore addresses handed out stay stable).
+  std::vector<sim::Semaphore> tx_lock_;
+  std::vector<sim::Semaphore> rank_lock_;
   std::vector<int> rail_rr_;
   std::vector<RailState> rails_;  // per (node, hca)
   sim::FaultPlan faults_;

@@ -119,8 +119,12 @@ class Net {
   };
 
   struct RankBox {
-    std::list<Arrival> arrivals;   // unexpected queue, FIFO
-    std::list<PostedRecv*> posted; // posted receives, FIFO
+    // Arrivals stay a list: Arrival addresses are held across suspension
+    // points (PostedRecv::arrival, deliver's return). The posted queue is
+    // a flat vector of pointers — FIFO scan/erase preserves order and the
+    // pointees live in the receivers' coroutine frames.
+    std::list<Arrival> arrivals;      // unexpected queue, FIFO
+    std::vector<PostedRecv*> posted;  // posted receives, FIFO
   };
 
   static bool matches(int want_src, int want_tag, int src, int tag) {

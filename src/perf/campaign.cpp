@@ -23,6 +23,10 @@ hw::ClusterSpec Scenario::spec() const {
   return s;
 }
 
+hw::ClusterSpec ProbeSpec::spec() const {
+  return hw::ClusterSpec::thor(nodes, ppn);
+}
+
 namespace {
 
 constexpr std::size_t kKiB = 1024;
@@ -132,6 +136,30 @@ Campaign build_smoke() {
   return c;
 }
 
+Campaign build_scale() {
+  Campaign c;
+  c.name = "scale";
+  // Large worlds through the full MHA path with small messages: what grows
+  // here is the *event population* (ranks, rails, graph tasks), which is
+  // exactly what the calendar queue, the flow arenas and the incremental
+  // solver exist to keep linear. Latency metrics gate the model; the
+  // wall-clock probe below gates host throughput; peak RSS rides along in
+  // the wallclock section.
+  c.scenarios = {
+      {"scale/n64/mha", "scale", Kind::kAllgather, "mha", 64, 4, 0, "",
+       {4 * kKiB, 64 * kKiB}, 0},
+      {"scale/n256/mha", "scale", Kind::kAllgather, "mha", 256, 2, 0, "",
+       {4 * kKiB, 64 * kKiB}, 0},
+      {"scale/n1024/mha", "scale", Kind::kAllgather, "mha", 1024, 2, 0, "",
+       {4 * kKiB}, 0},
+  };
+  // Fig. 13's 32-node shape at full PPN: big enough that queue/solver
+  // scaling dominates, small enough for five timed repeats in CI.
+  c.probe = {"allgather mha 32 nodes x 32 ppn 1MiB", 32, 32, 1u << 20};
+  validate_campaign(c);
+  return c;
+}
+
 }  // namespace
 
 const Campaign& default_campaign() {
@@ -144,13 +172,21 @@ const Campaign& smoke_campaign() {
   return c;
 }
 
+const Campaign& scale_campaign() {
+  static const Campaign c = build_scale();
+  return c;
+}
+
 const Campaign* find_campaign(const std::string& name) {
   if (name == "default") return &default_campaign();
   if (name == "smoke") return &smoke_campaign();
+  if (name == "scale") return &scale_campaign();
   return nullptr;
 }
 
-std::vector<std::string> campaign_names() { return {"default", "smoke"}; }
+std::vector<std::string> campaign_names() {
+  return {"default", "smoke", "scale"};
+}
 
 void validate_campaign(const Campaign& c) {
   if (c.scenarios.empty()) {

@@ -8,11 +8,14 @@
 // (perf/runner.hpp) owns execution — so campaigns diff cleanly and adding
 // coverage is editing a table, not writing a bench.
 //
-// Two campaigns are built in:
+// Three campaigns are built in:
 //   default  the curated regression net over Figs. 1, 5, 8, 11-15 plus one
 //            degraded-rail scenario; this is what CI gates against
 //            BENCH_seed.json with.
 //   smoke    three tiny scenarios for `ctest -L perf` and quick local runs.
+//   scale    simulator-core scale sweep over 64/256/1024-node worlds with
+//            a fig13-shaped wall-clock probe; CI gates it against
+//            BENCH_scale_seed.json.
 #pragma once
 
 #include <cstddef>
@@ -57,9 +60,24 @@ struct Scenario {
   hw::ClusterSpec spec() const;
 };
 
+/// The wall-clock probe workload: the fixed allgather the runner times to
+/// turn dispatched events into host events/sec. Per-campaign so the scale
+/// campaign can probe a large world while default/smoke keep the
+/// historical 4x8 probe (committed baselines stay commensurable — the
+/// comparator refuses to gate across differing probe descriptions).
+struct ProbeSpec {
+  std::string description = "allgather mha 4 nodes x 8 ppn 1MiB";
+  int nodes = 4;
+  int ppn = 8;
+  std::size_t msg_bytes = 1u << 20;
+
+  hw::ClusterSpec spec() const;
+};
+
 struct Campaign {
   std::string name;
   std::vector<Scenario> scenarios;
+  ProbeSpec probe;
 };
 
 /// The curated Figs. 1/5/8/11-15 (+degraded) regression campaign.
@@ -68,7 +86,12 @@ const Campaign& default_campaign();
 /// Three tiny scenarios for `ctest -L perf` smoke runs.
 const Campaign& smoke_campaign();
 
-/// Lookup by name ("default", "smoke"); nullptr when unknown.
+/// Simulator-core scale sweep: 64/256/1024-node worlds through the full
+/// MHA path, with a fig13-shaped (32 nodes x 32 ppn) wall-clock probe.
+/// Gated in CI against BENCH_scale_seed.json.
+const Campaign& scale_campaign();
+
+/// Lookup by name ("default", "smoke", "scale"); nullptr when unknown.
 const Campaign* find_campaign(const std::string& name);
 
 /// All built-in campaign names, in listing order.

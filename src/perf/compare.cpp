@@ -157,6 +157,31 @@ struct Differ {
     }
   }
 
+  /// Peak RSS is a high-water mark of one deterministic workload on one
+  /// machine class (fingerprints already matched), so it is far steadier
+  /// than events/sec — but allocator and kernel variance is real, so only
+  /// growth beyond the wall-clock threshold gates.
+  void diff_peak_rss(const Json& bw, const Json& nw) {
+    const Json* br = bw.find("peak_rss_bytes");
+    const Json* nr = nw.find("peak_rss_bytes");
+    if (br == nullptr || nr == nullptr || !br->is_number() ||
+        !nr->is_number() || br->number() <= 0 || nr->number() <= 0) {
+      return;  // older baseline (pre-RSS) or platform without ru_maxrss
+    }
+    const double rel = (nr->number() - br->number()) / br->number();
+    if (rel > opts.wallclock_threshold) {
+      add(Finding::Level::kFail, "",
+          "wallclock: peak RSS grew " + fmt_pct(rel) + " (" +
+              fmt(br->number()) + " -> " + fmt(nr->number()) +
+              " bytes), beyond the " + fmt_pct(opts.wallclock_threshold) +
+              " threshold");
+    } else if (-rel > opts.wallclock_threshold) {
+      add(Finding::Level::kInfo, "",
+          "wallclock: peak RSS shrank " + fmt_pct(rel) + " (" +
+              fmt(br->number()) + " -> " + fmt(nr->number()) + " bytes)");
+    }
+  }
+
   void diff_wallclock(const Json& base, const Json& next) {
     const Json* bw = base.find("wallclock");
     const Json* nw = next.find("wallclock");
@@ -167,6 +192,17 @@ struct Differ {
                 (bw != nullptr ? "missing from new report" : "new; no baseline")
                 + " — not gated");
       }
+      return;
+    }
+    // Probe workloads must match before the numbers mean anything: each
+    // campaign carries its own probe shape, so a baseline recorded with
+    // one cannot gate a report recorded with another.
+    const std::string bprobe = bw->string_at("probe");
+    const std::string nprobe = nw->string_at("probe");
+    if (bprobe != nprobe) {
+      add(Finding::Level::kInfo, "",
+          "wallclock: probe workloads differ (base '" + bprobe +
+              "' vs new '" + nprobe + "'); events/sec not compared");
       return;
     }
     const std::string bfp = base.at("environment").string_at("fingerprint");
@@ -182,6 +218,7 @@ struct Differ {
               " is informational only");
       return;
     }
+    diff_peak_rss(*bw, *nw);
     // Noise-aware gate: the threshold widens to 3*MAD/median when the
     // measured spread says the machine is noisier than the default allows.
     const double bmad = bw->number_at("mad_events_per_sec");

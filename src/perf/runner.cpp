@@ -1,5 +1,6 @@
 #include "perf/runner.hpp"
 
+#include <sys/resource.h>
 #include <sys/utsname.h>
 
 #include <algorithm>
@@ -159,17 +160,24 @@ double median_of(std::vector<double> v) {
   return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
 }
 
-WallclockResult run_wallclock_probe(int repeats) {
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0 || ru.ru_maxrss <= 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+WallclockResult run_wallclock_probe(const ProbeSpec& probe, int repeats) {
   WallclockResult w;
-  w.probe = "allgather mha 4 nodes x 8 ppn 1MiB";
+  w.probe = probe.description;
   w.repeats = repeats;
-  const auto spec = hw::ClusterSpec::thor(4, 8);
+  const auto spec = probe.spec();
   const auto& fn = profiles::mha().allgather;
   // Untimed warmup so first-touch allocation noise stays out of sample 1.
-  (void)osu::measure_allgather_counted(spec, fn, 1u << 20);
+  (void)osu::measure_allgather_counted(spec, fn, probe.msg_bytes);
   for (int i = 0; i < repeats; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto run = osu::measure_allgather_counted(spec, fn, 1u << 20);
+    const auto run = osu::measure_allgather_counted(spec, fn, probe.msg_bytes);
     const auto t1 = std::chrono::steady_clock::now();
     const double host_s = std::chrono::duration<double>(t1 - t0).count();
     w.events = run.events;
@@ -183,6 +191,7 @@ WallclockResult run_wallclock_probe(int repeats) {
     dev.push_back(std::abs(s - w.median_events_per_sec));
   }
   w.mad_events_per_sec = median_of(std::move(dev));
+  w.peak_rss_bytes = peak_rss_bytes();
   return w;
 }
 
@@ -244,7 +253,7 @@ Report run_campaign(const Campaign& c, const RunOptions& opts) {
                      << "...\n";
       opts.progress->flush();
     }
-    r.wallclock = run_wallclock_probe(opts.wallclock_repeats);
+    r.wallclock = run_wallclock_probe(c.probe, opts.wallclock_repeats);
   }
   return r;
 }
@@ -339,6 +348,7 @@ void write_report_json(std::ostream& os, const Report& r) {
     os << "    \"probe\": \"" << obs::json_escape(w.probe) << "\",\n";
     os << "    \"repeats\": " << w.repeats << ",\n";
     os << "    \"events\": " << w.events << ",\n";
+    os << "    \"peak_rss_bytes\": " << w.peak_rss_bytes << ",\n";
     os << "    \"samples_events_per_sec\": [";
     for (std::size_t i = 0; i < w.samples_events_per_sec.size(); ++i) {
       os << (i == 0 ? "" : ", ") << format_metric(w.samples_events_per_sec[i]);

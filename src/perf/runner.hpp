@@ -53,6 +53,11 @@ struct WallclockResult {
   std::vector<double> samples_events_per_sec;  ///< in run order
   double median_events_per_sec = 0;
   double mad_events_per_sec = 0;  ///< median absolute deviation
+  /// Peak resident set of the whole process after the probe runs
+  /// (getrusage ru_maxrss). High-water mark, so it covers the campaign's
+  /// scenario runs too — the scale campaign's memory gate. 0 when the
+  /// platform cannot report it.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 struct Environment {

@@ -14,14 +14,21 @@ struct Detached {
   struct promise_type {
     Engine* eng;
 
+    static void* operator new(std::size_t n) {
+      return detail::FramePool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::FramePool::deallocate(p, n);
+    }
+
+    std::size_t root_idx = 0;  // written by note_root_started
+
     promise_type(Engine* e, Task<void>&) : eng(e) {
       eng->note_root_started(
-          std::coroutine_handle<promise_type>::from_promise(*this).address());
+          std::coroutine_handle<promise_type>::from_promise(*this).address(),
+          &root_idx);
     }
-    ~promise_type() {
-      eng->note_root_destroyed(
-          std::coroutine_handle<promise_type>::from_promise(*this).address());
-    }
+    ~promise_type() { eng->note_root_destroyed(root_idx); }
 
     Detached get_return_object() noexcept {
       return {std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -49,26 +56,27 @@ Detached run_root(Engine* eng, Task<void> t) {
 Engine::~Engine() {
   // Destroy any root frames still suspended (possible when run() aborted on
   // an exception or was never called). Destroying a root frame cascades to
-  // the Task objects it owns, reclaiming the whole coroutine chain.
-  auto roots = live_roots_;  // promise destructors mutate live_roots_
-  for (void* addr : roots) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  // the Task objects it owns, reclaiming the whole coroutine chain. Each
+  // destroy deregisters its own entry, so drain from the back.
+  while (!live_roots_.empty()) {
+    std::coroutine_handle<>::from_address(live_roots_.back().first).destroy();
   }
 }
 
-void Engine::schedule(std::coroutine_handle<> h, Time t) {
+EventId Engine::schedule(std::coroutine_handle<> h, Time t) {
   if (t < now_) throw SimError("Engine::schedule: time in the past");
-  queue_.push(Event{t, seq_++, h, {}});
+  return queue_.push(t, h, nullptr);
 }
 
-void Engine::schedule_callback(std::function<void()> fn, Time t) {
+EventId Engine::schedule_callback(std::function<void()> fn, Time t) {
   if (t < now_) throw SimError("Engine::schedule_callback: time in the past");
-  queue_.push(Event{t, seq_++, {}, std::move(fn)});
+  return queue_.push(t, {}, std::move(fn));
 }
 
-void Engine::note_root_started(void* frame) {
+void Engine::note_root_started(void* frame, std::size_t* idx_slot) {
   ++alive_;
-  live_roots_.insert(frame);
+  *idx_slot = live_roots_.size();
+  live_roots_.emplace_back(frame, idx_slot);
 }
 
 void Engine::note_root_finished(std::exception_ptr err) {
@@ -76,7 +84,11 @@ void Engine::note_root_finished(std::exception_ptr err) {
   if (err && !first_error_) first_error_ = err;
 }
 
-void Engine::note_root_destroyed(void* frame) { live_roots_.erase(frame); }
+void Engine::note_root_destroyed(std::size_t idx) {
+  live_roots_[idx] = live_roots_.back();
+  *live_roots_[idx].second = idx;
+  live_roots_.pop_back();
+}
 
 void Engine::spawn(Task<void> t) {
   if (!t.valid()) throw SimError("Engine::spawn: invalid task");
@@ -91,8 +103,7 @@ void Engine::run(std::uint64_t max_events) {
     if (limit != 0 && dispatched_ >= limit) {
       throw SimError("event watchdog tripped at t=" + std::to_string(now_));
     }
-    Event ev = queue_.top();
-    queue_.pop();
+    QueuedEvent ev = queue_.pop();
     now_ = ev.t;
     ++dispatched_;
     if (ev.h) {

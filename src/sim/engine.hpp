@@ -4,18 +4,23 @@
 // sequence) order. Rank programs are coroutines spawned as root tasks; the
 // engine runs until every event has been processed, and reports a deadlock
 // if root tasks remain blocked with an empty event queue.
+//
+// The scheduler is a calendar queue (sim/event_queue.hpp); the retained
+// binary-heap reference and a differential test pin its pop order to the
+// documented (time, sequence) contract.
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -38,10 +43,26 @@ class Engine {
   Time now() const noexcept { return now_; }
 
   /// Schedule a coroutine to resume at absolute time `t` (>= now).
-  void schedule(std::coroutine_handle<> h, Time t);
+  ///
+  /// Same-timestamp ordering contract (FIFO tie-break): every schedule/
+  /// schedule_callback call receives a monotonically increasing sequence
+  /// number, and events fire in strictly lexicographic (t, seq) order.
+  /// Two events scheduled for the same timestamp therefore fire in exactly
+  /// the order they were scheduled, regardless of scheduler internals —
+  /// this is what makes runs byte-identical and is pinned by the
+  /// differential test against the reference binary-heap scheduler.
+  ///
+  /// Returns an EventId usable with cancel(); safe to discard.
+  EventId schedule(std::coroutine_handle<> h, Time t);
 
-  /// Schedule a plain callback at absolute time `t` (>= now).
-  void schedule_callback(std::function<void()> fn, Time t);
+  /// Schedule a plain callback at absolute time `t` (>= now). Same
+  /// ordering contract (and EventId) as schedule().
+  EventId schedule_callback(std::function<void()> fn, Time t);
+
+  /// Remove a scheduled event before it fires. Returns false when the id
+  /// is stale (event already fired or cancelled). O(1). Cancelling a
+  /// coroutine event does not destroy the coroutine — the caller owns it.
+  bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Resume a coroutine at the current time (after already-queued events
   /// with the same timestamp).
@@ -84,25 +105,17 @@ class Engine {
   auto yield() { return sleep(0.0); }
 
   // Root-task bookkeeping; called by the detached runner in engine.cpp.
-  void note_root_started(void* frame);
+  // Each live root registers its frame plus a pointer to the index slot
+  // kept inside its promise, so deregistration is an O(1) swap-remove
+  // (the moved entry's promise-side index is patched through the pointer).
+  void note_root_started(void* frame, std::size_t* idx_slot);
   void note_root_finished(std::exception_ptr err);
-  void note_root_destroyed(void* frame);
+  void note_root_destroyed(std::size_t idx);
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;        // either a handle ...
-    std::function<void()> fn;         // ... or a callback
-    bool operator>(const Event& o) const noexcept {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<void*> live_roots_;
+  CalendarQueue queue_;
+  std::vector<std::pair<void*, std::size_t*>> live_roots_;
   Time now_ = kTimeZero;
-  std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
   int alive_ = 0;
   std::exception_ptr first_error_;

@@ -1,0 +1,164 @@
+// Event-queue implementations for the discrete-event engine.
+//
+// Two queues with identical semantics live here:
+//
+//   CalendarQueue    the production scheduler: a self-resizing calendar
+//                    queue (Brown 1988) with arena-allocated event nodes,
+//                    O(1) amortized push/pop for the engine's mostly
+//                    monotone schedule pattern, O(1) tail insertion for
+//                    bursts of equal timestamps, and O(1) cancellation by
+//                    unlinking.
+//   BinaryHeapQueue  the retained reference: the original binary-heap
+//                    (std::priority_queue) scheduler with lazy-deletion
+//                    cancel. Kept so the differential test in
+//                    tests/sim/test_event_queue.cpp can assert the calendar
+//                    queue pops in the exact same order on randomized
+//                    schedule/cancel/re-schedule sequences.
+//
+// Ordering contract (both queues): events pop in strictly lexicographic
+// (t, seq) order, where seq is the queue's monotonically increasing
+// insertion counter — equal timestamps pop FIFO in push order. The engine's
+// determinism guarantee (and the byte-identical trace tests built on it)
+// rest on this contract, not on any scheduler internals.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hmca::sim {
+
+/// Virtual time (seconds) — mirrors sim/time.hpp without including it so
+/// the queues stay standalone-testable.
+using QueueTime = double;
+
+/// Token identifying a scheduled event for cancellation. Encodes an arena
+/// slot plus a per-slot generation, so a stale id (event already fired or
+/// cancelled, slot reused) is detected and rejected.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// A popped event: either a coroutine handle or a callback (never both).
+struct QueuedEvent {
+  QueueTime t = 0.0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> h;
+  std::function<void()> fn;
+};
+
+/// Calendar-queue scheduler. Push is O(1) amortized (sorted insertion into
+/// a bucket; bursts of equal timestamps append at the bucket tail), pop is
+/// O(1) amortized for dense schedules with a bounded direct-search fallback
+/// for sparse ones, cancel is O(1). The bucket count doubles/halves with
+/// the event population and the bucket width is re-estimated from the
+/// queued time span on every resize, so performance adapts to the
+/// simulation's event density without affecting pop order.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Insert an event; returns a token usable with cancel(). The next
+  /// monotone sequence number is assigned internally (FIFO tie-break).
+  EventId push(QueueTime t, std::coroutine_handle<> h, std::function<void()> fn);
+
+  /// Remove a not-yet-popped event. Returns false when the id is stale
+  /// (already popped or cancelled). O(1).
+  bool cancel(EventId id);
+
+  /// Remove and return the minimum (t, seq) event. Precondition: !empty().
+  QueuedEvent pop();
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  // Introspection for tests/diagnostics.
+  std::size_t bucket_count() const noexcept { return heads_.size(); }
+  double bucket_width() const noexcept { return width_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kMinBuckets = 16;
+
+  struct Node {
+    QueueTime t = 0.0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t bucket = 0;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  bool before(const Node& a, const Node& b) const noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  /// Virtual (un-wrapped) bucket number of a timestamp; saturates instead
+  /// of overflowing for pathological time/width ratios.
+  std::uint64_t virtual_bucket(QueueTime t) const noexcept;
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t slot);
+  void link_into_bucket(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
+  /// Point the scan cursor at the global minimum via a direct search over
+  /// bucket heads (each head is its bucket's minimum). O(buckets).
+  void locate_min();
+  void resize(std::size_t nbuckets);
+  void maybe_resize();
+
+  std::vector<Node> arena_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> heads_;
+  std::vector<std::uint32_t> tails_;
+  double width_ = 1e-6;
+  double inv_width_ = 1e6;  // 1/width_, cached: binning is a hot multiply
+  std::size_t count_ = 0;
+  std::size_t resize_cooldown_ = 0;  // ops left before the next resize
+  std::uint64_t seq_next_ = 0;
+  std::uint64_t cur_vb_ = 0;  // scan cursor: current virtual bucket
+  bool located_ = false;      // cur_vb_ valid (false after resize/drain)
+};
+
+/// The original binary-heap scheduler, retained verbatim as the
+/// differential-testing oracle. Cancellation is lazy: cancelled entries
+/// stay in the heap and are skipped at pop.
+class BinaryHeapQueue {
+ public:
+  EventId push(QueueTime t, std::coroutine_handle<> h, std::function<void()> fn);
+  bool cancel(EventId id);
+  QueuedEvent pop();
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Slot {
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+  struct Entry {
+    QueueTime t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const Entry& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t seq_next_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hmca::sim

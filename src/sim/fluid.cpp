@@ -16,12 +16,111 @@ constexpr double kRemainderEps = 1e-6;
 constexpr double kMinCompletionDt = 1e-9;
 }  // namespace
 
+std::vector<double> waterfill_reference(
+    const std::vector<double>& capacities,
+    const std::vector<ReferenceFlow>& flows) {
+  struct Res {
+    double capacity;
+    double avail = 0.0;
+    double pending_weight = 0.0;
+  };
+  std::vector<Res> res;
+  res.reserve(capacities.size());
+  for (const double c : capacities) res.push_back(Res{c});
+
+  std::vector<double> rate(flows.size(), 0.0);
+  std::vector<char> frozen(flows.size(), 0);
+  std::vector<char> bottleneck(capacities.size(), 0);
+  auto unfrozen = static_cast<int>(flows.size());
+
+  // Progressive filling: repeatedly find the tightest constraint — either a
+  // resource's fair share avail/weight or the smallest per-flow cap — fix
+  // the constrained flows at that rate, and continue with the rest.
+  // avail and pending are recomputed from the flow sets every round:
+  // incremental subtraction accumulates floating-point residue that can
+  // leave a "ghost" resource with tiny pending weight and no actual
+  // unfrozen users, which would stall the filling.
+  while (unfrozen > 0) {
+    for (auto& r : res) {
+      r.avail = r.capacity;
+      r.pending_weight = 0.0;
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      for (const auto& u : flows[f].uses) {
+        auto& r = res[u.resource];
+        if (frozen[f]) {
+          r.avail = std::max(0.0, r.avail - rate[f] * u.weight);
+        } else {
+          r.pending_weight += u.weight;
+        }
+      }
+    }
+
+    double share = std::numeric_limits<double>::infinity();
+    for (const auto& r : res) {
+      if (r.pending_weight > 0.0) {
+        share = std::min(share, r.avail / r.pending_weight);
+      }
+    }
+    double min_cap = std::numeric_limits<double>::infinity();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!frozen[f]) min_cap = std::min(min_cap, flows[f].rate_cap);
+    }
+
+    if (min_cap <= share) {
+      // Cap-limited flows freeze at their cap; they may leave bandwidth on
+      // the table for the others.
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (frozen[f] || flows[f].rate_cap != min_cap) continue;
+        frozen[f] = 1;
+        rate[f] = min_cap;
+        --unfrozen;
+      }
+      continue;
+    }
+
+    // Freeze every unfrozen flow touching a bottleneck resource at the
+    // fair share. Membership is decided against the shares computed above
+    // (two passes), so mid-loop drift cannot empty the round.
+    bottleneck.assign(capacities.size(), 0);
+    bool any_bottleneck = false;
+    for (std::size_t rid = 0; rid < res.size(); ++rid) {
+      const auto& r = res[rid];
+      if (r.pending_weight > 0.0 &&
+          r.avail / r.pending_weight <= share * (1.0 + 1e-9)) {
+        bottleneck[rid] = 1;
+        any_bottleneck = true;
+      }
+    }
+    if (!any_bottleneck) {
+      throw SimError("waterfill_reference: failed to converge");
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      bool bottlenecked = false;
+      for (const auto& u : flows[f].uses) {
+        if (bottleneck[u.resource]) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      frozen[f] = 1;
+      rate[f] = share;
+      --unfrozen;
+    }
+  }
+  return rate;
+}
+
 ResourceId FluidNetwork::add_resource(std::string name,
                                       double capacity_bytes_per_s) {
   if (!(capacity_bytes_per_s > 0.0)) {
     throw SimError("FluidNetwork: resource capacity must be positive: " + name);
   }
-  resources_.push_back(Resource{std::move(name), capacity_bytes_per_s});
+  resources_.push_back(Resource{std::move(name), 0, {}});
+  res_cap_.push_back(capacity_bytes_per_s);
+  res_served_.push_back(0.0);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -42,16 +141,115 @@ void FluidNetwork::validate(const FlowSpec& spec) const {
   }
 }
 
+std::uint32_t FluidNetwork::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  remaining_.push_back(0.0);
+  rate_.push_back(0.0);
+  next_.push_back(kNil);
+  prev_.push_back(kNil);
+  uses_off_.push_back(0);
+  n_uses_.push_back(0);
+  cold_.emplace_back();
+  flow_mark_.push_back(0);
+  return static_cast<std::uint32_t>(cold_.size() - 1);
+}
+
 void FluidNetwork::add_flow(FlowSpec spec, std::coroutine_handle<> h) {
   advance();
-  Flow f;
-  f.remaining = spec.bytes;
+  const std::uint32_t slot = alloc_slot();
+  FlowCold& f = cold_[slot];
+  remaining_[slot] = spec.bytes;
+  rate_[slot] = 0.0;
   f.spec = std::move(spec);
   f.waiter = h;
-  flows_.push_back(std::move(f));
-  peak_flows_ = std::max(peak_flows_, static_cast<int>(flows_.size()));
+  f.start_seq = next_start_seq_++;
+  f.alive = true;
+  // Copy the uses into the flat arena (recycling a freed same-length block).
+  const auto nu = static_cast<std::uint32_t>(f.spec.uses.size());
+  std::uint32_t uoff = 0;
+  if (nu > 0) {
+    if (nu < uses_free_.size() && !uses_free_[nu].empty()) {
+      uoff = uses_free_[nu].back();
+      uses_free_[nu].pop_back();
+    } else {
+      uoff = static_cast<std::uint32_t>(uses_arena_.size());
+      uses_arena_.resize(uses_arena_.size() + nu);
+    }
+    std::copy(f.spec.uses.begin(), f.spec.uses.end(),
+              uses_arena_.begin() + uoff);
+  }
+  uses_off_[slot] = uoff;
+  n_uses_[slot] = nu;
+  // Link at the tail of the insertion-order list.
+  prev_[slot] = tail_;
+  next_[slot] = kNil;
+  if (tail_ != kNil) {
+    next_[tail_] = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  // Register one membership entry per use (duplicates are legal).
+  f.entry_pos.clear();
+  for (std::uint32_t i = 0; i < f.spec.uses.size(); ++i) {
+    auto& entries = resources_[f.spec.uses[i].resource].entries;
+    entries.push_back(pack_entry(slot, i));
+    f.entry_pos.push_back(static_cast<std::uint32_t>(entries.size() - 1));
+  }
+  if (f.spec.uses.empty()) {
+    dirty_flows_.push_back(slot);
+  } else {
+    mark_dirty(f.spec);
+  }
+  ++active_;
+  peak_flows_ = std::max(peak_flows_, static_cast<int>(active_));
   if (flow_observer_) flow_observer_(eng_->now(), active_flows());
   touch();
+}
+
+void FluidNetwork::remove_flow(std::uint32_t slot) {
+  FlowCold& f = cold_[slot];
+  for (std::uint32_t i = 0; i < f.spec.uses.size(); ++i) {
+    auto& entries = resources_[f.spec.uses[i].resource].entries;
+    const std::uint32_t pos = f.entry_pos[i];
+    const std::uint64_t moved = entries.back();
+    entries[pos] = moved;
+    entries.pop_back();
+    if (moved != pack_entry(slot, i)) {
+      cold_[static_cast<std::uint32_t>(moved >> 16)]
+          .entry_pos[static_cast<std::uint32_t>(moved & 0xffffu)] = pos;
+    }
+  }
+  if (prev_[slot] != kNil) {
+    next_[prev_[slot]] = next_[slot];
+  } else {
+    head_ = next_[slot];
+  }
+  if (next_[slot] != kNil) {
+    prev_[next_[slot]] = prev_[slot];
+  } else {
+    tail_ = prev_[slot];
+  }
+  if (n_uses_[slot] > 0) {
+    if (n_uses_[slot] >= uses_free_.size()) {
+      uses_free_.resize(n_uses_[slot] + 1);
+    }
+    uses_free_[n_uses_[slot]].push_back(uses_off_[slot]);
+  }
+  f.alive = false;
+  f.waiter = {};
+  f.spec = FlowSpec{};
+  f.entry_pos.clear();
+  free_slots_.push_back(slot);
+  --active_;
+}
+
+void FluidNetwork::mark_dirty(const FlowSpec& spec) {
+  for (const auto& u : spec.uses) dirty_resources_.push_back(u.resource);
 }
 
 void FluidNetwork::touch() {
@@ -69,11 +267,18 @@ void FluidNetwork::advance() {
   const Time now = eng_->now();
   const double dt = now - last_update_;
   if (dt > 0.0) {
-    for (auto& f : flows_) {
-      const double moved = std::min(f.remaining, f.rate * dt);
-      f.remaining -= moved;
-      for (const auto& u : f.spec.uses) {
-        resources_[u.resource].served += moved * u.weight;
+    const ResourceUse* arena = uses_arena_.data();
+    for (std::uint32_t s = head_; s != kNil; s = next_[s]) {
+      const double moved = std::min(remaining_[s], rate_[s] * dt);
+      // moved == 0 leaves remaining and served bit-identical (x - 0.0 == x,
+      // x + 0.0 * w == x for the non-negative values involved); skipping
+      // avoids touching the use list for stalled flows.
+      if (moved == 0.0) continue;
+      remaining_[s] -= moved;
+      const ResourceUse* uses = arena + uses_off_[s];
+      const std::uint32_t nu = n_uses_[s];
+      for (std::uint32_t i = 0; i < nu; ++i) {
+        res_served_[uses[i].resource] += moved * uses[i].weight;
       }
     }
   }
@@ -85,16 +290,18 @@ void FluidNetwork::do_update() {
 
   // Complete drained flows; waiters resume at the current timestamp, ahead
   // of the next update callback, so transfers they start are batched into
-  // one further water-filling pass.
+  // one further water-filling pass. A completed flow's resources become
+  // dirty: the bandwidth it frees is redistributed within its component.
   bool completed = false;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining <= kRemainderEps) {
-      eng_->schedule_now(it->waiter);
-      it = flows_.erase(it);
+  for (std::uint32_t s = head_; s != kNil;) {
+    const std::uint32_t next = next_[s];
+    if (remaining_[s] <= kRemainderEps) {
+      eng_->schedule_now(cold_[s].waiter);
+      mark_dirty(cold_[s].spec);
+      remove_flow(s);
       completed = true;
-    } else {
-      ++it;
     }
+    s = next;
   }
   if (completed && flow_observer_) flow_observer_(eng_->now(), active_flows());
 
@@ -104,8 +311,8 @@ void FluidNetwork::do_update() {
   // this event if the flow set changes first.
   ++completion_gen_;
   double dt_min = std::numeric_limits<double>::infinity();
-  for (const auto& f : flows_) {
-    if (f.rate > 0.0) dt_min = std::min(dt_min, f.remaining / f.rate);
+  for (std::uint32_t s = head_; s != kNil; s = next_[s]) {
+    if (rate_[s] > 0.0) dt_min = std::min(dt_min, remaining_[s] / rate_[s]);
   }
   if (std::isfinite(dt_min)) {
     dt_min = std::max(dt_min, kMinCompletionDt);
@@ -119,94 +326,177 @@ void FluidNetwork::do_update() {
 }
 
 void FluidNetwork::reallocate() {
-  if (flows_.empty()) return;
-
-  int unfrozen = 0;
-  for (auto& f : flows_) {
-    f.frozen = false;
-    f.rate = 0.0;
-    ++unfrozen;
+  // Expand the dirty seeds into the affected connected component(s) of the
+  // flow/resource sharing graph. Flows outside keep their current rates:
+  // the progressive-filling rounds below never read an unaffected flow or
+  // resource, and by the component-decomposition property of max-min
+  // fairness the result is bit-identical to a from-scratch solve (the
+  // retained waterfill_reference; pinned by the incremental property test).
+  if (dirty_resources_.empty() && dirty_flows_.empty()) return;
+  ++mark_epoch_;
+  affected_res_.clear();
+  affected_.clear();
+  for (const ResourceId r : dirty_resources_) {
+    if (resources_[r].mark != mark_epoch_) {
+      resources_[r].mark = mark_epoch_;
+      affected_res_.push_back(r);
+    }
+  }
+  dirty_resources_.clear();
+  for (const std::uint32_t s : dirty_flows_) {
+    if (cold_[s].alive && flow_mark_[s] != mark_epoch_) {
+      flow_mark_[s] = mark_epoch_;
+      affected_.push_back(s);
+    }
+  }
+  dirty_flows_.clear();
+  for (std::size_t i = 0; i < affected_res_.size(); ++i) {
+    // affected_res_ grows as the BFS expands; index loop, no iterators.
+    const Resource& r = resources_[affected_res_[i]];
+    for (const std::uint64_t e : r.entries) {
+      const auto slot = static_cast<std::uint32_t>(e >> 16);
+      if (flow_mark_[slot] == mark_epoch_) continue;
+      flow_mark_[slot] = mark_epoch_;
+      affected_.push_back(slot);
+      const ResourceUse* uses = uses_arena_.data() + uses_off_[slot];
+      const std::uint32_t nu = n_uses_[slot];
+      for (std::uint32_t i = 0; i < nu; ++i) {
+        const ResourceUse& u = uses[i];
+        Resource& ru = resources_[u.resource];
+        if (ru.mark != mark_epoch_) {
+          ru.mark = mark_epoch_;
+          affected_res_.push_back(u.resource);
+        }
+      }
+    }
+  }
+  if (affected_.empty()) return;
+  // Water-fill in flow-start order: sums over flows must accumulate in the
+  // same order a from-scratch solve over the full network would use. The
+  // insertion-order list is already sorted by start_seq, so rebuild the
+  // affected list by walking it and filtering on the epoch mark (linear,
+  // cheaper than sorting the BFS-discovery order).
+  affected_.clear();
+  for (std::uint32_t s = head_; s != kNil; s = next_[s]) {
+    if (flow_mark_[s] == mark_epoch_) affected_.push_back(s);
   }
 
-  // Progressive filling: repeatedly find the tightest constraint — either a
-  // resource's fair share avail/weight or the smallest per-flow cap — fix
-  // the constrained flows at that rate, and continue with the rest.
-  // avail and pending are recomputed from the flow sets every round:
-  // incremental subtraction accumulates floating-point residue that can
-  // leave a "ghost" resource with tiny pending weight and no actual
-  // unfrozen users, which would stall the filling.
+  // Copy the hot per-flow fields into the dense scratch once; the rounds
+  // below then run over flat arrays instead of chasing FlowCold structs.
+  const std::size_t nflows = affected_.size();
+  wf_.clear();
+  for (const std::uint32_t s : affected_) {
+    wf_.push_back(WfFlow{uses_off_[s], n_uses_[s], cold_[s].spec.rate_cap});
+    rate_[s] = 0.0;
+  }
+  frozen_.assign(nflows, 0);
+  if (res_avail_.size() < resources_.size()) {
+    res_avail_.resize(resources_.size());
+    res_pending_.resize(resources_.size());
+    res_bn_.resize(resources_.size());
+  }
+  auto unfrozen = static_cast<int>(nflows);
+
+  // Progressive filling over the affected component (see
+  // waterfill_reference for the algorithm notes; the loop bodies mirror it
+  // exactly so the FP operation sequences match).
   while (unfrozen > 0) {
-    for (auto& r : resources_) {
-      r.avail = r.capacity;
-      r.pending_weight = 0.0;
+    for (const ResourceId rid : affected_res_) {
+      res_avail_[rid] = res_cap_[rid];
+      res_pending_[rid] = 0.0;
     }
-    for (const auto& f : flows_) {
-      for (const auto& u : f.spec.uses) {
-        auto& r = resources_[u.resource];
-        if (f.frozen) {
-          r.avail = std::max(0.0, r.avail - f.rate * u.weight);
+    if (unfrozen == static_cast<int>(nflows)) {
+      // First round (and any later round before the first freeze): nothing
+      // is frozen, so every flow takes the pending path — same FP ops, no
+      // per-flow branch.
+      for (std::size_t idx = 0; idx < nflows; ++idx) {
+        const WfFlow& f = wf_[idx];
+        const ResourceUse* uses = uses_arena_.data() + f.uses_off;
+        for (std::uint32_t i = 0; i < f.n_uses; ++i) {
+          const ResourceUse& u = uses[i];
+          res_pending_[u.resource] += u.weight;
+        }
+      }
+    } else {
+      for (std::size_t idx = 0; idx < nflows; ++idx) {
+        const WfFlow& f = wf_[idx];
+        const ResourceUse* uses = uses_arena_.data() + f.uses_off;
+        if (frozen_[idx]) {
+          const double rate = rate_[affected_[idx]];
+          for (std::uint32_t i = 0; i < f.n_uses; ++i) {
+            const ResourceUse& u = uses[i];
+            res_avail_[u.resource] =
+                std::max(0.0, res_avail_[u.resource] - rate * u.weight);
+          }
         } else {
-          r.pending_weight += u.weight;
+          for (std::uint32_t i = 0; i < f.n_uses; ++i) {
+            const ResourceUse& u = uses[i];
+            res_pending_[u.resource] += u.weight;
+          }
         }
       }
     }
 
     double share = std::numeric_limits<double>::infinity();
-    for (const auto& r : resources_) {
-      if (r.pending_weight > 0.0) {
-        share = std::min(share, r.avail / r.pending_weight);
+    for (const ResourceId rid : affected_res_) {
+      if (res_pending_[rid] > 0.0) {
+        share = std::min(share, res_avail_[rid] / res_pending_[rid]);
       }
     }
     double min_cap = std::numeric_limits<double>::infinity();
-    for (const auto& f : flows_) {
-      if (!f.frozen) min_cap = std::min(min_cap, f.spec.rate_cap);
+    for (std::size_t idx = 0; idx < nflows; ++idx) {
+      if (!frozen_[idx]) min_cap = std::min(min_cap, wf_[idx].cap);
     }
 
     if (min_cap <= share) {
-      // Cap-limited flows freeze at their cap; they may leave bandwidth on
-      // the table for the others.
-      for (auto& f : flows_) {
-        if (f.frozen || f.spec.rate_cap != min_cap) continue;
-        f.frozen = true;
-        f.rate = min_cap;
+      for (std::size_t idx = 0; idx < nflows; ++idx) {
+        if (frozen_[idx] || wf_[idx].cap != min_cap) continue;
+        frozen_[idx] = 1;
+        rate_[affected_[idx]] = min_cap;
         --unfrozen;
       }
       continue;
     }
 
-    // Freeze every unfrozen flow touching a bottleneck resource at the
-    // fair share. Membership is decided against the shares computed above
-    // (two passes), so mid-loop drift cannot empty the round.
-    bottleneck_.assign(resources_.size(), 0);
     bool any_bottleneck = false;
-    for (std::size_t rid = 0; rid < resources_.size(); ++rid) {
-      const auto& r = resources_[rid];
-      if (r.pending_weight > 0.0 &&
-          r.avail / r.pending_weight <= share * (1.0 + 1e-9)) {
-        bottleneck_[rid] = 1;
-        any_bottleneck = true;
-      }
+    for (const ResourceId rid : affected_res_) {
+      const bool bn = res_pending_[rid] > 0.0 &&
+                      res_avail_[rid] / res_pending_[rid] <=
+                          share * (1.0 + 1e-9);
+      res_bn_[rid] = bn;
+      any_bottleneck = any_bottleneck || bn;
     }
     if (!any_bottleneck) {
       // Only cap-free, resource-free flows remain: impossible (validated),
       // but guard against an infinite loop.
       throw SimError("FluidNetwork: water-filling failed to converge");
     }
-    for (auto& f : flows_) {
-      if (f.frozen) continue;
+    for (std::size_t idx = 0; idx < nflows; ++idx) {
+      if (frozen_[idx]) continue;
+      const WfFlow& f = wf_[idx];
+      const ResourceUse* uses = uses_arena_.data() + f.uses_off;
       bool bottlenecked = false;
-      for (const auto& u : f.spec.uses) {
-        if (bottleneck_[u.resource]) {
+      for (std::uint32_t i = 0; i < f.n_uses; ++i) {
+        if (res_bn_[uses[i].resource]) {
           bottlenecked = true;
           break;
         }
       }
       if (!bottlenecked) continue;
-      f.frozen = true;
-      f.rate = share;
+      frozen_[idx] = 1;
+      rate_[affected_[idx]] = share;
       --unfrozen;
     }
   }
+}
+
+std::vector<FluidNetwork::FlowSnapshot> FluidNetwork::snapshot() const {
+  std::vector<FlowSnapshot> out;
+  out.reserve(active_);
+  for (std::uint32_t s = head_; s != kNil; s = next_[s]) {
+    out.push_back(FlowSnapshot{&cold_[s].spec, remaining_[s], rate_[s]});
+  }
+  return out;
 }
 
 }  // namespace hmca::sim

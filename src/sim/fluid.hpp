@@ -15,16 +15,25 @@
 // saturated memory and the `cg(M, L-1)` copy-out factor — emerge from this
 // sharing instead of being hard-coded.
 //
-// Rate recomputation is batched per virtual timestamp: synchronized
-// algorithm steps that start hundreds of flows at one instant trigger a
-// single water-filling pass.
+// Rate recomputation is batched per virtual timestamp *and incremental*:
+// when flows start or finish, only the affected connected component of the
+// flow/resource sharing graph is re-water-filled — flows that share no
+// resource (transitively) with a changed flow keep their rates untouched.
+// Because max-min fair allocations decompose exactly over connected
+// components (the progressive-filling rounds of one component never read
+// another component's state), the incremental result is bit-identical to a
+// from-scratch solve; waterfill_reference() retains the from-scratch
+// algorithm as the differential oracle the property tests compare against.
+//
+// Flow state is arena-allocated with the hot per-flow fields (remaining
+// bytes, current rate) in struct-of-arrays form, so the per-timestamp
+// advance sweep touches dense doubles instead of pointer-chasing a list.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <list>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +62,18 @@ struct FlowSpec {
   double rate_cap = kNoRateCap;
 };
 
+/// A from-scratch max-min water-filling solve: the rate of every flow given
+/// resource capacities, flow resource uses and rate caps. This is the
+/// original (pre-incremental) algorithm, retained as the reference oracle:
+/// the incremental solver inside FluidNetwork must match it to the bit at
+/// every settle point (asserted by tests/sim/test_fluid_incremental.cpp).
+struct ReferenceFlow {
+  std::vector<ResourceUse> uses;
+  double rate_cap = kNoRateCap;
+};
+std::vector<double> waterfill_reference(const std::vector<double>& capacities,
+                                        const std::vector<ReferenceFlow>& flows);
+
 class FluidNetwork {
  public:
   explicit FluidNetwork(Engine& eng) : eng_(&eng) {}
@@ -62,14 +83,14 @@ class FluidNetwork {
   /// Register a capacity resource (bytes of traffic per second).
   ResourceId add_resource(std::string name, double capacity_bytes_per_s);
 
-  double capacity(ResourceId r) const { return resources_.at(r).capacity; }
+  double capacity(ResourceId r) const { return res_cap_.at(r); }
   const std::string& resource_name(ResourceId r) const {
     return resources_.at(r).name;
   }
   /// Total traffic (payload * weight) served by a resource so far.
-  double bytes_served(ResourceId r) const { return resources_.at(r).served; }
+  double bytes_served(ResourceId r) const { return res_served_.at(r); }
   std::size_t resource_count() const { return resources_.size(); }
-  int active_flows() const { return static_cast<int>(flows_.size()); }
+  int active_flows() const { return static_cast<int>(active_); }
   /// Highest number of simultaneously active flows observed.
   int peak_flows() const { return peak_flows_; }
 
@@ -79,6 +100,17 @@ class FluidNetwork {
   /// time; pass nullptr to detach.
   using FlowObserver = std::function<void(Time, int)>;
   void set_flow_observer(FlowObserver fn) { flow_observer_ = std::move(fn); }
+
+  /// Diagnostic/testing snapshot of one active flow (insertion order).
+  struct FlowSnapshot {
+    const FlowSpec* spec;
+    double remaining;
+    double rate;
+  };
+  /// All active flows in start order, with their current remaining bytes
+  /// and allocated rates. Rates are settled values only *between* update
+  /// timestamps (recomputation is batched per timestamp).
+  std::vector<FlowSnapshot> snapshot() const;
 
   /// Awaitable: start a flow and suspend until its bytes have drained.
   /// A flow with no resources completes at rate `rate_cap` (which must then
@@ -98,34 +130,95 @@ class FluidNetwork {
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Resource {
     std::string name;
-    double capacity;
-    double served = 0.0;
-    // Scratch fields used during water-filling.
-    double avail = 0.0;
-    double pending_weight = 0.0;
+    // Affected-component BFS mark (epoch-stamped, no per-update clears).
+    std::uint64_t mark = 0;
+    // Active flows crossing this resource: one entry per ResourceUse,
+    // packed as (flow slot, use index) so removal can fix up the moved
+    // entry's back-pointer after a swap-delete.
+    std::vector<std::uint64_t> entries;
   };
 
-  struct Flow {
+  /// Cold per-flow state; the hot fields live in the parallel SoA arrays
+  /// remaining_/rate_ below, which the advance sweep iterates.
+  struct FlowCold {
     FlowSpec spec;
-    double remaining;
-    double rate = 0.0;
     std::coroutine_handle<> waiter;
-    bool frozen = false;  // water-filling scratch
+    std::uint64_t start_seq = 0;  // insertion order (FP-determinism anchor)
+    // Position of each use's entry inside Resource::entries.
+    std::vector<std::uint32_t> entry_pos;
+    bool alive = false;
   };
+
+  static std::uint64_t pack_entry(std::uint32_t slot, std::uint32_t use) {
+    return (static_cast<std::uint64_t>(slot) << 16) | use;
+  }
 
   void validate(const FlowSpec& spec) const;
   void add_flow(FlowSpec spec, std::coroutine_handle<> h);
+  std::uint32_t alloc_slot();
+  void remove_flow(std::uint32_t slot);  // unlink + detach from resources
   void touch();        // request an update at the current timestamp
   void do_update();    // advance, complete, re-water-fill, schedule next
   void advance();      // progress all flows to eng_->now()
-  void reallocate();   // max-min water-filling
+  void mark_dirty(const FlowSpec& spec);  // queue a flow's resources
+  void reallocate();   // incremental max-min water-filling over dirty set
 
   Engine* eng_;
   std::vector<Resource> resources_;
-  std::vector<char> bottleneck_;  // water-filling scratch
-  std::list<Flow> flows_;
+  // Hot per-resource scalars, dense by ResourceId: the advance sweep and
+  // the water-filling reset loop stay within a couple of cache lines
+  // instead of striding over the name/entries-carrying structs.
+  std::vector<double> res_cap_;
+  std::vector<double> res_served_;
+
+  // Flow arena: SoA hot arrays + cold sidecar, linked in insertion order
+  // (the list links are themselves SoA so traversals that skip a flow —
+  // the advance sweep, the completion scan — never touch its cold struct).
+  std::vector<double> remaining_;
+  std::vector<double> rate_;
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  // Each flow's resource uses, copied once at add_flow into one contiguous
+  // arena block (recycled by length on removal): the advance sweep and the
+  // water-filling rounds read these instead of chasing every flow's own
+  // spec.uses heap vector.
+  std::vector<ResourceUse> uses_arena_;
+  std::vector<std::uint32_t> uses_off_;               // slot-indexed
+  std::vector<std::uint32_t> n_uses_;                 // slot-indexed
+  std::vector<std::vector<std::uint32_t>> uses_free_;  // freelists by length
+  std::vector<FlowCold> cold_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t head_ = kNil, tail_ = kNil;
+  std::size_t active_ = 0;
+  std::uint64_t next_start_seq_ = 0;
+
+  // Dirty set accumulated since the last reallocation.
+  std::vector<ResourceId> dirty_resources_;
+  std::vector<std::uint32_t> dirty_flows_;  // seeds for resource-free flows
+  std::uint64_t mark_epoch_ = 0;
+  std::vector<std::uint64_t> flow_mark_;  // epoch-stamped, arena-indexed
+
+  // Reallocation scratch (kept hot across updates to avoid allocation).
+  // The water-filling rounds iterate these dense arrays instead of chasing
+  // FlowCold/Resource structs; values are copied in, so the floating-point
+  // operation sequence is unchanged.
+  struct WfFlow {
+    std::uint32_t uses_off;  // into uses_arena_
+    std::uint32_t n_uses;
+    double cap;
+  };
+  std::vector<ResourceId> affected_res_;
+  std::vector<std::uint32_t> affected_;
+  std::vector<WfFlow> wf_;
+  std::vector<char> frozen_;
+  std::vector<double> res_avail_;    // indexed by ResourceId
+  std::vector<double> res_pending_;  // indexed by ResourceId
+  std::vector<char> res_bn_;         // indexed by ResourceId
+
   Time last_update_ = kTimeZero;
   bool update_pending_ = false;
   std::uint64_t completion_gen_ = 0;

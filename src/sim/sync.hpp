@@ -44,9 +44,14 @@ class Condition {
 
   /// Wake all current waiters at the present virtual time.
   void notify_all() {
-    auto woken = std::move(waiters_);
-    waiters_.clear();
-    for (auto h : woken) eng_->schedule_now(h);
+    if (waiters_.empty()) return;
+    // Swap through a scratch buffer so both vectors keep their capacity:
+    // a moved-from vector would reallocate on the next wait. Safe against
+    // re-waits because schedule_now only enqueues — nothing resumes (or
+    // re-registers) until this call has returned.
+    scratch_.clear();
+    scratch_.swap(waiters_);
+    for (auto h : scratch_) eng_->schedule_now(h);
   }
 
   /// Wake the earliest waiter, if any.
@@ -63,6 +68,7 @@ class Condition {
  private:
   Engine* eng_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> scratch_;  // capacity reuse, see notify_all
 };
 
 /// Counting semaphore with FIFO wakeup order.
@@ -79,9 +85,11 @@ class Semaphore {
     count_ += n;
     // Wake everyone; unsatisfied waiters re-suspend. Simpler and still
     // deterministic; contention here is tiny (per-rail/per-core guards).
-    auto woken = std::move(waiters_);
-    waiters_.clear();
-    for (auto h : woken) eng_->schedule_now(h);
+    // Swapped through scratch for capacity reuse (see Condition).
+    if (waiters_.empty()) return;
+    scratch_.clear();
+    scratch_.swap(waiters_);
+    for (auto h : scratch_) eng_->schedule_now(h);
   }
 
   std::int64_t available() const noexcept { return count_; }
@@ -97,6 +105,7 @@ class Semaphore {
   Engine* eng_;
   std::int64_t count_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> scratch_;
 };
 
 /// Reusable cyclic barrier for a fixed participant count.

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace hmca::sim {
@@ -17,9 +19,49 @@ class Task;
 
 namespace detail {
 
+/// Size-bucketed freelist recycling coroutine frames. A simulation spawns
+/// and destroys millions of short-lived task frames of a handful of
+/// distinct sizes; recycling them avoids round-tripping every frame
+/// through the general-purpose allocator. Single-threaded, like the
+/// engine itself. Freed blocks are kept forever (bounded by the peak
+/// number of simultaneously live frames per size class).
+class FramePool {
+ public:
+  static void* allocate(std::size_t n) {
+    const std::size_t b = bucket(n);
+    if (b >= kBuckets) return ::operator new(n);
+    if (void* p = free_[b]; p != nullptr) {
+      free_[b] = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new((b + 1) * kGrain);
+  }
+  static void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t b = bucket(n);
+    if (b >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = free_[b];
+    free_[b] = p;
+  }
+
+ private:
+  static constexpr std::size_t kGrain = 64;
+  static constexpr std::size_t kBuckets = 64;  // frames up to 4 KiB pooled
+  static std::size_t bucket(std::size_t n) noexcept { return (n - 1) / kGrain; }
+  static inline void* free_[kBuckets] = {};
+};
+
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  // Coroutine frames allocate through the promise's operator new.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }

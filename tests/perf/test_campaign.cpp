@@ -25,7 +25,21 @@ RunOptions quiet_opts() {
 TEST(PerfCampaign, BuiltinCampaignsValidate) {
   EXPECT_NO_THROW(validate_campaign(default_campaign()));
   EXPECT_NO_THROW(validate_campaign(smoke_campaign()));
+  EXPECT_NO_THROW(validate_campaign(scale_campaign()));
   EXPECT_GE(default_campaign().scenarios.size(), 15u);
+}
+
+TEST(PerfCampaign, ScaleSweepsTheLargeWorlds) {
+  // The simulator-core scale campaign must keep the 64/256/1024-node
+  // worlds covered and probe wall-clock on the fig13 32-node shape.
+  const Campaign& c = scale_campaign();
+  for (const int nodes : {64, 256, 1024}) {
+    bool found = false;
+    for (const auto& sc : c.scenarios) found = found || sc.nodes == nodes;
+    EXPECT_TRUE(found) << "no scenario with " << nodes << " nodes";
+  }
+  EXPECT_EQ(c.probe.nodes, 32);
+  EXPECT_EQ(c.probe.ppn, 32);
 }
 
 TEST(PerfCampaign, DefaultCoversTheHeadlineFigures) {
@@ -43,8 +57,9 @@ TEST(PerfCampaign, DefaultCoversTheHeadlineFigures) {
 TEST(PerfCampaign, LookupByName) {
   ASSERT_NE(find_campaign("default"), nullptr);
   ASSERT_NE(find_campaign("smoke"), nullptr);
+  ASSERT_NE(find_campaign("scale"), nullptr);
   EXPECT_EQ(find_campaign("nope"), nullptr);
-  EXPECT_EQ(campaign_names().size(), 2u);
+  EXPECT_EQ(campaign_names().size(), 3u);
 }
 
 TEST(PerfCampaign, ValidateRejectsBrokenCampaigns) {

@@ -33,12 +33,16 @@ std::string point_block(std::size_t x, const std::string& metrics) {
          "}}";
 }
 
-std::string wallclock_block(double median, double mad) {
+std::string wallclock_block(double median, double mad,
+                            const std::string& probe = "p",
+                            std::uint64_t peak_rss = 0) {
   std::ostringstream os;
-  os << R"({"probe": "p", "repeats": 3, "events": 100,
+  os << R"({"probe": ")" << probe << R"(", "repeats": 3, "events": 100,
             "samples_events_per_sec": [)" << median << R"(],
             "median_events_per_sec": )" << median << R"(,
-            "mad_events_per_sec": )" << mad << "}";
+            "mad_events_per_sec": )" << mad;
+  if (peak_rss > 0) os << R"(, "peak_rss_bytes": )" << peak_rss;
+  os << "}";
   return os.str();
 }
 
@@ -226,6 +230,51 @@ TEST(PerfCompare, ForeignFingerprintWallclockIsInformational) {
   ASSERT_EQ(r.findings.size(), 1u);
   EXPECT_EQ(r.findings[0].level, Finding::Level::kInfo);
   EXPECT_NE(r.findings[0].text.find("fingerprints differ"), std::string::npos);
+}
+
+TEST(PerfCompare, DifferingProbesAreInformational) {
+  // A default-campaign baseline must never gate a scale-campaign report:
+  // the probe workloads differ, so events/sec are incomparable.
+  const std::string sc =
+      scenario_block("s1", point_block(64, "\"latency_us\": 1"));
+  const std::string base =
+      report_doc(sc, "fp", wallclock_block(1000.0, 10.0, "small world"));
+  const std::string next =
+      report_doc(sc, "fp", wallclock_block(100.0, 10.0, "big world"));
+  const CompareResult r = run(base, next);  // -90%, but different probes
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].level, Finding::Level::kInfo);
+  EXPECT_NE(r.findings[0].text.find("probe workloads differ"),
+            std::string::npos);
+}
+
+TEST(PerfCompare, PeakRssGrowthBeyondThresholdFails) {
+  const std::string sc =
+      scenario_block("s1", point_block(64, "\"latency_us\": 1"));
+  const std::string base = report_doc(
+      sc, "fp", wallclock_block(1000.0, 10.0, "p", 100'000'000));
+  const std::string next = report_doc(
+      sc, "fp", wallclock_block(1000.0, 10.0, "p", 150'000'000));
+  const CompareResult r = run(base, next);  // +50% RSS vs 25% threshold
+  ASSERT_EQ(r.failures(), 1);
+  EXPECT_NE(r.findings[0].text.find("peak RSS"), std::string::npos);
+}
+
+TEST(PerfCompare, PeakRssWithinThresholdAndLegacyBaselinesPass) {
+  const std::string sc =
+      scenario_block("s1", point_block(64, "\"latency_us\": 1"));
+  // +10% growth: within the threshold.
+  EXPECT_TRUE(run(report_doc(sc, "fp",
+                             wallclock_block(1000.0, 10.0, "p", 100'000'000)),
+                  report_doc(sc, "fp",
+                             wallclock_block(1000.0, 10.0, "p", 110'000'000)))
+                  .ok());
+  // Baseline predates the field: RSS must not gate at all.
+  EXPECT_TRUE(run(report_doc(sc, "fp", wallclock_block(1000.0, 10.0)),
+                  report_doc(sc, "fp",
+                             wallclock_block(1000.0, 10.0, "p", 900'000'000)))
+                  .ok());
 }
 
 TEST(PerfCompare, ReportNamesVerdicts) {

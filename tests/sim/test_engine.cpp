@@ -186,5 +186,57 @@ TEST(Engine, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Engine, EqualTimestampCallbacksFireInScheduleOrder) {
+  // The FIFO tie-break contract documented on Engine::schedule: events at
+  // one timestamp fire in exactly the order they were scheduled, however
+  // many there are.
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    eng.schedule_callback([&order, i] { order.push_back(i); }, 1.0);
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EqualTimestampOrderSurvivesInterleavedTimes) {
+  // Tagged callbacks at mixed timestamps: within each timestamp, schedule
+  // order; across timestamps, time order — regardless of schedule order.
+  Engine eng;
+  std::vector<std::pair<double, int>> order;
+  const double times[] = {2.0, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0};
+  for (int i = 0; i < 7; ++i) {
+    eng.schedule_callback([&order, t = times[i], i] {
+      order.emplace_back(t, i);
+    }, times[i]);
+  }
+  eng.run();
+  const std::vector<std::pair<double, int>> want = {
+      {1.0, 1}, {1.0, 3}, {1.0, 5}, {2.0, 0}, {2.0, 2}, {2.0, 6}, {3.0, 4}};
+  EXPECT_EQ(order, want);
+}
+
+TEST(Engine, CancelPreventsCallbackAndReportsStaleness) {
+  Engine eng;
+  int fired = 0;
+  const EventId id = eng.schedule_callback([&fired] { ++fired; }, 1.0);
+  eng.schedule_callback([] {}, 2.0);  // keep the queue non-empty
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id)) << "second cancel must report stale";
+  eng.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(eng.cancel(id)) << "cancel after run must report stale";
+}
+
+TEST(Engine, CancelOfFiredEventIsRejected) {
+  Engine eng;
+  int fired = 0;
+  const EventId id = eng.schedule_callback([&fired] { ++fired; }, 1.0);
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(eng.cancel(id));
+}
+
 }  // namespace
 }  // namespace hmca::sim

@@ -1,0 +1,227 @@
+// Differential test: the production calendar queue against the retained
+// binary-heap reference scheduler.
+//
+// Both queues promise the same contract — events pop in strictly
+// lexicographic (t, seq) order with FIFO tie-break at equal timestamps —
+// and this suite drives randomized schedule/cancel/re-schedule sequences
+// (including bursts of equal timestamps) through both at once, asserting
+// identical pop order. Seed-replayable via the conformance-harness env
+// convention:
+//   HMCA_SIMCORE_SEED=<seed> ctest -L simcore
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace hmca::sim {
+namespace {
+
+constexpr const char* kSeedEnv = "HMCA_SIMCORE_SEED";
+
+/// Suite seed: HMCA_SIMCORE_SEED when set (any strtoull base-0 form, so hex
+/// seeds from failure logs replay directly), a fixed default otherwise.
+std::uint64_t suite_seed() {
+  const char* v = std::getenv(kSeedEnv);
+  if (v == nullptr || *v == '\0') return 0x51EDC04Eull;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v, &end, 0);
+  if (end == v) return 0x51EDC04Eull;
+  return parsed;
+}
+
+std::string replay_note(std::uint64_t seed) {
+  return "replay with " + std::string(kSeedEnv) + "=" + std::to_string(seed);
+}
+
+/// Drives an identical operation sequence through both queues and asserts
+/// the pops agree. Ids differ between the queues (different arenas), so
+/// pushes are tracked as pairs.
+class DifferentialDriver {
+ public:
+  explicit DifferentialDriver(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  void push(QueueTime t) {
+    const EventId cal = cal_.push(t, {}, nullptr);
+    const EventId ref = ref_.push(t, {}, nullptr);
+    live_.push_back({cal, ref});
+  }
+
+  /// Cancel a random tracked id (which may already have been popped — the
+  /// queues must then both reject it as stale).
+  void cancel_random() {
+    if (live_.empty()) return;
+    const std::size_t i = rng_.next_below(live_.size());
+    const bool a = cal_.cancel(live_[i].first);
+    const bool b = ref_.cancel(live_[i].second);
+    EXPECT_EQ(a, b) << "cancel verdict diverged; " << replay_note(seed_);
+    live_[i] = live_.back();
+    live_.pop_back();
+  }
+
+  void pop_and_compare() {
+    ASSERT_EQ(cal_.empty(), ref_.empty()) << replay_note(seed_);
+    if (cal_.empty()) return;
+    const QueuedEvent a = cal_.pop();
+    const QueuedEvent b = ref_.pop();
+    ASSERT_EQ(a.t, b.t) << "pop time diverged at op " << pops_ << "; "
+                        << replay_note(seed_);
+    ASSERT_EQ(a.seq, b.seq) << "pop order diverged at t=" << a.t << "; "
+                            << replay_note(seed_);
+    ++pops_;
+    last_popped_t_ = a.t;
+  }
+
+  void drain() {
+    ASSERT_EQ(cal_.size(), ref_.size()) << replay_note(seed_);
+    while (!cal_.empty()) pop_and_compare();
+    EXPECT_TRUE(ref_.empty()) << replay_note(seed_);
+  }
+
+  Rng& rng() { return rng_; }
+  QueueTime last_popped() const { return last_popped_t_; }
+  std::size_t size() const { return cal_.size(); }
+
+ private:
+  CalendarQueue cal_;
+  BinaryHeapQueue ref_;
+  std::vector<std::pair<EventId, EventId>> live_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t pops_ = 0;
+  QueueTime last_popped_t_ = 0.0;
+};
+
+TEST(EventQueueDifferential, RandomizedScheduleCancelReschedule) {
+  // Mixed workload mimicking the engine: mostly monotone pushes around a
+  // moving "now", bursts of equal timestamps, occasional cancels, and
+  // re-schedule churn (pop followed by pushes at the popped time).
+  const std::uint64_t seed = suite_seed();
+  for (int round = 0; round < 4; ++round) {
+    DifferentialDriver d(seed + static_cast<std::uint64_t>(round));
+    auto& rng = d.rng();
+    double now = 0.0;
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint64_t kind = rng.next_below(100);
+      if (kind < 55) {
+        // Schedule ahead of the current virtual time.
+        d.push(now + static_cast<double>(rng.next_below(1000)) * 1e-6);
+      } else if (kind < 70) {
+        // Equal-timestamp burst: these must pop FIFO.
+        const double t = now + static_cast<double>(rng.next_below(100)) * 1e-6;
+        const std::uint64_t burst = 2 + rng.next_below(6);
+        for (std::uint64_t i = 0; i < burst; ++i) d.push(t);
+      } else if (kind < 80) {
+        d.cancel_random();
+      } else if (d.size() > 0) {
+        d.pop_and_compare();
+        now = d.last_popped();
+        // Re-schedule at the popped timestamp (the engine's schedule_now).
+        if (rng.next_below(2) == 0) d.push(now);
+      }
+      if (HasFatalFailure()) return;
+    }
+    d.drain();
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(EventQueueDifferential, EqualTimestampBurstsPopInPushOrder) {
+  CalendarQueue q;
+  for (int i = 0; i < 500; ++i) q.push(1.25, {}, nullptr);
+  std::uint64_t prev_seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const QueuedEvent ev = q.pop();
+    EXPECT_DOUBLE_EQ(ev.t, 1.25);
+    if (i > 0) {
+      EXPECT_GT(ev.seq, prev_seq) << "FIFO tie-break violated";
+    }
+    prev_seq = ev.seq;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDifferential, SparseScheduleExercisesDirectSearch) {
+  // Huge gaps between timestamps force the pop scan onto its direct-search
+  // fallback; order must still match the reference exactly.
+  const std::uint64_t seed = suite_seed() ^ 0xA11Cull;
+  DifferentialDriver d(seed);
+  auto& rng = d.rng();
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind < 6) {
+      // Timestamps spread over ~12 orders of magnitude.
+      const double mag = static_cast<double>(rng.next_below(12));
+      d.push(static_cast<double>(1 + rng.next_below(999)) *
+             std::pow(10.0, mag - 6.0));
+    } else if (kind < 7) {
+      d.cancel_random();
+    } else if (d.size() > 0) {
+      d.pop_and_compare();
+    }
+    if (HasFatalFailure()) return;
+  }
+  d.drain();
+}
+
+TEST(EventQueueDifferential, GrowShrinkCyclesPreserveOrder) {
+  // Fill far past the grow threshold, drain to trigger shrink, refill:
+  // phase-structured population swings must not disturb pop order.
+  const std::uint64_t seed = suite_seed() ^ 0x6405ull;
+  DifferentialDriver d(seed);
+  auto& rng = d.rng();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 4000; ++i) {
+      d.push(static_cast<double>(cycle) +
+             static_cast<double>(rng.next_below(10000)) * 1e-7);
+    }
+    for (int i = 0; i < 3900; ++i) {
+      d.pop_and_compare();
+      if (HasFatalFailure()) return;
+    }
+  }
+  d.drain();
+}
+
+TEST(EventQueue, CancelIsExactOnceAndStaleAfterPop) {
+  CalendarQueue q;
+  const EventId a = q.push(1.0, {}, nullptr);
+  const EventId b = q.push(2.0, {}, nullptr);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a)) << "double cancel must be rejected";
+  EXPECT_EQ(q.size(), 1u);
+  const QueuedEvent ev = q.pop();
+  EXPECT_DOUBLE_EQ(ev.t, 2.0);
+  EXPECT_FALSE(q.cancel(b)) << "cancel of a popped event must be rejected";
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledSlotReuseRejectsStaleId) {
+  CalendarQueue q;
+  const EventId a = q.push(1.0, {}, nullptr);
+  EXPECT_TRUE(q.cancel(a));
+  // The arena slot is recycled; the old id's generation is now stale.
+  const EventId c = q.push(3.0, {}, nullptr);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(c));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackPayloadSurvivesTransit) {
+  CalendarQueue q;
+  int fired = 0;
+  q.push(1.0, {}, [&fired] { ++fired; });
+  QueuedEvent ev = q.pop();
+  ASSERT_TRUE(ev.fn != nullptr);
+  EXPECT_FALSE(static_cast<bool>(ev.h));
+  ev.fn();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace hmca::sim

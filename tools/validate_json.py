@@ -4,7 +4,8 @@
 Shared by the --stats=json smoke check (schemas/stats.schema.json) and the
 perf gate (schemas/bench.schema.json). Stdlib only (CI runners have no
 jsonschema package), so this implements the small JSON-Schema subset those
-schemas actually use: type, properties, required, items, enum, minItems.
+schemas actually use: type, properties, required, items, enum, minItems,
+minimum.
 Unknown keywords are ignored, matching JSON-Schema semantics.
 
 Benches print their latency tables and the stats block to the same stdout,
@@ -52,6 +53,15 @@ def validate(schema, value, path="$"):
         _check_type(schema["type"], value, path)
     if "enum" in schema and value not in schema["enum"]:
         raise ValidationError(f"{path}: {value!r} not in {schema['enum']}")
+    if (
+        "minimum" in schema
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value < schema["minimum"]
+    ):
+        raise ValidationError(
+            f"{path}: {value!r} < minimum {schema['minimum']}"
+        )
     if isinstance(value, dict):
         for name in schema.get("required", []):
             if name not in value:
