@@ -4,7 +4,7 @@
 // crosses the UPI link once instead of once per reading process.
 #include <iostream>
 
-#include "core/hierarchical.hpp"
+#include "core/hierarchy.hpp"
 #include "osu/harness.hpp"
 
 using namespace hmca;
@@ -13,12 +13,20 @@ namespace {
 
 coll::AllgatherFn two_level() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-            bool ip) { return core::allgather_mha_inter(c, r, s, rv, m, ip); };
+            bool ip) {
+    return core::allgather_hierarchy(
+        c, r, s, rv, m, ip,
+        core::HierarchySpec::derive(c.cluster().spec(), 2));
+  };
 }
 
 coll::AllgatherFn three_level() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-            bool ip) { return core::allgather_numa3(c, r, s, rv, m, ip); };
+            bool ip) {
+    return core::allgather_hierarchy(
+        c, r, s, rv, m, ip,
+        core::HierarchySpec::derive(c.cluster().spec(), 3));
+  };
 }
 
 }  // namespace

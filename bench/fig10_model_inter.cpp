@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
               spec,
               [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
                  std::size_t m, bool ip) {
-                return core::allgather_mha_inter(c, r, s, rv, m, ip);
+                return core::allgather_hierarchical(c, r, s, rv, m, ip,
+                                                    core::HierOptions{});
               },
               sz);
           const double predicted =

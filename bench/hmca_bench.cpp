@@ -30,6 +30,7 @@ int usage(std::ostream& os, int code) {
   os << "usage:\n"
         "  hmca-bench run [--campaign NAME] [--label LABEL] [--out FILE]\n"
         "                 [--repeats N] [--no-wallclock] [--quiet]\n"
+        "                 [--topo sockets=2,hcas=4,...]\n"
         "  hmca-bench list [--campaign NAME]\n"
         "  hmca-bench compare BASE.json NEW.json [--bless] [--epsilon REL]\n"
         "                 [--wallclock-threshold FRAC] [--report FILE]\n";
@@ -85,6 +86,8 @@ int cmd_run(const std::vector<std::string>& args) {
       if (opts.wallclock_repeats < 1) {
         throw std::invalid_argument("--repeats must be >= 1");
       }
+    } else if (take_value(args, i, "--topo", value)) {
+      opts.topo = value;
     } else if (args[i] == "--no-wallclock") {
       opts.wallclock = false;
     } else if (args[i] == "--quiet") {

@@ -38,7 +38,10 @@ int main(int argc, char** argv) {
     const double t = osu::measure_allgather(
         spec,
         [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-           bool ip) { return core::allgather_mha_inter(c, r, s, rv, m, ip); },
+           bool ip) {
+          return core::allgather_hierarchical(c, r, s, rv, m, ip,
+                                              core::HierOptions{});
+        },
         msg, &tracer);
     std::printf("MHA-inter, same topology: %.1f us\n", t * 1e6);
     tracer.render_ascii(std::cout, 100);

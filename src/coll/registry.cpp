@@ -17,6 +17,14 @@ const char* graph_mode_name(GraphMode m) {
   return "?";
 }
 
+std::string CommShape::level_structure() const {
+  std::string out = "cluster:1>node:" + std::to_string(nodes);
+  if (sockets > 1) {
+    out += ">socket:" + std::to_string(nodes * sockets);
+  }
+  return out;
+}
+
 CommShape CommShape::of(const mpi::Comm& comm) {
   auto& cl = comm.cluster();
   CommShape s;

@@ -62,6 +62,20 @@ struct CommShape {
   /// True when some spanned node has lost or degraded rail capacity.
   bool degraded() const noexcept { return healthy_hcas < hcas; }
 
+  /// Leader-hierarchy depth the topology naturally supports: 3 when the
+  /// shape spans multiple nodes with multi-socket NUMA (socket < node <
+  /// cluster), else 2 (node < cluster). The selector's depth routing and
+  /// core::HierarchySpec::derive(spec, 0) agree on this.
+  int natural_depth() const noexcept {
+    return nodes > 1 && sockets > 1 ? 3 : 2;
+  }
+
+  /// Level-structure summary of the shape, outermost first — e.g.
+  /// "cluster:1>node:4>socket:8" for 4 nodes of 2 sockets. Matches
+  /// core::Hierarchy::structure() for the derived hierarchy; used in
+  /// selector decision reasons.
+  std::string level_structure() const;
+
   static CommShape of(const mpi::Comm& comm);
 };
 

@@ -9,6 +9,7 @@
 
 #include "coll/allgather.hpp"
 #include "coll/graph.hpp"
+#include "core/hier_detail.hpp"
 #include "core/mha_intra.hpp"
 #include "model/cost.hpp"
 #include "shm/shm.hpp"
@@ -18,10 +19,10 @@ namespace hmca::core {
 
 namespace {
 
-std::uint64_t op_key(int ctx, std::uint64_t seq, int salt = 0) {
-  return (seq << 20) | (static_cast<std::uint64_t>(ctx) << 4) |
-         static_cast<std::uint64_t>(salt);
-}
+using detail::op_key;
+
+using detail::group_of;
+using detail::KeyAlloc;
 
 // Number of chunks the leader publishes in phase 3 (legacy path: one per
 // ring step / RD step).
@@ -86,10 +87,10 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
                             std::uint64_t seq, double offload) {
   auto& cl = comm.cluster();
   const int sockets = cl.sockets();
-  const int spp = l / sockets;  // ranks per socket
   const int socket = cl.socket_of_local(local);
-  const int s0 = socket * spp;  // first node-local rank of my socket
-  const std::size_t socket_block = static_cast<std::size_t>(spp) * msg;
+  const int s0 = cl.socket_first_local(socket);
+  const int ssz = cl.socket_size(socket);
+  const std::size_t socket_block = static_cast<std::size_t>(ssz) * msg;
 
   // Stage A: intra-socket MHA-intra into my socket's block of the slice.
   auto& scomm = comm.world().socket_comm(node, socket);
@@ -104,7 +105,7 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
   // then each leader *pulls* the other sockets' blocks into a segment
   // homed on its own socket; its members copy out locally.
   auto region = comm.share().acquire<shm::ShmRegion>(
-      node, op_key(comm.ctx(), seq, 5 + socket), spp, [&] {
+      node, op_key(comm.ctx(), seq, 5 + socket), ssz, [&] {
         return std::make_shared<shm::ShmRegion>(
             cl, node, static_cast<std::size_t>(l) * msg, comm.sink(),
             cl.global_rank(node, s0));
@@ -119,14 +120,15 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
     co_await board->put_and_wait(socket, node_slice);
     for (int o = 1; o < sockets; ++o) {
       const int other = (socket + o) % sockets;
-      const std::size_t off =
-          static_cast<std::size_t>(other) * socket_block;
-      co_await region->copy_in_publish(
-          comm.to_global(my), board->view(other).sub(off, socket_block), off,
-          cl.global_rank(node, other * spp));
+      const int of = cl.socket_first_local(other);
+      const std::size_t off = static_cast<std::size_t>(of) * msg;
+      const std::size_t len =
+          static_cast<std::size_t>(cl.socket_size(other)) * msg;
+      co_await region->copy_in_publish(comm.to_global(my),
+                                       board->view(other).sub(off, len), off,
+                                       cl.global_rank(node, of));
       // The leader's own recv slice gets the block from the local segment.
-      hw::copy_payload(node_slice.sub(off, socket_block),
-                       region->view(off, socket_block));
+      hw::copy_payload(node_slice.sub(off, len), region->view(off, len));
     }
   }
   for (int k = 0; k + 1 < sockets; ++k) {
@@ -135,6 +137,111 @@ sim::Task<void> numa_phase1(mpi::Comm& comm, int my, hw::BufView send,
     const auto c = region->chunk(static_cast<std::size_t>(k));
     co_await region->copy_out(comm.to_global(my), static_cast<std::size_t>(k),
                               node_slice.sub(c.offset, c.len));
+  }
+}
+
+// Generic n-level phase 1: the numa_phase1 pattern applied stage by stage
+// to an arbitrary nested partition of the node's local ranks (NodePlan).
+// Stage 0 runs MHA-intra inside each innermost group; every later stage
+// has the previous stage's group leaders pull their sibling groups' blocks
+// through a shared-memory segment homed on their own group, so each
+// inter-group byte crosses the group boundary (UPI on socket stages)
+// exactly once. Group spans may be uneven; singleton groups degenerate to
+// a seeding copy at stage 0 and to pure drains later.
+sim::Task<void> plan_phase1(mpi::Comm& comm, int my, hw::BufView send,
+                            hw::BufView node_slice, std::size_t msg,
+                            bool in_place, int node, int local, int l,
+                            const NodePlan& plan, double offload) {
+  auto& cl = comm.cluster();
+  const int grank = comm.to_global(my);
+
+  // ---- Stage 0: aggregation inside my innermost group ----
+  {
+    const auto& firsts = plan.stages.front();
+    const int g = group_of(firsts, local);
+    const int f = firsts[static_cast<std::size_t>(g)];
+    const int end =
+        g + 1 < static_cast<int>(firsts.size())
+            ? firsts[static_cast<std::size_t>(g) + 1]
+            : l;
+    const int sz = end - f;
+    if (sz > 1) {
+      auto& gcomm = comm.world().span_comm(node, f, sz);
+      co_await allgather_mha_intra(
+          gcomm, local - f, send,
+          node_slice.sub(static_cast<std::size_t>(f) * msg,
+                         static_cast<std::size_t>(sz) * msg),
+          msg, in_place, offload);
+    } else if (!in_place && msg > 0) {
+      co_await cl.cpu_copy_by(grank, static_cast<double>(msg));
+      hw::copy_payload(
+          node_slice.sub(static_cast<std::size_t>(local) * msg, msg), send);
+    }
+  }
+
+  // ---- Stages 1..k: inter-group exchange through shared memory ----
+  for (std::size_t st = 1; st < plan.stages.size(); ++st) {
+    const auto& child = plan.stages[st - 1];
+    const auto& parent = plan.stages[st];
+    const int nchildren = static_cast<int>(child.size());
+    const int nparents = static_cast<int>(parent.size());
+    // One board key per parent group, one region key per child group.
+    // Constructed by every rank before any branch so the consumed op
+    // sequence numbers stay SPMD-consistent.
+    KeyAlloc keys(comm, my, nparents + nchildren);
+
+    const int cg = group_of(child, local);
+    const int cf = child[static_cast<std::size_t>(cg)];
+    const int csz = (cg + 1 < nchildren
+                         ? child[static_cast<std::size_t>(cg) + 1]
+                         : l) -
+                    cf;
+    const int pg = group_of(parent, local);
+    const int pf = parent[static_cast<std::size_t>(pg)];
+    const int pend =
+        pg + 1 < nparents ? parent[static_cast<std::size_t>(pg) + 1] : l;
+    // The child groups spanned by my parent group (boundaries nest, so
+    // pf and pend are child boundaries too).
+    const int clo = group_of(child, pf);
+    const int chi = pend >= l ? nchildren : group_of(child, pend);
+    const int nsib = chi - clo;
+    if (nsib <= 1) continue;  // parent adds no grouping here
+
+    // Segment homed on my child group; all csz members acquire it.
+    auto region = comm.share().acquire<shm::ShmRegion>(
+        node, keys.key(nparents + cg), csz, [&] {
+          return std::make_shared<shm::ShmRegion>(
+              cl, node, static_cast<std::size_t>(l) * msg, comm.sink(),
+              cl.global_rank(node, cf));
+        });
+    if (local == cf) {  // child-group leader
+      auto board = comm.share().acquire<AddressBoard>(
+          node, keys.key(pg), nsib, [&] {
+            return std::make_shared<AddressBoard>(comm.engine(), nsib);
+          });
+      co_await board->put_and_wait(cg - clo, node_slice);
+      for (int o = 1; o < nsib; ++o) {
+        const int other = clo + (cg - clo + o) % nsib;
+        const int of = child[static_cast<std::size_t>(other)];
+        const int osz = (other + 1 < nchildren
+                             ? child[static_cast<std::size_t>(other) + 1]
+                             : l) -
+                        of;
+        const std::size_t off = static_cast<std::size_t>(of) * msg;
+        const std::size_t len = static_cast<std::size_t>(osz) * msg;
+        co_await region->copy_in_publish(grank,
+                                         board->view(other - clo).sub(off, len),
+                                         off, cl.global_rank(node, of));
+        hw::copy_payload(node_slice.sub(off, len), region->view(off, len));
+      }
+    }
+    for (int k = 0; k + 1 < nsib; ++k) {
+      co_await region->wait_published(static_cast<std::size_t>(k) + 1);
+      if (local == cf) continue;  // leader filled its slice while pulling
+      const auto c = region->chunk(static_cast<std::size_t>(k));
+      co_await region->copy_out(grank, static_cast<std::size_t>(k),
+                                node_slice.sub(c.offset, c.len));
+    }
   }
 }
 
@@ -233,7 +340,10 @@ sim::Task<void> hier_barrier(mpi::Comm& comm, int my, hw::BufView send,
   // analyzer's attribution and the phase-2/3 overlap-fraction report.
   auto p1 = sink.open(comm.to_global(my), trace::Kind::kPhase, eng.now(), -1,
                       msg, "phase1");
-  if (l > 1) {
+  if (l > 1 && opts.plan != nullptr) {
+    co_await plan_phase1(comm, my, send, node_slice, msg, in_place, node,
+                         local, l, *opts.plan, opts.offload);
+  } else if (l > 1) {
     auto& ncomm = comm.world().node_comm(node);
     switch (opts.phase1) {
       case Phase1Mode::kMhaIntra:
@@ -325,7 +435,21 @@ sim::Task<void> hier_graph(mpi::Comm& comm, int my, hw::BufView send,
   coll::RangeProducers prod;
 
   // ---- Phase 1 tasks ----
-  if (l > 1) {
+  if (l > 1 && opts.plan != nullptr) {
+    // Like kNumaTwoLevel: the staged intra-node exchange is data-driven,
+    // so it stays one macro task; phase 2 streams against other leaders.
+    const NodePlan* plan = opts.plan;
+    const double off = opts.offload;
+    const int t = g.add(
+        coll::TaskKind::kWrapped, coll::Lane::kNone,
+        [&comm, my, send, node_slice, msg, in_place, node, local, l, plan,
+         off] {
+          return plan_phase1(comm, my, send, node_slice, msg, in_place, node,
+                             local, l, *plan, off);
+        },
+        coll::TaskOpts{"nlevel", "phase1", -1, chunk, -1, -1});
+    prod.add(nbase, chunk, t);
+  } else if (l > 1) {
     auto& ncomm = comm.world().node_comm(node);
     switch (opts.phase1) {
       case Phase1Mode::kMhaIntra:
@@ -582,6 +706,12 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
   }
 }
 
+#ifndef HMCA_STRICT_API
+// Deprecated shim definitions. Defining a [[deprecated]] entity is legal,
+// but some toolchains still flag it under -Werror; silence locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
                                     hw::BufView recv, std::size_t msg,
                                     bool in_place) {
@@ -617,5 +747,8 @@ sim::Task<void> allgather_numa3(mpi::Comm& comm, int my, hw::BufView send,
                                              : Phase1Mode::kMhaIntra;
   co_await allgather_hierarchical(comm, my, send, recv, msg, in_place, opts);
 }
+
+#pragma GCC diagnostic pop
+#endif  // HMCA_STRICT_API
 
 }  // namespace hmca::core

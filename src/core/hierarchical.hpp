@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "hw/buffer.hpp"
 #include "mpi/comm.hpp"
@@ -40,9 +41,29 @@ enum class Phase2Algo {
   kRing,
 };
 
+/// Intra-node aggregation plan of an n-level hierarchy, built by
+/// core/hierarchy.hpp from a resolved HierarchySpec. Each stage partitions
+/// the node's local ranks into contiguous groups: stage k's `firsts` lists
+/// the first local rank of every group, ascending and starting at 0 (the
+/// final boundary, ppn, is implicit). Stages run innermost to outermost —
+/// MHA-intra inside each innermost group, then, per stage, the previous
+/// stage's group leaders pull their sibling groups' blocks through a
+/// shared-memory segment homed on their own group (one inter-group
+/// crossing per byte, the numa_phase1 pattern generalized to uneven
+/// spans). Depth-2 specs and the even-socket depth-3 spec never carry a
+/// plan — they map onto kMhaIntra / kNumaTwoLevel and stay byte-identical
+/// to the historical paths.
+struct NodePlan {
+  std::vector<std::vector<int>> stages;  ///< innermost -> outermost
+};
+
 struct HierOptions {
   Phase1Mode phase1 = Phase1Mode::kMhaIntra;
   Phase2Algo phase2 = Phase2Algo::kAuto;
+  /// Generic n-level phase 1; overrides `phase1` when non-null. Not owned:
+  /// the caller keeps it alive across the collective (core/hierarchy.hpp
+  /// owns it in the coroutine frame of allgather_hierarchy).
+  const NodePlan* plan = nullptr;
   /// Overlap phase 3 with phase 2 (the paper's design). false gives the
   /// strict phase separation of Kandalla et al. — the ablation baseline.
   bool overlap = true;
@@ -78,16 +99,29 @@ sim::Task<void> allgather_hierarchical(mpi::Comm& comm, int my,
                                        std::size_t msg, bool in_place = false,
                                        HierOptions opts = {});
 
+#ifndef HMCA_STRICT_API
+// ---- Deprecated compatibility shims ----
+//
+// The free-function family below predates the declarative hierarchy API
+// (core/hierarchy.hpp). Each is a one-line forwarding shim kept so existing
+// out-of-tree callers and the historical registry names stay source-
+// compatible; new code should pass a HierarchySpec to allgather_hierarchy
+// (or configure HierOptions on allgather_hierarchical directly). Excluded
+// entirely under -DHMCA_STRICT_API=ON — the CI job that keeps in-tree code
+// off the old names. The registry entries ("mha_inter", "numa3", ...) do
+// not go through these shims and keep working in strict builds.
+
 /// The paper's MHA-inter: hierarchical with MHA-intra phase 1, model-tuned
 /// phase 2, overlap on.
+[[deprecated("use allgather_hierarchy with HierarchySpec::mha()")]]
 sim::Task<void> allgather_mha_inter(mpi::Comm& comm, int my, hw::BufView send,
                                     hw::BufView recv, std::size_t msg,
                                     bool in_place = false);
 
 /// MHA-inter with the dataflow pipeline disabled *and* strict phase
-/// barriers (overlap off): phases 1, 2 and 3 run back to back. The
-/// barriered baseline the perf campaign's `pipeline` scenario pair and the
-/// phase-overlap acceptance test compare the graph executor against.
+/// barriers (overlap off): phases 1, 2 and 3 run back to back.
+[[deprecated(
+    "use allgather_hierarchical with overlap=false, streaming=false")]]
 sim::Task<void> allgather_mha_inter_barrier(mpi::Comm& comm, int my,
                                             hw::BufView send, hw::BufView recv,
                                             std::size_t msg,
@@ -95,6 +129,7 @@ sim::Task<void> allgather_mha_inter_barrier(mpi::Comm& comm, int my,
 
 /// Mamidala et al. [19] single-leader baseline: shm gather, RD inter-leader
 /// exchange, overlapped distribution.
+[[deprecated("use allgather_hierarchical with Phase1Mode::kShmGather")]]
 sim::Task<void> allgather_single_leader(mpi::Comm& comm, int my,
                                         hw::BufView send, hw::BufView recv,
                                         std::size_t msg,
@@ -103,10 +138,11 @@ sim::Task<void> allgather_single_leader(mpi::Comm& comm, int my,
 /// The 3-level NUMA-aware design the paper proposes as future work
 /// (Sec. 7): intra-socket MHA-intra, inter-socket exchange via shared
 /// memory, inter-node leader exchange overlapped with distribution.
-/// Requires a cluster with sockets_per_node > 1 (falls back to MHA-inter
-/// on flat nodes).
+[[deprecated(
+    "use allgather_hierarchy with HierarchySpec::derive(spec, 3)")]]
 sim::Task<void> allgather_numa3(mpi::Comm& comm, int my, hw::BufView send,
                                 hw::BufView recv, std::size_t msg,
                                 bool in_place = false);
+#endif  // HMCA_STRICT_API
 
 }  // namespace hmca::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/hierarchical.hpp"
+#include "core/hierarchy.hpp"
 #include "core/mha_allgatherv.hpp"
 #include "core/mha_intra.hpp"
 #include "core/mha_rooted.hpp"
@@ -87,7 +88,9 @@ void register_core_impl(coll::Registry& reg) {
       {"mha_inter",
        "Sec. 3.2 hierarchical, model-resolved RD/Ring phase 2 (Fig. 8)",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
-          bool ip) { return allgather_mha_inter(c, my, s, rv, m, ip); },
+          bool ip) {
+         return allgather_hierarchical(c, my, s, rv, m, ip, HierOptions{});
+       },
        world_multi_node,
        [](const model::ModelParams& p, const coll::CommShape& s,
           std::size_t m) {
@@ -100,7 +103,12 @@ void register_core_impl(coll::Registry& reg) {
       {"mha_inter_barrier",
        "Sec. 3.2 with strict phase barriers (dataflow-off baseline)",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
-          bool ip) { return allgather_mha_inter_barrier(c, my, s, rv, m, ip); },
+          bool ip) {
+         HierOptions o;
+         o.overlap = false;
+         o.streaming = false;
+         return allgather_hierarchical(c, my, s, rv, m, ip, o);
+       },
        world_multi_node,
        {},
        coll::GraphMode::kWrapped});
@@ -108,14 +116,54 @@ void register_core_impl(coll::Registry& reg) {
       {"single_leader",
        "Mamidala prior design: shm gather, RD exchange, overlapped",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
-          bool ip) { return allgather_single_leader(c, my, s, rv, m, ip); },
+          bool ip) {
+         HierOptions o;
+         o.phase1 = Phase1Mode::kShmGather;
+         o.phase2 = coll::is_power_of_two(c.cluster().nodes())
+                        ? Phase2Algo::kRD
+                        : Phase2Algo::kRing;
+         return allgather_hierarchical(c, my, s, rv, m, ip, o);
+       },
        [](const coll::CommShape& s, std::size_t) { return s.world; },
        {}, coll::GraphMode::kNative});
   reg.add_allgather(
       {"numa3",
        "Sec. 7: 3-level NUMA-aware hierarchical (socket, node, cluster)",
        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
-          bool ip) { return allgather_numa3(c, my, s, rv, m, ip); },
+          bool ip) {
+         HierOptions o;
+         o.phase1 = c.cluster().sockets() > 1 ? Phase1Mode::kNumaTwoLevel
+                                              : Phase1Mode::kMhaIntra;
+         return allgather_hierarchical(c, my, s, rv, m, ip, o);
+       },
+       [](const coll::CommShape& s, std::size_t) { return s.world; },
+       {}, coll::GraphMode::kNative});
+  reg.add_allgather(
+      {"hier2",
+       "declarative depth-2 hierarchy (node<cluster); == mha_inter",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) {
+         return allgather_hierarchy(c, my, s, rv, m, ip,
+                                    HierarchySpec::derive(c.cluster().spec(),
+                                                          2));
+       },
+       world_multi_node,
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         const double mm = static_cast<double>(m);
+         return std::min(model::mha_inter_time_rd(p, s.nodes, s.ppn, mm),
+                         model::mha_inter_time_ring(p, s.nodes, s.ppn, mm));
+       },
+       coll::GraphMode::kNative});
+  reg.add_allgather(
+      {"hier3",
+       "declarative depth-3 hierarchy (socket<node<cluster); == numa3",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv, std::size_t m,
+          bool ip) {
+         return allgather_hierarchy(c, my, s, rv, m, ip,
+                                    HierarchySpec::derive(c.cluster().spec(),
+                                                          3));
+       },
        [](const coll::CommShape& s, std::size_t) { return s.world; },
        {}, coll::GraphMode::kNative});
 
@@ -135,6 +183,15 @@ void register_core_impl(coll::Registry& reg) {
                  "hierarchical: leader scatter-allgather + pipelined shm",
                  [](mpi::Comm& c, int my, int root, hw::BufView d) {
                    return mha_bcast(c, my, root, d);
+                 },
+                 [](const coll::CommShape& s, std::size_t) { return s.world; },
+                 {}});
+  reg.add_bcast({"hier",
+                 "declarative hierarchy bcast: leader bcast + shm cascade",
+                 [](mpi::Comm& c, int my, int root, hw::BufView d) {
+                   return bcast_hierarchy(
+                       c, my, root, d,
+                       HierarchySpec::derive(c.cluster().spec(), 0));
                  },
                  [](const coll::CommShape& s, std::size_t) { return s.world; },
                  {}});
@@ -204,6 +261,24 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
           ", ppn=" + std::to_string(shape.ppn) + ")");
     }
     return finish(a, a.fn, std::string("env:") + kAllgatherAlgoEnv);
+  }
+
+  // 1.5. Hierarchy override: HMCA_HIERARCHY pins the leader-hierarchy depth
+  // (or a JSON spec file) while leaving the rest of the policy alone. Only
+  // meaningful on multi-node world communicators — the hierarchical engine
+  // needs the node-major world layout.
+  if (shape.world && shape.nodes > 1) {
+    if (auto hs = hierarchy_from_env(spec)) {
+      const auto& a =
+          reg.get_allgather(hs->depth() >= 3 ? "hier3" : "hier2");
+      HierarchySpec hspec = std::move(*hs);
+      return finish(a,
+                    [hspec](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv,
+                            std::size_t m, bool ip) {
+                      return allgather_hierarchy(c, r, s, rv, m, ip, hspec);
+                    },
+                    std::string("env:") + osu::Env::kHierarchy);
+    }
   }
 
   // 2. Tuning table, when it was generated for this cluster shape.
@@ -294,6 +369,14 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
       // so degraded shapes pin the Ring phase-2 variant.
       const auto& a = reg.get_allgather("mha_inter_ring");
       return finish(a, a.fn, degraded_reason() + ":ring");
+    }
+    if (shape.sockets > 1) {
+      // Multi-socket nodes: the topology naturally supports a deeper
+      // leader hierarchy (socket < node < cluster), and the socket-staged
+      // phase 1 keeps the gather NUMA-local. Flat nodes fall through to
+      // the paper's depth-2 Fig. 8 thresholds unchanged.
+      const auto& a = reg.get_allgather("hier3");
+      return finish(a, a.fn, "depth:" + shape.level_structure());
     }
     const Phase2Algo p2 =
         resolve_phase2(spec, shape.nodes, shape.ppn, msg, Phase2Algo::kAuto);

@@ -6,13 +6,17 @@
 //   1. environment override (HMCA_ALLGATHER_ALGO / HMCA_ALLREDUCE_ALGO) —
 //      pins any registry entry by name for experiments; unknown or
 //      inapplicable names fail loudly,
+//   1.5. hierarchy override (HMCA_HIERARCHY, allgather only) — pins the
+//      leader-hierarchy depth or a JSON HierarchySpec on multi-node world
+//      communicators (core/hierarchy.hpp),
 //   2. installed tuning table (MVAPICH-style, core/tuning_table.hpp) when it
 //      matches the cluster shape: tuned offload + measured RD/Ring winner,
 //   3. cost model (opt-in): rank every applicable registry entry by its
 //      model/cost.hpp hook and take the cheapest,
 //   4. static thresholds — the paper's defaults (MhaTuning small-message
-//      cutoffs, the Fig. 8 RD/Ring crossover), reproducing the historical
-//      hard-coded dispatch exactly.
+//      cutoffs, the Fig. 8 RD/Ring crossover) on flat nodes; multi-socket
+//      worlds route to the depth-3 hierarchy the topology supports
+//      (CommShape::natural_depth).
 //
 // Every decision is recorded as a trace::Kind::kPhase span (algorithm name +
 // reason) when the communicator carries a tracer, so benches can show *why*

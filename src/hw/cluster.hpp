@@ -50,6 +50,30 @@ class Cluster {
   int hca_socket(int hca) const noexcept {
     return hca * spec_.sockets_per_node / spec_.hcas_per_node;
   }
+  /// First node-local rank of socket `s` — the exact inverse of the
+  /// socket_of_local block distribution, valid for `ppn % sockets != 0`
+  /// too (spans stay contiguous; sizes differ by at most one, earlier
+  /// sockets larger: ppn=7, sockets=2 -> {4, 3}). `s == sockets()` yields
+  /// ppn, so [socket_first_local(s), socket_first_local(s+1)) is always
+  /// the socket's span.
+  int socket_first_local(int s) const noexcept {
+    return (s * spec_.ppn + spec_.sockets_per_node - 1) /
+           spec_.sockets_per_node;
+  }
+  /// Number of node-local ranks on socket `s`.
+  int socket_size(int s) const noexcept {
+    return socket_first_local(s + 1) - socket_first_local(s);
+  }
+  /// First HCA attached to socket `s` (same block distribution; a socket
+  /// may own zero adapters when hcas < sockets).
+  int socket_hca_first(int s) const noexcept {
+    return (s * spec_.hcas_per_node + spec_.sockets_per_node - 1) /
+           spec_.sockets_per_node;
+  }
+  /// Number of HCAs attached to socket `s`.
+  int socket_hca_count(int s) const noexcept {
+    return socket_hca_first(s + 1) - socket_hca_first(s);
+  }
 
   // ---- Resources ----
   sim::ResourceId mem(int node, int socket = 0) const {

@@ -26,6 +26,18 @@ struct ClusterSpec {
   /// paper's evaluated configuration). With more sockets, memory and the
   /// copy engine split per socket, ranks and HCAs are block-distributed
   /// over sockets, and cross-socket copies traverse the UPI link.
+  ///
+  /// Block distribution (the contract every layer shares — Cluster's
+  /// socket_of_local/hca_socket, World::socket_comm, HierarchySpec
+  /// derivation): socket s owns node-local ranks
+  ///   [ceil(s*L/S), ceil((s+1)*L/S))
+  /// i.e. `socket_of_local(l) = floor(l*S/L)`. When L % S != 0 the spans
+  /// stay contiguous and balanced (sizes differ by at most one, earlier
+  /// sockets get the larger spans: L=7, S=2 -> {4, 3}). HCAs distribute
+  /// the same way: `hca_socket(h) = floor(h*S/H)`, so H=3, S=2 puts
+  /// adapters {0, 1} on socket 0 and adapter {2} on socket 1. Neither L
+  /// nor H needs to divide evenly; every socket must host at least one
+  /// rank (S <= L, enforced by validate()).
   int sockets_per_node = 1;
   /// Inter-socket (UPI/QPI) payload bandwidth per node, each direction.
   double upi_bw = 18e9;
@@ -124,8 +136,12 @@ struct ClusterSpec {
     require(ppn >= 1, "ppn must be >= 1");
     require(hcas_per_node >= 1, "hcas_per_node must be >= 1");
     require(sockets_per_node >= 1, "sockets_per_node must be >= 1");
-    require(sockets_per_node == 1 || ppn % sockets_per_node == 0,
-            "ppn must be divisible by sockets_per_node");
+    // ppn need not divide evenly (the block distribution balances uneven
+    // spans), but every socket must host at least one rank, and the
+    // shared-memory key scheme bounds the per-node fanout.
+    require(sockets_per_node <= ppn,
+            "sockets_per_node must be <= ppn (every socket hosts a rank)");
+    require(sockets_per_node <= 8, "sockets_per_node must be <= 8");
     require(upi_bw > 0, "upi_bw must be > 0");
     require(hca_bw > 0, "hca_bw must be > 0");
     require(mem_bw > 0, "mem_bw must be > 0");
@@ -139,5 +155,51 @@ struct ClusterSpec {
             "memory weights must be > 0");
   }
 };
+
+/// Fluent, validated ClusterSpec construction — the front door for benches
+/// and tests that used to poke struct fields directly:
+///
+///   auto spec = hw::ClusterSpecBuilder(hw::ClusterSpec::thor(4, 32))
+///                   .sockets(2).hcas(4).build();
+///
+/// Every setter checks its argument eagerly (SpecError naming the field);
+/// build() runs the full ClusterSpec::validate() so cross-field shape
+/// errors surface before a world is constructed. `sockets(k)` keeps the
+/// *node-total* memory and copy-engine capacity fixed and splits it per
+/// socket (the thor_numa convention): re-socketing the same node never
+/// changes its aggregate roofline.
+class ClusterSpecBuilder {
+ public:
+  /// Start from the paper's Thor defaults (2 nodes x 2 ppn).
+  ClusterSpecBuilder() : ClusterSpecBuilder(ClusterSpec{}) {}
+  /// Start from an existing spec (per-socket capacities are re-derived
+  /// from its socket count, so `sockets()` stays total-preserving).
+  explicit ClusterSpecBuilder(ClusterSpec base);
+
+  ClusterSpecBuilder& nodes(int n);
+  ClusterSpecBuilder& ppn(int l);
+  ClusterSpecBuilder& hcas(int h);
+  ClusterSpecBuilder& sockets(int s);
+  ClusterSpecBuilder& hca_bw(double bytes_per_sec);
+  ClusterSpecBuilder& upi_bw(double bytes_per_sec);
+  ClusterSpecBuilder& carry_data(bool on);
+  ClusterSpecBuilder& fault_plan(std::string plan);
+
+  /// The validated spec; throws SpecError naming the offending shape.
+  ClusterSpec build() const;
+
+ private:
+  ClusterSpec spec_;
+  double node_mem_bw_;   // node-total memory capacity (socket-independent)
+  double node_copy_bw_;  // node-total copy-engine capacity
+};
+
+/// Apply `--topo` key=value overrides onto `base` and validate the result.
+/// Grammar: comma-separated `key=value` with keys
+///   nodes, ppn, hcas, sockets     (positive integers)
+///   hca_bw, upi_bw                (bytes/s, e.g. 12.5e9)
+/// Empty `topo` returns `base` unchanged. Throws SpecError naming the bad
+/// key or value. `sockets=` uses the builder's total-preserving split.
+ClusterSpec apply_topo(ClusterSpec base, const std::string& topo);
 
 }  // namespace hmca::hw

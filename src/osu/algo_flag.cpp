@@ -60,6 +60,8 @@ AlgoFlag parse_algo_flag(int argc, char** argv) {
       }
     } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
       flag.faults = load_fault_spec(value_of("--faults", 9));
+    } else if (arg == "--topo" || arg.rfind("--topo=", 0) == 0) {
+      flag.topo = value_of("--topo", 7);
     } else if (arg == "--stats") {  // bare flag: text report, no value taken
       flag.stats.enabled = true;
       flag.stats.format = StatsFormat::kText;
@@ -93,6 +95,11 @@ AlgoFlag parse_algo_flag(int argc, char** argv) {
 hw::ClusterSpec with_faults(hw::ClusterSpec spec, const AlgoFlag& flag) {
   if (!flag.faults.empty()) spec.fault_plan = flag.faults;
   return spec;
+}
+
+hw::ClusterSpec with_topo_and_faults(hw::ClusterSpec spec,
+                                     const AlgoFlag& flag) {
+  return with_faults(hw::apply_topo(std::move(spec), flag.topo), flag);
 }
 
 void print_algo_list(std::ostream& os) {

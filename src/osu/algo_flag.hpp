@@ -10,6 +10,7 @@
 //   bench_binary --algo=ring
 //   bench_binary --faults 'kill:node=0,hca=1,t=5e-6'   # sim/fault.hpp spec
 //   bench_binary --faults=@plan.json                   # read spec from file
+//   bench_binary --topo sockets=2,hcas=2   # override topology (hw::apply_topo)
 //   bench_binary --stats         # per-invocation stats report (text)
 //   bench_binary --stats=json    # ... machine-readable (or csv)
 //   bench_binary --trace out.json  # Chrome-trace export of the last run
@@ -42,6 +43,7 @@ struct AlgoFlag {
   std::string name;    ///< empty = no --algo given
   bool list = false;   ///< --algo list
   std::string faults;  ///< fault plan spec (--faults or HMCA_FAULTS)
+  std::string topo;    ///< --topo key=value overrides (empty = none)
   StatsOptions stats;  ///< --stats / --trace / HMCA_STATS request
   bool json = false;   ///< --json: machine-readable table output
 };
@@ -57,6 +59,13 @@ AlgoFlag parse_algo_flag(int argc, char** argv);
 
 /// `spec` with the flag's fault plan attached (no-op when none was given).
 hw::ClusterSpec with_faults(hw::ClusterSpec spec, const AlgoFlag& flag);
+
+/// `spec` with the flag's `--topo` overrides applied (hw::apply_topo) and
+/// then the fault plan attached. Benches route every measured spec through
+/// this so one flag re-shapes the whole table; throws hw::SpecError on a
+/// bad key/value against this base spec.
+hw::ClusterSpec with_topo_and_faults(hw::ClusterSpec spec,
+                                     const AlgoFlag& flag);
 
 /// Print every registry entry (name + one-line summary) per collective.
 void print_algo_list(std::ostream& os);

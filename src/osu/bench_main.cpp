@@ -70,7 +70,7 @@ BenchContext::BenchContext(AlgoFlag f, std::string bench, std::ostream& os)
       out(flag.json, os) {}
 
 hw::ClusterSpec BenchContext::faulted(hw::ClusterSpec spec) const {
-  return with_faults(std::move(spec), flag);
+  return with_topo_and_faults(std::move(spec), flag);
 }
 
 coll::AllgatherFn BenchContext::subject_allgather() const {
@@ -93,6 +93,10 @@ int bench_main(const std::string& bench, int argc, char** argv,
       return 0;
     }
     BenchContext ctx(std::move(flag), bench, std::cout);
+    if (!ctx.flag.topo.empty()) {
+      ctx.out.note("topology override: " + ctx.flag.topo);
+      if (!ctx.out.json() && ctx.flag.faults.empty()) std::cout << '\n';
+    }
     if (!ctx.flag.faults.empty()) {
       ctx.out.note("fault plan: " +
                    sim::FaultPlan::parse(ctx.flag.faults).to_string());

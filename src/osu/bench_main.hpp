@@ -67,7 +67,8 @@ struct BenchContext {
 
   BenchContext(AlgoFlag f, std::string bench, std::ostream& os);
 
-  /// `spec` with the --faults/HMCA_FAULTS plan attached.
+  /// `spec` with the --topo overrides applied and the --faults/HMCA_FAULTS
+  /// plan attached.
   hw::ClusterSpec faulted(hw::ClusterSpec spec) const;
 
   /// The measured subject: --algo-pinned registry entry, else the MHA

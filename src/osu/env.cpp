@@ -15,6 +15,7 @@ namespace {
 constexpr const char* kKnown[] = {
     Env::kAllgatherAlgo, Env::kAllreduceAlgo, Env::kFaults,
     Env::kConformanceSeed, Env::kStats, Env::kChunkBytes,
+    Env::kHierarchy,
 };
 
 bool known_name(std::string_view name) {
@@ -51,6 +52,7 @@ std::optional<std::string> Env::raw(const char* var) {
 std::optional<std::string> Env::allgather_algo() { return raw(kAllgatherAlgo); }
 std::optional<std::string> Env::allreduce_algo() { return raw(kAllreduceAlgo); }
 std::optional<std::string> Env::faults() { return raw(kFaults); }
+std::optional<std::string> Env::hierarchy() { return raw(kHierarchy); }
 
 std::optional<std::uint64_t> Env::conformance_seed() {
   const auto v = raw(kConformanceSeed);
@@ -84,7 +86,8 @@ int Env::warn_unknown(std::ostream& os) {
     if (known_name(name)) continue;
     os << "hmca: warning: unknown environment variable " << name
        << " (known: HMCA_ALLGATHER_ALGO, HMCA_ALLREDUCE_ALGO, HMCA_FAULTS, "
-          "HMCA_CONFORMANCE_SEED, HMCA_STATS, HMCA_CHUNK_BYTES)\n";
+          "HMCA_CONFORMANCE_SEED, HMCA_STATS, HMCA_CHUNK_BYTES, "
+          "HMCA_HIERARCHY)\n";
     ++found;
   }
   return found;

@@ -8,6 +8,8 @@
 //   HMCA_CONFORMANCE_SEED  conformance-suite sampling seed (strtoull base 0)
 //   HMCA_STATS             stats report format: text|json|csv (off|0 = none)
 //   HMCA_CHUNK_BYTES       dataflow chunk granularity in bytes (0 = auto)
+//   HMCA_HIERARCHY         leader-hierarchy depth override: auto|2|3|@file
+//                          (selector step 1.5; core::hierarchy_from_env)
 //
 // Unknown HMCA_*-prefixed variables are reported once per process (typo
 // guard: a misspelled override silently reverting to defaults is the worst
@@ -51,10 +53,14 @@ class Env {
   static constexpr const char* kConformanceSeed = "HMCA_CONFORMANCE_SEED";
   static constexpr const char* kStats = "HMCA_STATS";
   static constexpr const char* kChunkBytes = "HMCA_CHUNK_BYTES";
+  static constexpr const char* kHierarchy = "HMCA_HIERARCHY";
 
   static std::optional<std::string> allgather_algo();
   static std::optional<std::string> allreduce_algo();
   static std::optional<std::string> faults();
+  /// Raw HMCA_HIERARCHY value ("auto", "2", "3" or "@/path/spec.json");
+  /// core::hierarchy_from_env does the parse so osu stays hierarchy-free.
+  static std::optional<std::string> hierarchy();
 
   /// strtoull base-0 (so 0x... hex seeds work); digit-free garbage throws
   /// std::invalid_argument rather than silently seeding with 0.

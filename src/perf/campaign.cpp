@@ -19,6 +19,7 @@ const char* kind_name(Kind k) {
 hw::ClusterSpec Scenario::spec() const {
   hw::ClusterSpec s = hcas > 0 ? hw::ClusterSpec::multi_rail(nodes, ppn, hcas)
                                : hw::ClusterSpec::thor(nodes, ppn);
+  s = hw::apply_topo(std::move(s), topo);
   s.fault_plan = faults;
   return s;
 }
@@ -42,16 +43,16 @@ Campaign build_default() {
   const std::vector<std::size_t> bw_sizes = {8 * kKiB, 64 * kKiB, 512 * kKiB,
                                              4 * kMiB};
   s.push_back({"fig01/intra_cma", "fig01", Kind::kPt2ptBandwidth, "", 1, 2, 0,
-               "", bw_sizes, 0});
+               "", bw_sizes, 0, ""});
   s.push_back({"fig01/inter_1hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1,
-               1, "", bw_sizes, 0});
+               1, "", bw_sizes, 0, ""});
   s.push_back({"fig01/inter_2hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1,
-               2, "", bw_sizes, 0});
+               2, "", bw_sizes, 0, ""});
 
   // Fig. 5: the offload V-curve — latency vs d for MHA-intra, 8 procs, 4M.
   // Derived metrics record the tuner argmin and the Eq. 1 analytic d.
   s.push_back({"fig05/offload_v", "fig05", Kind::kOffloadSweep, "mha_intra",
-               1, 8, 0, "", {0, 1, 2, 3, 4, 5, 6, 7}, 4 * kMiB});
+               1, 8, 0, "", {0, 1, 2, 3, 4, 5, 6, 7}, 4 * kMiB, ""});
 
   // Fig. 8: RD vs Ring inter-leader exchange at 16 nodes x 32 PPN; the
   // crossover between the two pinned hierarchical variants is the guarded
@@ -59,9 +60,9 @@ Campaign build_default() {
   const std::vector<std::size_t> fig8_sizes = {64, 1 * kKiB, 16 * kKiB,
                                                256 * kKiB};
   s.push_back({"fig08/rd", "fig08", Kind::kAllgather, "algo:mha_inter_rd", 16,
-               32, 0, "", fig8_sizes, 0});
+               32, 0, "", fig8_sizes, 0, ""});
   s.push_back({"fig08/ring", "fig08", Kind::kAllgather,
-               "algo:mha_inter_ring", 16, 32, 0, "", fig8_sizes, 0});
+               "algo:mha_inter_ring", 16, 32, 0, "", fig8_sizes, 0, ""});
 
   // Fig. 11: intra-node Allgather. Full three-subject comparison at 8 PPN;
   // MHA-only guards at the PPN extremes.
@@ -69,53 +70,53 @@ Campaign build_default() {
                                                 4 * kMiB, 16 * kMiB};
   for (const char* subject : {"mha", "hpcx", "mvapich"}) {
     s.push_back({std::string("fig11/ppn8/") + subject, "fig11",
-                 Kind::kAllgather, subject, 1, 8, 0, "", intra_sizes, 0});
+                 Kind::kAllgather, subject, 1, 8, 0, "", intra_sizes, 0, ""});
   }
   s.push_back({"fig11/ppn2/mha", "fig11", Kind::kAllgather, "mha", 1, 2, 0,
-               "", intra_sizes, 0});
+               "", intra_sizes, 0, ""});
   s.push_back({"fig11/ppn16/mha", "fig11", Kind::kAllgather, "mha", 1, 16, 0,
-               "", intra_sizes, 0});
+               "", intra_sizes, 0, ""});
 
   // Figs. 12-14: inter-node Allgather at 256/512/1024 processes. The
   // comparison profile rides along at 256 procs; the larger worlds track
   // MHA alone to keep the campaign tractable.
   const std::vector<std::size_t> inter_sizes = {256, 4 * kKiB, 64 * kKiB};
   s.push_back({"fig12/n8/mha", "fig12", Kind::kAllgather, "mha", 8, 32, 0,
-               "", inter_sizes, 0});
+               "", inter_sizes, 0, ""});
   s.push_back({"fig12/n8/hpcx", "fig12", Kind::kAllgather, "hpcx", 8, 32, 0,
-               "", inter_sizes, 0});
+               "", inter_sizes, 0, ""});
   s.push_back({"fig13/n16/mha", "fig13", Kind::kAllgather, "mha", 16, 32, 0,
-               "", inter_sizes, 0});
+               "", inter_sizes, 0, ""});
   s.push_back({"fig14/n32/mha", "fig14", Kind::kAllgather, "mha", 32, 32, 0,
-               "", inter_sizes, 0});
+               "", inter_sizes, 0, ""});
 
   // Pipeline: the strict-barrier baseline vs the chunk-streamed dataflow
   // executor on the Fig. 12/13 shapes — guards the overlap win (and its
   // cost model) against regressions in either path.
   const std::vector<std::size_t> pipe_sizes = {64 * kKiB, 1 * kMiB};
   s.push_back({"pipeline/n8/barrier", "fig12", Kind::kAllgather,
-               "algo:mha_inter_barrier", 8, 32, 0, "", pipe_sizes, 0});
+               "algo:mha_inter_barrier", 8, 32, 0, "", pipe_sizes, 0, ""});
   s.push_back({"pipeline/n8/graph", "fig12", Kind::kAllgather,
-               "algo:mha_inter", 8, 32, 0, "", pipe_sizes, 0});
+               "algo:mha_inter", 8, 32, 0, "", pipe_sizes, 0, ""});
   s.push_back({"pipeline/n16/barrier", "fig13", Kind::kAllgather,
-               "algo:mha_inter_barrier", 16, 32, 0, "", pipe_sizes, 0});
+               "algo:mha_inter_barrier", 16, 32, 0, "", pipe_sizes, 0, ""});
   s.push_back({"pipeline/n16/graph", "fig13", Kind::kAllgather,
-               "algo:mha_inter", 16, 32, 0, "", pipe_sizes, 0});
+               "algo:mha_inter", 16, 32, 0, "", pipe_sizes, 0, ""});
 
   // Fig. 15: MHA-accelerated Ring-Allreduce vs HPC-X at 256 procs, plus the
   // 512-proc MHA point where the paper's advantage grows.
   const std::vector<std::size_t> ar_sizes = {64 * kKiB, 1 * kMiB, 16 * kMiB};
   s.push_back({"fig15/n8/mha", "fig15", Kind::kAllreduce, "mha", 8, 32, 0,
-               "", ar_sizes, 0});
+               "", ar_sizes, 0, ""});
   s.push_back({"fig15/n8/hpcx", "fig15", Kind::kAllreduce, "hpcx", 8, 32, 0,
-               "", ar_sizes, 0});
+               "", ar_sizes, 0, ""});
   s.push_back({"fig15/n16/mha", "fig15", Kind::kAllreduce, "mha", 16, 32, 0,
-               "", {1 * kMiB}, 0});
+               "", {1 * kMiB}, 0, ""});
 
   // Degraded mode: one dead rail at t=0 — guards the Eq. 1 recompute and
   // the restriping path the fault subsystem added.
   s.push_back({"degraded/kill_rail1/mha", "fig11", Kind::kAllgather, "mha", 1,
-               8, 0, "kill:node=0,hca=1,t=0", {1 * kMiB, 4 * kMiB}, 0});
+               8, 0, "kill:node=0,hca=1,t=0", {1 * kMiB, 4 * kMiB}, 0, ""});
 
   validate_campaign(c);
   return c;
@@ -126,11 +127,11 @@ Campaign build_smoke() {
   c.name = "smoke";
   c.scenarios = {
       {"smoke/ag/mha", "fig11", Kind::kAllgather, "mha", 2, 2, 0, "",
-       {4 * kKiB, 64 * kKiB}, 0},
+       {4 * kKiB, 64 * kKiB}, 0, ""},
       {"smoke/ar/mha", "fig15", Kind::kAllreduce, "mha", 2, 2, 0, "",
-       {64 * kKiB}, 0},
+       {64 * kKiB}, 0, ""},
       {"smoke/bw/2hca", "fig01", Kind::kPt2ptBandwidth, "", 2, 1, 2, "",
-       {64 * kKiB}, 0},
+       {64 * kKiB}, 0, ""},
   };
   validate_campaign(c);
   return c;
@@ -147,11 +148,11 @@ Campaign build_scale() {
   // the wallclock section.
   c.scenarios = {
       {"scale/n64/mha", "scale", Kind::kAllgather, "mha", 64, 4, 0, "",
-       {4 * kKiB, 64 * kKiB}, 0},
+       {4 * kKiB, 64 * kKiB}, 0, ""},
       {"scale/n256/mha", "scale", Kind::kAllgather, "mha", 256, 2, 0, "",
-       {4 * kKiB, 64 * kKiB}, 0},
+       {4 * kKiB, 64 * kKiB}, 0, ""},
       {"scale/n1024/mha", "scale", Kind::kAllgather, "mha", 1024, 2, 0, "",
-       {4 * kKiB}, 0},
+       {4 * kKiB}, 0, ""},
   };
   // Fig. 13's 32-node shape at full PPN: big enough that queue/solver
   // scaling dominates, small enough for five timed repeats in CI.

@@ -55,8 +55,12 @@ struct Scenario {
   std::vector<std::size_t> xs;
   /// Fixed message size for kOffloadSweep (the sweep axis is d, not bytes).
   std::size_t msg_bytes = 0;
+  /// hw::apply_topo overrides ("sockets=2,hcas=4"); "" = shape as declared.
+  /// Set per-scenario or broadcast from `hmca-bench run --topo`.
+  std::string topo;
 
-  /// The cluster this scenario runs on (fault plan attached).
+  /// The cluster this scenario runs on (topo overrides applied, fault plan
+  /// attached).
   hw::ClusterSpec spec() const;
 };
 

@@ -237,12 +237,26 @@ Report run_campaign(const Campaign& c, const RunOptions& opts) {
   r.campaign = c.name;
   r.env = detect_environment();
   std::size_t i = 0;
-  for (const auto& sc : c.scenarios) {
+  for (const auto& base : c.scenarios) {
     ++i;
+    Scenario sc = base;
+    if (!opts.topo.empty()) {
+      sc.topo = opts.topo;
+      // Surface shape/override conflicts (e.g. sockets=2 broadcast onto a
+      // ppn=1 pt2pt scenario) with the scenario named, before the run.
+      try {
+        sc.spec();
+      } catch (const hw::SpecError& e) {
+        throw hw::SpecError(sc.id + ": --topo '" + opts.topo +
+                            "' does not fit this scenario: " + e.what());
+      }
+    }
     if (opts.progress != nullptr) {
       *opts.progress << "[" << i << "/" << c.scenarios.size() << "] " << sc.id
                      << " (" << kind_name(sc.kind) << ", " << sc.xs.size()
-                     << " points)\n";
+                     << " points)";
+      if (!sc.topo.empty()) *opts.progress << " topo=" << sc.topo;
+      *opts.progress << '\n';
       opts.progress->flush();
     }
     r.scenarios.push_back(run_scenario(sc));
@@ -303,6 +317,11 @@ std::string scenarios_json(const Report& r) {
     os << "      \"ppn\": " << sc.ppn << ",\n";
     os << "      \"hcas\": " << sc.hcas << ",\n";
     os << "      \"faults\": \"" << obs::json_escape(sc.faults) << "\",\n";
+    // Emitted only when set: stock reports stay byte-identical to the
+    // committed seeds.
+    if (!sc.topo.empty()) {
+      os << "      \"topo\": \"" << obs::json_escape(sc.topo) << "\",\n";
+    }
     os << "      \"msg_bytes\": " << sc.msg_bytes << ",\n";
     if (!res.derived.empty()) {
       os << "      \"derived\": ";

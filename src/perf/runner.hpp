@@ -83,6 +83,10 @@ struct RunOptions {
   std::string label = "local";
   bool wallclock = true;
   int wallclock_repeats = 5;
+  /// hw::apply_topo overrides broadcast onto every scenario ("" = none).
+  /// Reports carry the override per scenario, so topo'd runs never compare
+  /// silently against a stock baseline.
+  std::string topo;
   /// Per-scenario progress lines ("[3/19] fig08/rd ..."), nullptr = quiet.
   std::ostream* progress = nullptr;
 };

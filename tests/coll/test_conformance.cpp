@@ -6,6 +6,7 @@
 // replay command.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <sstream>
 #include <string>
@@ -56,6 +57,10 @@ Trial sample_trial(sim::Rng& rng, std::uint64_t seed, int index, Category cat) {
   t.nodes = static_cast<int>(rng.uniform_int(1, 4));
   t.ppn = static_cast<int>(rng.uniform_int(1, 4));
   t.hcas = static_cast<int>(rng.uniform_int(1, 3));
+  // Sockets need not divide ppn: imbalanced spans (ppn=3, sockets=2) are
+  // deliberately in the pool so the n-level hierarchy's uneven block
+  // distribution is conformance-checked under every fault category.
+  t.sockets = static_cast<int>(rng.uniform_int(1, std::min(t.ppn, 3)));
   t.msg = kMsgSizes[rng.next_below(std::size(kMsgSizes))];
   t.in_place = rng.next_below(2) == 0;
   t.fault_plan =

@@ -82,19 +82,43 @@ TEST(Hier, SingleNodeDegeneratesToPhase1) {
 }
 
 TEST(Hier, NamedEntryPoints) {
+  // The historical named designs as HierOptions points: MHA-inter is the
+  // all-defaults options, single-leader is shm gather + RD (Ring on
+  // non-power-of-two node counts).
+  check_allgather(fn_hier({}), 2, 2, 8192);
+  check_allgather(fn_hier(make_opts(Phase1Mode::kShmGather, Phase2Algo::kRD,
+                                    true)),
+                  2, 2, 8192);
+  check_allgather(fn_hier(make_opts(Phase1Mode::kShmGather, Phase2Algo::kRing,
+                                    true)),
+                  3, 2, 8192);  // non-p2 nodes -> Ring
+}
+
+#ifndef HMCA_STRICT_API
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Hier, DeprecatedShimsStillGatherCorrectly) {
+  // The pre-HierarchySpec entry points stay callable (and correct) until
+  // the deprecation window closes; -DHMCA_STRICT_API=ON compiles them out.
   check_allgather(
       [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
          bool ip) { return allgather_mha_inter(c, r, s, rv, m, ip); },
       2, 2, 8192);
   check_allgather(
       [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-         bool ip) { return allgather_single_leader(c, r, s, rv, m, ip); },
-      2, 2, 8192);
+         bool ip) { return allgather_mha_inter_barrier(c, r, s, rv, m, ip); },
+      2, 2, 4096);
   check_allgather(
       [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
          bool ip) { return allgather_single_leader(c, r, s, rv, m, ip); },
-      3, 2, 8192);  // non-p2 nodes -> Ring fallback inside
+      3, 2, 8192);
+  check_allgather(
+      [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
+         bool ip) { return allgather_numa3(c, r, s, rv, m, ip); },
+      2, 4, 4096);
 }
+#pragma GCC diagnostic pop
+#endif  // HMCA_STRICT_API
 
 TEST(Hier, ResolvePhase2) {
   auto spec = hw::ClusterSpec::thor(8, 32);

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "core/hierarchical.hpp"
+#include "core/hierarchy.hpp"
 #include "osu/harness.hpp"
 #include "testing/coll_testing.hpp"
 
@@ -14,7 +15,10 @@ namespace {
 
 coll::AllgatherFn fn_numa3() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-            bool ip) { return allgather_numa3(c, r, s, rv, m, ip); };
+            bool ip) {
+    return allgather_hierarchy(c, r, s, rv, m, ip,
+                               HierarchySpec::derive(c.cluster().spec(), 0));
+  };
 }
 
 // check_allgather builds thor(nodes, ppn); for NUMA we need our own runner.
@@ -68,9 +72,14 @@ TEST(NumaSpec, ThorNumaSplitsResources) {
   EXPECT_NO_THROW(s.validate());
 }
 
-TEST(NumaSpec, RejectsIndivisiblePpn) {
+TEST(NumaSpec, UnevenPpnAcceptedEmptySocketsRejected) {
+  // The block distribution handles ppn % sockets != 0 (L=7, S=2 -> {4, 3}),
+  // so uneven shapes validate; a socket with no rank at all does not.
   auto s = hw::ClusterSpec::thor_numa(2, 8);
   s.ppn = 7;
+  EXPECT_NO_THROW(s.validate());
+  s = hw::ClusterSpec::thor_numa(2, 8);
+  s.ppn = 1;  // sockets_per_node (2) > ppn: socket 1 hosts no rank
   EXPECT_THROW(s.validate(), hw::SpecError);
   s = hw::ClusterSpec::thor_numa(2, 8);
   s.upi_bw = 0;
@@ -192,7 +201,9 @@ TEST(Numa3Perf, BeatsSocketObliviousDesignWhenUpiBinds) {
   const double t_flat = osu::measure_allgather(
       spec,
       [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-         bool ip) { return allgather_mha_inter(c, r, s, rv, m, ip); },
+         bool ip) {
+        return allgather_hierarchical(c, r, s, rv, m, ip, HierOptions{});
+      },
       msg);
   const double t_numa = osu::measure_allgather(spec, fn_numa3(), msg);
   // With HCA offload active, the adapters already bypass the UPI link for

@@ -26,12 +26,19 @@ namespace {
 
 coll::AllgatherFn fn_graph() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-            bool ip) { return allgather_mha_inter(c, r, s, rv, m, ip); };
+            bool ip) {
+    return allgather_hierarchical(c, r, s, rv, m, ip, HierOptions{});
+  };
 }
 
 coll::AllgatherFn fn_barrier() {
   return [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-            bool ip) { return allgather_mha_inter_barrier(c, r, s, rv, m, ip); };
+            bool ip) {
+    HierOptions o;
+    o.overlap = false;
+    o.streaming = false;
+    return allgather_hierarchical(c, r, s, rv, m, ip, o);
+  };
 }
 
 struct Capture {

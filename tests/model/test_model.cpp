@@ -133,7 +133,10 @@ TEST(Validation, MhaInterModelTracksSimulator) {
     const double actual = osu::measure_allgather(
         spec,
         [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-           bool ip) { return core::allgather_mha_inter(c, r, s, rv, m, ip); },
+           bool ip) {
+          return core::allgather_hierarchical(c, r, s, rv, m, ip,
+                                              core::HierOptions{});
+        },
         msg);
     const double predicted =
         std::min(mha_inter_time_rd(p, 4, 4, static_cast<double>(msg)),

@@ -137,7 +137,10 @@ TEST(Protocols, Fig6OverlapIsObservableInTheTrace) {
   osu::measure_allgather(
       spec,
       [](mpi::Comm& c, int r, hw::BufView s, hw::BufView rv, std::size_t m,
-         bool ip) { return core::allgather_mha_inter(c, r, s, rv, m, ip); },
+         bool ip) {
+        return core::allgather_hierarchical(c, r, s, rv, m, ip,
+                                            core::HierOptions{});
+      },
       262144, &tracer);
   // Leader of node 0 is rank 0; its members are ranks 1..3.
   double overlap = 0.0;

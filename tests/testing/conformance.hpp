@@ -51,6 +51,9 @@ struct Trial {
   int nodes = 1;
   int ppn = 1;
   int hcas = 1;
+  /// NUMA sockets per node (1 = flat). May not divide ppn — imbalanced
+  /// socket spans are part of the sampled space.
+  int sockets = 1;
   std::size_t msg = 0;
   bool in_place = false;
   std::string fault_plan;
@@ -63,7 +66,7 @@ struct Trial {
   std::string context() const {
     std::ostringstream os;
     os << "[trial " << index << ": nodes=" << nodes << " ppn=" << ppn
-       << " hcas=" << hcas << " msg=" << msg
+       << " hcas=" << hcas << " sockets=" << sockets << " msg=" << msg
        << (in_place ? " in_place" : "") << " faults='" << fault_plan
        << "'] replay with " << kSeedEnv << "=" << seed;
     return os.str();
@@ -71,7 +74,10 @@ struct Trial {
 };
 
 inline hw::ClusterSpec spec_of(const Trial& t) {
-  auto spec = hw::ClusterSpec::multi_rail(t.nodes, t.ppn, t.hcas);
+  auto spec = hw::ClusterSpecBuilder(
+                  hw::ClusterSpec::multi_rail(t.nodes, t.ppn, t.hcas))
+                  .sockets(t.sockets)
+                  .build();
   spec.carry_data = true;
   spec.fault_plan = t.fault_plan;
   return spec;
@@ -86,7 +92,7 @@ inline coll::CommShape shape_of(const Trial& t) {
   s.nodes = t.nodes;
   s.ppn = t.ppn;
   s.hcas = t.hcas;
-  s.sockets = 1;
+  s.sockets = t.sockets;
   s.world = true;
   s.healthy_hcas = t.hcas;
   return s;
