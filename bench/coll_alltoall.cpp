@@ -1,0 +1,58 @@
+// Alltoall latency: the planner-lowered direct full-mesh vs the
+// hierarchical leader-exchange composition, plus the selector-routed
+// default, across the paper's node shapes. Not a paper figure — the paper
+// covers Allgather/Allreduce only (Sec. 7 names other collectives as
+// future work); this table tracks the compositional planner's coverage of
+// that gap. Shared flags (osu::bench_main): `--algo list` / `--algo
+// <name>` pins a registry *alltoall* algorithm as the subject column;
+// `--json`, `--stats`, `--trace` as in the fig benches (see README).
+#include <string>
+
+#include "osu/bench_main.hpp"
+
+using namespace hmca;
+
+namespace {
+
+void run(osu::BenchContext& ctx, const coll::AlltoallFn& subject_fn,
+         int nodes, int ppn) {
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
+  osu::Table t;
+  t.title = "Alltoall latency (us), " + std::to_string(nodes * ppn) +
+            " processes (" + std::to_string(nodes) + " nodes x " +
+            std::to_string(ppn) + " PPN), per-pair block size";
+  t.headers = {"size",      "direct",    "hier_leader",
+               ctx.subject, "vs_direct", "vs_hier"};
+  const auto direct = osu::pinned_alltoall("direct");
+  const auto hier = osu::pinned_alltoall("hier_leader");
+  for (std::size_t sz = 256; sz <= (256u << 10); sz *= 16) {
+    const double d = ctx.stats.measure_alltoall(spec, "direct", direct, sz);
+    const double h =
+        ctx.stats.measure_alltoall(spec, "hier_leader", hier, sz);
+    const double m =
+        ctx.stats.measure_alltoall(spec, ctx.subject, subject_fn, sz);
+    t.add_row({osu::format_size(sz), osu::format_us(d), osu::format_us(h),
+               osu::format_us(m), osu::format_ratio(d / m),
+               osu::format_ratio(h / m)});
+  }
+  ctx.out.table(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "coll_alltoall", argc, argv, [](osu::BenchContext& ctx) {
+        const auto subject_fn = ctx.subject_alltoall();
+        run(ctx, subject_fn, 2, 8);
+        run(ctx, subject_fn, 8, 4);
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: leader exchange aggregates the per-pair blocks "
+              "into node-sized transfers, so it wins while blocks are small "
+              "(fewer, larger wire messages) and loses to the direct mesh "
+              "once per-pair bandwidth dominates; the selector default "
+              "should track the better of the two columns.");
+        }
+      });
+}

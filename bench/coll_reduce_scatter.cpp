@@ -1,0 +1,76 @@
+// Reduce-scatter latency: the planner-lowered ring vs recursive-halving
+// compositions plus the selector-routed default, and the composed
+// `rs_ag` allreduce against the hand-woven Ring-Allreduce it rebuilds
+// (Bienz et al.'s locality-aware allreduce = reduce_scatter + allgather).
+// Not a paper figure (Sec. 7 future work); tracks the compositional
+// planner. Shared flags (osu::bench_main): `--algo <name>` pins a registry
+// *reduce_scatter* algorithm; `--json`, `--stats`, `--trace` as in the fig
+// benches (see README).
+#include <string>
+
+#include "osu/bench_main.hpp"
+
+using namespace hmca;
+
+namespace {
+
+void run_rs(osu::BenchContext& ctx, const coll::ReduceScatterFn& subject_fn,
+            int nodes, int ppn) {
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
+  osu::Table t;
+  t.title = "Reduce-scatter latency (us), " + std::to_string(nodes * ppn) +
+            " processes (" + std::to_string(nodes) + " nodes x " +
+            std::to_string(ppn) + " PPN), total vector bytes";
+  t.headers = {"size", "ring", "rh", ctx.subject, "vs_ring", "vs_rh"};
+  const auto ring = osu::pinned_reduce_scatter("ring");
+  const auto rh = osu::pinned_reduce_scatter("rh");
+  for (std::size_t sz = 16 * 1024; sz <= (4u << 20); sz *= 16) {
+    const double r = ctx.stats.measure_reduce_scatter(spec, "ring", ring, sz);
+    const double h = ctx.stats.measure_reduce_scatter(spec, "rh", rh, sz);
+    const double m =
+        ctx.stats.measure_reduce_scatter(spec, ctx.subject, subject_fn, sz);
+    t.add_row({osu::format_size(sz), osu::format_us(r), osu::format_us(h),
+               osu::format_us(m), osu::format_ratio(r / m),
+               osu::format_ratio(h / m)});
+  }
+  ctx.out.table(t);
+}
+
+void run_composed(osu::BenchContext& ctx, int nodes, int ppn) {
+  const auto spec = ctx.faulted(hw::ClusterSpec::thor(nodes, ppn));
+  osu::Table t;
+  t.title = "Composed allreduce (rs_ag) vs Ring-Allreduce (us), " +
+            std::to_string(nodes * ppn) + " processes (" +
+            std::to_string(nodes) + " nodes x " + std::to_string(ppn) +
+            " PPN)";
+  t.headers = {"size", "ring_mha", "rs_ag", "ratio"};
+  const auto ring = osu::pinned_allreduce("ring_mha");
+  const auto composed = osu::pinned_allreduce("rs_ag");
+  for (std::size_t sz = 64 * 1024; sz <= (4u << 20); sz *= 8) {
+    const double r = ctx.stats.measure_allreduce(spec, "ring_mha", ring, sz);
+    const double c =
+        ctx.stats.measure_allreduce(spec, "rs_ag", composed, sz);
+    t.add_row({osu::format_size(sz), osu::format_us(r), osu::format_us(c),
+               osu::format_ratio(r / c)});
+  }
+  ctx.out.table(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return osu::bench_main(
+      "coll_reduce_scatter", argc, argv, [](osu::BenchContext& ctx) {
+        const auto subject_fn = ctx.subject_reduce_scatter();
+        run_rs(ctx, subject_fn, 2, 8);
+        run_rs(ctx, subject_fn, 8, 4);
+        run_composed(ctx, 8, 4);
+        if (!ctx.pinned()) {
+          ctx.out.note(
+              "shape check: recursive halving wins at small vectors (log2 N "
+              "rounds vs N-1), the ring at large ones (optimal bandwidth); "
+              "the composed rs_ag allreduce should stay within a small "
+              "factor of the hand-woven Ring-Allreduce it recomposes.");
+        }
+      });
+}

@@ -190,29 +190,4 @@ sim::Task<void> scatter_linear(mpi::Comm& comm, int my, int root,
   co_await comm.wait_all(std::move(reqs));
 }
 
-sim::Task<void> alltoall_pairwise(mpi::Comm& comm, int my, hw::BufView send,
-                                  hw::BufView recv, std::size_t msg) {
-  const int n = comm.size();
-  if (my < 0 || my >= n) throw std::invalid_argument("alltoall: bad rank");
-  if (send.len != msg * static_cast<std::size_t>(n) ||
-      recv.len != msg * static_cast<std::size_t>(n)) {
-    throw std::invalid_argument("alltoall: buffer size mismatch");
-  }
-  // Own block.
-  co_await comm.cluster().cpu_copy_by(comm.to_global(my),
-                                      static_cast<double>(msg));
-  hw::copy_payload(recv.sub(static_cast<std::size_t>(my) * msg, msg),
-                   send.sub(static_cast<std::size_t>(my) * msg, msg));
-  const bool p2 = is_power_of_two(n);
-  for (int i = 1; i < n; ++i) {
-    // Power of two: XOR pairing (self-inverse). Otherwise: send to my+i,
-    // receive from my-i.
-    const int to = p2 ? (my ^ i) : (my + i) % n;
-    const int from = p2 ? (my ^ i) : (my - i + n) % n;
-    co_await comm.sendrecv(
-        my, to, 6 + i, send.sub(static_cast<std::size_t>(to) * msg, msg), from,
-        6 + i, recv.sub(static_cast<std::size_t>(from) * msg, msg));
-  }
-}
-
 }  // namespace hmca::coll

@@ -45,10 +45,4 @@ sim::Task<void> scatter_linear(mpi::Comm& comm, int my, int root,
                                hw::BufView send, hw::BufView recv,
                                std::size_t msg);
 
-/// Pairwise-exchange Alltoall: N-1 steps, step i exchanging with rank
-/// (my XOR i) when N is a power of two, (my +/- i) otherwise. `send` and
-/// `recv` are msg * N bytes.
-sim::Task<void> alltoall_pairwise(mpi::Comm& comm, int my, hw::BufView send,
-                                  hw::BufView recv, std::size_t msg);
-
 }  // namespace hmca::coll

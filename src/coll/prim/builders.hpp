@@ -1,0 +1,67 @@
+// Program builders: the collective algorithms expressed as primitive
+// programs (program.hpp). Each returns a validated-shape SPMD Program the
+// Planner lowers per rank; none of them talk to the network directly.
+//
+// Buffer contracts (matching the collective function signatures that call
+// them):
+//
+//   alltoall_direct / alltoallv_direct   send space holds this rank's
+//       outgoing blocks, recv space receives one block per source rank.
+//   reduce_scatter_ring / reduce_scatter_rh   in-place over the recv
+//       space; on return rank r owns the fully-reduced element range
+//       `chunk_range(count, nranks, r)` (ring) or block r (rh).
+//   alltoall_hier   leader-exchange over one partition of ranks into
+//       groups: members funnel full send buffers to their leader, leaders
+//       exchange pre-bundled slices, reassemble, and scatter.
+//   allreduce_rs_ag   composed allreduce over an n-level hierarchy:
+//       reduce up each level to its leader, ring reduce-scatter +
+//       shard/unshard allgather across the top leaders, multicast back
+//       down. In-place over the recv space.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/prim/program.hpp"
+#include "mpi/datatype.hpp"
+
+namespace hmca::coll::prim {
+
+/// Full-mesh alltoall: n*(n-1) pairwise transfers plus n local copies,
+/// `msg` bytes per (src, dst) block.
+Program alltoall_direct(int nranks, std::size_t msg);
+
+/// Full-mesh alltoallv. `counts[i * nranks + j]` is the byte count rank i
+/// sends to rank j; send/recv offsets are the standard prefix sums. The
+/// program's space extents are the maxima over ranks — every rank's own
+/// transfers stay inside its actual buffer extents.
+Program alltoallv_direct(int nranks, const std::vector<std::size_t>& counts);
+
+/// Hierarchical leader-exchange alltoall over one partition of the world
+/// into `groups` (e.g. nodes). Four phases: gather (members -> leader
+/// scratch), exchange (leader -> leader, slices pre-bundled per
+/// destination group), assemble (leader-local reassembly per member), and
+/// scatter (leader -> members). Scratch cost: 3 * max_group * n * msg.
+Program alltoall_hier(const std::vector<PlanGroup>& groups, int nranks,
+                      std::size_t msg);
+
+/// Ring reduce-scatter over element chunks `chunk_range(count, n, r)` —
+/// applicable to every count (uneven chunks allowed, zero-length chunks
+/// at the tail become no-ops).
+Program reduce_scatter_ring(int nranks, std::size_t count, mpi::Dtype dtype,
+                            mpi::ReduceOp rop);
+
+/// Recursive-halving reduce-scatter: log2(n) exchange stages over
+/// shrinking block windows. Requires power-of-two `nranks` and
+/// `count % nranks == 0`; rank r ends owning block r.
+Program reduce_scatter_rh(int nranks, std::size_t count, mpi::Dtype dtype,
+                          mpi::ReduceOp rop);
+
+/// Composed allreduce = reduce-up + (ring reduce-scatter, shard/unshard
+/// allgather) across top-level leaders + multicast-down, over an n-level
+/// `levels` hierarchy (see PlanLevels). Works at any depth, including a
+/// single flat level (pure reduce-scatter + allgather).
+Program allreduce_rs_ag(const PlanLevels& levels, std::size_t count,
+                        mpi::Dtype dtype, mpi::ReduceOp rop);
+
+}  // namespace hmca::coll::prim

@@ -1,0 +1,45 @@
+// The planner: lowers a primitive Program (program.hpp) against this
+// rank's buffers into the chunk-granular dataflow TaskGraph and runs it.
+//
+// Lowering rules (DESIGN.md section 15):
+//
+//   * Every transfer splits into `chunks_for(len)` chunk tasks; wire tags
+//     come from a per-ordered-pair sequence counter advanced identically
+//     on every rank, so tag budgets scale with per-pair traffic instead of
+//     program length.
+//   * Receives into user-visible ranges are deferred: a "post" task posts
+//     the irecvs only once every earlier reader/writer of the destination
+//     range has completed (write-after-read safety for in-place
+//     programs), and per-chunk stub tasks anchor the completions as
+//     external dependencies, so downstream consumers stream chunk by
+//     chunk.
+//   * Read/write range dependencies are tracked per space with
+//     RangeProducers (+ a reader list for WAR edges); `fence` collapses
+//     everything before it into one milestone task.
+//   * Reduce contributions land in private per-peer staging buffers and
+//     are combined into the root's range by a per-chunk CPU reduce chain
+//     in declared peer order (deterministic for `ordered` programs by
+//     construction).
+//
+// The program's `send`/`recv` spaces map onto the caller's buffers; the
+// `scratch` space is allocated lazily, only on ranks whose share of the
+// program touches it.
+#pragma once
+
+#include "coll/prim/program.hpp"
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll::prim {
+
+class Planner {
+ public:
+  /// SPMD entry: validate `prog`, lower this rank's share and execute it.
+  /// The program is taken by value — the coroutine frame owns it. Throws
+  /// PlanError on a malformed program before any simulated byte moves.
+  static sim::Task<void> run(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, Program prog);
+};
+
+}  // namespace hmca::coll::prim

@@ -1,0 +1,42 @@
+// Reduce-scatter as a first-class registered collective
+// (MPI_Reduce_scatter_block generalized to uneven tails): in place over
+// `data`, rank r ends owning the fully reduced element range
+// `chunk_range(count, comm_size, r)` — even splits with the remainder on
+// the last chunks, zero-length tails legal. Other positions of `data` are
+// unspecified after the call.
+//
+// Both algorithms here are primitive programs (coll/prim/builders.hpp)
+// lowered by the Planner; the legacy divisible-count ring used inside
+// allreduce_ring stays in coll/allreduce.hpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "hw/buffer.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/task.hpp"
+
+namespace hmca::coll {
+
+/// Pluggable reduce-scatter signature (same shape as AllreduceFn: in
+/// place over `data`, `count` elements).
+using ReduceScatterFn = std::function<sim::Task<void>(
+    mpi::Comm&, int my, hw::BufView data, std::size_t count, mpi::Dtype,
+    mpi::ReduceOp)>;
+
+/// Ring reduce-scatter over element chunks — applicable to every count
+/// (uneven chunks allowed). n-1 neighbour steps, bandwidth-optimal.
+sim::Task<void> reduce_scatter_ring_any(mpi::Comm& comm, int my,
+                                        hw::BufView data, std::size_t count,
+                                        mpi::Dtype dtype, mpi::ReduceOp op);
+
+/// Recursive-halving reduce-scatter: log2(n) stages over shrinking block
+/// windows. Requires a power-of-two comm size and count divisible by it;
+/// latency-optimal for small messages.
+sim::Task<void> reduce_scatter_halving(mpi::Comm& comm, int my,
+                                       hw::BufView data, std::size_t count,
+                                       mpi::Dtype dtype, mpi::ReduceOp op);
+
+}  // namespace hmca::coll

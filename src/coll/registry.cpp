@@ -225,6 +225,84 @@ void register_flat(Registry& r) {
                },
                {}});
 
+  r.add_alltoall(
+      {"direct",
+       "planner full-mesh: every pairwise block in flight at once",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          std::size_t m) { return alltoall_direct(c, my, s, rv, m); },
+       {},
+       [](const model::ModelParams& p, const CommShape& s, std::size_t m) {
+         const double n = s.comm_size;
+         return (n - 1) * step_alpha(p, s) +
+                (n - 1) * static_cast<double>(m) / step_bw(p, s);
+       },
+       GraphMode::kNative});
+  r.add_alltoall(
+      {"pairwise", "classic pairwise exchange: n-1 sendrecv rounds",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          std::size_t m) { return alltoall_pairwise(c, my, s, rv, m); },
+       {},
+       [](const model::ModelParams& p, const CommShape& s, std::size_t m) {
+         const double n = s.comm_size;
+         return (n - 1) *
+                (step_alpha(p, s) + static_cast<double>(m) / step_bw(p, s));
+       },
+       GraphMode::kWrapped});
+
+  r.add_alltoallv(
+      {"direct",
+       "planner full-mesh over the variable count matrix",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          const AlltoallvLayout& l) {
+         return alltoallv_direct(c, my, s, rv, l);
+       },
+       {},
+       {},
+       GraphMode::kNative});
+  r.add_alltoallv(
+      {"pairwise", "pairwise exchange rounds over variable blocks",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          const AlltoallvLayout& l) {
+         return alltoallv_pairwise(c, my, s, rv, l);
+       },
+       {},
+       {},
+       GraphMode::kWrapped});
+
+  r.add_reduce_scatter(
+      {"ring",
+       "planner ring over element chunks, uneven counts allowed",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) {
+         return reduce_scatter_ring_any(c, my, d, n, t, op);
+       },
+       {},
+       [](const model::ModelParams& p, const CommShape& s,
+          std::size_t bytes) {
+         const double n = s.comm_size;
+         return (n - 1) * (step_alpha(p, s) +
+                           static_cast<double>(bytes) / n / step_bw(p, s));
+       },
+       GraphMode::kNative});
+  r.add_reduce_scatter(
+      {"rh",
+       "planner recursive halving, power-of-two worlds, divisible counts",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) {
+         return reduce_scatter_halving(c, my, d, n, t, op);
+       },
+       [](const CommShape& s, std::size_t count, std::size_t) {
+         return is_power_of_two(s.comm_size) &&
+                count % static_cast<std::size_t>(s.comm_size) == 0;
+       },
+       [](const model::ModelParams& p, const CommShape& s,
+          std::size_t bytes) {
+         const double n = s.comm_size;
+         return std::log2(std::max(2.0, n)) * step_alpha(p, s) +
+                (n - 1) / n * static_cast<double>(bytes) / step_bw(p, s);
+       },
+       GraphMode::kNative});
+
   r.add_allgatherv({"ring", "ring forwarding of variable-size blocks",
                     [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
                        const VarLayout& l, bool ip) {

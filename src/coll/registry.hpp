@@ -2,8 +2,8 @@
 // (registry -> selection engine -> profiles), modeled on Open MPI's `coll`
 // framework and MVAPICH's tuning infrastructure.
 //
-// Every Allgather / Allgatherv / Allreduce / Bcast implementation registers
-// here by name together with
+// Every Allgather / Allgatherv / Allreduce / Bcast / Alltoall(v) /
+// Reduce_scatter implementation registers here by name together with
 //   - an *applicability predicate* over the communicator shape (power-of-two
 //     size, node-major world layout, divisible ppn, multi-node, ...) so a
 //     selector never dispatches into an algorithm that would throw, and
@@ -27,6 +27,8 @@
 #include "coll/allgather.hpp"
 #include "coll/allgatherv.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/reduce_scatter.hpp"
 #include "hw/buffer.hpp"
 #include "model/params.hpp"
 #include "mpi/comm.hpp"
@@ -115,9 +117,10 @@ struct Algo {
   Fn fn;
   Applies applies;  ///< null = always applicable
   CostFn cost;      ///< null = no estimate
-  /// Dataflow execution mode. Every allgather/allgatherv entry must be
-  /// kNative or kWrapped (all of them run via GraphExecutor); allreduce
-  /// and bcast families are not yet routed through the executor.
+  /// Dataflow execution mode. Every allgather/allgatherv/alltoall(v)/
+  /// reduce_scatter entry must be kNative or kWrapped (all of them run via
+  /// GraphExecutor — the planner-backed ones emit native graphs);
+  /// allreduce and bcast families are not yet routed through the executor.
   GraphMode graph = GraphMode::kNone;
 };
 
@@ -125,6 +128,12 @@ using AllgatherAlgo = Algo<AllgatherFn, Applicability>;
 using AllreduceAlgo = Algo<AllreduceFn, AllreduceApplicability>;
 using BcastAlgo = Algo<BcastFn, Applicability>;
 using AllgathervAlgo = Algo<AllgathervFn, Applicability>;
+/// Alltoall applicability sees the per-pair block size; alltoallv sees the
+/// exchange's total byte count; reduce_scatter predicates like allreduce
+/// (count divisibility matters).
+using AlltoallAlgo = Algo<AlltoallFn, Applicability>;
+using AlltoallvAlgo = Algo<AlltoallvFn, Applicability>;
+using ReduceScatterAlgo = Algo<ReduceScatterFn, AllreduceApplicability>;
 
 /// One family's ordered table: registration-order iteration, name lookup,
 /// duplicate rejection. `what` names the family in error messages.
@@ -192,6 +201,9 @@ class Registry {
   void add_allreduce(AllreduceAlgo a) { ar_.add(std::move(a)); }
   void add_bcast(BcastAlgo a) { bc_.add(std::move(a)); }
   void add_allgatherv(AllgathervAlgo a) { agv_.add(std::move(a)); }
+  void add_alltoall(AlltoallAlgo a) { a2a_.add(std::move(a)); }
+  void add_alltoallv(AlltoallvAlgo a) { a2av_.add(std::move(a)); }
+  void add_reduce_scatter(ReduceScatterAlgo a) { rs_.add(std::move(a)); }
 
   /// Lookup by name; nullptr when absent.
   const AllgatherAlgo* find_allgather(const std::string& name) const noexcept {
@@ -207,6 +219,16 @@ class Registry {
       const std::string& name) const noexcept {
     return agv_.find(name);
   }
+  const AlltoallAlgo* find_alltoall(const std::string& name) const noexcept {
+    return a2a_.find(name);
+  }
+  const AlltoallvAlgo* find_alltoallv(const std::string& name) const noexcept {
+    return a2av_.find(name);
+  }
+  const ReduceScatterAlgo* find_reduce_scatter(
+      const std::string& name) const noexcept {
+    return rs_.find(name);
+  }
 
   /// Lookup by name; throws std::invalid_argument listing the known names.
   const AllgatherAlgo& get_allgather(const std::string& name) const {
@@ -221,11 +243,25 @@ class Registry {
   const AllgathervAlgo& get_allgatherv(const std::string& name) const {
     return agv_.get(name);
   }
+  const AlltoallAlgo& get_alltoall(const std::string& name) const {
+    return a2a_.get(name);
+  }
+  const AlltoallvAlgo& get_alltoallv(const std::string& name) const {
+    return a2av_.get(name);
+  }
+  const ReduceScatterAlgo& get_reduce_scatter(const std::string& name) const {
+    return rs_.get(name);
+  }
 
   std::vector<std::string> allgather_names() const { return ag_.names(); }
   std::vector<std::string> allreduce_names() const { return ar_.names(); }
   std::vector<std::string> bcast_names() const { return bc_.names(); }
   std::vector<std::string> allgatherv_names() const { return agv_.names(); }
+  std::vector<std::string> alltoall_names() const { return a2a_.names(); }
+  std::vector<std::string> alltoallv_names() const { return a2av_.names(); }
+  std::vector<std::string> reduce_scatter_names() const {
+    return rs_.names();
+  }
 
   /// Registration-order iteration (for listings and cost-model scans).
   const std::deque<AllgatherAlgo>& allgathers() const noexcept {
@@ -238,6 +274,15 @@ class Registry {
   const std::deque<AllgathervAlgo>& allgathervs() const noexcept {
     return agv_.entries();
   }
+  const std::deque<AlltoallAlgo>& alltoalls() const noexcept {
+    return a2a_.entries();
+  }
+  const std::deque<AlltoallvAlgo>& alltoallvs() const noexcept {
+    return a2av_.entries();
+  }
+  const std::deque<ReduceScatterAlgo>& reduce_scatters() const noexcept {
+    return rs_.entries();
+  }
 
  private:
   Registry() = default;
@@ -245,6 +290,9 @@ class Registry {
   AlgoTable<AllreduceAlgo> ar_{"allreduce"};
   AlgoTable<BcastAlgo> bc_{"bcast"};
   AlgoTable<AllgathervAlgo> agv_{"allgatherv"};
+  AlgoTable<AlltoallAlgo> a2a_{"alltoall"};
+  AlgoTable<AlltoallvAlgo> a2av_{"alltoallv"};
+  AlgoTable<ReduceScatterAlgo> rs_{"reduce_scatter"};
 };
 
 }  // namespace hmca::coll

@@ -523,6 +523,36 @@ sim::Task<void> bcast_hierarchy(mpi::Comm& comm, int my, int root,
   }
 }
 
+coll::prim::PlanLevels plan_levels(const Hierarchy& h) {
+  coll::prim::PlanLevels out;
+  out.reserve(static_cast<std::size_t>(h.depth()));
+  for (std::size_t l = 0; l < h.levels().size(); ++l) {
+    const ResolvedLevel& level = h.levels()[l];
+    coll::prim::PlanLevel plevel;
+    plevel.groups.reserve(level.groups.size());
+    for (const HierGroup& g : level.groups) {
+      coll::prim::PlanGroup pg;
+      pg.leader = g.leader;
+      if (l == 0) {
+        for (int r = g.first; r < g.first + g.size; ++r) {
+          pg.members.push_back(r);
+        }
+      } else {
+        // Inner levels refine outer ones: the members at this level are
+        // the leaders of the contained lower-level groups.
+        for (const HierGroup& inner : h.levels()[l - 1].groups) {
+          if (inner.first >= g.first && inner.first < g.first + g.size) {
+            pg.members.push_back(inner.leader);
+          }
+        }
+      }
+      plevel.groups.push_back(std::move(pg));
+    }
+    out.push_back(std::move(plevel));
+  }
+  return out;
+}
+
 std::optional<HierarchySpec> hierarchy_from_env(const hw::ClusterSpec& spec) {
   const auto v = osu::Env::hierarchy();
   if (!v || *v == "auto") return std::nullopt;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "coll/prim/program.hpp"
 #include "core/hierarchical.hpp"
 #include "hw/buffer.hpp"
 #include "hw/cluster.hpp"
@@ -175,6 +176,13 @@ sim::Task<void> allgather_hierarchy(mpi::Comm& comm, int my, hw::BufView send,
 sim::Task<void> bcast_hierarchy(mpi::Comm& comm, int my, int root,
                                 hw::BufView data, HierarchySpec spec,
                                 std::size_t pipeline_chunk = 256 * 1024);
+
+/// Planner-neutral view of a resolved hierarchy for the primitive-program
+/// builders (coll/prim/builders.hpp): level 0 keeps each innermost
+/// group's full member list; every higher level's groups hold the leaders
+/// of the lower-level groups they contain. The topmost cluster level ends
+/// up with one group of the top leaders.
+coll::prim::PlanLevels plan_levels(const Hierarchy& h);
 
 /// The HMCA_HIERARCHY environment override: unset/""/"auto" -> nullopt
 /// (selector policy decides), "2"/"3" -> HierarchySpec::derive at that

@@ -19,4 +19,19 @@ sim::Task<void> mha_allreduce(mpi::Comm& comm, int my, hw::BufView data,
   co_await sel.fn(comm, my, data, count, dtype, op);
 }
 
+sim::Task<void> mha_alltoall(mpi::Comm& comm, int my, hw::BufView send,
+                             hw::BufView recv, std::size_t msg,
+                             MhaTuning tuning) {
+  auto sel = default_selector().select_alltoall(comm, my, msg, tuning);
+  co_await sel.fn(comm, my, send, recv, msg);
+}
+
+sim::Task<void> mha_reduce_scatter(mpi::Comm& comm, int my, hw::BufView data,
+                                   std::size_t count, mpi::Dtype dtype,
+                                   mpi::ReduceOp op, MhaTuning tuning) {
+  auto sel =
+      default_selector().select_reduce_scatter(comm, my, count, dtype, tuning);
+  co_await sel.fn(comm, my, data, count, dtype, op);
+}
+
 }  // namespace hmca::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "coll/prim/builders.hpp"
+#include "coll/prim/planner.hpp"
 #include "core/hierarchical.hpp"
 #include "core/hierarchy.hpp"
 #include "core/mha_allgatherv.hpp"
@@ -28,6 +30,36 @@ sim::Task<void> ring_mha_allreduce(mpi::Comm& comm, int my, hw::BufView data,
   };
   co_await coll::allreduce_ring(comm, my, data, count, dtype, op,
                                 std::move(ag));
+}
+
+// Composed allreduce through the planner: reduce-up / ring
+// reduce-scatter + shard-unshard allgather over the top leaders /
+// multicast-down, at whatever depth the hierarchy resolves to
+// (HMCA_HIERARCHY honored, topology-derived otherwise). The n-level
+// generalization of ring_mha_allreduce.
+sim::Task<void> rs_ag_allreduce(mpi::Comm& comm, int my, hw::BufView data,
+                                std::size_t count, mpi::Dtype dtype,
+                                mpi::ReduceOp op) {
+  const auto& spec = comm.cluster().spec();
+  HierarchySpec hs =
+      hierarchy_from_env(spec).value_or(HierarchySpec::derive(spec, 0));
+  const Hierarchy h(std::move(hs), comm.cluster());
+  co_await coll::prim::Planner::run(
+      comm, my, hw::BufView{}, data,
+      coll::prim::allreduce_rs_ag(plan_levels(h), count, dtype, op));
+}
+
+// Hierarchical leader-exchange alltoall: node groups from the resolved
+// depth-2 hierarchy, leaders bundle their members' blocks so the wire
+// carries ppn^2 blocks per node pair in one transfer set.
+sim::Task<void> hier_leader_alltoall(mpi::Comm& comm, int my, hw::BufView send,
+                                     hw::BufView recv, std::size_t msg) {
+  const Hierarchy h(HierarchySpec::derive(comm.cluster().spec(), 2),
+                    comm.cluster());
+  const auto levels = plan_levels(h);
+  co_await coll::prim::Planner::run(
+      comm, my, send, recv,
+      coll::prim::alltoall_hier(levels.front().groups, comm.size(), msg));
 }
 
 void register_core_impl(coll::Registry& reg) {
@@ -179,6 +211,48 @@ void register_core_impl(coll::Registry& reg) {
        },
        {}});
 
+  reg.add_allreduce(
+      {"rs_ag",
+       "composed: planner reduce-up + leader RS/AG + multicast-down",
+       [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+          mpi::ReduceOp op) { return rs_ag_allreduce(c, my, d, n, t, op); },
+       [](const coll::CommShape& s, std::size_t, std::size_t) {
+         return s.world;
+       },
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t bytes) {
+         // Reduce-up + multicast-down over shared memory, RS+AG striped
+         // across the rails between node leaders.
+         const double b = static_cast<double>(bytes);
+         const double n = s.nodes;
+         double t = s.ppn > 1 ? 2 * (s.ppn - 1) * p.alpha_c + 2 * b / p.bw_c
+                              : 0.0;
+         if (n > 1) {
+           t += 2 * (n - 1) *
+                (p.alpha_h + b / n / (p.bw_h * p.hcas));
+         }
+         return t;
+       }});
+
+  reg.add_alltoall(
+      {"hier_leader",
+       "hierarchical leader exchange: gather, leader mesh, scatter",
+       [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+          std::size_t m) { return hier_leader_alltoall(c, my, s, rv, m); },
+       world_multi_node,
+       [](const model::ModelParams& p, const coll::CommShape& s,
+          std::size_t m) {
+         const double msg = static_cast<double>(m);
+         const double n = static_cast<double>(s.comm_size);
+         // Gather + scatter through the node leader, then one bundled
+         // transfer set per node pair over the rails.
+         double t = 2 * (s.ppn - 1) * (p.alpha_c + n * msg / p.bw_c);
+         t += (s.nodes - 1) * p.alpha_h +
+              s.ppn * (n - s.ppn) * msg / (p.bw_h * p.hcas);
+         return t;
+       },
+       coll::GraphMode::kNative});
+
   reg.add_bcast({"mha",
                  "hierarchical: leader scatter-allgather + pipelined shm",
                  [](mpi::Comm& c, int my, int root, hw::BufView d) {
@@ -245,6 +319,9 @@ AllgatherSelection Selector::select_allgather(mpi::Comm& comm, int my,
 
   const auto finish = [&](const coll::AllgatherAlgo& a, coll::AllgatherFn fn,
                           std::string reason) {
+    // Reasons carry the collective name so multi-collective traces stay
+    // unambiguous ("allgather:threshold:..." vs "allreduce:threshold:...").
+    reason = "allgather:" + reason;
     trace_decision(comm, my, "allgather", &a, reason, msg);
     return AllgatherSelection{&a, std::move(fn), std::move(reason)};
   };
@@ -406,6 +483,7 @@ AllreduceSelection Selector::select_allreduce(mpi::Comm& comm, int my,
 
   const auto finish = [&](const coll::AllreduceAlgo& a, coll::AllreduceFn fn,
                           std::string reason) {
+    reason = "allreduce:" + reason;
     trace_decision(comm, my, "allreduce", &a, reason, bytes);
     return AllreduceSelection{&a, std::move(fn), std::move(reason)};
   };
@@ -453,6 +531,121 @@ AllreduceSelection Selector::select_allreduce(mpi::Comm& comm, int my,
                   return ring_mha_allreduce(c, r, d, n, t, op, tuning);
                 },
                 "threshold:large");
+}
+
+AlltoallSelection Selector::select_alltoall(mpi::Comm& comm, int my,
+                                            std::size_t msg,
+                                            const MhaTuning& tuning) const {
+  register_core_algorithms();
+  auto& reg = coll::Registry::instance();
+  const auto shape = coll::CommShape::of(comm);
+
+  const auto finish = [&](const coll::AlltoallAlgo& a, coll::AlltoallFn fn,
+                          std::string reason) {
+    reason = "alltoall:" + reason;
+    trace_decision(comm, my, "alltoall", &a, reason, msg);
+    return AlltoallSelection{&a, std::move(fn), std::move(reason)};
+  };
+
+  // 1. Environment override.
+  if (const auto env = osu::Env::alltoall_algo()) {
+    const auto& a = reg.get_alltoall(*env);
+    if (a.applies && !a.applies(shape, msg)) {
+      throw std::invalid_argument(
+          std::string("selector: ") + kAlltoallAlgoEnv + "=" + *env +
+          " is not applicable to this communicator (size=" +
+          std::to_string(shape.comm_size) +
+          ", nodes=" + std::to_string(shape.nodes) +
+          ", ppn=" + std::to_string(shape.ppn) + ")");
+    }
+    return finish(a, a.fn, std::string("env:") + kAlltoallAlgoEnv);
+  }
+
+  // 2. Cost model.
+  if (use_cost_model_) {
+    const auto params = model::ModelParams::from_spec(comm.cluster().spec());
+    const coll::AlltoallAlgo* best = nullptr;
+    double best_cost = 0;
+    for (const auto& a : reg.alltoalls()) {
+      if (!a.cost) continue;
+      if (a.applies && !a.applies(shape, msg)) continue;
+      const double c = a.cost(params, shape, msg);
+      if (best == nullptr || c < best_cost) {
+        best = &a;
+        best_cost = c;
+      }
+    }
+    if (best != nullptr) return finish(*best, best->fn, "cost-model");
+  }
+
+  // 3. Static thresholds: small blocks on multi-node worlds are
+  // alpha-dominated — bundling per node through the leader exchange wins;
+  // large blocks go direct so the payload path stays copy-free.
+  if (shape.world && shape.nodes > 1 && shape.ppn > 1 &&
+      msg <= tuning.alltoall_hier_threshold) {
+    const auto& a = reg.get_alltoall("hier_leader");
+    return finish(a, a.fn, "threshold:hier-small");
+  }
+  const auto& a = reg.get_alltoall("direct");
+  return finish(a, a.fn, "threshold:direct");
+}
+
+ReduceScatterSelection Selector::select_reduce_scatter(
+    mpi::Comm& comm, int my, std::size_t count, mpi::Dtype dtype,
+    const MhaTuning& tuning) const {
+  register_core_algorithms();
+  auto& reg = coll::Registry::instance();
+  const auto shape = coll::CommShape::of(comm);
+  const std::size_t elem = mpi::dtype_size(dtype);
+  const std::size_t bytes = count * elem;
+
+  const auto finish = [&](const coll::ReduceScatterAlgo& a,
+                          coll::ReduceScatterFn fn, std::string reason) {
+    reason = "reduce_scatter:" + reason;
+    trace_decision(comm, my, "reduce_scatter", &a, reason, bytes);
+    return ReduceScatterSelection{&a, std::move(fn), std::move(reason)};
+  };
+
+  // 1. Environment override.
+  if (const auto env = osu::Env::reduce_scatter_algo()) {
+    const auto& a = reg.get_reduce_scatter(*env);
+    if (a.applies && !a.applies(shape, count, elem)) {
+      throw std::invalid_argument(
+          std::string("selector: ") + kReduceScatterAlgoEnv + "=" + *env +
+          " is not applicable (size=" + std::to_string(shape.comm_size) +
+          ", count=" + std::to_string(count) + ")");
+    }
+    return finish(a, a.fn, std::string("env:") + kReduceScatterAlgoEnv);
+  }
+
+  // 2. Cost model.
+  if (use_cost_model_) {
+    const auto params = model::ModelParams::from_spec(comm.cluster().spec());
+    const coll::ReduceScatterAlgo* best = nullptr;
+    double best_cost = 0;
+    for (const auto& a : reg.reduce_scatters()) {
+      if (!a.cost) continue;
+      if (a.applies && !a.applies(shape, count, elem)) continue;
+      const double c = a.cost(params, shape, bytes);
+      if (best == nullptr || c < best_cost) {
+        best = &a;
+        best_cost = c;
+      }
+    }
+    if (best != nullptr) return finish(*best, best->fn, "cost-model");
+  }
+
+  // 3. Static thresholds: recursive halving's log2(n) startups win for
+  // small vectors when the shape allows it; the ring's bandwidth-optimal
+  // chunk steps win otherwise (and handle every count).
+  if (bytes <= tuning.reduce_scatter_rh_threshold &&
+      coll::is_power_of_two(shape.comm_size) &&
+      count % static_cast<std::size_t>(shape.comm_size) == 0) {
+    const auto& a = reg.get_reduce_scatter("rh");
+    return finish(a, a.fn, "threshold:rh-small");
+  }
+  const auto& a = reg.get_reduce_scatter("ring");
+  return finish(a, a.fn, "threshold:ring");
 }
 
 Selector& default_selector() {

@@ -3,9 +3,10 @@
 // (coll/registry -> core/selector -> profiles).
 //
 // Resolution order for each call:
-//   1. environment override (HMCA_ALLGATHER_ALGO / HMCA_ALLREDUCE_ALGO) —
-//      pins any registry entry by name for experiments; unknown or
-//      inapplicable names fail loudly,
+//   1. environment override (HMCA_ALLGATHER_ALGO / HMCA_ALLREDUCE_ALGO /
+//      HMCA_ALLTOALL_ALGO / HMCA_REDUCE_SCATTER_ALGO) — pins any registry
+//      entry by name for experiments; unknown or inapplicable names fail
+//      loudly,
 //   1.5. hierarchy override (HMCA_HIERARCHY, allgather only) — pins the
 //      leader-hierarchy depth or a JSON HierarchySpec on multi-node world
 //      communicators (core/hierarchy.hpp),
@@ -40,10 +41,14 @@ namespace hmca::core {
 /// typed osu::Env table, the single documented HMCA_* surface).
 inline constexpr const char* kAllgatherAlgoEnv = osu::Env::kAllgatherAlgo;
 inline constexpr const char* kAllreduceAlgoEnv = osu::Env::kAllreduceAlgo;
+inline constexpr const char* kAlltoallAlgoEnv = osu::Env::kAlltoallAlgo;
+inline constexpr const char* kReduceScatterAlgoEnv =
+    osu::Env::kReduceScatterAlgo;
 
 /// Register the MHA designs (mha_intra, mha_inter_{rd,ring}, single_leader,
-/// numa3, ring_mha allreduce, mha bcast/allgatherv) with the registry.
-/// Idempotent; invoked automatically by the selector and the profiles.
+/// numa3, ring_mha + composed rs_ag allreduce, mha bcast/allgatherv,
+/// hier_leader alltoall) with the registry. Idempotent; invoked
+/// automatically by the selector and the profiles.
 void register_core_algorithms();
 
 /// A resolved allgather decision. `fn` is the callable to run — usually the
@@ -60,6 +65,22 @@ struct AllgatherSelection {
 struct AllreduceSelection {
   const coll::AllreduceAlgo* algo = nullptr;
   coll::AllreduceFn fn;
+  std::string reason;
+
+  const std::string& name() const { return algo->name; }
+};
+
+struct AlltoallSelection {
+  const coll::AlltoallAlgo* algo = nullptr;
+  coll::AlltoallFn fn;
+  std::string reason;
+
+  const std::string& name() const { return algo->name; }
+};
+
+struct ReduceScatterSelection {
+  const coll::ReduceScatterAlgo* algo = nullptr;
+  coll::ReduceScatterFn fn;
   std::string reason;
 
   const std::string& name() const { return algo->name; }
@@ -85,6 +106,11 @@ class Selector {
   AllreduceSelection select_allreduce(mpi::Comm& comm, int my,
                                       std::size_t count, mpi::Dtype dtype,
                                       const MhaTuning& tuning = {}) const;
+  AlltoallSelection select_alltoall(mpi::Comm& comm, int my, std::size_t msg,
+                                    const MhaTuning& tuning = {}) const;
+  ReduceScatterSelection select_reduce_scatter(
+      mpi::Comm& comm, int my, std::size_t count, mpi::Dtype dtype,
+      const MhaTuning& tuning = {}) const;
 
  private:
   std::optional<TuningTable> table_;

@@ -118,6 +118,9 @@ void print_algo_list(std::ostream& os) {
   };
   section("allgather", reg.allgathers());
   section("allreduce", reg.allreduces());
+  section("alltoall", reg.alltoalls());
+  section("alltoallv", reg.alltoallvs());
+  section("reduce_scatter", reg.reduce_scatters());
   section("bcast", reg.bcasts());
   section("allgatherv", reg.allgathervs());
 }
@@ -152,6 +155,39 @@ coll::AllreduceFn pinned_allreduce(const std::string& name) {
                     mpi::Dtype t, mpi::ReduceOp op) {
     if (a.applies && !a.applies(coll::CommShape::of(c), n, mpi::dtype_size(t))) {
       inapplicable("allreduce", name, coll::CommShape::of(c));
+    }
+    return a.fn(c, my, d, n, t, op);
+  };
+}
+
+coll::AlltoallFn pinned_alltoall(const std::string& name) {
+  const auto& a = coll::Registry::instance().get_alltoall(name);
+  return [&a, name](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                    std::size_t m) {
+    if (a.applies && !a.applies(coll::CommShape::of(c), m)) {
+      inapplicable("alltoall", name, coll::CommShape::of(c));
+    }
+    return a.fn(c, my, s, rv, m);
+  };
+}
+
+coll::AlltoallvFn pinned_alltoallv(const std::string& name) {
+  const auto& a = coll::Registry::instance().get_alltoallv(name);
+  return [&a, name](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+                    const coll::AlltoallvLayout& layout) {
+    if (a.applies && !a.applies(coll::CommShape::of(c), layout.total())) {
+      inapplicable("alltoallv", name, coll::CommShape::of(c));
+    }
+    return a.fn(c, my, s, rv, layout);
+  };
+}
+
+coll::ReduceScatterFn pinned_reduce_scatter(const std::string& name) {
+  const auto& a = coll::Registry::instance().get_reduce_scatter(name);
+  return [&a, name](mpi::Comm& c, int my, hw::BufView d, std::size_t n,
+                    mpi::Dtype t, mpi::ReduceOp op) {
+    if (a.applies && !a.applies(coll::CommShape::of(c), n, mpi::dtype_size(t))) {
+      inapplicable("reduce_scatter", name, coll::CommShape::of(c));
     }
     return a.fn(c, my, d, n, t, op);
   };

@@ -31,6 +31,8 @@
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/reduce_scatter.hpp"
 #include "hw/spec.hpp"
 #include "osu/env.hpp"
 
@@ -77,5 +79,10 @@ coll::AllgatherFn pinned_allgather(const std::string& name);
 
 /// Same for Allreduce.
 coll::AllreduceFn pinned_allreduce(const std::string& name);
+
+/// Same for Alltoall / Alltoallv / Reduce-scatter.
+coll::AlltoallFn pinned_alltoall(const std::string& name);
+coll::AlltoallvFn pinned_alltoallv(const std::string& name);
+coll::ReduceScatterFn pinned_reduce_scatter(const std::string& name);
 
 }  // namespace hmca::osu

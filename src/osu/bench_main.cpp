@@ -4,6 +4,7 @@
 #include <ostream>
 #include <utility>
 
+#include "core/mha.hpp"
 #include "core/selector.hpp"
 #include "obs/metrics.hpp"
 #include "profiles/profiles.hpp"
@@ -81,6 +82,20 @@ coll::AllgatherFn BenchContext::subject_allgather() const {
 coll::AllreduceFn BenchContext::subject_allreduce() const {
   return flag.name.empty() ? profiles::mha().allreduce
                            : pinned_allreduce(flag.name);
+}
+
+coll::AlltoallFn BenchContext::subject_alltoall() const {
+  if (!flag.name.empty()) return pinned_alltoall(flag.name);
+  return [](mpi::Comm& c, int my, hw::BufView s, hw::BufView rv,
+            std::size_t m) { return core::mha_alltoall(c, my, s, rv, m); };
+}
+
+coll::ReduceScatterFn BenchContext::subject_reduce_scatter() const {
+  if (!flag.name.empty()) return pinned_reduce_scatter(flag.name);
+  return [](mpi::Comm& c, int my, hw::BufView d, std::size_t n, mpi::Dtype t,
+            mpi::ReduceOp op) {
+    return core::mha_reduce_scatter(c, my, d, n, t, op);
+  };
 }
 
 int bench_main(const std::string& bench, int argc, char** argv,

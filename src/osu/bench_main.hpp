@@ -75,6 +75,11 @@ struct BenchContext {
   /// profile. Resolution throws on unknown names (bench_main reports it).
   coll::AllgatherFn subject_allgather() const;
   coll::AllreduceFn subject_allreduce() const;
+  /// Alltoall / reduce-scatter subjects route through the selection engine
+  /// (core::mha_alltoall / core::mha_reduce_scatter) unless --algo pins a
+  /// registry entry.
+  coll::AlltoallFn subject_alltoall() const;
+  coll::ReduceScatterFn subject_reduce_scatter() const;
 
   /// True when the default MHA subject was replaced via --algo (benches
   /// suppress MHA-specific shape-check notes then).

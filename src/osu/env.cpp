@@ -13,9 +13,9 @@ namespace hmca::osu {
 namespace {
 
 constexpr const char* kKnown[] = {
-    Env::kAllgatherAlgo, Env::kAllreduceAlgo, Env::kFaults,
-    Env::kConformanceSeed, Env::kStats, Env::kChunkBytes,
-    Env::kHierarchy,
+    Env::kAllgatherAlgo, Env::kAllreduceAlgo, Env::kAlltoallAlgo,
+    Env::kReduceScatterAlgo, Env::kFaults, Env::kConformanceSeed,
+    Env::kStats, Env::kChunkBytes, Env::kHierarchy,
 };
 
 bool known_name(std::string_view name) {
@@ -51,6 +51,10 @@ std::optional<std::string> Env::raw(const char* var) {
 
 std::optional<std::string> Env::allgather_algo() { return raw(kAllgatherAlgo); }
 std::optional<std::string> Env::allreduce_algo() { return raw(kAllreduceAlgo); }
+std::optional<std::string> Env::alltoall_algo() { return raw(kAlltoallAlgo); }
+std::optional<std::string> Env::reduce_scatter_algo() {
+  return raw(kReduceScatterAlgo);
+}
 std::optional<std::string> Env::faults() { return raw(kFaults); }
 std::optional<std::string> Env::hierarchy() { return raw(kHierarchy); }
 
@@ -85,7 +89,8 @@ int Env::warn_unknown(std::ostream& os) {
     const std::string_view name = entry.substr(0, entry.find('='));
     if (known_name(name)) continue;
     os << "hmca: warning: unknown environment variable " << name
-       << " (known: HMCA_ALLGATHER_ALGO, HMCA_ALLREDUCE_ALGO, HMCA_FAULTS, "
+       << " (known: HMCA_ALLGATHER_ALGO, HMCA_ALLREDUCE_ALGO, "
+          "HMCA_ALLTOALL_ALGO, HMCA_REDUCE_SCATTER_ALGO, HMCA_FAULTS, "
           "HMCA_CONFORMANCE_SEED, HMCA_STATS, HMCA_CHUNK_BYTES, "
           "HMCA_HIERARCHY)\n";
     ++found;

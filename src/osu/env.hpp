@@ -4,6 +4,8 @@
 //
 //   HMCA_ALLGATHER_ALGO    pin a registry allgather (selector step 1)
 //   HMCA_ALLREDUCE_ALGO    pin a registry allreduce (selector step 1)
+//   HMCA_ALLTOALL_ALGO     pin a registry alltoall (selector step 1)
+//   HMCA_REDUCE_SCATTER_ALGO  pin a registry reduce_scatter (selector step 1)
 //   HMCA_FAULTS            rail fault plan (sim/fault.hpp spec string)
 //   HMCA_CONFORMANCE_SEED  conformance-suite sampling seed (strtoull base 0)
 //   HMCA_STATS             stats report format: text|json|csv (off|0 = none)
@@ -49,6 +51,9 @@ class Env {
  public:
   static constexpr const char* kAllgatherAlgo = "HMCA_ALLGATHER_ALGO";
   static constexpr const char* kAllreduceAlgo = "HMCA_ALLREDUCE_ALGO";
+  static constexpr const char* kAlltoallAlgo = "HMCA_ALLTOALL_ALGO";
+  static constexpr const char* kReduceScatterAlgo =
+      "HMCA_REDUCE_SCATTER_ALGO";
   static constexpr const char* kFaults = "HMCA_FAULTS";
   static constexpr const char* kConformanceSeed = "HMCA_CONFORMANCE_SEED";
   static constexpr const char* kStats = "HMCA_STATS";
@@ -57,6 +62,8 @@ class Env {
 
   static std::optional<std::string> allgather_algo();
   static std::optional<std::string> allreduce_algo();
+  static std::optional<std::string> alltoall_algo();
+  static std::optional<std::string> reduce_scatter_algo();
   static std::optional<std::string> faults();
   /// Raw HMCA_HIERARCHY value ("auto", "2", "3" or "@/path/spec.json");
   /// core::hierarchy_from_env does the parse so osu stays hierarchy-free.

@@ -23,6 +23,16 @@ sim::Task<void> ar_rank(mpi::Comm& comm, const coll::AllreduceFn& fn,
   co_await fn(comm, r, data, count, mpi::Dtype::kFloat, mpi::ReduceOp::kSum);
 }
 
+sim::Task<void> a2a_rank(mpi::Comm& comm, const coll::AlltoallFn& fn, int r,
+                         hw::BufView send, hw::BufView recv, std::size_t msg) {
+  co_await fn(comm, r, send, recv, msg);
+}
+
+sim::Task<void> rs_rank(mpi::Comm& comm, const coll::ReduceScatterFn& fn,
+                        int r, hw::BufView data, std::size_t count) {
+  co_await fn(comm, r, data, count, mpi::Dtype::kFloat, mpi::ReduceOp::kSum);
+}
+
 }  // namespace
 
 double measure_allgather(hw::ClusterSpec spec, const coll::AllgatherFn& fn,
@@ -91,6 +101,66 @@ double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
   for (int r = 0; r < p; ++r) bufs.push_back(hw::Buffer::phantom(bytes));
   for (int r = 0; r < p; ++r) {
     eng.spawn(ar_rank(comm, fn, r, bufs[static_cast<std::size_t>(r)].view(),
+                      count));
+  }
+  eng.run();
+  return eng.now();
+}
+
+double measure_alltoall(hw::ClusterSpec spec, const coll::AlltoallFn& fn,
+                        std::size_t msg, trace::Tracer* tracer) {
+  obs::CollectSink sink(tracer);
+  return measure_alltoall(std::move(spec), fn, msg,
+                          tracer != nullptr ? static_cast<obs::Sink&>(sink)
+                                            : obs::null_sink());
+}
+
+double measure_alltoall(hw::ClusterSpec spec, const coll::AlltoallFn& fn,
+                        std::size_t msg, obs::Sink& sink) {
+  spec.carry_data = false;
+  sim::Engine eng;
+  mpi::World world(eng, spec, sink);
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  std::vector<hw::Buffer> sends, recvs;
+  sends.reserve(static_cast<std::size_t>(p));
+  recvs.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    sends.push_back(hw::Buffer::phantom(msg * static_cast<std::size_t>(p)));
+    recvs.push_back(hw::Buffer::phantom(msg * static_cast<std::size_t>(p)));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(a2a_rank(comm, fn, r, sends[static_cast<std::size_t>(r)].view(),
+                       recvs[static_cast<std::size_t>(r)].view(), msg));
+  }
+  eng.run();
+  return eng.now();
+}
+
+double measure_reduce_scatter(hw::ClusterSpec spec,
+                              const coll::ReduceScatterFn& fn,
+                              std::size_t bytes, trace::Tracer* tracer) {
+  obs::CollectSink sink(tracer);
+  return measure_reduce_scatter(std::move(spec), fn, bytes,
+                                tracer != nullptr
+                                    ? static_cast<obs::Sink&>(sink)
+                                    : obs::null_sink());
+}
+
+double measure_reduce_scatter(hw::ClusterSpec spec,
+                              const coll::ReduceScatterFn& fn,
+                              std::size_t bytes, obs::Sink& sink) {
+  spec.carry_data = false;
+  const std::size_t count = bytes / mpi::dtype_size(mpi::Dtype::kFloat);
+  sim::Engine eng;
+  mpi::World world(eng, spec, sink);
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  std::vector<hw::Buffer> bufs;
+  bufs.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) bufs.push_back(hw::Buffer::phantom(bytes));
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(rs_rank(comm, fn, r, bufs[static_cast<std::size_t>(r)].view(),
                       count));
   }
   eng.run();

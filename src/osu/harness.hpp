@@ -14,6 +14,8 @@
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/reduce_scatter.hpp"
 #include "hw/spec.hpp"
 #include "mpi/datatype.hpp"
 #include "obs/sink.hpp"
@@ -36,6 +38,24 @@ double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
 
 double measure_allreduce(hw::ClusterSpec spec, const coll::AllreduceFn& fn,
                          std::size_t bytes, trace::Tracer* tracer = nullptr);
+
+/// Latency (seconds) of one Alltoall of `msg` bytes per (src, dst) pair.
+double measure_alltoall(hw::ClusterSpec spec, const coll::AlltoallFn& fn,
+                        std::size_t msg, obs::Sink& sink);
+
+double measure_alltoall(hw::ClusterSpec spec, const coll::AlltoallFn& fn,
+                        std::size_t msg, trace::Tracer* tracer = nullptr);
+
+/// Latency (seconds) of one Reduce-scatter over `bytes` (float32 sum);
+/// rank r keeps its coll::chunk_range(count, N, r) share.
+double measure_reduce_scatter(hw::ClusterSpec spec,
+                              const coll::ReduceScatterFn& fn,
+                              std::size_t bytes, obs::Sink& sink);
+
+double measure_reduce_scatter(hw::ClusterSpec spec,
+                              const coll::ReduceScatterFn& fn,
+                              std::size_t bytes,
+                              trace::Tracer* tracer = nullptr);
 
 /// One uninstrumented Allgather run with the engine's dispatched-event
 /// count alongside the simulated latency — the perf subsystem's wall-clock

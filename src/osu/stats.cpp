@@ -79,6 +79,36 @@ double StatsSession::measure_allreduce(const hw::ClusterSpec& spec,
   return t;
 }
 
+double StatsSession::measure_alltoall(const hw::ClusterSpec& spec,
+                                      const std::string& subject,
+                                      const coll::AlltoallFn& fn,
+                                      std::size_t msg) {
+  if (!enabled()) return osu::measure_alltoall(spec, fn, msg);
+  trace::Tracer tracer;
+  obs::Metrics metrics;
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
+  const double t = osu::measure_alltoall(spec, fn, msg, sink);
+  capture(subject, "alltoall", msg, t, std::move(tracer), std::move(metrics),
+          std::move(samples));
+  return t;
+}
+
+double StatsSession::measure_reduce_scatter(const hw::ClusterSpec& spec,
+                                            const std::string& subject,
+                                            const coll::ReduceScatterFn& fn,
+                                            std::size_t bytes) {
+  if (!enabled()) return osu::measure_reduce_scatter(spec, fn, bytes);
+  trace::Tracer tracer;
+  obs::Metrics metrics;
+  std::vector<obs::ResourceSample> samples;
+  obs::CollectSink sink(&tracer, &metrics, &samples);
+  const double t = osu::measure_reduce_scatter(spec, fn, bytes, sink);
+  capture(subject, "reduce_scatter", bytes, t, std::move(tracer),
+          std::move(metrics), std::move(samples));
+  return t;
+}
+
 void StatsSession::capture(std::string subject, const char* op,
                            std::size_t msg_bytes, double seconds,
                            trace::Tracer tracer, obs::Metrics metrics,

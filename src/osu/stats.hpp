@@ -20,6 +20,8 @@
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/reduce_scatter.hpp"
 #include "hw/spec.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
@@ -33,7 +35,7 @@ namespace hmca::osu {
 /// One measured collective invocation with its observability capture.
 struct InvocationStats {
   std::string subject;  ///< bench column, e.g. "mha", "hpcx"
-  std::string op;       ///< "allgather" | "allreduce"
+  std::string op;  ///< "allgather" | "allreduce" | "alltoall" | "reduce_scatter"
   std::size_t msg_bytes = 0;
   double seconds = 0;  ///< slowest-rank completion time
   /// Unique "select:..." decision span labels, in first-seen order (empty
@@ -66,6 +68,13 @@ class StatsSession {
   double measure_allreduce(const hw::ClusterSpec& spec,
                            const std::string& subject,
                            const coll::AllreduceFn& fn, std::size_t bytes);
+  double measure_alltoall(const hw::ClusterSpec& spec,
+                          const std::string& subject,
+                          const coll::AlltoallFn& fn, std::size_t msg);
+  double measure_reduce_scatter(const hw::ClusterSpec& spec,
+                                const std::string& subject,
+                                const coll::ReduceScatterFn& fn,
+                                std::size_t bytes);
 
   const std::vector<InvocationStats>& invocations() const noexcept {
     return recs_;

@@ -9,6 +9,8 @@ const char* kind_name(Kind k) {
   switch (k) {
     case Kind::kAllgather: return "allgather";
     case Kind::kAllreduce: return "allreduce";
+    case Kind::kAlltoall: return "alltoall";
+    case Kind::kReduceScatter: return "reduce_scatter";
     case Kind::kPt2ptLatency: return "pt2pt_latency";
     case Kind::kPt2ptBandwidth: return "pt2pt_bandwidth";
     case Kind::kOffloadSweep: return "offload_sweep";
@@ -112,6 +114,26 @@ Campaign build_default() {
                "", ar_sizes, 0, ""});
   s.push_back({"fig15/n16/mha", "fig15", Kind::kAllreduce, "mha", 16, 32, 0,
                "", {1 * kMiB}, 0, ""});
+
+  // Planner-lowered collectives (coll/prim): both alltoall variants on the
+  // fig12 shape — the hierarchical leader exchange's aggregation win over
+  // the direct mesh is the guarded quantity — and both reduce_scatter
+  // variants plus the composed rs_ag allreduce, which exercises the
+  // reduce-up / inter ring-RS / allgather / bcast-down pipeline end to end.
+  const std::vector<std::size_t> a2a_sizes = {256, 4 * kKiB, 64 * kKiB};
+  s.push_back({"alltoall/n8/direct", "alltoall", Kind::kAlltoall,
+               "algo:direct", 8, 4, 0, "", a2a_sizes, 0, ""});
+  s.push_back({"alltoall/n8/hier_leader", "alltoall", Kind::kAlltoall,
+               "algo:hier_leader", 8, 4, 0, "", a2a_sizes, 0, ""});
+  const std::vector<std::size_t> rs_sizes = {16 * kKiB, 256 * kKiB,
+                                             4 * kMiB};
+  s.push_back({"reduce_scatter/n8/ring", "reduce_scatter",
+               Kind::kReduceScatter, "algo:ring", 8, 4, 0, "", rs_sizes, 0,
+               ""});
+  s.push_back({"reduce_scatter/n8/rh", "reduce_scatter", Kind::kReduceScatter,
+               "algo:rh", 8, 4, 0, "", rs_sizes, 0, ""});
+  s.push_back({"fig15/n8/rs_ag", "fig15", Kind::kAllreduce, "algo:rs_ag", 8,
+               32, 0, "", {64 * kKiB, 1 * kMiB}, 0, ""});
 
   // Degraded mode: one dead rail at t=0 — guards the Eq. 1 recompute and
   // the restriping path the fault subsystem added.

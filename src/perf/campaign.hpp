@@ -30,6 +30,8 @@ namespace hmca::perf {
 enum class Kind {
   kAllgather,      ///< osu::measure_allgather latency sweep over msg bytes
   kAllreduce,      ///< osu::measure_allreduce latency sweep over msg bytes
+  kAlltoall,       ///< osu::measure_alltoall sweep over per-pair msg bytes
+  kReduceScatter,  ///< osu::measure_reduce_scatter latency sweep over bytes
   kPt2ptLatency,   ///< rank 0 -> 1 ping-pong latency sweep
   kPt2ptBandwidth, ///< rank 0 -> 1 windowed streaming bandwidth sweep
   kOffloadSweep,   ///< Fig. 5: MHA-intra latency vs offload d at fixed msg

@@ -1,0 +1,174 @@
+// Alltoall / Alltoallv correctness: the planner-backed direct full-mesh,
+// the legacy pairwise schedule, the hierarchical leader exchange and the
+// core::mha_alltoall dispatcher, on healthy worlds (the fault matrix lives
+// in test_conformance.cpp).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "coll/registry.hpp"
+#include "core/mha.hpp"
+#include "core/selector.hpp"
+#include "testing/conformance.hpp"
+
+namespace hmca::coll {
+namespace {
+
+using hmca::testing::conf::RankBytes;
+using hmca::testing::conf::Trial;
+
+Trial healthy(int nodes, int ppn, int hcas = 1, int sockets = 1) {
+  Trial t;
+  t.nodes = nodes;
+  t.ppn = ppn;
+  t.hcas = hcas;
+  t.sockets = sockets;
+  return t;
+}
+
+AlltoallFn fn_direct() {
+  return [](mpi::Comm& c, int my, hw::BufView s, hw::BufView r,
+            std::size_t m) { return alltoall_direct(c, my, s, r, m); };
+}
+AlltoallFn fn_pairwise() {
+  return [](mpi::Comm& c, int my, hw::BufView s, hw::BufView r,
+            std::size_t m) { return alltoall_pairwise(c, my, s, r, m); };
+}
+AlltoallFn fn_mha() {
+  return [](mpi::Comm& c, int my, hw::BufView s, hw::BufView r,
+            std::size_t m) { return core::mha_alltoall(c, my, s, r, m); };
+}
+
+void expect_alltoall_ok(const AlltoallFn& fn, const char* name,
+                        const Trial& t, std::size_t msg) {
+  const RankBytes got = hmca::testing::conf::run_alltoall(fn, t, msg);
+  const RankBytes want =
+      hmca::testing::conf::alltoall_expected(t.procs(), msg);
+  EXPECT_EQ(hmca::testing::conf::diff_results(got, want), "")
+      << name << " nodes=" << t.nodes << " ppn=" << t.ppn << " msg=" << msg;
+}
+
+TEST(Alltoall, DirectMatchesExpectedAcrossShapes) {
+  for (const Trial& t : {healthy(1, 4), healthy(2, 4), healthy(4, 2, 2),
+                         healthy(3, 3, 2, 2), healthy(1, 1)}) {
+    for (const std::size_t msg : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{777}, std::size_t{4096}}) {
+      expect_alltoall_ok(fn_direct(), "direct", t, msg);
+    }
+  }
+}
+
+TEST(Alltoall, PairwiseMatchesExpected) {
+  for (const Trial& t : {healthy(1, 4), healthy(2, 3), healthy(4, 2, 2)}) {
+    expect_alltoall_ok(fn_pairwise(), "pairwise", t, 1000);
+  }
+}
+
+TEST(Alltoall, HierLeaderMatchesExpectedOnMultiNodeWorlds) {
+  core::register_core_algorithms();
+  const auto& algo = Registry::instance().get_alltoall("hier_leader");
+  for (const Trial& t : {healthy(2, 4), healthy(4, 2, 2), healthy(3, 3),
+                         healthy(2, 1)}) {
+    ASSERT_TRUE(!algo.applies ||
+                algo.applies(hmca::testing::conf::shape_of(t), 512));
+    for (const std::size_t msg :
+         {std::size_t{0}, std::size_t{512}, std::size_t{4096}}) {
+      expect_alltoall_ok(algo.fn, "hier_leader", t, msg);
+    }
+  }
+}
+
+TEST(Alltoall, HierLeaderDoesNotApplyToSingleNode) {
+  core::register_core_algorithms();
+  const auto& algo = Registry::instance().get_alltoall("hier_leader");
+  ASSERT_TRUE(static_cast<bool>(algo.applies));
+  EXPECT_FALSE(
+      algo.applies(hmca::testing::conf::shape_of(healthy(1, 8)), 4096));
+}
+
+TEST(Alltoall, MhaDispatcherCorrectOnBothSidesOfThreshold) {
+  // Small blocks route hierarchical, large ones direct; both must agree
+  // with the expected exchange image.
+  for (const std::size_t msg : {std::size_t{256}, std::size_t{65536}}) {
+    expect_alltoall_ok(fn_mha(), "mha", healthy(2, 4, 2), msg);
+  }
+}
+
+TEST(Alltoall, DirectRejectsUndersizedBuffers) {
+  Trial t = healthy(1, 2);
+  sim::Engine eng;
+  auto spec = hmca::testing::conf::spec_of(t);
+  mpi::World world(eng, spec);
+  auto& comm = world.comm_world();
+  auto send = hw::Buffer::data(8);  // needs 2 * 16
+  auto recv = hw::Buffer::data(32);
+  eng.spawn([](mpi::Comm& c, hw::BufView s,
+               hw::BufView r) -> sim::Task<void> {
+    co_await alltoall_direct(c, 0, s, r, 16);
+  }(comm, send.view(), recv.view()));
+  EXPECT_THROW(eng.run(), std::invalid_argument);
+}
+
+// ---- Alltoallv ----
+
+std::vector<std::size_t> uneven_counts(int p) {
+  // Deterministic irregular matrix: empty rows/columns and one large block.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p * p));
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      const std::size_t menu[] = {0, 1, 17, 300, 2000};
+      counts[static_cast<std::size_t>(i * p + j)] =
+          menu[static_cast<std::size_t>(i * 131 + j * 7) % std::size(menu)];
+    }
+  }
+  counts[0] = 20000;
+  return counts;
+}
+
+TEST(Alltoallv, DirectHandlesUnevenCounts) {
+  for (const Trial& t : {healthy(1, 4), healthy(2, 4), healthy(4, 2, 2)}) {
+    const auto counts = uneven_counts(t.procs());
+    const RankBytes got = hmca::testing::conf::run_alltoallv(
+        [](mpi::Comm& c, int my, hw::BufView s, hw::BufView r,
+           const AlltoallvLayout& l) {
+          return alltoallv_direct(c, my, s, r, l);
+        },
+        t, counts);
+    const RankBytes want =
+        hmca::testing::conf::alltoallv_expected(t.procs(), counts);
+    EXPECT_EQ(hmca::testing::conf::diff_results(got, want), "")
+        << "alltoallv direct nodes=" << t.nodes << " ppn=" << t.ppn;
+  }
+}
+
+TEST(Alltoallv, PairwiseMatchesDirect) {
+  const Trial t = healthy(2, 3);
+  const auto counts = uneven_counts(t.procs());
+  const RankBytes got = hmca::testing::conf::run_alltoallv(
+      [](mpi::Comm& c, int my, hw::BufView s, hw::BufView r,
+         const AlltoallvLayout& l) {
+        return alltoallv_pairwise(c, my, s, r, l);
+      },
+      t, counts);
+  EXPECT_EQ(hmca::testing::conf::diff_results(
+                got, hmca::testing::conf::alltoallv_expected(t.procs(),
+                                                             counts)),
+            "");
+}
+
+TEST(Alltoallv, LayoutPrefixSumsAreStandard) {
+  // 2 ranks: 0 sends {10, 3}, 1 sends {0, 7}.
+  const auto l = AlltoallvLayout::from_counts(2, {10, 3, 0, 7});
+  EXPECT_EQ(l.send_offset(0, 0), 0u);
+  EXPECT_EQ(l.send_offset(0, 1), 10u);
+  EXPECT_EQ(l.send_total(0), 13u);
+  EXPECT_EQ(l.recv_offset(0, 1), 0u);   // block from source 0 in rank 1
+  EXPECT_EQ(l.recv_offset(1, 1), 3u);   // rank 1's own block follows
+  EXPECT_EQ(l.recv_total(1), 10u);
+  EXPECT_EQ(l.total(), 20u);
+}
+
+}  // namespace
+}  // namespace hmca::coll

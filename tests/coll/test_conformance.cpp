@@ -232,6 +232,149 @@ TEST_F(Conformance, AllgathervAllCategories) {
   }
 }
 
+// ---- Alltoall / Alltoallv / Reduce-scatter / composed allreduce: the
+// compositional planner's collectives under every fault category ----
+
+TEST_F(Conformance, AlltoallAllCategories) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("alltoall", seed));
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  // Per-pair blocks stay modest: the exchange moves p^2 of them.
+  const std::size_t msgs[] = {0, 1, 100, 1000, 4096};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    const std::size_t msg = msgs[rng.next_below(std::size(msgs))];
+    SCOPED_TRACE(t.context());
+    SCOPED_TRACE("msg=" + std::to_string(msg));
+    const RankBytes want = testing::conf::alltoall_expected(t.procs(), msg);
+    for (const auto& algo : coll::Registry::instance().alltoalls()) {
+      if (algo.applies && !algo.applies(testing::conf::shape_of(t), msg)) {
+        continue;
+      }
+      const RankBytes got = testing::conf::run_alltoall(algo.fn, t, msg);
+      EXPECT_EQ(testing::conf::diff_results(got, want), "")
+          << "alltoall '" << algo.name << "' diverged from the reference";
+    }
+  }
+}
+
+TEST_F(Conformance, AlltoallvAllCategoriesUnevenCounts) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("alltoallv", seed));
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    SCOPED_TRACE(t.context());
+    const int p = t.procs();
+    // Irregular pairwise matrix: empty blocks and one rendezvous-sized
+    // outlier are both in the menu, so uneven v-layouts are the norm.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p * p));
+    for (auto& c : counts) {
+      const std::size_t menu[] = {0, 1, 17, 300, 2000, 20000};
+      c = menu[rng.next_below(std::size(menu))];
+    }
+    const RankBytes want = testing::conf::alltoallv_expected(p, counts);
+    const auto layout = coll::AlltoallvLayout::from_counts(p, counts);
+    for (const auto& algo : coll::Registry::instance().alltoallvs()) {
+      if (algo.applies &&
+          !algo.applies(testing::conf::shape_of(t), layout.total())) {
+        continue;
+      }
+      const RankBytes got = testing::conf::run_alltoallv(algo.fn, t, counts);
+      EXPECT_EQ(testing::conf::diff_results(got, want), "")
+          << "alltoallv '" << algo.name << "' diverged from the reference";
+    }
+  }
+}
+
+TEST_F(Conformance, ReduceScatterAllCategories) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("reduce_scatter", seed));
+  const mpi::Dtype dtypes[] = {mpi::Dtype::kInt32, mpi::Dtype::kInt64,
+                               mpi::Dtype::kFloat, mpi::Dtype::kDouble};
+  const mpi::ReduceOp ops[] = {mpi::ReduceOp::kSum, mpi::ReduceOp::kProd,
+                               mpi::ReduceOp::kMax, mpi::ReduceOp::kMin};
+  // Indivisible counts are deliberately in the menu: the ring must handle
+  // uneven tails (the rh predicate filters itself out).
+  const std::size_t counts[] = {1, 7, 96, 1000, 16384};
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    const mpi::Dtype dtype = dtypes[rng.next_below(std::size(dtypes))];
+    const mpi::ReduceOp op = ops[rng.next_below(std::size(ops))];
+    const std::size_t count = counts[rng.next_below(std::size(counts))];
+    SCOPED_TRACE(t.context());
+    SCOPED_TRACE("dtype=" + std::to_string(static_cast<int>(dtype)) +
+                 " op=" + std::to_string(static_cast<int>(op)) +
+                 " count=" + std::to_string(count));
+    const int p = t.procs();
+    for (const auto& algo : coll::Registry::instance().reduce_scatters()) {
+      if (algo.applies && !algo.applies(testing::conf::shape_of(t), count,
+                                        mpi::dtype_size(dtype))) {
+        continue;
+      }
+      const RankBytes got =
+          testing::conf::run_reduce_scatter(algo.fn, t, count, dtype, op);
+      for (int r = 0; r < p; ++r) {
+        const auto [off, len] = coll::chunk_range(count, p, r);
+        for (std::size_t e = off; e < off + len; ++e) {
+          ASSERT_EQ(testing::conf::elem_value(
+                        got[static_cast<std::size_t>(r)], e, dtype),
+                    testing::conf::reduce_expected(p, e, op))
+              << "reduce_scatter '" << algo.name << "' rank " << r
+              << " owned elem " << e;
+        }
+      }
+    }
+  }
+}
+
+// The composed allreduce (registry "rs_ag": planner reduce-up +
+// reduce-scatter/allgather across leaders + multicast-down) is also swept
+// by AllreduceAllDtypes with every other allreduce; this pins it explicitly
+// across every fault category so a registry reshuffle can't silently drop
+// its coverage.
+TEST_F(Conformance, ComposedAllreduceAllCategories) {
+  const std::uint64_t seed = testing::conf::suite_seed();
+  sim::Rng rng(rng_seed_for("rs_ag", seed));
+  const auto& algo = coll::Registry::instance().get_allreduce("rs_ag");
+  const Category cats[] = {Category::kNone, Category::kKill,
+                           Category::kDegrade, Category::kTransient,
+                           Category::kMixed};
+  const std::size_t counts[] = {1, 5, 96, 1000};
+  int index = 0;
+  for (const Category cat : cats) {
+    Trial t = sample_trial(rng, seed, index++, cat);
+    const std::size_t count = counts[rng.next_below(std::size(counts))];
+    SCOPED_TRACE(t.context());
+    SCOPED_TRACE("count=" + std::to_string(count));
+    if (algo.applies && !algo.applies(testing::conf::shape_of(t), count,
+                                      mpi::dtype_size(mpi::Dtype::kInt64))) {
+      continue;
+    }
+    const RankBytes got = testing::conf::run_allreduce(
+        algo.fn, t, count, mpi::Dtype::kInt64, mpi::ReduceOp::kSum);
+    for (int r = 0; r < t.procs(); ++r) {
+      for (std::size_t e = 0; e < count; ++e) {
+        ASSERT_EQ(testing::conf::elem_value(got[static_cast<std::size_t>(r)],
+                                            e, mpi::Dtype::kInt64),
+                  testing::conf::reduce_expected(t.procs(), e,
+                                                 mpi::ReduceOp::kSum))
+            << "rs_ag rank " << r << " elem " << e;
+      }
+    }
+  }
+}
+
 // ---- Property: any kill plan leaving >= 1 healthy rail per node keeps the
 // MHA allgather byte-identical to the fault-free run ----
 

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "coll/alltoall.hpp"
 #include "coll/bcast.hpp"
 #include "mpi/comm.hpp"
 #include "sim/engine.hpp"

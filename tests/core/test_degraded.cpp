@@ -79,20 +79,20 @@ TEST(SelectorDegraded, WorldWithLostRailPinsRing) {
   EXPECT_EQ(healthy.name(), "mha_inter_rd");
   const auto degraded = select_faulted(2, 16, 512, "kill:node=0,hca=1,t=0");
   EXPECT_EQ(degraded.name(), "mha_inter_ring");
-  EXPECT_EQ(degraded.reason, "degraded:rails=1/2:ring");
+  EXPECT_EQ(degraded.reason, "allgather:degraded:rails=1/2:ring");
 }
 
 TEST(SelectorDegraded, IntraWithLostRailStaysOnMhaIntra) {
   const auto sel =
       select_faulted(1, 8, 65536, "kill:node=0,hca=1,t=0");
   EXPECT_EQ(sel.name(), "mha_intra");
-  EXPECT_EQ(sel.reason, "degraded:rails=1/2");
+  EXPECT_EQ(sel.reason, "allgather:degraded:rails=1/2");
 }
 
 TEST(SelectorDegraded, AllRailsDownPinsCpuOnlyIntra) {
   const auto sel = select_faulted(1, 8, 65536, "kill:node=0,hca=*,t=0");
   EXPECT_EQ(sel.name(), "mha_intra");
-  EXPECT_EQ(sel.reason, "degraded:rails=0/2:cpu-only");
+  EXPECT_EQ(sel.reason, "allgather:degraded:rails=0/2:cpu-only");
 }
 
 TEST(SelectorDegraded, SmallIntraMessagesKeepConventionalPath) {
@@ -100,7 +100,7 @@ TEST(SelectorDegraded, SmallIntraMessagesKeepConventionalPath) {
   // rails, so degraded shapes keep the healthy decision there.
   const auto sel = select_faulted(1, 8, 1024, "kill:node=0,hca=*,t=0");
   EXPECT_EQ(sel.name(), "rd_or_bruck");
-  EXPECT_EQ(sel.reason, "threshold:intra-small");
+  EXPECT_EQ(sel.reason, "allgather:threshold:intra-small");
 }
 
 TEST(MhaIntraDegraded, CpuOnlyFallbackStillGathersCorrectly) {

@@ -447,7 +447,7 @@ TEST(SelectorDepth, FlatNodesKeepPaperThresholds) {
   mpi::World world(eng, spec);
   const auto sel =
       default_selector().select_allgather(world.comm_world(), 0, 65536);
-  EXPECT_EQ(sel.reason.rfind("threshold:fig8", 0), 0u) << sel.reason;
+  EXPECT_EQ(sel.reason.rfind("allgather:threshold:fig8", 0), 0u) << sel.reason;
 }
 
 TEST(SelectorDepth, MultiSocketWorldsRouteToDepth3) {
@@ -457,7 +457,7 @@ TEST(SelectorDepth, MultiSocketWorldsRouteToDepth3) {
   const auto sel =
       default_selector().select_allgather(world.comm_world(), 0, 65536);
   EXPECT_EQ(sel.name(), "hier3");
-  EXPECT_EQ(sel.reason, "depth:cluster:1>node:2>socket:4");
+  EXPECT_EQ(sel.reason, "allgather:depth:cluster:1>node:2>socket:4");
 }
 
 TEST(SelectorDepth, CommShapeAgreesWithDerive) {
@@ -483,7 +483,7 @@ TEST(SelectorDepth, EnvOverridePinsDepth) {
     const auto sel =
         default_selector().select_allgather(world.comm_world(), 0, 65536);
     EXPECT_EQ(sel.name(), "hier2");
-    EXPECT_EQ(sel.reason, std::string("env:") + osu::Env::kHierarchy);
+    EXPECT_EQ(sel.reason, std::string("allgather:env:") + osu::Env::kHierarchy);
   }
   {
     EnvGuard env(osu::Env::kHierarchy, "auto");

@@ -87,35 +87,35 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         // Single node: conventional below the 16 KB cutoff, MHA-intra at
         // and above it.
-        Case{1, 4, 1024, "rd_or_bruck", "threshold:intra-small"},
-        Case{1, 4, 16383, "rd_or_bruck", "threshold:intra-small"},
-        Case{1, 4, 16384, "mha_intra", "threshold:intra-large"},
-        Case{1, 16, 1u << 20, "mha_intra", "threshold:intra-large"},
+        Case{1, 4, 1024, "rd_or_bruck", "allgather:threshold:intra-small"},
+        Case{1, 4, 16383, "rd_or_bruck", "allgather:threshold:intra-small"},
+        Case{1, 4, 16384, "mha_intra", "allgather:threshold:intra-large"},
+        Case{1, 16, 1u << 20, "mha_intra", "allgather:threshold:intra-large"},
         // Multi-node: Fig. 8 — RD while chunk = msg*ppn <= 16 KB...
-        Case{2, 16, 512, "mha_inter_rd", "threshold:fig8-rd"},
-        Case{2, 16, 1024, "mha_inter_rd", "threshold:fig8-rd"},  // 16 KB edge
+        Case{2, 16, 512, "mha_inter_rd", "allgather:threshold:fig8-rd"},
+        Case{2, 16, 1024, "mha_inter_rd", "allgather:threshold:fig8-rd"},  // 16 KB edge
         // ... Ring above the crossover ...
-        Case{2, 16, 2048, "mha_inter_ring", "threshold:fig8-ring"},
-        Case{4, 32, 4096, "mha_inter_ring", "threshold:fig8-ring"},
+        Case{2, 16, 2048, "mha_inter_ring", "allgather:threshold:fig8-ring"},
+        Case{4, 32, 4096, "mha_inter_ring", "allgather:threshold:fig8-ring"},
         // ... and Ring whenever the node count is not a power of two.
-        Case{3, 2, 64, "mha_inter_ring", "threshold:fig8-ring"},
-        Case{3, 2, 262144, "mha_inter_ring", "threshold:fig8-ring"},
+        Case{3, 2, 64, "mha_inter_ring", "allgather:threshold:fig8-ring"},
+        Case{3, 2, 262144, "mha_inter_ring", "allgather:threshold:fig8-ring"},
         // 1 PPN still follows the chunk rule (chunk = msg).
-        Case{8, 1, 4096, "mha_inter_rd", "threshold:fig8-rd"},
-        Case{8, 1, 65536, "mha_inter_ring", "threshold:fig8-ring"}));
+        Case{8, 1, 4096, "mha_inter_rd", "allgather:threshold:fig8-rd"},
+        Case{8, 1, 65536, "mha_inter_ring", "allgather:threshold:fig8-ring"}));
 
 TEST(SelectorAllreduce, ThresholdsMatchPaperDefaults) {
   // 4-byte floats: 8192 elements = 32 KB, the RD cutoff (inclusive).
   auto small = select_ar(2, 4, 8192);
   EXPECT_EQ(small.name(), "rd");
-  EXPECT_EQ(small.reason, "threshold:small-or-indivisible");
+  EXPECT_EQ(small.reason, "allreduce:threshold:small-or-indivisible");
   // Large but indivisible by 8 ranks -> RD.
   auto odd = select_ar(2, 4, 100001);
   EXPECT_EQ(odd.name(), "rd");
   // Large and divisible -> Ring with the MHA allgather phase.
   auto large = select_ar(2, 4, 131072);
   EXPECT_EQ(large.name(), "ring_mha");
-  EXPECT_EQ(large.reason, "threshold:large");
+  EXPECT_EQ(large.reason, "allreduce:threshold:large");
 }
 
 // ---- Environment overrides ----
@@ -124,7 +124,7 @@ TEST(SelectorEnv, PinsAllgatherByName) {
   EnvGuard guard(kAllgatherAlgoEnv, "node_aware_bruck");
   const auto sel = select_ag(2, 4, 1024);
   EXPECT_EQ(sel.name(), "node_aware_bruck");
-  EXPECT_EQ(sel.reason, std::string("env:") + kAllgatherAlgoEnv);
+  EXPECT_EQ(sel.reason, std::string("allgather:env:") + kAllgatherAlgoEnv);
 }
 
 TEST(SelectorEnv, PinnedAllgatherRunsEndToEnd) {
@@ -153,7 +153,7 @@ TEST(SelectorEnv, PinsAllreduceByName) {
   EnvGuard guard(kAllreduceAlgoEnv, "ring_mha");
   const auto sel = select_ar(2, 4, 64);  // tiny: thresholds would say rd
   EXPECT_EQ(sel.name(), "ring_mha");
-  EXPECT_EQ(sel.reason, std::string("env:") + kAllreduceAlgoEnv);
+  EXPECT_EQ(sel.reason, std::string("allreduce:env:") + kAllreduceAlgoEnv);
 }
 
 // ---- Decision tracing ----
@@ -187,13 +187,13 @@ TEST(SelectorTable, TableDecisionWinsOverThresholds) {
   mpi::World world(eng, spec, nullptr);
   const auto pick =
       sel.select_allgather(world.comm_world(), 0, 65536);
-  EXPECT_EQ(pick.reason, "tuning-table");
+  EXPECT_EQ(pick.reason, "allgather:tuning-table");
   EXPECT_TRUE(pick.name() == "mha_inter_rd" || pick.name() == "mha_inter_ring")
       << pick.name();
 
   // A mismatched shape must ignore the table and fall back to thresholds.
   const auto other = select_ag(4, 2, 65536, nullptr, &sel);
-  EXPECT_NE(other.reason, "tuning-table");
+  EXPECT_NE(other.reason, "allgather:tuning-table");
 }
 
 // ---- Cost-model mode ----
@@ -202,7 +202,7 @@ TEST(SelectorCost, RanksApplicableEntriesByModel) {
   Selector sel;
   sel.set_use_cost_model(true);
   const auto pick = select_ag(2, 4, 4096, nullptr, &sel);
-  EXPECT_EQ(pick.reason, "cost-model");
+  EXPECT_EQ(pick.reason, "allgather:cost-model");
   // Whatever wins must be applicable to a 2x4 world shape.
   ASSERT_NE(pick.algo, nullptr);
   EXPECT_TRUE(static_cast<bool>(pick.algo->cost));

@@ -19,6 +19,9 @@
 
 #include "coll/allgather.hpp"
 #include "coll/allgatherv.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/graph.hpp"
+#include "coll/reduce_scatter.hpp"
 #include "coll/registry.hpp"
 #include "hw/buffer.hpp"
 #include "hw/spec.hpp"
@@ -435,6 +438,204 @@ inline std::vector<std::byte> allgatherv_expected(
     }
   }
   return want;
+}
+
+// ---- Alltoall / Alltoallv / Reduce-scatter (the compositional planner's
+// collectives) ----
+
+/// Deterministic content byte `i` of the block rank `src` sends to rank
+/// `dst` in an alltoall(v) exchange (distinct per ordered pair so a
+/// misrouted block is caught, not just a corrupted one).
+inline std::byte a2a_byte(int src, int dst, std::size_t i) {
+  return content_byte(src * 31 + dst * 7 + 1, i);
+}
+
+namespace detail {
+
+inline sim::Task<void> a2a_rank(mpi::Comm& comm, coll::AlltoallFn fn, int r,
+                                hw::BufView send, hw::BufView recv,
+                                std::size_t msg) {
+  co_await fn(comm, r, send, recv, msg);
+}
+
+inline sim::Task<void> a2av_rank(mpi::Comm& comm, coll::AlltoallvFn fn, int r,
+                                 hw::BufView send, hw::BufView recv,
+                                 const coll::AlltoallvLayout& layout) {
+  co_await fn(comm, r, send, recv, layout);
+}
+
+inline sim::Task<void> rs_rank(mpi::Comm& comm, coll::ReduceScatterFn fn,
+                               int r, hw::BufView data, std::size_t count,
+                               mpi::Dtype dtype, mpi::ReduceOp op) {
+  co_await fn(comm, r, data, count, dtype, op);
+}
+
+}  // namespace detail
+
+/// Run an alltoall of `msg` bytes per (src, dst) block on the trial's
+/// world; returns every rank's receive buffer (one block per source).
+inline RankBytes run_alltoall(const coll::AlltoallFn& fn, const Trial& t,
+                              std::size_t msg) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+
+  std::vector<hw::Buffer> sends, recvs;
+  for (int r = 0; r < p; ++r) {
+    auto send = hw::Buffer::data(msg * static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      for (std::size_t i = 0; i < msg; ++i) {
+        send.bytes()[static_cast<std::size_t>(dst) * msg + i] =
+            a2a_byte(r, dst, i);
+      }
+    }
+    sends.push_back(std::move(send));
+    recvs.push_back(hw::Buffer::data(msg * static_cast<std::size_t>(p)));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::a2a_rank(comm, fn, r,
+                               sends[static_cast<std::size_t>(r)].view(),
+                               recvs[static_cast<std::size_t>(r)].view(),
+                               msg));
+  }
+  eng.run();
+  return detail::harvest(recvs);
+}
+
+/// Expected alltoall receive image of every rank (rank r's buffer holds the
+/// block from source s at offset s * msg).
+inline RankBytes alltoall_expected(int p, std::size_t msg) {
+  RankBytes want(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& b = want[static_cast<std::size_t>(r)];
+    b.resize(msg * static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      for (std::size_t i = 0; i < msg; ++i) {
+        b[static_cast<std::size_t>(src) * msg + i] = a2a_byte(src, r, i);
+      }
+    }
+  }
+  return want;
+}
+
+/// Run an alltoallv with the given pairwise count matrix
+/// (`counts[i * p + j]` = bytes i sends to j); returns every rank's receive
+/// buffer sized to its own recv_total.
+inline RankBytes run_alltoallv(const coll::AlltoallvFn& fn, const Trial& t,
+                               std::vector<std::size_t> counts) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const auto layout = coll::AlltoallvLayout::from_counts(p, std::move(counts));
+
+  std::vector<hw::Buffer> sends, recvs;
+  for (int r = 0; r < p; ++r) {
+    auto send = hw::Buffer::data(layout.send_total(r));
+    for (int dst = 0; dst < p; ++dst) {
+      const std::size_t off = layout.send_offset(r, dst);
+      for (std::size_t i = 0; i < layout.count(r, dst); ++i) {
+        send.bytes()[off + i] = a2a_byte(r, dst, i);
+      }
+    }
+    sends.push_back(std::move(send));
+    recvs.push_back(hw::Buffer::data(layout.recv_total(r)));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::a2av_rank(comm, fn, r,
+                                sends[static_cast<std::size_t>(r)].view(),
+                                recvs[static_cast<std::size_t>(r)].view(),
+                                layout));
+  }
+  eng.run();
+  return detail::harvest(recvs);
+}
+
+/// Expected alltoallv receive image of every rank for a count matrix.
+inline RankBytes alltoallv_expected(int p,
+                                    const std::vector<std::size_t>& counts) {
+  const auto layout = coll::AlltoallvLayout::from_counts(p, counts);
+  RankBytes want(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& b = want[static_cast<std::size_t>(r)];
+    b.resize(layout.recv_total(r));
+    for (int src = 0; src < p; ++src) {
+      const std::size_t off = layout.recv_offset(src, r);
+      for (std::size_t i = 0; i < layout.count(src, r); ++i) {
+        b[off + i] = a2a_byte(src, r, i);
+      }
+    }
+  }
+  return want;
+}
+
+/// Run a reduce-scatter of `count` elements on the trial's world; returns
+/// every rank's full data buffer. Only rank r's owned element range
+/// `coll::chunk_range(count, p, r)` is specified afterwards — check it with
+/// `elem_value` against `reduce_expected`.
+inline RankBytes run_reduce_scatter(const coll::ReduceScatterFn& fn,
+                                    const Trial& t, std::size_t count,
+                                    mpi::Dtype dtype, mpi::ReduceOp op) {
+  sim::Engine eng;
+  mpi::World world(eng, spec_of(t));
+  auto& comm = world.comm_world();
+  const int p = comm.size();
+  const std::size_t bytes = count * mpi::dtype_size(dtype);
+
+  std::vector<hw::Buffer> bufs;
+  for (int r = 0; r < p; ++r) {
+    auto b = hw::Buffer::data(bytes);
+    for (std::size_t e = 0; e < count; ++e) {
+      const int v = reduce_init(r, e);
+      switch (dtype) {
+        case mpi::Dtype::kByte:
+          b.bytes()[e] = static_cast<std::byte>(v);
+          break;
+        case mpi::Dtype::kInt32:
+          b.as<std::int32_t>()[e] = v;
+          break;
+        case mpi::Dtype::kInt64:
+          b.as<std::int64_t>()[e] = v;
+          break;
+        case mpi::Dtype::kFloat:
+          b.as<float>()[e] = static_cast<float>(v);
+          break;
+        case mpi::Dtype::kDouble:
+          b.as<double>()[e] = static_cast<double>(v);
+          break;
+      }
+    }
+    bufs.push_back(std::move(b));
+  }
+  for (int r = 0; r < p; ++r) {
+    eng.spawn(detail::rs_rank(comm, fn, r,
+                              bufs[static_cast<std::size_t>(r)].view(), count,
+                              dtype, op));
+  }
+  eng.run();
+  return detail::harvest(bufs);
+}
+
+/// Element `e` of a raw result buffer as an exact integer (every conformance
+/// value is int-valued by construction, so the cast is lossless).
+inline std::int64_t elem_value(const std::vector<std::byte>& bytes,
+                               std::size_t e, mpi::Dtype dtype) {
+  switch (dtype) {
+    case mpi::Dtype::kByte:
+      return std::to_integer<std::int64_t>(bytes[e]);
+    case mpi::Dtype::kInt32:
+      return *reinterpret_cast<const std::int32_t*>(&bytes[e * 4]);
+    case mpi::Dtype::kInt64:
+      return *reinterpret_cast<const std::int64_t*>(&bytes[e * 8]);
+    case mpi::Dtype::kFloat:
+      return static_cast<std::int64_t>(
+          *reinterpret_cast<const float*>(&bytes[e * 4]));
+    case mpi::Dtype::kDouble:
+      return static_cast<std::int64_t>(
+          *reinterpret_cast<const double*>(&bytes[e * 8]));
+  }
+  return 0;
 }
 
 }  // namespace hmca::testing::conf
