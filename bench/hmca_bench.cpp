@@ -9,8 +9,11 @@
 //
 //   hmca-bench compare BASE.json NEW.json [--bless] [--epsilon REL]
 //                  [--wallclock-threshold FRAC] [--report FILE]
+//                  [--attribution FILE]
 //       Diff two reports. Exit 0 = no unacknowledged drift, 1 = regressions
-//       or unblessed drift, 2 = usage / IO errors.
+//       or unblessed drift, 2 = usage / IO errors. Latency drift is
+//       auto-attributed (phase/resource/rail/decision margins) in the
+//       findings; --attribution writes the full hmca-diff-1 JSON.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -33,7 +36,8 @@ int usage(std::ostream& os, int code) {
         "                 [--topo sockets=2,hcas=4,...]\n"
         "  hmca-bench list [--campaign NAME]\n"
         "  hmca-bench compare BASE.json NEW.json [--bless] [--epsilon REL]\n"
-        "                 [--wallclock-threshold FRAC] [--report FILE]\n";
+        "                 [--wallclock-threshold FRAC] [--report FILE]\n"
+        "                 [--attribution FILE]\n";
   return code;
 }
 
@@ -156,6 +160,7 @@ int cmd_compare(const std::vector<std::string>& args) {
   perf::CompareOptions opts;
   std::vector<std::string> files;
   std::string report_path;
+  std::string attribution_path;
   std::string value;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--bless") {
@@ -166,6 +171,8 @@ int cmd_compare(const std::vector<std::string>& args) {
       opts.wallclock_threshold = parse_double("--wallclock-threshold", value);
     } else if (take_value(args, i, "--report", value)) {
       report_path = value;
+    } else if (take_value(args, i, "--attribution", value)) {
+      attribution_path = value;
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw std::invalid_argument("compare: unknown flag '" + args[i] + "'");
     } else {
@@ -187,6 +194,16 @@ int cmd_compare(const std::vector<std::string>& args) {
       return 2;
     }
     perf::write_compare_report(rep, result, files[0], files[1]);
+  }
+  if (!attribution_path.empty() &&
+      !result.attribution.invocations.empty()) {
+    std::ofstream att(attribution_path);
+    if (!att) {
+      std::cerr << "hmca-bench: cannot write '" << attribution_path << "'\n";
+      return 2;
+    }
+    result.attribution.write_json(att);
+    std::cerr << "attribution written to " << attribution_path << '\n';
   }
   return result.ok() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coll/graph.hpp"
+#include "obs/names.hpp"
 #include "shm/shm.hpp"
 
 namespace hmca::coll {
@@ -61,7 +62,7 @@ int add_seed_task(TaskGraph& g, mpi::Comm& comm, int my, hw::BufView send,
       [&comm, my, send, recv, msg, in_place] {
         return seed_own_block(comm, my, send, recv, msg, in_place);
       },
-      TaskOpts{"seed", "", -1, msg, -1, -1});
+      TaskOpts{"seed", obs::names::kPhaseExchange, -1, msg, -1, -1});
 }
 
 // Bruck's store-and-forward exchange: kept as one coroutine (every step
@@ -229,7 +230,8 @@ sim::Task<void> allgather_ring(mpi::Comm& comm, int my, hw::BufView send,
           [&comm, my, right, tag, recv, out_off, clen] {
             return comm.send(my, right, tag, recv.sub(out_off, clen));
           },
-          TaskOpts{"send s" + std::to_string(s), "", c, clen, -1, right_g});
+          TaskOpts{"send s" + std::to_string(s), obs::names::kPhaseExchange, c,
+                   clen, -1, right_g});
       if (s == 0) {
         if (seed >= 0) g.depend(t_send, seed);
       } else {
@@ -238,7 +240,8 @@ sim::Task<void> allgather_ring(mpi::Comm& comm, int my, hw::BufView send,
 
       const int t_recv = g.add(
           TaskKind::kRecv, Lane::kNone, [] { return noop_task(); },
-          TaskOpts{"recv s" + std::to_string(s), "", c, clen, -1, left_g});
+          TaskOpts{"recv s" + std::to_string(s), obs::names::kPhaseExchange, c,
+                   clen, -1, left_g});
       g.depend_external(t_recv);
       comm.irecv(my, left, tag, recv.sub(in_off, clen))
           .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
@@ -293,14 +296,16 @@ sim::Task<void> allgather_rd(mpi::Comm& comm, int my, hw::BufView send,
             return comm.send(my, partner, tag,
                              recv.sub(own_base + coff, clen));
           },
-          TaskOpts{"send k" + std::to_string(k), "", c, clen, -1, partner_g});
+          TaskOpts{"send k" + std::to_string(k), obs::names::kPhaseExchange, c,
+                   clen, -1, partner_g});
       for (const int p : prod.covering(own_base + coff, clen)) {
         g.depend(t_send, p);
       }
 
       const int t_recv = g.add(
           TaskKind::kRecv, Lane::kNone, [] { return noop_task(); },
-          TaskOpts{"recv k" + std::to_string(k), "", c, clen, -1, partner_g});
+          TaskOpts{"recv k" + std::to_string(k), obs::names::kPhaseExchange, c,
+                   clen, -1, partner_g});
       g.depend_external(t_recv);
       comm.irecv(my, partner, tag, recv.sub(partner_base + coff, clen))
           .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
@@ -315,10 +320,12 @@ sim::Task<void> allgather_bruck(mpi::Comm& comm, int my, hw::BufView send,
                                 bool in_place) {
   check_args(comm, my, send, recv, msg, in_place);
   co_await run_as_graph(comm.engine(), comm.sink(), comm.to_global(my),
-                        "bruck", [&comm, my, send, recv, msg, in_place] {
+                        "bruck",
+                        [&comm, my, send, recv, msg, in_place] {
                           return bruck_body(comm, my, send, recv, msg,
                                             in_place);
-                        });
+                        },
+                        obs::names::kPhaseExchange);
 }
 
 sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
@@ -343,7 +350,8 @@ sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
     const int src = (my - i + n) % n;
     const int t_recv = g.add(
         TaskKind::kRecv, Lane::kNone, [] { return noop_task(); },
-        TaskOpts{"recv", "", -1, msg, -1, comm.to_global(src)});
+        TaskOpts{"recv", obs::names::kPhaseExchange, -1, msg, -1,
+                 comm.to_global(src)});
     g.depend_external(t_recv);
     comm.irecv(my, src, i, recv.sub(static_cast<std::size_t>(src) * msg, msg))
         .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
@@ -353,7 +361,8 @@ sim::Task<void> allgather_direct(mpi::Comm& comm, int my, hw::BufView send,
     const int t_send = g.add(
         TaskKind::kSend, Lane::kNic,
         [&comm, my, dst, i, own] { return comm.send(my, dst, i, own); },
-        TaskOpts{"send", "", -1, msg, -1, comm.to_global(dst)});
+        TaskOpts{"send", obs::names::kPhaseExchange, -1, msg, -1,
+                 comm.to_global(dst)});
     if (seed >= 0) g.depend(t_send, seed);
   }
   co_await exec.run(g);
@@ -396,7 +405,8 @@ sim::Task<void> allgather_multi_leader(mpi::Comm& comm, int my,
                         [&comm, my, send, recv, msg, in_place, groups] {
                           return multi_leader_body(comm, my, send, recv, msg,
                                                    in_place, groups);
-                        });
+                        },
+                        obs::names::kPhaseExchange);
 }
 
 sim::Task<void> allgather_node_aware_bruck(mpi::Comm& comm, int my,

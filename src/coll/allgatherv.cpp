@@ -4,6 +4,7 @@
 
 #include "coll/allgather.hpp"
 #include "coll/graph.hpp"
+#include "obs/names.hpp"
 #include "mpi/comm.hpp"
 
 namespace hmca::coll {
@@ -86,7 +87,8 @@ sim::Task<void> allgatherv_ring(mpi::Comm& comm, int my, hw::BufView send,
                         [&comm, my, send, recv, &layout, in_place] {
                           return ring_body(comm, my, send, recv, layout,
                                            in_place);
-                        });
+                        },
+                        obs::names::kPhaseExchange);
 }
 
 sim::Task<void> allgatherv_direct(mpi::Comm& comm, int my, hw::BufView send,
@@ -111,14 +113,16 @@ sim::Task<void> allgatherv_direct(mpi::Comm& comm, int my, hw::BufView send,
         [&comm, my, send, recv, &layout, in_place] {
           return seed_own(comm, my, send, recv, layout, in_place);
         },
-        TaskOpts{"seed", "", -1, layout.count(my), -1, -1});
+        TaskOpts{"seed", obs::names::kPhaseExchange, -1, layout.count(my), -1,
+                 -1});
   }
   const hw::BufView own = recv.sub(layout.offset(my), layout.count(my));
   for (int i = 1; i < n; ++i) {
     const int src = (my - i + n) % n;
     const int t_recv = g.add(
         TaskKind::kRecv, Lane::kNone, [] { return noop_task(); },
-        TaskOpts{"recv", "", -1, layout.count(src), -1, comm.to_global(src)});
+        TaskOpts{"recv", obs::names::kPhaseExchange, -1, layout.count(src), -1,
+                 comm.to_global(src)});
     g.depend_external(t_recv);
     comm.irecv(my, src, i, recv.sub(layout.offset(src), layout.count(src)))
         .on_done([&exec, t_recv] { exec.satisfy(t_recv); });
@@ -128,7 +132,8 @@ sim::Task<void> allgatherv_direct(mpi::Comm& comm, int my, hw::BufView send,
     const int t_send = g.add(
         TaskKind::kSend, Lane::kNic,
         [&comm, my, dst, i, own] { return comm.send(my, dst, i, own); },
-        TaskOpts{"send", "", -1, own.len, -1, comm.to_global(dst)});
+        TaskOpts{"send", obs::names::kPhaseExchange, -1, own.len, -1,
+                 comm.to_global(dst)});
     if (seed >= 0) g.depend(t_send, seed);
   }
   co_await exec.run(g);

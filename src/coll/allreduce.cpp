@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "coll/phase_span.hpp"
+
 namespace hmca::coll {
 
 namespace {
@@ -48,6 +50,7 @@ sim::Task<void> reduce_scatter_ring(mpi::Comm& comm, int my, hw::BufView data,
   const std::size_t chunk_count = count / static_cast<std::size_t>(n);
   const std::size_t chunk = chunk_count * v.elem;
 
+  PhaseSpan phase(comm, my);
   auto temp = hw::Buffer::make(chunk, comm.cluster().spec().carry_data);
   const int right = (my + 1) % n;
   const int left = (my - 1 + n) % n;
@@ -91,6 +94,7 @@ sim::Task<void> allreduce_rd(mpi::Comm& comm, int my, hw::BufView data,
 
   const int p = 1 << log2_floor(n);
   const int rem = n - p;
+  PhaseSpan phase(comm, my);
   auto temp = hw::Buffer::make(v.bytes, comm.cluster().spec().carry_data);
 
   // Fold-in: the first 2*rem ranks pair up so a power-of-two set remains.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "coll/graph.hpp"
+#include "obs/names.hpp"
 #include "coll/prim/builders.hpp"
 #include "coll/prim/planner.hpp"
 
@@ -138,9 +139,11 @@ sim::Task<void> alltoall_pairwise(mpi::Comm& comm, int my, hw::BufView send,
                                   hw::BufView recv, std::size_t msg) {
   check_args(comm, my, send, recv, msg);
   co_await run_as_graph(comm.engine(), comm.sink(), comm.to_global(my),
-                        "a2a-pairwise", [&comm, my, send, recv, msg] {
+                        "a2a-pairwise",
+                        [&comm, my, send, recv, msg] {
                           return pairwise_body(comm, my, send, recv, msg);
-                        });
+                        },
+                        obs::names::kPhaseExchange);
 }
 
 sim::Task<void> alltoallv_direct(mpi::Comm& comm, int my, hw::BufView send,
@@ -157,10 +160,12 @@ sim::Task<void> alltoallv_pairwise(mpi::Comm& comm, int my, hw::BufView send,
                                    const AlltoallvLayout& layout) {
   check_args_v(comm, my, send, recv, layout);
   co_await run_as_graph(comm.engine(), comm.sink(), comm.to_global(my),
-                        "a2av-pairwise", [&comm, my, send, recv, &layout] {
+                        "a2av-pairwise",
+                        [&comm, my, send, recv, &layout] {
                           return pairwise_v_body(comm, my, send, recv,
                                                  layout);
-                        });
+                        },
+                        obs::names::kPhaseExchange);
 }
 
 }  // namespace hmca::coll

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "coll/allgather.hpp"
+#include "coll/phase_span.hpp"
 
 namespace hmca::coll {
 
@@ -26,6 +27,7 @@ sim::Task<void> bcast_binomial(mpi::Comm& comm, int my, int root,
   const int n = comm.size();
   if (n == 1) co_return;
   const int v = to_virtual(my, root, n);
+  PhaseSpan phase(comm, my);
 
   // Receive once from the parent (v with its lowest set bit cleared), then
   // forward down to children v + m for every m below that bit.
@@ -59,6 +61,7 @@ sim::Task<void> bcast_scatter_allgather(mpi::Comm& comm, int my, int root,
   }
   const std::size_t piece = data.len / static_cast<std::size_t>(n);
   const int v = to_virtual(my, root, n);
+  PhaseSpan phase(comm, my);
 
   // Scatter phase: binomial tree over *ranges* of pieces. Virtual rank v
   // owns piece range [v, v + extent) which halves every level.

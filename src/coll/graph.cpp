@@ -334,10 +334,11 @@ std::pair<std::size_t, std::size_t> chunk_range(std::size_t bytes, int chunks,
 sim::Task<void> noop_task() { co_return; }
 
 sim::Task<void> run_as_graph(sim::Engine& eng, obs::Sink& sink, int grank,
-                             std::string label, TaskGraph::Body body) {
+                             std::string label, TaskGraph::Body body,
+                             std::string phase) {
   TaskGraph g;
   g.add(TaskKind::kWrapped, Lane::kNone, std::move(body),
-        TaskOpts{std::move(label), "", -1, 0, -1, -1});
+        TaskOpts{std::move(label), std::move(phase), -1, 0, -1, -1});
   GraphExecutor exec(eng, sink, grank);
   co_await exec.run(g);
 }

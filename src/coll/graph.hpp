@@ -239,7 +239,11 @@ std::pair<std::size_t, std::size_t> chunk_range(std::size_t bytes, int chunks,
 /// Run a legacy collective body as a single wrapped graph task — every
 /// registry algorithm executes through the GraphExecutor even before it
 /// has a native chunk-level port (gaining task spans and fault retry).
+/// `phase` annotates the whole body with one kPhase span (flat algorithms
+/// pass obs::names::kPhaseExchange; bodies that emit their own phase1..3
+/// spans inside leave it empty).
 sim::Task<void> run_as_graph(sim::Engine& eng, obs::Sink& sink, int grank,
-                             std::string label, TaskGraph::Body body);
+                             std::string label, TaskGraph::Body body,
+                             std::string phase = {});
 
 }  // namespace hmca::coll

@@ -1,0 +1,38 @@
+// RAII phase annotation for collective bodies that do not run through a
+// phase-tagged task graph. Flat algorithms (binomial bcast, recursive
+// doubling, ring reduce-scatter, ...) open one "exchange" span over their
+// body; hierarchical bodies open one per paper phase. The span closes at
+// the engine's current virtual time when the guard leaves scope — also on
+// the exception path — so the phase interval always brackets exactly the
+// work done under it. Recording never advances virtual time, and under the
+// null sink the guard is free (Sink::open returns an inert handle).
+#pragma once
+
+#include "mpi/comm.hpp"
+#include "obs/names.hpp"
+#include "obs/sink.hpp"
+
+namespace hmca::coll {
+
+class PhaseSpan {
+ public:
+  PhaseSpan(mpi::Comm& comm, int my,
+            const char* phase = obs::names::kPhaseExchange)
+      : eng_(&comm.engine()),
+        span_(comm.sink().open(comm.to_global(my), trace::Kind::kPhase,
+                               comm.engine().now(), /*peer=*/-1, /*bytes=*/0,
+                               phase)) {}
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() { close(); }
+
+  /// Close early (before dependent work that belongs to no phase). Safe to
+  /// call once; the destructor becomes a no-op afterwards.
+  void close() { span_.close(eng_->now()); }
+
+ private:
+  sim::Engine* eng_;
+  obs::Sink::Span span_;
+};
+
+}  // namespace hmca::coll

@@ -6,6 +6,8 @@
 
 #include "coll/allgather.hpp"
 #include "coll/bcast.hpp"
+#include "coll/phase_span.hpp"
+#include "obs/names.hpp"
 #include "shm/shm.hpp"
 
 namespace hmca::core {
@@ -39,29 +41,37 @@ sim::Task<void> mha_bcast(mpi::Comm& comm, int my, int root, hw::BufView data,
   const bool leader = (local == 0);
   const std::uint64_t seq = comm.next_op_seq(my);
 
-  // Step 0: a non-leader root hands the payload to its node leader (one
-  // intra-node transfer; CMA for large payloads).
-  if (my == root && root_local != 0) {
-    co_await comm.send(my, root - root_local, 9, data);  // my node's leader
-  }
-  if (leader && node == root_node && root_local != 0) {
-    co_await comm.recv(my, root, 9, data);
-  }
+  {
+    // Steps 0 + 1 are the inter-node stage of the rooted collective and
+    // attribute as phase 2 (the phase-1 gather has no analog in a bcast).
+    coll::PhaseSpan p2(comm, my, obs::names::kPhase2);
 
-  // Step 1: inter-node broadcast among leaders, rooted at the root's node.
-  if (leader && cl.nodes() > 1) {
-    auto& lcomm = comm.world().leader_comm();
-    if (data.len % static_cast<std::size_t>(cl.nodes()) == 0 &&
-        data.len >= static_cast<std::size_t>(cl.nodes())) {
-      co_await coll::bcast_scatter_allgather(lcomm, node, root_node, data);
-    } else {
-      co_await coll::bcast_binomial(lcomm, node, root_node, data);
+    // Step 0: a non-leader root hands the payload to its node leader (one
+    // intra-node transfer; CMA for large payloads).
+    if (my == root && root_local != 0) {
+      co_await comm.send(my, root - root_local, 9, data);  // my node's leader
+    }
+    if (leader && node == root_node && root_local != 0) {
+      co_await comm.recv(my, root, 9, data);
+    }
+
+    // Step 1: inter-node broadcast among leaders, rooted at the root's
+    // node.
+    if (leader && cl.nodes() > 1) {
+      auto& lcomm = comm.world().leader_comm();
+      if (data.len % static_cast<std::size_t>(cl.nodes()) == 0 &&
+          data.len >= static_cast<std::size_t>(cl.nodes())) {
+        co_await coll::bcast_scatter_allgather(lcomm, node, root_node, data);
+      } else {
+        co_await coll::bcast_binomial(lcomm, node, root_node, data);
+      }
     }
   }
 
   // Step 2: node-level distribution through shared memory, pipelined in
   // chunks so member copy-outs overlap the leader's copy-ins.
   if (l == 1) co_return;
+  coll::PhaseSpan p3(comm, my, obs::names::kPhase3);
   auto region = comm.share().acquire<shm::ShmRegion>(
       node, op_key(comm.ctx(), seq, 7), l, [&] {
         return std::make_shared<shm::ShmRegion>(cl, node, data.len,

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/metrics.hpp"  // json_escape
+#include "obs/names.hpp"
 
 namespace hmca::obs {
 
@@ -17,18 +18,38 @@ namespace {
 constexpr double kEps = 1e-12;
 
 bool is_link(const trace::Span& s) {
-  return s.kind != trace::Kind::kPhase && s.t1 > s.t0;
+  if (s.kind == trace::Kind::kPhase) return false;
+  // Wrapped legacy bodies run as one whole-collective container task per
+  // rank; like kPhase spans they *enclose* the real activity, and letting
+  // them onto the path would collapse it to a single unclassifiable span.
+  if (s.kind == trace::Kind::kTask && names::is_wrapped_task(s.label)) {
+    return false;
+  }
+  return s.t1 > s.t0;
 }
 
-// Innermost enclosing kPhase label on the step's rank ("" if none).
+// Innermost enclosing kPhase label on the step's rank ("" if none). The
+// generic "exchange" phase of flat algorithms yields to any enclosing
+// paper phase: a ring used as the phase-1 building block of a
+// hierarchical collective still attributes its steps to phase1.
 std::string phase_of(const std::vector<trace::Span>& spans,
                      const trace::Span& step) {
   const trace::Span* best = nullptr;
+  const trace::Span* best_exchange = nullptr;
   for (const auto& p : spans) {
     if (p.kind != trace::Kind::kPhase || p.rank != step.rank) continue;
+    if (names::is_annotation(p.label)) continue;
     if (p.t0 > step.t0 + kEps || p.t1 + kEps < step.t1) continue;
+    if (p.label == names::kPhaseExchange) {
+      if (best_exchange == nullptr ||
+          p.t1 - p.t0 < best_exchange->t1 - best_exchange->t0) {
+        best_exchange = &p;
+      }
+      continue;
+    }
     if (best == nullptr || p.t1 - p.t0 < best->t1 - best->t0) best = &p;
   }
+  if (best == nullptr) best = best_exchange;
   return best != nullptr ? best->label : std::string{};
 }
 
@@ -105,6 +126,7 @@ CriticalPathReport analyze_critical_path(
     rep.total += d;
     rep.by_kind[trace::kind_name(s->kind)] += d;
     if (!phase.empty()) rep.by_phase[phase] += d;
+    rep.by_phase_kind[phase][trace::kind_name(s->kind)] += d;
   }
 
   // Dominant kind: the longest contributor that isn't blocked time — waits
@@ -151,6 +173,20 @@ void CriticalPathReport::write_json(std::ostream& os, int indent) const {
   };
   table("by_kind_us", by_kind);
   table("by_phase_us", by_phase);
+  os << pad << "  \"by_phase_kind_us\": {";
+  bool first_phase = true;
+  for (const auto& [phase, kinds] : by_phase_kind) {
+    os << (first_phase ? "" : ", ") << '"' << json_escape(phase) << "\": {";
+    bool first_kind = true;
+    for (const auto& [k, d] : kinds) {
+      os << (first_kind ? "" : ", ") << '"' << json_escape(k)
+         << "\": " << us(d);
+      first_kind = false;
+    }
+    os << '}';
+    first_phase = false;
+  }
+  os << "},\n";
   os << pad << "  \"steps\": [";
   bool first = true;
   for (const auto& st : steps) {

@@ -37,6 +37,10 @@ struct CriticalPathReport {
   sim::Duration total = 0;  ///< sum of step durations
   std::map<std::string, sim::Duration> by_kind;
   std::map<std::string, sim::Duration> by_phase;
+  /// phase -> kind -> time: the joint attribution the diff tool aligns on
+  /// ("phase2/nic_xfer got slower" is actionable where either margin alone
+  /// is ambiguous). Steps outside any phase land under "".
+  std::map<std::string, std::map<std::string, sim::Duration>> by_phase_kind;
   std::string dominant_kind;   ///< longest kind on the path, kWait excluded
                                ///< unless the path is pure wait
   std::string dominant_phase;  ///< longest phase on the path, "" if none
@@ -44,7 +48,7 @@ struct CriticalPathReport {
   bool empty() const noexcept { return steps.empty(); }
 
   /// {"total_us":.., "dominant_kind":.., "dominant_phase":..,
-  ///  "by_kind":{..}, "by_phase":{..}, "steps":[..]}
+  ///  "by_kind":{..}, "by_phase":{..}, "by_phase_kind":{..}, "steps":[..]}
   void write_json(std::ostream& os, int indent = 0) const;
 
   /// One-line human summary, e.g.

@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <map>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace hmca::obs {
 
@@ -254,7 +256,7 @@ Utilization analyze_utilization(const std::vector<trace::Span>& spans,
       }
     }
     if (s.kind == trace::Kind::kPhase && s.t1 > s.t0 &&
-        s.label.rfind("select:", 0) != 0 && s.label.rfind("fault:", 0) != 0) {
+        !names::is_annotation(s.label)) {
       phase_ivals[{s.label, s.rank}].emplace_back(s.t0, s.t1);
     }
     if (c == kCompute || c == kShm) {
@@ -281,9 +283,9 @@ Utilization analyze_utilization(const std::vector<trace::Span>& spans,
            std::pair<std::vector<std::pair<double, double>>, double>>
       rail_data;
   for (const auto& s : samples) {
-    if (s.track != "net.rail") continue;
-    auto& [ivals, bytes] =
-        rail_data[{label_int(s.labels, "node"), label_int(s.labels, "rail")}];
+    if (s.track != names::kTrackNetRail) continue;
+    auto& [ivals, bytes] = rail_data[{label_int(s.labels, names::kLabelNode),
+                                      label_int(s.labels, names::kLabelRail)}];
     ivals.emplace_back(static_cast<double>(s.t0), static_cast<double>(s.t1));
     bytes += s.value;
   }
@@ -302,6 +304,85 @@ Utilization analyze_utilization(const std::vector<trace::Span>& spans,
   if (!u.rails.empty() && busy_sum > 0) {
     u.rail_imbalance =
         busy_max / (busy_sum / static_cast<double>(u.rails.size()));
+  }
+
+  // ---- Phase x rail attribution ----
+  // Global per-phase interval unions (across all ranks): a rail is "inside
+  // phase2" whenever any rank is in phase2.
+  std::map<std::string, std::vector<std::pair<double, double>>> phase_union;
+  for (const auto& [key, ivals] : phase_ivals) {
+    auto& g = phase_union[key.first];
+    g.insert(g.end(), ivals.begin(), ivals.end());
+  }
+  for (auto& [name, ivals] : phase_union) ivals = merged(std::move(ivals));
+  const auto active_at = [&phase_union](double t) {
+    std::vector<const std::string*> act;
+    for (const auto& [name, ivals] : phase_union) {
+      for (const auto& [a, b] : ivals) {
+        if (a <= t && t < b) {
+          act.push_back(&name);
+          break;
+        }
+      }
+    }
+    return act;
+  };
+  std::map<std::tuple<std::string, int, int>, std::pair<double, double>> rp;
+  for (const auto& s : samples) {
+    if (s.track != names::kTrackNetRail) continue;
+    const int node = label_int(s.labels, names::kLabelNode);
+    const int rail = label_int(s.labels, names::kLabelRail);
+    const double t0 = s.t0;
+    const double t1 = s.t1;
+    const double len = t1 - t0;
+    if (!(len > 0)) {
+      // Instantaneous sample: all bytes land on the phases live at t0.
+      const auto act = active_at(t0);
+      if (act.empty()) {
+        rp[{std::string{}, node, rail}].second += s.value;
+      } else {
+        for (const auto* n : act) {
+          rp[{*n, node, rail}].second +=
+              s.value / static_cast<double>(act.size());
+        }
+      }
+      continue;
+    }
+    // Cut the sample at every phase boundary it straddles, then attribute
+    // each elementary segment (uniform byte density, equal split among the
+    // live phases).
+    std::vector<double> cuts{t0, t1};
+    for (const auto& [name, ivals] : phase_union) {
+      for (const auto& [a, b] : ivals) {
+        if (a > t0 && a < t1) cuts.push_back(a);
+        if (b > t0 && b < t1) cuts.push_back(b);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const double a = cuts[i];
+      const double b = cuts[i + 1];
+      if (!(b > a)) continue;
+      const double seg = b - a;
+      const double byte_share = s.value * seg / len;
+      const auto act = active_at(0.5 * (a + b));
+      if (act.empty()) {
+        auto& e = rp[{std::string{}, node, rail}];
+        e.first += seg;
+        e.second += byte_share;
+      } else {
+        const double k = static_cast<double>(act.size());
+        for (const auto* n : act) {
+          auto& e = rp[{*n, node, rail}];
+          e.first += seg / k;
+          e.second += byte_share / k;
+        }
+      }
+    }
+  }
+  for (const auto& [key, val] : rp) {
+    u.rail_phases.push_back({std::get<0>(key), std::get<1>(key),
+                             std::get<2>(key), val.first, val.second});
   }
 
   // ---- Phases ----
@@ -360,6 +441,17 @@ void Utilization::write_json(std::ostream& os, int indent) const {
        << json_number(phases[i].mean_occupancy) << '}';
   }
   if (!phases.empty()) os << '\n' << pad << "  ";
+  os << "],\n";
+  os << pad << "  \"rail_phases\": [";
+  for (std::size_t i = 0; i < rail_phases.size(); ++i) {
+    const auto& r = rail_phases[i];
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"phase\": \""
+       << json_escape(r.phase) << "\", \"node\": " << r.node
+       << ", \"rail\": " << r.rail
+       << ", \"busy_us\": " << json_number(r.busy * 1e6)
+       << ", \"bytes\": " << json_number(r.bytes) << '}';
+  }
+  if (!rail_phases.empty()) os << '\n' << pad << "  ";
   os << "]\n" << pad << "}";
 }
 

@@ -56,10 +56,26 @@ struct Utilization {
     double mean_occupancy = 0;  ///< sum of per-rank union time / (n * wall)
   };
 
+  /// Joint phase x rail attribution: how much of each rail's busy time and
+  /// bytes fell inside each phase's global interval union. Sample time and
+  /// bytes are spread uniformly over the sample interval and split equally
+  /// among concurrently-active phases, so summing `busy` (or `bytes`) over
+  /// all entries of one rail reproduces that rail's totals exactly — the
+  /// same counter-conservation rule the timeline buckets follow. Activity
+  /// outside every phase lands under phase "".
+  struct RailPhaseUse {
+    std::string phase;
+    int node = 0;
+    int rail = 0;
+    double busy = 0;   ///< seconds of rail activity inside the phase
+    double bytes = 0;  ///< payload bytes attributed to the phase
+  };
+
   double wall = 0;                    ///< seconds; 0 means "no data"
   std::vector<RankBreakdown> ranks;   ///< sorted by rank
   std::vector<RailUse> rails;         ///< sorted by (node, rail)
   std::vector<PhaseUse> phases;       ///< sorted by phase name
+  std::vector<RailPhaseUse> rail_phases;  ///< sorted by (phase, node, rail)
   double rail_imbalance = 0;  ///< max/mean rail busy_frac (0 if no rails)
   double phase_overlap = 0;   ///< independent phase-2/3 overlap measure
   double cpu_finish = 0;      ///< last t1 of compute/copy work (seconds)
@@ -81,8 +97,9 @@ struct Utilization {
   std::string summary() const;
 
   /// {"wall_us":..,"rail_imbalance":..,"phase_overlap":..,"cpu_finish_us":..,
-  ///  "nic_finish_us":..,"ranks":[..],"rails":[..],"phases":[..]} with
-  /// deterministic order and obs::json_number formatting.
+  ///  "nic_finish_us":..,"ranks":[..],"rails":[..],"phases":[..],
+  ///  "rail_phases":[..]} with deterministic order and obs::json_number
+  /// formatting.
   void write_json(std::ostream& os, int indent = 0) const;
 };
 

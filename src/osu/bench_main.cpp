@@ -110,11 +110,13 @@ int bench_main(const std::string& bench, int argc, char** argv,
     BenchContext ctx(std::move(flag), bench, std::cout);
     if (!ctx.flag.topo.empty()) {
       ctx.out.note("topology override: " + ctx.flag.topo);
+      ctx.stats.set_provenance("topo", ctx.flag.topo);
       if (!ctx.out.json() && ctx.flag.faults.empty()) std::cout << '\n';
     }
     if (!ctx.flag.faults.empty()) {
       ctx.out.note("fault plan: " +
                    sim::FaultPlan::parse(ctx.flag.faults).to_string());
+      ctx.stats.set_provenance("faults", ctx.flag.faults);
       if (!ctx.out.json()) std::cout << '\n';
     }
     body(ctx);

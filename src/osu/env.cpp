@@ -2,6 +2,7 @@
 
 #include "coll/graph.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
@@ -15,7 +16,7 @@ namespace {
 constexpr const char* kKnown[] = {
     Env::kAllgatherAlgo, Env::kAllreduceAlgo, Env::kAlltoallAlgo,
     Env::kReduceScatterAlgo, Env::kFaults, Env::kConformanceSeed,
-    Env::kStats, Env::kChunkBytes, Env::kHierarchy,
+    Env::kStats, Env::kChunkBytes, Env::kHierarchy, Env::kGitSha,
 };
 
 bool known_name(std::string_view name) {
@@ -81,6 +82,25 @@ std::optional<std::size_t> Env::chunk_bytes() {
   return coll::configured_chunk_bytes();
 }
 
+std::string Env::git_sha() {
+  static const std::string sha = [] {
+    if (const auto v = raw(kGitSha)) return *v;
+    std::string out;
+    if (FILE* pipe =
+            ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+      char buf[256];
+      while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+      ::pclose(pipe);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    if (out.empty() || out.find(' ') != std::string::npos) out = "unknown";
+    return out;
+  }();
+  return sha;
+}
+
 int Env::warn_unknown(std::ostream& os) {
   int found = 0;
   for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
@@ -92,7 +112,7 @@ int Env::warn_unknown(std::ostream& os) {
        << " (known: HMCA_ALLGATHER_ALGO, HMCA_ALLREDUCE_ALGO, "
           "HMCA_ALLTOALL_ALGO, HMCA_REDUCE_SCATTER_ALGO, HMCA_FAULTS, "
           "HMCA_CONFORMANCE_SEED, HMCA_STATS, HMCA_CHUNK_BYTES, "
-          "HMCA_HIERARCHY)\n";
+          "HMCA_HIERARCHY, HMCA_GIT_SHA)\n";
     ++found;
   }
   return found;

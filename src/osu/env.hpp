@@ -12,6 +12,8 @@
 //   HMCA_CHUNK_BYTES       dataflow chunk granularity in bytes (0 = auto)
 //   HMCA_HIERARCHY         leader-hierarchy depth override: auto|2|3|@file
 //                          (selector step 1.5; core::hierarchy_from_env)
+//   HMCA_GIT_SHA           source revision for provenance stamps (CI sets
+//                          it; falls back to `git rev-parse`)
 //
 // Unknown HMCA_*-prefixed variables are reported once per process (typo
 // guard: a misspelled override silently reverting to defaults is the worst
@@ -59,6 +61,7 @@ class Env {
   static constexpr const char* kStats = "HMCA_STATS";
   static constexpr const char* kChunkBytes = "HMCA_CHUNK_BYTES";
   static constexpr const char* kHierarchy = "HMCA_HIERARCHY";
+  static constexpr const char* kGitSha = "HMCA_GIT_SHA";
 
   static std::optional<std::string> allgather_algo();
   static std::optional<std::string> allreduce_algo();
@@ -82,6 +85,12 @@ class Env {
   /// needs no osu dependency). 0 means the size-dependent auto policy;
   /// malformed values throw std::invalid_argument.
   static std::optional<std::size_t> chunk_bytes();
+
+  /// The source revision stamped into provenance blocks: HMCA_GIT_SHA when
+  /// set (CI passes the exact checkout), else `git rev-parse --short=12
+  /// HEAD`, else "unknown". Resolved once per process — both the stats
+  /// writer and perf::detect_environment stamp the same value.
+  static std::string git_sha();
 
   /// Raw lookup: nullopt when `var` is unset or empty.
   static std::optional<std::string> raw(const char* var);

@@ -46,8 +46,21 @@ std::vector<std::string> decision_labels(const std::vector<trace::Span>& spans) 
 
 }  // namespace
 
+std::string world_fingerprint(const hw::ClusterSpec& spec) {
+  return "nodes=" + std::to_string(spec.nodes) +
+         ",ppn=" + std::to_string(spec.ppn) +
+         ",hcas=" + std::to_string(spec.hcas_per_node) +
+         ",sockets=" + std::to_string(spec.sockets_per_node);
+}
+
 StatsSession::StatsSession(StatsOptions opts, std::string bench)
-    : opts_(std::move(opts)), bench_(std::move(bench)) {}
+    : opts_(std::move(opts)), bench_(std::move(bench)) {
+  provenance_.emplace_back("git_sha", Env::git_sha());
+}
+
+void StatsSession::set_provenance(std::string key, std::string value) {
+  provenance_.emplace_back(std::move(key), std::move(value));
+}
 
 double StatsSession::measure_allgather(const hw::ClusterSpec& spec,
                                        const std::string& subject,
@@ -59,8 +72,8 @@ double StatsSession::measure_allgather(const hw::ClusterSpec& spec,
   std::vector<obs::ResourceSample> samples;
   obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_allgather(spec, fn, msg, sink);
-  capture(subject, "allgather", msg, t, std::move(tracer), std::move(metrics),
-          std::move(samples));
+  capture(subject, "allgather", spec, msg, t, std::move(tracer),
+          std::move(metrics), std::move(samples));
   return t;
 }
 
@@ -74,7 +87,7 @@ double StatsSession::measure_allreduce(const hw::ClusterSpec& spec,
   std::vector<obs::ResourceSample> samples;
   obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_allreduce(spec, fn, bytes, sink);
-  capture(subject, "allreduce", bytes, t, std::move(tracer),
+  capture(subject, "allreduce", spec, bytes, t, std::move(tracer),
           std::move(metrics), std::move(samples));
   return t;
 }
@@ -89,8 +102,8 @@ double StatsSession::measure_alltoall(const hw::ClusterSpec& spec,
   std::vector<obs::ResourceSample> samples;
   obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_alltoall(spec, fn, msg, sink);
-  capture(subject, "alltoall", msg, t, std::move(tracer), std::move(metrics),
-          std::move(samples));
+  capture(subject, "alltoall", spec, msg, t, std::move(tracer),
+          std::move(metrics), std::move(samples));
   return t;
 }
 
@@ -104,18 +117,20 @@ double StatsSession::measure_reduce_scatter(const hw::ClusterSpec& spec,
   std::vector<obs::ResourceSample> samples;
   obs::CollectSink sink(&tracer, &metrics, &samples);
   const double t = osu::measure_reduce_scatter(spec, fn, bytes, sink);
-  capture(subject, "reduce_scatter", bytes, t, std::move(tracer),
+  capture(subject, "reduce_scatter", spec, bytes, t, std::move(tracer),
           std::move(metrics), std::move(samples));
   return t;
 }
 
 void StatsSession::capture(std::string subject, const char* op,
-                           std::size_t msg_bytes, double seconds,
-                           trace::Tracer tracer, obs::Metrics metrics,
+                           const hw::ClusterSpec& spec, std::size_t msg_bytes,
+                           double seconds, trace::Tracer tracer,
+                           obs::Metrics metrics,
                            std::vector<obs::ResourceSample> samples) {
   InvocationStats rec;
   rec.subject = std::move(subject);
   rec.op = op;
+  rec.world = world_fingerprint(spec);
   rec.msg_bytes = msg_bytes;
   rec.seconds = seconds;
   rec.decisions = decision_labels(tracer.spans());
@@ -158,7 +173,13 @@ void StatsSession::write(std::ostream& os) const {
     }
     case StatsFormat::kJson: {
       os << "{\n  \"bench\": \"" << obs::json_escape(bench_)
-         << "\",\n  \"invocations\": [";
+         << "\",\n  \"provenance\": {";
+      for (std::size_t i = 0; i < provenance_.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << '"'
+           << obs::json_escape(provenance_[i].first) << "\": \""
+           << obs::json_escape(provenance_[i].second) << '"';
+      }
+      os << "},\n  \"invocations\": [";
       bool first = true;
       for (const auto& r : recs_) {
         os << (first ? "\n" : ",\n");
@@ -167,6 +188,7 @@ void StatsSession::write(std::ostream& os) const {
         os << "      \"subject\": \"" << obs::json_escape(r.subject)
            << "\",\n";
         os << "      \"op\": \"" << r.op << "\",\n";
+        os << "      \"world\": \"" << obs::json_escape(r.world) << "\",\n";
         os << "      \"msg_bytes\": " << r.msg_bytes << ",\n";
         os << "      \"latency_us\": " << us(r.seconds) << ",\n";
         os << "      \"selector_decisions\": [";

@@ -32,10 +32,18 @@
 
 namespace hmca::osu {
 
+/// Compact topology fingerprint of the world a measurement ran in, e.g.
+/// "nodes=2,ppn=8,hcas=2,sockets=1". Two artifacts are only meaningfully
+/// diffable when their fingerprints match — hmca-diff refuses mismatched
+/// worlds the same way the comparator refuses cross-probe wallclock
+/// comparisons.
+std::string world_fingerprint(const hw::ClusterSpec& spec);
+
 /// One measured collective invocation with its observability capture.
 struct InvocationStats {
   std::string subject;  ///< bench column, e.g. "mha", "hpcx"
   std::string op;  ///< "allgather" | "allreduce" | "alltoall" | "reduce_scatter"
+  std::string world;  ///< topology fingerprint of the measured spec
   std::size_t msg_bytes = 0;
   double seconds = 0;  ///< slowest-rank completion time
   /// Unique "select:..." decision span labels, in first-seen order (empty
@@ -80,6 +88,15 @@ class StatsSession {
     return recs_;
   }
 
+  /// Append one provenance entry (key order is emission order). The
+  /// constructor seeds "git_sha"; bench_main adds "faults" when a fault
+  /// plan is active.
+  void set_provenance(std::string key, std::string value);
+  const std::vector<std::pair<std::string, std::string>>& provenance()
+      const noexcept {
+    return provenance_;
+  }
+
   /// The report in the requested format.
   void write(std::ostream& os) const;
   /// Chrome-trace JSON of the last measured invocation.
@@ -95,12 +112,13 @@ class StatsSession {
   void finish(std::ostream& os) const;
 
  private:
-  void capture(std::string subject, const char* op, std::size_t msg_bytes,
-               double seconds, trace::Tracer tracer, obs::Metrics metrics,
-               std::vector<obs::ResourceSample> samples);
+  void capture(std::string subject, const char* op, const hw::ClusterSpec& spec,
+               std::size_t msg_bytes, double seconds, trace::Tracer tracer,
+               obs::Metrics metrics, std::vector<obs::ResourceSample> samples);
 
   StatsOptions opts_;
   std::string bench_;
+  std::vector<std::pair<std::string, std::string>> provenance_;
   std::vector<InvocationStats> recs_;
   std::vector<trace::Span> last_spans_;
 };

@@ -52,9 +52,21 @@ std::map<std::size_t, const Json*> index_points(const Json& scenario) {
   return out;
 }
 
+/// A point's flat metric object as the map run_summary_from_metrics eats.
+std::map<std::string, double> metric_map(const Json& metrics) {
+  std::map<std::string, double> out;
+  for (const auto& [name, v] : metrics.object()) {
+    if (v.is_number()) out[name] = v.number();
+  }
+  return out;
+}
+
 struct Differ {
   const CompareOptions& opts;
   CompareResult& result;
+  /// Points whose latency drifted, queued for the attribution pass.
+  std::vector<obs::RunSummary> drifted_base;
+  std::vector<obs::RunSummary> drifted_next;
 
   Finding::Level drift_level() const {
     return opts.bless ? Finding::Level::kBlessed : Finding::Level::kFail;
@@ -147,12 +159,72 @@ struct Differ {
       }
       diff_metrics(id, "x=" + std::to_string(x), bpt->at("metrics"),
                    it->second->at("metrics"));
+      queue_attribution(id, base, static_cast<double>(x), *bpt, *it->second);
     }
     for (const auto& [x, npt] : next_pts) {
       (void)npt;
       if (base_pts.find(x) == base_pts.end()) {
         add(drift_level(), id,
             "new sweep point x=" + std::to_string(x) + " not in baseline");
+      }
+    }
+  }
+
+  /// When a point's latency drifted beyond epsilon, queue both sides for
+  /// the attribution pass — the drift finding says *that* it moved, the
+  /// attribution says where (phase/resource/rail/decision).
+  void queue_attribution(const std::string& id, const Json& scenario,
+                         double x, const Json& bpt, const Json& npt) {
+    if (opts.attribution_top_k <= 0) return;
+    const Json* bl = bpt.at("metrics").find("latency_us");
+    const Json* nl = npt.at("metrics").find("latency_us");
+    if (bl == nullptr || nl == nullptr || !bl->is_number() ||
+        !nl->is_number() || within_epsilon(bl->number(), nl->number())) {
+      return;
+    }
+    const auto point_summary = [&](const Json& pt) {
+      const Json* dec = pt.find("decision");
+      return obs::run_summary_from_metrics(
+          scenario.string_at("figure"), scenario.string_at("kind"), id, x,
+          metric_map(pt.at("metrics")),
+          dec != nullptr && dec->is_string() ? dec->string() : "");
+    };
+    drifted_base.push_back(point_summary(bpt));
+    drifted_next.push_back(point_summary(npt));
+  }
+
+  /// Run the queued attribution and surface each drifted point's headline
+  /// plus top-k margins as info findings (attribution explains, it never
+  /// gates — the drift finding already did).
+  void attribute_drift() {
+    if (drifted_base.empty()) return;
+    obs::DiffOptions dopts;
+    dopts.top_k = opts.attribution_top_k;
+    result.attribution = obs::diff_runs(drifted_base, drifted_next, dopts);
+    for (const auto& inv : result.attribution.invocations) {
+      add(Finding::Level::kInfo, inv.subject,
+          "attribution: " + inv.headline());
+      int shown = 0;
+      for (const auto& a : inv.attributions) {
+        if (shown >= opts.attribution_top_k) break;
+        std::string line = "  " + a.category + " " + a.name;
+        if (a.unit == "us") {
+          char buf[48];
+          std::snprintf(buf, sizeof buf, ": %+.3f us", a.delta);
+          line += buf;
+          if (a.share != 0) {
+            std::snprintf(buf, sizeof buf, " (%.0f%% of delta)",
+                          a.share * 100.0);
+            line += buf;
+          }
+        } else if (a.category == "decision") {
+          line += ": " + a.note;
+        } else {
+          line += ": " + fmt(a.base) + " -> " + fmt(a.next) +
+                  (a.unit.empty() ? "" : " " + a.unit);
+        }
+        add(Finding::Level::kInfo, inv.subject, std::move(line));
+        ++shown;
       }
     }
   }
@@ -280,6 +352,7 @@ CompareResult compare_reports(const Json& base, const Json& next,
     }
   }
   d.diff_wallclock(base, next);
+  d.attribute_drift();
   return result;
 }
 

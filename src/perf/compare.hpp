@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/diff.hpp"
 #include "perf/json.hpp"
 
 namespace hmca::perf {
@@ -39,6 +40,9 @@ struct CompareOptions {
   /// Accept simulated drift and scenario-set changes (exit clean, report
   /// them as blessed).
   bool bless = false;
+  /// Attributions printed per drifted point (0 disables the attribution
+  /// pass entirely).
+  int attribution_top_k = 3;
 };
 
 struct Finding {
@@ -57,6 +61,13 @@ struct CompareResult {
   std::vector<Finding> findings;
   int scenarios_compared = 0;
   int metrics_compared = 0;
+  /// Latency-delta attribution of every point whose latency drifted: the
+  /// drift findings say *that* a scenario regressed, this says *where*
+  /// (phase, resource class, rail, selector decision). Empty when nothing
+  /// drifted or attribution_top_k == 0; hmca-bench writes it to the
+  /// --attribution file so CI can upload the explanation next to the
+  /// failure.
+  obs::DiffReport attribution;
 
   int failures() const;
   int blessed() const;

@@ -18,9 +18,11 @@
 #include "core/tuner.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/sink.hpp"
 #include "obs/utilization.hpp"
 #include "osu/algo_flag.hpp"
+#include "osu/env.hpp"
 #include "osu/harness.hpp"
 #include "profiles/profiles.hpp"
 #include "trace/trace.hpp"
@@ -32,19 +34,6 @@
 namespace hmca::perf {
 
 namespace {
-
-std::string run_command_line(const char* cmd) {
-  FILE* pipe = ::popen(cmd, "r");
-  if (pipe == nullptr) return {};
-  char buf[256];
-  std::string out;
-  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
-  ::pclose(pipe);
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out;
-}
 
 coll::AllgatherFn subject_allgather(const std::string& subject) {
   if (subject.rfind("algo:", 0) == 0) {
@@ -97,6 +86,29 @@ std::map<std::string, double> collective_metrics(
   const auto cp = obs::analyze_critical_path(tracer.spans());
   out["critical_path_us"] = static_cast<double>(cp.total) * 1e6;
   out["overlap_fraction"] = obs::phase_overlap_fraction(tracer.spans());
+  // Critical-path attribution margins: where the dominant chain spent its
+  // time, by phase and by span kind. These are what the diff attribution
+  // aligns, so a drift report can say "phase2 nic time grew" rather than
+  // just "latency grew".
+  for (const auto& [phase, dur] : cp.by_phase) {
+    out["cp_phase_" + phase + "_us"] = static_cast<double>(dur) * 1e6;
+  }
+  for (const auto& [kind, dur] : cp.by_kind) {
+    out["cp_kind_" + kind + "_us"] = static_cast<double>(dur) * 1e6;
+  }
+  // Resource-class margins from the path steps (task-aware: a kTask step
+  // classifies by its label's task-kind token). cp_class_* is the per-run
+  // marginal, cp_cell_<phase>_<class>_us the joint cell the diff headline
+  // names.
+  for (const auto& st : cp.steps) {
+    const char* cls = obs::names::span_resource_class(st.kind, st.label);
+    if (*cls == '\0') continue;
+    const double dur = static_cast<double>(st.t1 - st.t0) * 1e6;
+    out["cp_class_" + std::string(cls) + "_us"] += dur;
+    if (!st.phase.empty()) {
+      out["cp_cell_" + st.phase + "_" + cls + "_us"] += dur;
+    }
+  }
   out["net_rail_bytes"] = metrics.counter_total("net.rail.bytes");
   out["net_retries"] = metrics.counter_total("net.retries");
   out["net_restripes"] = metrics.counter_total("net.restripes");
@@ -154,7 +166,22 @@ PointResult measure_collective(const Scenario& sc, std::size_t bytes) {
     default:
       throw std::logic_error("measure_collective: non-collective kind");
   }
-  return {bytes, collective_metrics(seconds, tracer, metrics, samples)};
+  PointResult pt{bytes, collective_metrics(seconds, tracer, metrics, samples),
+                 {}};
+  std::vector<std::string> decisions;
+  for (const auto& s : tracer.spans()) {
+    if (s.label.rfind("select:", 0) != 0) continue;
+    const std::string d = s.label.substr(7);
+    if (std::find(decisions.begin(), decisions.end(), d) == decisions.end()) {
+      decisions.push_back(d);
+    }
+  }
+  std::sort(decisions.begin(), decisions.end());
+  for (const auto& d : decisions) {
+    if (!pt.decision.empty()) pt.decision += "; ";
+    pt.decision += d;
+  }
+  return pt;
 }
 
 ScenarioResult run_scenario(const Scenario& sc) {
@@ -249,15 +276,9 @@ std::string Environment::fingerprint() const {
 
 Environment detect_environment() {
   Environment env;
-  if (const char* sha = std::getenv("HMCA_GIT_SHA");
-      sha != nullptr && *sha != '\0') {
-    env.git_sha = sha;
-  } else {
-    env.git_sha = run_command_line("git rev-parse --short=12 HEAD 2>/dev/null");
-    if (env.git_sha.empty() || env.git_sha.find(' ') != std::string::npos) {
-      env.git_sha = "unknown";
-    }
-  }
+  // Same resolution as the stats writer's provenance stamp (HMCA_GIT_SHA,
+  // else git, else "unknown") so the two artifact families agree.
+  env.git_sha = osu::Env::git_sha();
 #if defined(__VERSION__)
   env.compiler = __VERSION__;
 #else
@@ -379,7 +400,13 @@ std::string scenarios_json(const Report& r) {
     for (const auto& pt : res.points) {
       os << (first_pt ? "\n" : ",\n");
       first_pt = false;
-      os << "        {\"x\": " << pt.x << ", \"metrics\": ";
+      os << "        {\"x\": " << pt.x;
+      // Emitted only when the selector ran: pt2pt/offload points and
+      // selector-bypassing subjects keep their old shape.
+      if (!pt.decision.empty()) {
+        os << ", \"decision\": \"" << obs::json_escape(pt.decision) << '"';
+      }
+      os << ", \"metrics\": ";
       write_metric_map(os, pt.metrics, "        ");
       os << "}";
     }

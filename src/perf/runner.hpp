@@ -36,6 +36,11 @@ namespace hmca::perf {
 struct PointResult {
   std::size_t x = 0;
   std::map<std::string, double> metrics;
+  /// Selector decisions active at this point ("what=name,reason", sorted,
+  /// "; "-joined), "" when the subject bypasses the selector. Lets the
+  /// diff attribution say "the algorithm changed" instead of just "the
+  /// numbers changed".
+  std::string decision;
 };
 
 struct ScenarioResult {

@@ -1,0 +1,164 @@
+// Golden test over the observability name inventory (obs/names.hpp).
+//
+// The inventory is the contract between emitters and analyzers: a rename
+// that touches only one side would silently drop a series from every
+// report. This test pins the exact (name, kind) list — extending the
+// inventory means extending kExpected in the same change — and checks the
+// classification helpers the diff attribution depends on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/names.hpp"
+#include "trace/trace.hpp"
+
+namespace hmca {
+namespace {
+
+namespace names = obs::names;
+
+TEST(ObsNames, GoldenInventory) {
+  // The full inventory, in fixed order. Every entry added to
+  // names::all_names() must be mirrored here, so reviewers see renames.
+  static const std::pair<std::string, std::string> kExpected[] = {
+      {"net.rail.bytes", "counter"},
+      {"net.rail.posts", "counter"},
+      {"net.retries", "counter"},
+      {"net.restripes", "counter"},
+      {"net.rx_reroute", "counter"},
+      {"shm.copy_bytes", "counter"},
+      {"coll.task_retries", "counter"},
+      {"core.offload_d", "gauge"},
+      {"coll.pipeline_depth", "histogram"},
+      {"net.rail", "track"},
+      {"net.rail.health", "track"},
+      {"sim.flows", "track"},
+      {"net.rail.bytes", "derived-track"},
+      {"net.rail.busy", "derived-track"},
+      {"cpu.copy_busy", "derived-track"},
+      {"shm.copy_bytes_per_s", "derived-track"},
+      {"phase.occupancy", "derived-track"},
+      {"phase1", "phase"},
+      {"phase2", "phase"},
+      {"phase3", "phase"},
+      {"exchange", "phase"},
+      {"select:", "prefix"},
+      {"fault:", "prefix"},
+      {"task:", "prefix"},
+      {"node", "label-key"},
+      {"rail", "label-key"},
+      {"phase", "label-key"},
+      {"rank", "label-key"},
+      {"copy", "task-kind"},
+      {"shm_in", "task-kind"},
+      {"shm_out", "task-kind"},
+      {"send", "task-kind"},
+      {"recv", "task-kind"},
+      {"cma", "task-kind"},
+      {"rdma", "task-kind"},
+      {"reduce", "task-kind"},
+      {"wrapped", "task-kind"},
+  };
+  constexpr std::size_t kExpectedCount =
+      sizeof(kExpected) / sizeof(kExpected[0]);
+
+  std::size_t count = 0;
+  const names::NameInfo* inv = names::all_names(&count);
+  ASSERT_EQ(count, kExpectedCount);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(inv[i].name, kExpected[i].first) << "inventory index " << i;
+    EXPECT_EQ(inv[i].kind, kExpected[i].second) << "inventory index " << i;
+  }
+
+  // (name, kind) pairs are unique — a duplicate entry would hide a missed
+  // rename behind its twin.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(seen.emplace(inv[i].name, inv[i].kind).second)
+        << "duplicate inventory entry: " << inv[i].name << " (" << inv[i].kind
+        << ")";
+  }
+}
+
+TEST(ObsNames, AnnotationPrefixes) {
+  EXPECT_TRUE(names::is_annotation("select:allgather=ring"));
+  EXPECT_TRUE(names::is_annotation("fault:rail1.degrade"));
+  EXPECT_FALSE(names::is_annotation("phase2"));
+  EXPECT_FALSE(names::is_annotation(""));
+  EXPECT_FALSE(names::is_annotation("task:rdma:hca b1"));
+}
+
+TEST(ObsNames, StripChunk) {
+  EXPECT_EQ(names::strip_chunk("task:send:p2#c3"), "task:send:p2");
+  EXPECT_EQ(names::strip_chunk("task:send:p2#c31415"), "task:send:p2");
+  // Non-numeric suffix after "#c" is part of the label, not a chunk id.
+  EXPECT_EQ(names::strip_chunk("task:send:p2#cx"), "task:send:p2#cx");
+  // A bare trailing "#c" is not a chunk suffix.
+  EXPECT_EQ(names::strip_chunk("task:send:p2#c"), "task:send:p2#c");
+  EXPECT_EQ(names::strip_chunk("no-suffix"), "no-suffix");
+}
+
+TEST(ObsNames, ResourceClassByKind) {
+  using trace::Kind;
+  EXPECT_STREQ(names::resource_class(Kind::kCompute), "cpu");
+  EXPECT_STREQ(names::resource_class(Kind::kNicXfer), "nic");
+  EXPECT_STREQ(names::resource_class(Kind::kIsend), "nic");
+  EXPECT_STREQ(names::resource_class(Kind::kIrecv), "nic");
+  EXPECT_STREQ(names::resource_class(Kind::kCopyIn), "shm");
+  EXPECT_STREQ(names::resource_class(Kind::kCopyOut), "shm");
+  EXPECT_STREQ(names::resource_class(Kind::kCmaCopy), "shm");
+  EXPECT_STREQ(names::resource_class(Kind::kWait), "wait");
+  // Containers carry no class of their own.
+  EXPECT_STREQ(names::resource_class(Kind::kPhase), "");
+  EXPECT_STREQ(names::resource_class(Kind::kTask), "");
+
+  EXPECT_STREQ(names::resource_class_of_name("nic_xfer"), "nic");
+  EXPECT_STREQ(names::resource_class_of_name("cma_copy"), "shm");
+  EXPECT_STREQ(names::resource_class_of_name("no_such_kind"), "");
+}
+
+TEST(ObsNames, TaskResourceClass) {
+  EXPECT_STREQ(names::task_resource_class("copy"), "cpu");
+  EXPECT_STREQ(names::task_resource_class("reduce"), "cpu");
+  EXPECT_STREQ(names::task_resource_class("send"), "nic");
+  EXPECT_STREQ(names::task_resource_class("recv"), "nic");
+  EXPECT_STREQ(names::task_resource_class("rdma"), "nic");
+  EXPECT_STREQ(names::task_resource_class("shm_in"), "shm");
+  EXPECT_STREQ(names::task_resource_class("shm_out"), "shm");
+  EXPECT_STREQ(names::task_resource_class("cma"), "shm");
+  // A wrapped legacy body spans every class — deliberately unclassified.
+  EXPECT_STREQ(names::task_resource_class("wrapped"), "");
+  EXPECT_STREQ(names::task_resource_class(""), "");
+}
+
+TEST(ObsNames, SpanResourceClassSeesThroughTasks) {
+  using trace::Kind;
+  // Task containers classify via the label's task-kind token.
+  EXPECT_STREQ(names::span_resource_class(Kind::kTask, "task:rdma:hca b1"),
+               "nic");
+  EXPECT_STREQ(names::span_resource_class(Kind::kTask, "task:copy#c2"), "cpu");
+  EXPECT_STREQ(names::span_resource_class(Kind::kTask, "task:shm_in:stage"),
+               "shm");
+  EXPECT_STREQ(names::span_resource_class(Kind::kTask, "task:wrapped:ring"),
+               "");
+  // A malformed task label stays unclassified rather than guessing.
+  EXPECT_STREQ(names::span_resource_class(Kind::kTask, "not-a-task"), "");
+  // Non-task spans classify by kind, label ignored.
+  EXPECT_STREQ(names::span_resource_class(Kind::kNicXfer, "anything"), "nic");
+  EXPECT_STREQ(names::span_resource_class(Kind::kPhase, "phase2"), "");
+}
+
+TEST(ObsNames, WrappedTaskContainers) {
+  EXPECT_TRUE(names::is_wrapped_task("task:wrapped:bruck"));
+  EXPECT_TRUE(names::is_wrapped_task("task:wrapped"));
+  EXPECT_FALSE(names::is_wrapped_task("task:rdma:hca b1"));
+  EXPECT_FALSE(names::is_wrapped_task("task:send:p2#c3"));
+  EXPECT_FALSE(names::is_wrapped_task("wrapped"));
+  EXPECT_FALSE(names::is_wrapped_task(""));
+}
+
+}  // namespace
+}  // namespace hmca

@@ -277,6 +277,98 @@ TEST(PerfCompare, PeakRssWithinThresholdAndLegacyBaselinesPass) {
                   .ok());
 }
 
+TEST(PerfCompare, AttributionExplainsLatencyDrift) {
+  // A point whose latency drifted and whose critical-path cells moved with
+  // it: the comparator must not just flag the drift but explain it, and the
+  // injected cause (phase2/nic grew by +48 us of a +50 us delta) must rank
+  // ahead of the near-flat phase1/shm cell.
+  const auto doc = [](double latency, double p2_nic, double p1_shm) {
+    std::ostringstream m;
+    m << "\"latency_us\": " << latency
+      << ", \"critical_path_us\": " << (p2_nic + p1_shm)
+      << ", \"cp_phase_phase1_us\": " << p1_shm
+      << ", \"cp_phase_phase2_us\": " << p2_nic
+      << ", \"cp_class_nic_us\": " << p2_nic
+      << ", \"cp_class_shm_us\": " << p1_shm
+      << ", \"cp_cell_phase1_shm_us\": " << p1_shm
+      << ", \"cp_cell_phase2_nic_us\": " << p2_nic;
+    return report_doc(scenario_block("s1", point_block(65536, m.str())));
+  };
+  const CompareResult r = run(doc(100.0, 60.0, 20.0), doc(150.0, 108.0, 22.0));
+  EXPECT_FALSE(r.ok());
+
+  ASSERT_EQ(r.attribution.invocations.size(), 1u);
+  const auto& inv = r.attribution.invocations[0];
+  EXPECT_DOUBLE_EQ(inv.delta_us, 50.0);
+  EXPECT_NE(inv.headline().find("phase2/nic"), std::string::npos)
+      << inv.headline();
+  ASSERT_FALSE(inv.attributions.empty());
+  // The top-ranked attribution is the injected cause, not the bystander.
+  EXPECT_NE(inv.attributions[0].name.find("phase2"), std::string::npos);
+  EXPECT_EQ(inv.attributions[0].unit, "us");
+  EXPECT_NEAR(inv.attributions[0].delta, 48.0, 1e-9);
+  EXPECT_NEAR(inv.attributions[0].share, 0.96, 1e-9);
+
+  // The explanation surfaces as informational findings next to the drift.
+  bool saw_headline = false;
+  bool saw_cell = false;
+  for (const auto& f : r.findings) {
+    if (f.level != Finding::Level::kInfo) continue;
+    if (f.text.rfind("attribution: ", 0) == 0) saw_headline = true;
+    if (f.text.find("phase.resource phase2/nic") != std::string::npos &&
+        f.text.find("% of delta") != std::string::npos) {
+      saw_cell = true;
+    }
+  }
+  EXPECT_TRUE(saw_headline);
+  EXPECT_TRUE(saw_cell);
+}
+
+TEST(PerfCompare, AttributionRanksDecisionChangeFirst) {
+  // A changed selector decision owns the whole delta: everything downstream
+  // of a different algorithm choice is its consequence, so it outranks any
+  // critical-path margin.
+  const auto doc = [](double latency, const std::string& algo) {
+    std::ostringstream m;
+    m.precision(17);
+    m << R"({"x": 64, "decision": "allgather=)" << algo
+      << R"(,selector", "metrics": {"latency_us": )" << latency
+      << ", \"cp_class_nic_us\": " << latency * 0.5 << "}}";
+    return report_doc(scenario_block("s1", m.str()));
+  };
+  const CompareResult r = run(doc(100.0, "ring"), doc(140.0, "hier3"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.attribution.invocations.size(), 1u);
+  const auto& inv = r.attribution.invocations[0];
+  ASSERT_FALSE(inv.attributions.empty());
+  EXPECT_EQ(inv.attributions[0].category, "decision");
+  EXPECT_EQ(inv.attributions[0].name, "allgather");
+  EXPECT_DOUBLE_EQ(inv.attributions[0].share, 1.0);
+  EXPECT_NE(inv.attributions[0].note.find("ring"), std::string::npos);
+  EXPECT_NE(inv.attributions[0].note.find("hier3"), std::string::npos);
+
+  bool saw_decision_line = false;
+  for (const auto& f : r.findings) {
+    if (f.level == Finding::Level::kInfo &&
+        f.text.find("decision allgather:") != std::string::npos) {
+      saw_decision_line = true;
+    }
+  }
+  EXPECT_TRUE(saw_decision_line);
+}
+
+TEST(PerfCompare, AttributionDisabledWithZeroTopK) {
+  CompareOptions opts;
+  opts.attribution_top_k = 0;
+  const CompareResult r =
+      run(one_latency_report(100.0), one_latency_report(150.0), opts);
+  EXPECT_FALSE(r.ok());  // drift still gates; only the explanation is off
+  EXPECT_TRUE(r.attribution.invocations.empty());
+  for (const auto& f : r.findings) {
+    EXPECT_EQ(f.text.rfind("attribution: ", 0), std::string::npos) << f.text;
+  }
+}
+
 TEST(PerfCompare, ReportNamesVerdicts) {
   const auto render = [](const CompareResult& r) {
     std::ostringstream os;

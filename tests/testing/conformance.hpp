@@ -320,9 +320,11 @@ inline int reduce_init(int r, std::size_t e) {
 /// returns every rank's final data buffer (raw bytes).
 inline RankBytes run_allreduce(const coll::AllreduceFn& fn, const Trial& t,
                                std::size_t count, mpi::Dtype dtype,
-                               mpi::ReduceOp op) {
+                               mpi::ReduceOp op,
+                               obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
   const std::size_t bytes = count * mpi::dtype_size(dtype);
@@ -377,9 +379,11 @@ inline std::int64_t reduce_expected(int p, std::size_t e, mpi::ReduceOp op) {
 }
 
 /// Run a root-0 bcast of `t.msg` bytes; returns every rank's buffer.
-inline RankBytes run_bcast(const coll::BcastFn& fn, const Trial& t) {
+inline RankBytes run_bcast(const coll::BcastFn& fn, const Trial& t,
+                           obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
 
@@ -402,9 +406,11 @@ inline RankBytes run_bcast(const coll::BcastFn& fn, const Trial& t) {
 /// Run an allgatherv with the given per-rank counts; returns every rank's
 /// receive buffer.
 inline RankBytes run_allgatherv(const coll::AllgathervFn& fn, const Trial& t,
-                                std::vector<std::size_t> counts) {
+                                std::vector<std::size_t> counts,
+                                obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
   const auto layout = coll::VarLayout::from_counts(std::move(counts));
@@ -475,9 +481,10 @@ inline sim::Task<void> rs_rank(mpi::Comm& comm, coll::ReduceScatterFn fn,
 /// Run an alltoall of `msg` bytes per (src, dst) block on the trial's
 /// world; returns every rank's receive buffer (one block per source).
 inline RankBytes run_alltoall(const coll::AlltoallFn& fn, const Trial& t,
-                              std::size_t msg) {
+                              std::size_t msg, obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
 
@@ -523,9 +530,11 @@ inline RankBytes alltoall_expected(int p, std::size_t msg) {
 /// (`counts[i * p + j]` = bytes i sends to j); returns every rank's receive
 /// buffer sized to its own recv_total.
 inline RankBytes run_alltoallv(const coll::AlltoallvFn& fn, const Trial& t,
-                               std::vector<std::size_t> counts) {
+                               std::vector<std::size_t> counts,
+                               obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
   const auto layout = coll::AlltoallvLayout::from_counts(p, std::move(counts));
@@ -576,9 +585,11 @@ inline RankBytes alltoallv_expected(int p,
 /// `elem_value` against `reduce_expected`.
 inline RankBytes run_reduce_scatter(const coll::ReduceScatterFn& fn,
                                     const Trial& t, std::size_t count,
-                                    mpi::Dtype dtype, mpi::ReduceOp op) {
+                                    mpi::Dtype dtype, mpi::ReduceOp op,
+                                    obs::Sink* sink = nullptr) {
   sim::Engine eng;
-  mpi::World world(eng, spec_of(t));
+  mpi::World world(eng, spec_of(t),
+                   sink != nullptr ? *sink : obs::null_sink());
   auto& comm = world.comm_world();
   const int p = comm.size();
   const std::size_t bytes = count * mpi::dtype_size(dtype);
